@@ -1,0 +1,38 @@
+//! Criterion: a short optimization burst per backend — the unit the
+//! paper's Table III/IV runtimes are made of (likelihood + finite
+//! differences + line search, §II-B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slim_core::{Analysis, AnalysisOptions, Backend, Hypothesis};
+use slim_model::BranchSiteModel;
+use slim_opt::GradMode;
+use slim_sim::{simulate_alignment, yule_tree};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let tree = yule_tree(10, 0.15, 5);
+    let truth = BranchSiteModel::default_start(Hypothesis::H1);
+    let pi = vec![1.0 / 61.0; 61];
+    let aln = simulate_alignment(&tree, &truth, &pi, 120, 55);
+
+    let mut group = c.benchmark_group("bfgs_burst_10sp_120cod");
+    group.sample_size(10);
+    for backend in [Backend::CodeMlStyle, Backend::Slim, Backend::SlimPlus] {
+        group.bench_function(backend.label(), |bench| {
+            bench.iter(|| {
+                let options = AnalysisOptions {
+                    backend,
+                    max_iterations: 2,
+                    grad_mode: GradMode::Forward,
+                    ..Default::default()
+                };
+                let analysis = Analysis::new(&tree, &aln, options).unwrap();
+                black_box(analysis.fit(Hypothesis::H0).unwrap().lnl)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion: the matrix-exponential reconstruction paths — the paper's
+//! headline Eq. 9 → Eq. 10 comparison (§II-C1, §III-A steps 3–5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slim_bio::GeneticCode;
+use slim_expm::{expm_taylor, EigenSystem};
+use slim_linalg::EigenMethod;
+use slim_model::{build_rate_matrix, ScalePolicy};
+use std::hint::black_box;
+
+fn bench_expm(c: &mut Criterion) {
+    let code = GeneticCode::universal();
+    let mut pi: Vec<f64> = (0..61).map(|i| 1.0 + ((i * 7) % 13) as f64).collect();
+    let s: f64 = pi.iter().sum();
+    pi.iter_mut().for_each(|p| *p /= s);
+    let rm = build_rate_matrix(&code, 2.3, 0.5, &pi, ScalePolicy::PerClass);
+    let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+    let t = 0.37;
+
+    let mut group = c.benchmark_group("expm_reconstruction_61");
+    group.sample_size(80);
+    group.bench_function("eq9_naive (CodeML)", |bench| {
+        bench.iter(|| black_box(es.transition_matrix_eq9_naive(black_box(t))))
+    });
+    group.bench_function("eq9_gemm", |bench| {
+        bench.iter(|| black_box(es.transition_matrix_eq9(black_box(t))))
+    });
+    group.bench_function("eq10_syrk (SlimCodeML)", |bench| {
+        bench.iter(|| black_box(es.transition_matrix_eq10(black_box(t))))
+    });
+    group.bench_function("eq12_symmetric_form", |bench| {
+        bench.iter(|| black_box(es.symmetric_transition(black_box(t))))
+    });
+    group.finish();
+
+    // Full pipeline including the eigendecomposition, and the oracle.
+    let mut full = c.benchmark_group("expm_full_61");
+    full.sample_size(20);
+    full.bench_function("eigen_plus_eq10", |bench| {
+        bench.iter(|| {
+            let es = EigenSystem::from_rate_matrix(black_box(&rm), EigenMethod::HouseholderQl).unwrap();
+            black_box(es.transition_matrix_eq10(t))
+        })
+    });
+    full.bench_function("taylor_scaling_squaring (oracle)", |bench| {
+        let mut qt = rm.q.clone();
+        qt.scale(t);
+        bench.iter(|| black_box(expm_taylor(black_box(&qt))))
+    });
+    full.finish();
+}
+
+criterion_group!(benches, bench_expm);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion: the BLAS-substitute kernels at codon-model size (n = 61).
+//!
+//! Measures the paper's §III-A step 4 claim directly: `syrk` (n³ flops)
+//! vs `gemm` (2n³) vs the naive strided triple loop CodeML used.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slim_linalg::gemm::{matmul, Transpose};
+use slim_linalg::{naive, syrk, Mat};
+use std::hint::black_box;
+
+fn rng_mat(n: usize, seed: u64) -> Mat {
+    let mut state = seed;
+    Mat::from_fn(n, n, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    })
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 61;
+    let a = rng_mat(n, 1);
+    let b = rng_mat(n, 2);
+
+    let mut group = c.benchmark_group("kernels_61");
+    group.sample_size(60);
+
+    group.bench_function("naive_matmul (CodeML-style)", |bench| {
+        bench.iter(|| black_box(naive::matmul(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("naive_matmul_bt", |bench| {
+        bench.iter(|| black_box(naive::matmul_bt(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("blocked_gemm", |bench| {
+        bench.iter(|| black_box(matmul(black_box(&a), Transpose::No, black_box(&b), Transpose::No)))
+    });
+    group.bench_function("blocked_gemm_abt", |bench| {
+        bench.iter(|| black_box(matmul(black_box(&a), Transpose::No, black_box(&b), Transpose::Yes)))
+    });
+    group.bench_function("syrk_aat (SlimCodeML)", |bench| {
+        let mut out = Mat::zeros(n, n);
+        bench.iter(|| {
+            syrk(1.0, black_box(&a), 0.0, &mut out);
+            black_box(&out);
+        })
+    });
+    group.finish();
+
+    let mut gv = c.benchmark_group("matvec_61");
+    gv.sample_size(100);
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    gv.bench_function("naive_matvec", |bench| {
+        let mut y = vec![0.0; n];
+        bench.iter(|| {
+            naive::matvec(black_box(&a), black_box(&x), &mut y);
+            black_box(&y);
+        })
+    });
+    gv.bench_function("gemv", |bench| {
+        let mut y = vec![0.0; n];
+        bench.iter(|| {
+            slim_linalg::gemv(1.0, black_box(&a), black_box(&x), 0.0, &mut y);
+            black_box(&y);
+        })
+    });
+    gv.bench_function("symv (Eq. 12 kernel)", |bench| {
+        let mut sym = a.clone();
+        sym.symmetrize();
+        let mut y = vec![0.0; n];
+        bench.iter(|| {
+            slim_linalg::symv(1.0, black_box(&sym), black_box(&x), 0.0, &mut y);
+            black_box(&y);
+        })
+    });
+    gv.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

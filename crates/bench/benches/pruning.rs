@@ -1,0 +1,53 @@
+//! Criterion: one full branch-site likelihood evaluation per backend on
+//! two dataset shapes — the §II-B pruning pipeline end to end.
+//!
+//! "tall" mimics dataset iv (many species, short alignment: expm-bound);
+//! "wide" mimics dataset ii scaled down (few species, long alignment:
+//! CPV-bound). The Slim/CodeML ratio differs between them exactly as the
+//! paper's per-iteration speedups differ between datasets ii and iv.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slim_bio::{FreqModel, GeneticCode};
+use slim_lik::{log_likelihood, EngineConfig, LikelihoodProblem};
+use slim_model::{BranchSiteModel, Hypothesis};
+use slim_sim::{simulate_alignment, yule_tree};
+use std::hint::black_box;
+
+fn make_problem(n_species: usize, n_codons: usize, seed: u64) -> (LikelihoodProblem, Vec<f64>) {
+    let tree = yule_tree(n_species, 0.15, seed);
+    let model = BranchSiteModel::default_start(Hypothesis::H1);
+    let pi = vec![1.0 / 61.0; 61];
+    let aln = simulate_alignment(&tree, &model, &pi, n_codons, seed ^ 0xBEEF);
+    let code = GeneticCode::universal();
+    let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).unwrap();
+    let bl = tree.branch_lengths();
+    (problem, bl)
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let model = BranchSiteModel::default_start(Hypothesis::H1);
+    for (label, species, codons) in [("tall_40sp_39cod", 40usize, 39usize), ("wide_6sp_800cod", 6, 800)] {
+        let (problem, bl) = make_problem(species, codons, 42);
+        let mut group = c.benchmark_group(format!("likelihood_eval_{label}"));
+        group.sample_size(20);
+        for (name, config) in [
+            ("codeml_style", EngineConfig::codeml_style()),
+            ("slim", EngineConfig::slim()),
+            ("slim_plus", EngineConfig::slim_plus()),
+            ("slim_eq12", EngineConfig::slim_symmetric()),
+        ] {
+            group.bench_function(name, |bench| {
+                bench.iter(|| {
+                    black_box(
+                        log_likelihood(black_box(&problem), &config, black_box(&model), &bl)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerate the §IV-1 accuracy experiment.
+//!
+//! The paper reports the relative difference `D = |lnL − lnL̂| / |lnL|`
+//! between CodeML's and SlimCodeML's final log-likelihoods on datasets
+//! i–iv for both hypotheses, obtaining D between 0 and 5.5·10⁻⁸. Here D
+//! compares the CodeML-style and Slim engines after identically-seeded
+//! optimizations.
+//!
+//! ```text
+//! cargo run --release -p slim-bench --bin accuracy [--quick] [--fresh]
+//! ```
+
+use slim_bench::relative_difference;
+use slim_bench::runs::{load_or_run_all, pair_for};
+use slim_bench::RunBudget;
+
+fn main() {
+    let budget = RunBudget::from_args();
+    let runs = load_or_run_all(&budget);
+
+    println!("Accuracy (paper §IV-1): relative lnL difference D = |lnL - lnL_hat| / |lnL|");
+    println!();
+    println!(
+        "{:<8} {:>16} {:>16} {:>12} {:>12}",
+        "dataset", "lnL CodeML", "lnL SlimCodeML", "D(H0)", "D(H1)"
+    );
+    for label in ["i", "ii", "iii", "iv"] {
+        let (base, slim) = pair_for(&runs, label);
+        let d_h0 = relative_difference(base.h0.lnl, slim.h0.lnl);
+        let d_h1 = relative_difference(base.h1.lnl, slim.h1.lnl);
+        println!(
+            "{:<8} {:>16.6} {:>16.6} {:>12.2e} {:>12.2e}",
+            label, base.h1.lnl, slim.h1.lnl, d_h0, d_h1
+        );
+    }
+    println!();
+    println!("paper reported D in [0, 5.5e-8] (H0) and [0, 4.9e-8] (H1);");
+    println!("identical-seed optimizations of the two engines are expected to land");
+    println!("within ~1e-6 relative when iteration caps truncate convergence, and");
+    println!("tighter as caps are raised.");
+}

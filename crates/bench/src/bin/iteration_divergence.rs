@@ -1,0 +1,152 @@
+//! Supplementary experiment: organic iteration-count divergence.
+//!
+//! The paper's Table III shows CodeML and SlimCodeML converging after
+//! *different* iteration counts (dataset iv: 1039 vs 509) despite
+//! identical seeds, because their different numerics produce rounding-
+//! level differences in intermediate results that compound over the
+//! optimization ("this sensitivity can also be observed by distinct
+//! seeds", §IV). This binary reproduces the effect on the dataset-i
+//! analog: both engines run to convergence (no caps) with identical
+//! starts; the Slim engine additionally uses the bisection/inverse-
+//! iteration eigensolver (the `dsyevr` MRRR stand-in), so its
+//! eigendecompositions differ from the baseline's QL at the ~1e-12 level
+//! — exactly the kind of benign perturbation that splits trajectories.
+//!
+//! ```text
+//! cargo run --release -p slim-bench --bin iteration_divergence [--quick]
+//! ```
+
+use slim_bench::{run_engine, RunBudget};
+use slim_core::{Analysis, AnalysisOptions, Backend, Hypothesis};
+use slim_linalg::EigenMethod;
+use slim_opt::GradMode;
+use slim_sim::{dataset, DatasetId};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cap = if quick { 40 } else { 200 };
+    let ds = dataset(DatasetId::I);
+
+    println!("Iteration-divergence experiment on the dataset-i analog (convergence-based stop, cap {cap})");
+    println!();
+
+    // Baseline: CodeML profile with QL eigensolver.
+    let budget = RunBudget { max_iterations: cap, grad_mode: GradMode::Forward };
+    let base = run_engine(&ds, Backend::CodeMlStyle, &budget);
+    println!(
+        "CodeML-style (QL eigen):        H0 {:>4} iters (lnL {:.6}), H1 {:>4} iters (lnL {:.6})",
+        base.h0.iterations, base.h0.lnl, base.h1.iterations, base.h1.lnl
+    );
+
+    // Slim with the MRRR-stand-in eigensolver: same math, different
+    // rounding.
+    let mut options = AnalysisOptions {
+        backend: Backend::Slim,
+        max_iterations: cap,
+        grad_mode: GradMode::Forward,
+        seed: 1,
+        ..Default::default()
+    };
+    // Route the Slim engine through bisection+inverse iteration by
+    // building the analysis by hand (Backend::Slim defaults to QL).
+    options.backend = Backend::Slim;
+    let analysis = Analysis::new(&ds.tree, &ds.alignment, options).expect("consistent");
+    // The engine config lives inside Backend; to vary the eigensolver we
+    // evaluate through the lik-level API instead.
+    let _ = analysis;
+    let slim_h0 = fit_with_eigen(&ds, Hypothesis::H0, cap, EigenMethod::BisectionInverse);
+    let slim_h1 = fit_with_eigen(&ds, Hypothesis::H1, cap, EigenMethod::BisectionInverse);
+    println!(
+        "SlimCodeML (bisection eigen):   H0 {:>4} iters (lnL {:.6}), H1 {:>4} iters (lnL {:.6})",
+        slim_h0.0, slim_h0.1, slim_h1.0, slim_h1.1
+    );
+
+    println!();
+    let d_h0 = ((base.h0.lnl - slim_h0.1) / base.h0.lnl).abs();
+    let d_h1 = ((base.h1.lnl - slim_h1.1) / base.h1.lnl).abs();
+    println!("relative lnL differences: D(H0) = {d_h0:.2e}, D(H1) = {d_h1:.2e}");
+    println!();
+    println!("expected shape: iteration counts differ between the engines while both");
+    println!("log-likelihoods agree to ~1e-8 relative or better — the paper's Table III");
+    println!("phenomenon (e.g. 80 vs 74 iterations on its dataset ii).");
+}
+
+/// Fit one hypothesis with an explicit eigensolver choice through the
+/// likelihood-level API (bypassing the fixed Backend presets).
+fn fit_with_eigen(
+    ds: &slim_sim::SimulatedDataset,
+    hypothesis: Hypothesis,
+    cap: usize,
+    eigen: EigenMethod,
+) -> (usize, f64) {
+    use slim_bio::{FreqModel, GeneticCode};
+    use slim_lik::{log_likelihood, EngineConfig, LikelihoodProblem};
+    use slim_model::BranchSiteModel;
+    use slim_opt::{minimize, BfgsOptions, Block, BlockTransform};
+
+    let code = GeneticCode::universal();
+    let problem = LikelihoodProblem::new(&ds.tree, &ds.alignment, &code, FreqModel::F3x4)
+        .expect("consistent inputs");
+    let config = EngineConfig::slim().with_eigen(eigen);
+
+    let transform = BlockTransform::new(vec![
+        Block::LowerBounded { lo: 1e-3 },
+        Block::BoxBounded { lo: 1e-6, hi: 1.0 - 1e-6 },
+        match hypothesis {
+            Hypothesis::H0 => Block::Fixed { value: 1.0 },
+            Hypothesis::H1 => Block::LowerBounded { lo: 1.0 },
+        },
+        Block::SimplexWithRest { dim: 2 },
+        Block::BoxBoundedVec { lo: 1e-6, hi: 50.0, count: problem.n_branches() },
+    ]);
+
+    // Same seeded start as Analysis::start_vector (seed 1, jitter 0.05).
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut jitter = |v: f64| v * (1.0 + 0.05 * (rng.gen::<f64>() - 0.5) * 2.0);
+    let m = BranchSiteModel::default_start(hypothesis);
+    let mut x0 = vec![
+        jitter(m.kappa),
+        jitter(m.omega0).clamp(2e-6, 0.5),
+        match hypothesis {
+            Hypothesis::H0 => 1.0,
+            Hypothesis::H1 => 1.0 + jitter(m.omega2 - 1.0).max(1e-3),
+        },
+        jitter(m.p0).clamp(0.05, 0.9),
+        jitter(m.p1).clamp(0.05, 0.9),
+    ];
+    if x0[3] + x0[4] > 0.95 {
+        let s = x0[3] + x0[4];
+        x0[3] *= 0.9 / s;
+        x0[4] *= 0.9 / s;
+    }
+    // Mirror Analysis::new + start_vector exactly (pre-clamp, jitter,
+    // post-clamp) so both engines start from the identical point.
+    for b in ds.tree.branch_lengths() {
+        let pre = b.clamp(1e-5, 5.0);
+        x0.push(jitter(pre).clamp(2e-6, 25.0));
+    }
+    let z0 = transform.to_unconstrained(&x0);
+
+    let objective = |z: &[f64]| -> f64 {
+        let x = transform.to_constrained(z);
+        let model = BranchSiteModel { kappa: x[0], omega0: x[1], omega2: x[2], p0: x[3], p1: x[4] };
+        match log_likelihood(&problem, &config, &model, &x[5..]) {
+            Ok(lnl) if lnl.is_finite() => -lnl,
+            _ => f64::INFINITY,
+        }
+    };
+    let result = minimize(
+        objective,
+        &z0,
+        &BfgsOptions {
+            max_iterations: cap,
+            grad_mode: GradMode::Forward,
+            grad_tol: 1e-6,
+            f_tol: 1e-10,
+            ..Default::default()
+        },
+    );
+    (result.iterations, -result.f)
+}

@@ -1,0 +1,67 @@
+//! Regenerate Table IV: the three speedup flavors of §IV-2.
+//!
+//! * overall speedup `S_o = S_t1 / S_t2` (total runtime ratio) per
+//!   hypothesis,
+//! * combined speedup `S_c` over H0+H1,
+//! * per-iteration speedups `S_i` (runtime normalized by iterations).
+//!
+//! ```text
+//! cargo run --release -p slim-bench --bin table4 [--quick] [--fresh]
+//! ```
+
+use slim_bench::runs::{load_or_run_all, pair_for, StoredRun};
+use slim_bench::RunBudget;
+
+fn row(label: &str, f: impl Fn(&StoredRun, &StoredRun) -> f64, runs: &[StoredRun]) {
+    print!("{label:<34}");
+    for ds in ["i", "ii", "iii", "iv"] {
+        let (base, slim) = pair_for(runs, ds);
+        print!(" {:>7.1}", f(base, slim));
+    }
+    println!();
+}
+
+fn main() {
+    let budget = RunBudget::from_args();
+    let runs = load_or_run_all(&budget);
+
+    println!("Table IV analog — speedups of SlimCodeML over CodeML-style engine");
+    println!();
+    println!("{:<34} {:>7} {:>7} {:>7} {:>7}", "Dataset", "i", "ii", "iii", "iv");
+    println!("{}", "-".repeat(66));
+    row("Overall speedup H0", |b, s| b.h0.seconds / s.h0.seconds, &runs);
+    row("Overall speedup H1", |b, s| b.h1.seconds / s.h1.seconds, &runs);
+    row("Combined speedup H0+H1", |b, s| b.total_seconds() / s.total_seconds(), &runs);
+    row(
+        "Per-iteration speedup H0",
+        |b, s| b.h0.seconds_per_iteration() / s.h0.seconds_per_iteration(),
+        &runs,
+    );
+    row(
+        "Per-iteration speedup H1",
+        |b, s| b.h1.seconds_per_iteration() / s.h1.seconds_per_iteration(),
+        &runs,
+    );
+    row(
+        "Per-iteration speedup H0+H1",
+        |b, s| {
+            (b.total_seconds() / b.total_iterations().max(1) as f64)
+                / (s.total_seconds() / s.total_iterations().max(1) as f64)
+        },
+        &runs,
+    );
+    println!();
+    println!("paper values:");
+    println!("  Overall H0:        1.9  2.3  2.6  9.4");
+    println!("  Overall H1:        2.0  1.6  2.4  4.4");
+    println!("  Combined H0+H1:    2.0  1.9  2.5  6.4");
+    println!("  Per-iter H0:       2.1  1.8  2.7  3.3");
+    println!("  Per-iter H1:       1.9  1.7  2.5  3.0");
+    println!("  Per-iter H0+H1:    2.0  1.7  2.6  3.1");
+    println!();
+    println!("notes: with identical iteration caps for both engines, the overall and");
+    println!("per-iteration rows coincide by construction; the paper's >4x overall");
+    println!("speedups on dataset iv come from CodeML needing ~2x more iterations to");
+    println!("converge there, an effect of run-to-run FP divergence that capped runs");
+    println!("cannot express.");
+}

@@ -1,0 +1,396 @@
+//! Codon multiple sequence alignments, with FASTA and PHYLIP I/O.
+//!
+//! The MSA is the left half of the paper's Fig. 1: one codon sequence per
+//! species, all of equal length, with no in-frame stop codons.
+
+use crate::codon::Codon;
+use crate::genetic_code::GeneticCode;
+use crate::site::Site;
+use crate::BioError;
+
+/// A multiple sequence alignment of codon sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodonAlignment {
+    names: Vec<String>,
+    seqs: Vec<Vec<Site>>,
+}
+
+impl CodonAlignment {
+    /// Build from parallel name/sequence lists.
+    ///
+    /// # Errors
+    /// [`BioError::InvalidAlignment`] if empty, ragged, zero-length, if
+    /// names repeat, or if any sequence contains a stop codon.
+    pub fn new(names: Vec<String>, seqs: Vec<Vec<Site>>) -> crate::Result<Self> {
+        Self::new_with_code(names, seqs, &GeneticCode::universal())
+    }
+
+    /// Build with stop-codon validation under an explicit genetic code
+    /// (e.g. the vertebrate mitochondrial code, where TGA is sense but
+    /// AGA/AGG are stops).
+    ///
+    /// # Errors
+    /// Same validation as [`CodonAlignment::new`], under `code`.
+    pub fn new_with_code(
+        names: Vec<String>,
+        seqs: Vec<Vec<Site>>,
+        code: &GeneticCode,
+    ) -> crate::Result<Self> {
+        if names.len() != seqs.len() {
+            return Err(BioError::InvalidAlignment(format!(
+                "{} names but {} sequences",
+                names.len(),
+                seqs.len()
+            )));
+        }
+        if names.is_empty() {
+            return Err(BioError::InvalidAlignment("no sequences".into()));
+        }
+        let len = seqs[0].len();
+        if len == 0 {
+            return Err(BioError::InvalidAlignment("zero-length sequences".into()));
+        }
+        for (name, seq) in names.iter().zip(&seqs) {
+            if seq.len() != len {
+                return Err(BioError::InvalidAlignment(format!(
+                    "sequence {name:?} has length {} != {len}",
+                    seq.len()
+                )));
+            }
+        }
+        {
+            let mut sorted: Vec<&String> = names.iter().collect();
+            sorted.sort();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                return Err(BioError::InvalidAlignment("duplicate sequence names".into()));
+            }
+        }
+        for (name, seq) in names.iter().zip(&seqs) {
+            let stop = seq
+                .iter()
+                .position(|s| matches!(s, Site::Codon(c) if code.is_stop(*c)));
+            if let Some(pos) = stop {
+                return Err(BioError::InvalidAlignment(format!(
+                    "sequence {name:?} contains stop codon at codon position {pos}"
+                )));
+            }
+        }
+        Ok(CodonAlignment { names, seqs })
+    }
+
+    /// Build from fully-observed codon sequences (no missing data) — the
+    /// simulator's output format.
+    ///
+    /// # Errors
+    /// Same validation as [`CodonAlignment::new`].
+    pub fn from_codons(names: Vec<String>, seqs: Vec<Vec<Codon>>) -> crate::Result<Self> {
+        let wrapped = seqs
+            .into_iter()
+            .map(|seq| seq.into_iter().map(Site::Codon).collect())
+            .collect();
+        CodonAlignment::new(names, wrapped)
+    }
+
+    /// Number of sequences (species).
+    pub fn n_sequences(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Alignment length in codons.
+    pub fn n_codons(&self) -> usize {
+        self.seqs[0].len()
+    }
+
+    /// Sequence names, in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The sequence for species `i` (codons or missing-data cells).
+    pub fn sequence(&self, i: usize) -> &[Site] {
+        &self.seqs[i]
+    }
+
+    /// Fraction of cells that are missing data (diagnostic).
+    pub fn missing_fraction(&self) -> f64 {
+        let total = self.n_sequences() * self.n_codons();
+        let missing: usize = self
+            .seqs
+            .iter()
+            .map(|s| s.iter().filter(|c| c.is_missing()).count())
+            .sum();
+        missing as f64 / total as f64
+    }
+
+    /// Index of a sequence by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// One alignment column: the cell of every species at site `site`.
+    pub fn column(&self, site: usize) -> Vec<Site> {
+        self.seqs.iter().map(|s| s[site]).collect()
+    }
+
+    /// Keep only the species whose indices are listed (in the given
+    /// order). Used by the Fig. 3 experiment, which sub-samples dataset iv
+    /// from 95 down to 15 species.
+    ///
+    /// # Errors
+    /// [`BioError::InvalidAlignment`] if `keep` is empty or out of range.
+    pub fn subset(&self, keep: &[usize]) -> crate::Result<CodonAlignment> {
+        if keep.is_empty() {
+            return Err(BioError::InvalidAlignment("empty subset".into()));
+        }
+        let mut names = Vec::with_capacity(keep.len());
+        let mut seqs = Vec::with_capacity(keep.len());
+        for &i in keep {
+            if i >= self.n_sequences() {
+                return Err(BioError::InvalidAlignment(format!("subset index {i} out of range")));
+            }
+            names.push(self.names[i].clone());
+            seqs.push(self.seqs[i].clone());
+        }
+        CodonAlignment::new(names, seqs)
+    }
+
+    // ---------------------------------------------------------------- FASTA
+
+    /// Parse a FASTA string into a codon alignment.
+    ///
+    /// # Errors
+    /// Parse errors for framing problems, invalid codons, stops, raggedness.
+    pub fn from_fasta(text: &str) -> crate::Result<CodonAlignment> {
+        Self::from_fasta_with_code(text, &GeneticCode::universal())
+    }
+
+    /// FASTA parse with stop validation under an explicit genetic code.
+    ///
+    /// # Errors
+    /// Same as [`CodonAlignment::from_fasta`].
+    pub fn from_fasta_with_code(text: &str, code: &GeneticCode) -> crate::Result<CodonAlignment> {
+        let mut names = Vec::new();
+        let mut buffers: Vec<String> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('>') {
+                let name = header.split_whitespace().next().unwrap_or("").to_string();
+                if name.is_empty() {
+                    return Err(BioError::ParseError("FASTA header with empty name".into()));
+                }
+                names.push(name);
+                buffers.push(String::new());
+            } else {
+                let buf = buffers
+                    .last_mut()
+                    .ok_or_else(|| BioError::ParseError("FASTA sequence before first header".into()))?;
+                buf.push_str(line);
+            }
+        }
+        let seqs = buffers
+            .iter()
+            .zip(&names)
+            .map(|(buf, name)| parse_sites(buf, name))
+            .collect::<crate::Result<Vec<_>>>()?;
+        CodonAlignment::new_with_code(names, seqs, code)
+    }
+
+    /// Serialize to FASTA (60 nucleotides per line).
+    pub fn to_fasta(&self) -> String {
+        let mut out = String::new();
+        for (name, seq) in self.names.iter().zip(&self.seqs) {
+            out.push('>');
+            out.push_str(name);
+            out.push('\n');
+            let mut nt = String::with_capacity(seq.len() * 3);
+            for site in seq {
+                nt.push_str(&site.to_string_repr());
+            }
+            for chunk in nt.as_bytes().chunks(60) {
+                out.push_str(std::str::from_utf8(chunk).expect("ASCII"));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    // --------------------------------------------------------------- PHYLIP
+
+    /// Parse sequential PHYLIP (the format CodeML reads).
+    ///
+    /// # Errors
+    /// Parse errors for bad headers, counts, or sequence content.
+    pub fn from_phylip(text: &str) -> crate::Result<CodonAlignment> {
+        Self::from_phylip_with_code(text, &GeneticCode::universal())
+    }
+
+    /// PHYLIP parse with stop validation under an explicit genetic code.
+    ///
+    /// # Errors
+    /// Same as [`CodonAlignment::from_phylip`].
+    pub fn from_phylip_with_code(text: &str, code: &GeneticCode) -> crate::Result<CodonAlignment> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| BioError::ParseError("empty PHYLIP input".into()))?;
+        let mut parts = header.split_whitespace();
+        let n: usize = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| BioError::ParseError("bad PHYLIP species count".into()))?;
+        let len_nt: usize = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| BioError::ParseError("bad PHYLIP length".into()))?;
+        if !len_nt.is_multiple_of(3) {
+            return Err(BioError::ParseError(format!(
+                "PHYLIP length {len_nt} is not a multiple of 3"
+            )));
+        }
+        let mut names = Vec::with_capacity(n);
+        let mut seqs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = lines
+                .next()
+                .ok_or_else(|| BioError::ParseError("PHYLIP truncated".into()))?;
+            let mut it = line.split_whitespace();
+            let name = it
+                .next()
+                .ok_or_else(|| BioError::ParseError("PHYLIP line missing name".into()))?
+                .to_string();
+            let mut seq_text: String = it.collect();
+            // Sequential PHYLIP may wrap a sequence across lines.
+            while seq_text.len() < len_nt {
+                let cont = lines
+                    .next()
+                    .ok_or_else(|| BioError::ParseError(format!("sequence {name:?} truncated")))?;
+                seq_text.extend(cont.split_whitespace().flat_map(|s| s.chars()));
+            }
+            if seq_text.len() != len_nt {
+                return Err(BioError::ParseError(format!(
+                    "sequence {name:?}: {} nucleotides, expected {len_nt}",
+                    seq_text.len()
+                )));
+            }
+            seqs.push(parse_sites(&seq_text, &name)?);
+            names.push(name);
+        }
+        CodonAlignment::new_with_code(names, seqs, code)
+    }
+
+    /// Serialize to sequential PHYLIP.
+    pub fn to_phylip(&self) -> String {
+        let mut out = format!("{} {}\n", self.n_sequences(), self.n_codons() * 3);
+        for (name, seq) in self.names.iter().zip(&self.seqs) {
+            out.push_str(name);
+            out.push_str("  ");
+            for site in seq {
+                out.push_str(&site.to_string_repr());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parse a run of nucleotide/gap characters into sites.
+fn parse_sites(nt: &str, name: &str) -> crate::Result<Vec<Site>> {
+    let chars: Vec<char> = nt.chars().filter(|c| !c.is_whitespace()).collect();
+    if !chars.len().is_multiple_of(3) {
+        return Err(BioError::InvalidAlignment(format!(
+            "sequence {name:?} has {} nucleotides (not a multiple of 3)",
+            chars.len()
+        )));
+    }
+    chars
+        .chunks(3)
+        .map(|c| Site::from_chunk(&c.iter().collect::<String>()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FASTA: &str = ">A\nCCCTACTGC\n>B\nCCCTACTGC\n>C\nCCCTATTGC\n";
+
+    #[test]
+    fn fasta_roundtrip() {
+        let aln = CodonAlignment::from_fasta(FASTA).unwrap();
+        assert_eq!(aln.n_sequences(), 3);
+        assert_eq!(aln.n_codons(), 3);
+        assert_eq!(aln.names(), &["A", "B", "C"]);
+        let re = CodonAlignment::from_fasta(&aln.to_fasta()).unwrap();
+        assert_eq!(re, aln);
+    }
+
+    #[test]
+    fn fasta_multiline_sequences() {
+        let text = ">X\nCCC\nTAC\n>Y\nCCCTAC\n";
+        let aln = CodonAlignment::from_fasta(text).unwrap();
+        assert_eq!(aln.n_codons(), 2);
+        assert_eq!(aln.sequence(0), aln.sequence(1));
+    }
+
+    #[test]
+    fn phylip_roundtrip() {
+        let aln = CodonAlignment::from_fasta(FASTA).unwrap();
+        let phy = aln.to_phylip();
+        assert!(phy.starts_with("3 9"));
+        let re = CodonAlignment::from_phylip(&phy).unwrap();
+        assert_eq!(re, aln);
+    }
+
+    #[test]
+    fn rejects_stop_codons() {
+        let text = ">A\nTAATAC\n>B\nCCCTAC\n";
+        let err = CodonAlignment::from_fasta(text).unwrap_err();
+        assert!(err.to_string().contains("stop"));
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        let text = ">A\nCCCTAC\n>B\nCCC\n";
+        assert!(CodonAlignment::from_fasta(text).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let text = ">A\nCCC\n>A\nCCC\n";
+        assert!(CodonAlignment::from_fasta(text).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_frame() {
+        let text = ">A\nCCCT\n";
+        assert!(CodonAlignment::from_fasta(text).is_err());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let aln = CodonAlignment::from_fasta(FASTA).unwrap();
+        let col = aln.column(1);
+        assert_eq!(col[0].to_string_repr(), "TAC");
+        assert_eq!(col[2].to_string_repr(), "TAT");
+        assert!(col.iter().all(|c| !c.is_missing()));
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let aln = CodonAlignment::from_fasta(FASTA).unwrap();
+        let sub = aln.subset(&[2, 0]).unwrap();
+        assert_eq!(sub.names(), &["C", "A"]);
+        assert!(aln.subset(&[]).is_err());
+        assert!(aln.subset(&[5]).is_err());
+    }
+
+    #[test]
+    fn index_of_names() {
+        let aln = CodonAlignment::from_fasta(FASTA).unwrap();
+        assert_eq!(aln.index_of("B"), Some(1));
+        assert_eq!(aln.index_of("Z"), None);
+    }
+}

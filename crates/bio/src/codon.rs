@@ -1,0 +1,214 @@
+//! Codons: triplets of nucleotides.
+
+use crate::nucleotide::{classify_change, ChangeKind, Nuc};
+use crate::BioError;
+
+/// A codon — three nucleotides, the unit of the 61-state substitution
+/// models (Fig. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Codon(pub Nuc, pub Nuc, pub Nuc);
+
+impl Codon {
+    /// Construct from three nucleotides.
+    #[inline]
+    pub fn new(a: Nuc, b: Nuc, c: Nuc) -> Codon {
+        Codon(a, b, c)
+    }
+
+    /// Parse a three-character codon string.
+    ///
+    /// (Deliberately an inherent method rather than the `FromStr` trait:
+    /// the error type is crate-specific and the call sites read better
+    /// fully qualified.)
+    ///
+    /// # Errors
+    /// [`BioError::InvalidCodon`] if the string is not exactly three valid
+    /// nucleotide characters.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> crate::Result<Codon> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != 3 {
+            return Err(BioError::InvalidCodon(s.to_string()));
+        }
+        let a = Nuc::from_char(chars[0]).map_err(|_| BioError::InvalidCodon(s.to_string()))?;
+        let b = Nuc::from_char(chars[1]).map_err(|_| BioError::InvalidCodon(s.to_string()))?;
+        let c = Nuc::from_char(chars[2]).map_err(|_| BioError::InvalidCodon(s.to_string()))?;
+        Ok(Codon(a, b, c))
+    }
+
+    /// Three-character string representation.
+    pub fn to_string_repr(self) -> String {
+        let mut s = String::with_capacity(3);
+        s.push(self.0.to_char());
+        s.push(self.1.to_char());
+        s.push(self.2.to_char());
+        s
+    }
+
+    /// Index in the 64-codon space with TCAG-major ordering
+    /// (`16·n₁ + 4·n₂ + n₃`), matching PAML's numbering.
+    #[inline]
+    pub fn index64(self) -> usize {
+        16 * self.0.index() + 4 * self.1.index() + self.2.index()
+    }
+
+    /// Inverse of [`Codon::index64`].
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`.
+    #[inline]
+    pub fn from_index64(i: usize) -> Codon {
+        assert!(i < 64, "codon index out of range");
+        Codon(
+            Nuc::from_index(i / 16),
+            Nuc::from_index((i / 4) % 4),
+            Nuc::from_index(i % 4),
+        )
+    }
+
+    /// The nucleotide at position `p` (0, 1, 2).
+    ///
+    /// # Panics
+    /// Panics if `p > 2`.
+    #[inline]
+    pub fn at(self, p: usize) -> Nuc {
+        match p {
+            0 => self.0,
+            1 => self.1,
+            2 => self.2,
+            _ => panic!("codon position out of range"),
+        }
+    }
+
+    /// Return a copy with position `p` replaced by `n`.
+    #[inline]
+    pub fn with(self, p: usize, n: Nuc) -> Codon {
+        let mut c = self;
+        match p {
+            0 => c.0 = n,
+            1 => c.1 = n,
+            2 => c.2 = n,
+            _ => panic!("codon position out of range"),
+        }
+        c
+    }
+
+    /// Number of positions at which two codons differ (0–3).
+    #[inline]
+    pub fn hamming(self, other: Codon) -> usize {
+        (self.0 != other.0) as usize + (self.1 != other.1) as usize + (self.2 != other.2) as usize
+    }
+
+    /// If the two codons differ at exactly one position, classify the
+    /// change; otherwise `None`. Per Eq. 1 of the paper, multi-nucleotide
+    /// changes carry zero instantaneous rate, so `None` ⇒ rate 0.
+    pub fn single_change(self, other: Codon) -> Option<SingleChange> {
+        let mut found: Option<(usize, Nuc, Nuc)> = None;
+        for p in 0..3 {
+            let (a, b) = (self.at(p), other.at(p));
+            if a != b {
+                if found.is_some() {
+                    return None; // two or more differences
+                }
+                found = Some((p, a, b));
+            }
+        }
+        found.map(|(position, from, to)| SingleChange {
+            position,
+            from,
+            to,
+            kind: classify_change(from, to),
+        })
+    }
+}
+
+/// A single-nucleotide difference between two codons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingleChange {
+    /// Codon position of the change (0, 1, 2).
+    pub position: usize,
+    /// Nucleotide before the change.
+    pub from: Nuc,
+    /// Nucleotide after the change.
+    pub to: Nuc,
+    /// Transition or transversion.
+    pub kind: ChangeKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print() {
+        let c = Codon::from_str("AtG").unwrap();
+        assert_eq!(c, Codon(Nuc::A, Nuc::T, Nuc::G));
+        assert_eq!(c.to_string_repr(), "ATG");
+        assert!(Codon::from_str("AT").is_err());
+        assert!(Codon::from_str("ATGA").is_err());
+        assert!(Codon::from_str("ANN").is_err());
+    }
+
+    #[test]
+    fn index64_roundtrip_all() {
+        for i in 0..64 {
+            assert_eq!(Codon::from_index64(i).index64(), i);
+        }
+        // Spot-check the TCAG-major convention.
+        assert_eq!(Codon::from_str("TTT").unwrap().index64(), 0);
+        assert_eq!(Codon::from_str("TTC").unwrap().index64(), 1);
+        assert_eq!(Codon::from_str("GGG").unwrap().index64(), 63);
+        assert_eq!(Codon::from_str("TAA").unwrap().index64(), 10);
+        assert_eq!(Codon::from_str("TAG").unwrap().index64(), 11);
+        assert_eq!(Codon::from_str("TGA").unwrap().index64(), 14);
+    }
+
+    #[test]
+    fn hamming_distances() {
+        let a = Codon::from_str("ATG").unwrap();
+        assert_eq!(a.hamming(a), 0);
+        assert_eq!(a.hamming(Codon::from_str("ATA").unwrap()), 1);
+        assert_eq!(a.hamming(Codon::from_str("TTA").unwrap()), 2);
+        assert_eq!(a.hamming(Codon::from_str("GCA").unwrap()), 3);
+    }
+
+    #[test]
+    fn single_change_classification() {
+        let a = Codon::from_str("ATG").unwrap();
+        // A→G at position 0 is a transition.
+        let ch = a.single_change(Codon::from_str("GTG").unwrap()).unwrap();
+        assert_eq!(ch.position, 0);
+        assert_eq!(ch.kind, ChangeKind::Transition);
+        // G→C at position 2 is a transversion.
+        let ch = a.single_change(Codon::from_str("ATC").unwrap()).unwrap();
+        assert_eq!(ch.position, 2);
+        assert_eq!(ch.kind, ChangeKind::Transversion);
+        // two differences → None
+        assert!(a.single_change(Codon::from_str("TTA").unwrap()).is_none());
+        // identical → None
+        assert!(a.single_change(a).is_none());
+    }
+
+    #[test]
+    fn with_and_at() {
+        let a = Codon::from_str("ATG").unwrap();
+        assert_eq!(a.at(1), Nuc::T);
+        let b = a.with(1, Nuc::C);
+        assert_eq!(b.to_string_repr(), "ACG");
+        // original untouched
+        assert_eq!(a.to_string_repr(), "ATG");
+    }
+
+    #[test]
+    fn single_change_count_per_codon() {
+        // Every codon has exactly 9 single-nucleotide neighbours.
+        let c = Codon::from_str("CCC").unwrap();
+        let mut neighbours = 0;
+        for i in 0..64 {
+            if c.single_change(Codon::from_index64(i)).is_some() {
+                neighbours += 1;
+            }
+        }
+        assert_eq!(neighbours, 9);
+    }
+}

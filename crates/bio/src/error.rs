@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors from parsing or validating biological data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BioError {
+    /// A character that is not a valid nucleotide.
+    InvalidNucleotide(char),
+    /// A codon string that is not three valid nucleotides or is a stop.
+    InvalidCodon(String),
+    /// Alignment-level problem (ragged rows, empty, stop codon inside, …).
+    InvalidAlignment(String),
+    /// Newick syntax or semantic problem.
+    InvalidNewick(String),
+    /// Tree-level problem (wrong foreground count, not binary, …).
+    InvalidTree(String),
+    /// Generic file-format problem (FASTA/PHYLIP framing).
+    ParseError(String),
+}
+
+impl fmt::Display for BioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BioError::InvalidNucleotide(c) => write!(f, "invalid nucleotide character {c:?}"),
+            BioError::InvalidCodon(s) => write!(f, "invalid codon {s:?}"),
+            BioError::InvalidAlignment(s) => write!(f, "invalid alignment: {s}"),
+            BioError::InvalidNewick(s) => write!(f, "invalid Newick: {s}"),
+            BioError::InvalidTree(s) => write!(f, "invalid tree: {s}"),
+            BioError::ParseError(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_payload() {
+        assert!(BioError::InvalidNucleotide('X').to_string().contains('X'));
+        assert!(BioError::InvalidCodon("TAA".into()).to_string().contains("TAA"));
+        assert!(BioError::InvalidNewick("unbalanced".into()).to_string().contains("unbalanced"));
+    }
+}

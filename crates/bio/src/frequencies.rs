@@ -1,0 +1,218 @@
+//! Empirical codon frequency estimators.
+//!
+//! "The codon frequencies πᵢ used in the model are determined empirically
+//! from the MSA" (§II-A). CodeML offers several estimators; the three used
+//! in practice are implemented here.
+
+use crate::alignment::CodonAlignment;
+use crate::codon::Codon;
+use crate::genetic_code::GeneticCode;
+use crate::N_CODONS;
+
+// NOTE: output vectors are sized by `code.n_sense()` (61 universal, 60
+// vertebrate-mitochondrial); codons that are stops under `code` are
+// skipped when counting (they can occur when the alignment was validated
+// under a different code).
+
+/// How to estimate equilibrium codon frequencies from the alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FreqModel {
+    /// Equal frequencies, 1/61 each (CodeML `CodonFreq = 0`).
+    Equal,
+    /// From average nucleotide frequencies, one distribution shared by all
+    /// three codon positions (CodeML `CodonFreq = 1`).
+    F1x4,
+    /// From position-specific nucleotide frequencies (CodeML
+    /// `CodonFreq = 2`, the Selectome default).
+    #[default]
+    F3x4,
+    /// Raw codon counts with a pseudo-count (CodeML `CodonFreq = 3`).
+    F61,
+}
+
+/// Estimate sense-codon equilibrium frequencies (length `code.n_sense()`
+/// vector, summing to 1, every entry strictly positive).
+pub fn codon_frequencies(aln: &CodonAlignment, code: &GeneticCode, model: FreqModel) -> Vec<f64> {
+    let n = code.n_sense();
+    match model {
+        FreqModel::Equal => vec![1.0 / n as f64; n],
+        FreqModel::F1x4 => {
+            let nuc = nucleotide_counts(aln, false);
+            from_position_freqs(code, &[nuc[0], nuc[0], nuc[0]])
+        }
+        FreqModel::F3x4 => {
+            let nuc = nucleotide_counts(aln, true);
+            from_position_freqs(code, &nuc)
+        }
+        FreqModel::F61 => {
+            let mut counts = vec![1.0f64; n]; // +1 pseudo-count keeps πᵢ > 0
+            for i in 0..aln.n_sequences() {
+                for site in aln.sequence(i) {
+                    let Some(codon) = site.codon() else { continue };
+                    let Some(idx) = code.sense_index(codon) else { continue };
+                    counts[idx] += 1.0;
+                }
+            }
+            normalize(&mut counts);
+            counts
+        }
+    }
+}
+
+/// Position-wise (or pooled) nucleotide frequency table. Returns
+/// `[pos][nuc]` normalized distributions; when `by_position` is false all
+/// three rows are the pooled distribution in row 0.
+fn nucleotide_counts(aln: &CodonAlignment, by_position: bool) -> [[f64; 4]; 3] {
+    let mut counts = [[1.0f64; 4]; 3]; // pseudo-count per cell
+    for i in 0..aln.n_sequences() {
+        for site in aln.sequence(i) {
+            let Some(codon) = site.codon() else { continue };
+            for p in 0..3 {
+                let row = if by_position { p } else { 0 };
+                counts[row][codon.at(p).index()] += 1.0;
+            }
+        }
+    }
+    for row in &mut counts {
+        let s: f64 = row.iter().sum();
+        for v in row.iter_mut() {
+            *v /= s;
+        }
+    }
+    counts
+}
+
+/// Codon frequencies as products of per-position nucleotide frequencies,
+/// renormalized over sense codons (stop-codon mass redistributed).
+fn from_position_freqs(code: &GeneticCode, pos_freq: &[[f64; 4]; 3]) -> Vec<f64> {
+    let mut pi = vec![0.0f64; code.n_sense()];
+    for (i, codon) in code.sense_codons().enumerate() {
+        pi[i] = pos_freq[0][codon.at(0).index()]
+            * pos_freq[1][codon.at(1).index()]
+            * pos_freq[2][codon.at(2).index()];
+    }
+    normalize(&mut pi);
+    pi
+}
+
+fn normalize(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    assert!(s > 0.0, "frequency normalization over zero mass");
+    for x in v.iter_mut() {
+        *x /= s;
+    }
+}
+
+/// Helper to compute frequencies straight from a single sequence of
+/// codons (used by the simulator's round-trip tests).
+pub fn f61_from_codons(codons: &[Codon], code: &GeneticCode) -> Vec<f64> {
+    let mut counts = vec![1.0f64; code.n_sense()];
+    for &c in codons {
+        if let Some(i) = code.sense_index(c) {
+            counts[i] += 1.0;
+        }
+    }
+    normalize(&mut counts);
+    counts
+}
+
+/// Nucleotide composition of a frequency vector at a codon position
+/// (diagnostic helper).
+pub fn marginal_nucleotide_freqs(pi: &[f64], code: &GeneticCode, position: usize) -> [f64; 4] {
+    let mut out = [0.0f64; 4];
+    for (i, codon) in code.sense_codons().enumerate() {
+        out[codon.at(position).index()] += pi[i];
+    }
+    out
+}
+
+/// Check invariants expected of any frequency vector: non-empty (61 for
+/// the universal code, 60 mitochondrial), strictly positive, sums to 1
+/// within tolerance.
+pub fn validate_frequencies(pi: &[f64]) -> bool {
+    (pi.len() == N_CODONS || pi.len() == 60)
+        && pi.iter().all(|&p| p > 0.0 && p.is_finite())
+        && ((pi.iter().sum::<f64>()) - 1.0).abs() < 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nucleotide::Nuc;
+
+    fn toy_alignment() -> CodonAlignment {
+        CodonAlignment::from_fasta(">A\nCCCTACTGCCCCAAGGAG\n>B\nCCCTACTGCCCCAAGGAG\n>C\nCCCTATTGCACCAAGGAG\n")
+            .unwrap()
+    }
+
+    #[test]
+    fn all_models_produce_valid_distributions() {
+        let aln = toy_alignment();
+        let code = GeneticCode::universal();
+        for model in [FreqModel::Equal, FreqModel::F1x4, FreqModel::F3x4, FreqModel::F61] {
+            let pi = codon_frequencies(&aln, &code, model);
+            assert!(validate_frequencies(&pi), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn equal_is_uniform() {
+        let aln = toy_alignment();
+        let code = GeneticCode::universal();
+        let pi = codon_frequencies(&aln, &code, FreqModel::Equal);
+        for &p in &pi {
+            assert!((p - 1.0 / 61.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn f61_reflects_counts() {
+        let aln = toy_alignment();
+        let code = GeneticCode::universal();
+        let pi = codon_frequencies(&aln, &code, FreqModel::F61);
+        // CCC appears 6 times (2 per sequence in A and B, 2 in C);
+        // codon GGG never appears: its frequency must be strictly smaller.
+        let ccc = code.sense_index(Codon::from_str("CCC").unwrap()).unwrap();
+        let ggg = code.sense_index(Codon::from_str("GGG").unwrap()).unwrap();
+        assert!(pi[ccc] > pi[ggg]);
+        assert!(pi[ggg] > 0.0, "pseudo-count keeps unseen codons positive");
+    }
+
+    #[test]
+    fn f3x4_uses_positional_composition() {
+        // Sequences where position 1 is always C but position 3 varies:
+        // F3x4 should give higher mass to codons with C in position 1.
+        let aln = CodonAlignment::from_fasta(">A\nCTTCTCCTACTG\n>B\nCTTCTCCTACTG\n").unwrap();
+        let code = GeneticCode::universal();
+        let pi = codon_frequencies(&aln, &code, FreqModel::F3x4);
+        let m0 = marginal_nucleotide_freqs(&pi, &code, 0);
+        // C must dominate position 0.
+        assert!(m0[Nuc::C.index()] > 0.5, "{m0:?}");
+    }
+
+    #[test]
+    fn f1x4_pools_positions() {
+        let aln = toy_alignment();
+        let code = GeneticCode::universal();
+        let pi = codon_frequencies(&aln, &code, FreqModel::F1x4);
+        assert!(validate_frequencies(&pi));
+        // Under F1x4 the three positions share one nucleotide distribution,
+        // so the marginal at each position should be (nearly) equal after
+        // accounting for stop-codon renormalization.
+        let m0 = marginal_nucleotide_freqs(&pi, &code, 0);
+        let m2 = marginal_nucleotide_freqs(&pi, &code, 2);
+        for k in 0..4 {
+            assert!((m0[k] - m2[k]).abs() < 0.05, "{m0:?} vs {m2:?}");
+        }
+    }
+
+    #[test]
+    fn f61_helper_matches_uniform_for_empty() {
+        let code = GeneticCode::universal();
+        let pi = f61_from_codons(&[], &code);
+        assert!(validate_frequencies(&pi));
+        for &p in &pi {
+            assert!((p - 1.0 / 61.0).abs() < 1e-15);
+        }
+    }
+}

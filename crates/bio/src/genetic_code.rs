@@ -1,0 +1,243 @@
+//! The universal (standard) genetic code over 64 codons, with the
+//! sense-codon indexing (0–60) used throughout the likelihood machinery.
+
+use crate::codon::Codon;
+use crate::nucleotide::Nuc;
+use crate::N_CODONS;
+
+/// Amino-acid letters for the 64 codons in TCAG-major order
+/// (first nucleotide slowest); `*` marks stop codons.
+const UNIVERSAL_TABLE: &[u8; 64] = b"FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG";
+
+/// Vertebrate mitochondrial code (NCBI transl_table 2, CodeML
+/// `icode = 1`): TGA → Trp, ATA → Met, AGA/AGG → stop. 60 sense codons.
+const VERTEBRATE_MITO_TABLE: &[u8; 64] =
+    b"FFLLSSSSYY**CCWWLLLLPPPPHHQQRRRRIIMMTTTTNNKKSS**VVVVAAAADDEEGGGG";
+
+/// The universal genetic code: maps codons to amino acids and defines the
+/// dense index over the 61 *sense* codons that the 61×61 substitution
+/// matrices of the paper are built on.
+#[derive(Debug, Clone)]
+pub struct GeneticCode {
+    /// `aa[c64]` = amino-acid letter, `b'*'` for stops.
+    aa: [u8; 64],
+    /// `sense_index[c64]` = Some(dense 0..61 index) for sense codons.
+    sense_index: [Option<u8>; 64],
+    /// `codon64[dense]` = 64-space index of each sense codon, ascending.
+    codon64: Vec<u8>,
+}
+
+impl GeneticCode {
+    fn from_table(aa: [u8; 64]) -> Self {
+        let mut sense_index = [None; 64];
+        let mut codon64 = Vec::with_capacity(N_CODONS);
+        let mut next = 0u8;
+        for (c, &letter) in aa.iter().enumerate() {
+            if letter != b'*' {
+                sense_index[c] = Some(next);
+                codon64.push(c as u8);
+                next += 1;
+            }
+        }
+        GeneticCode { aa, sense_index, codon64 }
+    }
+
+    /// The universal (standard) code — the code the paper's datasets use
+    /// (61 sense codons).
+    pub fn universal() -> Self {
+        let code = Self::from_table(*UNIVERSAL_TABLE);
+        debug_assert_eq!(code.n_sense(), N_CODONS);
+        code
+    }
+
+    /// The vertebrate mitochondrial code (NCBI table 2, CodeML
+    /// `icode = 1`): 60 sense codons — TGA codes Trp, ATA codes Met,
+    /// AGA/AGG are stops.
+    pub fn vertebrate_mitochondrial() -> Self {
+        let code = Self::from_table(*VERTEBRATE_MITO_TABLE);
+        debug_assert_eq!(code.n_sense(), 60);
+        code
+    }
+
+    /// Number of sense codons (61 for the universal code).
+    #[inline]
+    pub fn n_sense(&self) -> usize {
+        self.codon64.len()
+    }
+
+    /// Amino-acid letter for a codon (`'*'` for stops).
+    #[inline]
+    pub fn amino_acid(&self, codon: Codon) -> char {
+        self.aa[codon.index64()] as char
+    }
+
+    /// Is this codon a stop codon?
+    #[inline]
+    pub fn is_stop(&self, codon: Codon) -> bool {
+        self.aa[codon.index64()] == b'*'
+    }
+
+    /// Dense sense-codon index (0..61), or `None` for stop codons.
+    #[inline]
+    pub fn sense_index(&self, codon: Codon) -> Option<usize> {
+        self.sense_index[codon.index64()].map(|v| v as usize)
+    }
+
+    /// The sense codon with dense index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_sense()`.
+    #[inline]
+    pub fn sense_codon(&self, i: usize) -> Codon {
+        Codon::from_index64(self.codon64[i] as usize)
+    }
+
+    /// Iterate over all sense codons in dense-index order.
+    pub fn sense_codons(&self) -> impl Iterator<Item = Codon> + '_ {
+        self.codon64.iter().map(|&c| Codon::from_index64(c as usize))
+    }
+
+    /// Do two codons encode the same amino acid? (Both must be sense
+    /// codons for the answer to be biologically meaningful.)
+    #[inline]
+    pub fn is_synonymous(&self, a: Codon, b: Codon) -> bool {
+        self.aa[a.index64()] == self.aa[b.index64()]
+    }
+}
+
+impl Default for GeneticCode {
+    fn default() -> Self {
+        GeneticCode::universal()
+    }
+}
+
+/// Convenience: the three stop codons of the universal code.
+pub fn universal_stops() -> [Codon; 3] {
+    [
+        Codon::new(Nuc::T, Nuc::A, Nuc::A),
+        Codon::new(Nuc::T, Nuc::A, Nuc::G),
+        Codon::new(Nuc::T, Nuc::G, Nuc::A),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_one_sense_codons() {
+        let code = GeneticCode::universal();
+        assert_eq!(code.n_sense(), 61);
+        assert_eq!(code.sense_codons().count(), 61);
+    }
+
+    #[test]
+    fn stops_are_taa_tag_tga() {
+        let code = GeneticCode::universal();
+        for stop in universal_stops() {
+            assert!(code.is_stop(stop), "{stop:?}");
+            assert_eq!(code.sense_index(stop), None);
+        }
+        let mut stops = 0;
+        for c in 0..64 {
+            if code.is_stop(Codon::from_index64(c)) {
+                stops += 1;
+            }
+        }
+        assert_eq!(stops, 3);
+    }
+
+    #[test]
+    fn known_translations() {
+        let code = GeneticCode::universal();
+        let cases = [
+            ("ATG", 'M'),
+            ("TGG", 'W'),
+            ("TTT", 'F'),
+            ("AAA", 'K'),
+            ("GGG", 'G'),
+            ("TCA", 'S'),
+            ("AGA", 'R'),
+            ("CGA", 'R'),
+            ("GAT", 'D'),
+            ("CAA", 'Q'),
+        ];
+        for (s, aa) in cases {
+            let codon = Codon::from_str(s).unwrap();
+            assert_eq!(code.amino_acid(codon), aa, "{s}");
+        }
+    }
+
+    #[test]
+    fn dense_index_roundtrip() {
+        let code = GeneticCode::universal();
+        for i in 0..code.n_sense() {
+            let codon = code.sense_codon(i);
+            assert_eq!(code.sense_index(codon), Some(i));
+        }
+    }
+
+    #[test]
+    fn dense_indices_ascending_in_64_space() {
+        let code = GeneticCode::universal();
+        let mut prev = None;
+        for i in 0..code.n_sense() {
+            let c64 = code.sense_codon(i).index64();
+            if let Some(p) = prev {
+                assert!(c64 > p);
+            }
+            prev = Some(c64);
+        }
+    }
+
+    #[test]
+    fn synonymy_examples() {
+        let code = GeneticCode::universal();
+        let ttt = Codon::from_str("TTT").unwrap(); // F
+        let ttc = Codon::from_str("TTC").unwrap(); // F
+        let tta = Codon::from_str("TTA").unwrap(); // L
+        assert!(code.is_synonymous(ttt, ttc));
+        assert!(!code.is_synonymous(ttt, tta));
+        // six-fold serine: TCx and AGT/AGC
+        let tct = Codon::from_str("TCT").unwrap();
+        let agc = Codon::from_str("AGC").unwrap();
+        assert!(code.is_synonymous(tct, agc));
+    }
+
+    #[test]
+    fn vertebrate_mito_differences() {
+        let uni = GeneticCode::universal();
+        let mito = GeneticCode::vertebrate_mitochondrial();
+        assert_eq!(mito.n_sense(), 60);
+        let tga = Codon::from_str("TGA").unwrap();
+        let ata = Codon::from_str("ATA").unwrap();
+        let aga = Codon::from_str("AGA").unwrap();
+        let agg = Codon::from_str("AGG").unwrap();
+        // TGA: stop → Trp.
+        assert!(uni.is_stop(tga));
+        assert_eq!(mito.amino_acid(tga), 'W');
+        // ATA: Ile → Met.
+        assert_eq!(uni.amino_acid(ata), 'I');
+        assert_eq!(mito.amino_acid(ata), 'M');
+        // AGA/AGG: Arg → stop.
+        assert_eq!(uni.amino_acid(aga), 'R');
+        assert!(mito.is_stop(aga));
+        assert!(mito.is_stop(agg));
+        // Dense index roundtrip also holds for the mito code.
+        for i in 0..mito.n_sense() {
+            assert_eq!(mito.sense_index(mito.sense_codon(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn amino_acid_alphabet_complete() {
+        // All 20 amino acids must appear in the table.
+        let code = GeneticCode::universal();
+        let mut seen = std::collections::HashSet::new();
+        for codon in code.sense_codons() {
+            seen.insert(code.amino_acid(codon));
+        }
+        assert_eq!(seen.len(), 20);
+        assert!(!seen.contains(&'*'));
+    }
+}

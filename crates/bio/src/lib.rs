@@ -1,0 +1,41 @@
+//! # slim-bio
+//!
+//! Biological-data substrate for the SlimCodeML reproduction: the universal
+//! genetic code over the 61 sense codons, codon alignments (FASTA and
+//! PHYLIP), Newick phylogenies with PAML-style foreground-branch labels
+//! (`#1`), alignment-column site patterns, and empirical codon frequency
+//! estimators (F61, F3×4, F1×4).
+//!
+//! This crate corresponds to the *input layer* of Fig. 1 in the paper: a
+//! multiple sequence alignment of codons plus a phylogenetic tree with one
+//! branch marked for the positive-selection test.
+
+pub mod nucleotide;
+pub mod codon;
+pub mod site;
+pub mod genetic_code;
+pub mod alignment;
+pub mod patterns;
+pub mod frequencies;
+pub mod newick;
+pub mod nexus;
+pub mod tree;
+mod error;
+
+pub use alignment::CodonAlignment;
+pub use codon::Codon;
+pub use error::BioError;
+pub use frequencies::{codon_frequencies, FreqModel};
+pub use genetic_code::GeneticCode;
+pub use newick::{parse_newick, write_newick};
+pub use nexus::{is_nexus, parse_nexus_alignment, parse_nexus_tree};
+pub use nucleotide::Nuc;
+pub use patterns::SitePatterns;
+pub use site::Site;
+pub use tree::{NodeId, Tree};
+
+/// Number of sense codons in the universal genetic code.
+pub const N_CODONS: usize = 61;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BioError>;

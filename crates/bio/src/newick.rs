@@ -1,0 +1,284 @@
+//! Newick tree parsing and writing with PAML-style branch labels.
+//!
+//! CodeML identifies the branch to test for positive selection with a `#1`
+//! label in the Newick string (e.g. `((A,B)#1:0.1,C);`). This parser
+//! accepts labels in either order relative to the branch length
+//! (`name#1:0.3` or `name:0.3#1`) and treats any `#k` with `k ≥ 1` as the
+//! foreground mark.
+
+use crate::tree::{Node, NodeId, Tree};
+use crate::BioError;
+
+/// Parse a Newick string into a [`Tree`].
+///
+/// # Errors
+/// [`BioError::InvalidNewick`] on any syntax problem.
+pub fn parse_newick(text: &str) -> crate::Result<Tree> {
+    let mut parser = Parser { chars: text.trim().chars().collect(), pos: 0, nodes: Vec::new() };
+    let root = parser.parse_subtree(None)?;
+    parser.skip_ws();
+    match parser.peek() {
+        Some(';') => {
+            parser.pos += 1;
+            parser.skip_ws();
+            if parser.pos != parser.chars.len() {
+                return Err(BioError::InvalidNewick("trailing characters after ';'".into()));
+            }
+        }
+        None => {}
+        Some(c) => {
+            return Err(BioError::InvalidNewick(format!("unexpected character {c:?} at top level")))
+        }
+    }
+    Tree::new(parser.nodes, root)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    nodes: Vec<Node>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn new_node(&mut self, parent: Option<NodeId>) -> NodeId {
+        self.nodes.push(Node {
+            parent,
+            children: Vec::new(),
+            name: None,
+            branch_length: 0.0,
+            foreground: false,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Parse one subtree: either `(child,child,…)annotations` or a leaf
+    /// `nameannotations`.
+    fn parse_subtree(&mut self, parent: Option<NodeId>) -> crate::Result<NodeId> {
+        self.skip_ws();
+        let id = self.new_node(parent);
+        if self.peek() == Some('(') {
+            self.pos += 1;
+            loop {
+                let child = self.parse_subtree(Some(id))?;
+                self.nodes[id.0].children.push(child);
+                self.skip_ws();
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                    }
+                    Some(')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        return Err(BioError::InvalidNewick(format!(
+                            "expected ',' or ')' at position {}, found {other:?}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+        self.parse_annotations(id)?;
+        if self.nodes[id.0].children.is_empty() && self.nodes[id.0].name.is_none() {
+            return Err(BioError::InvalidNewick(format!("unnamed leaf at position {}", self.pos)));
+        }
+        Ok(id)
+    }
+
+    /// Parse `[name][#k][:len]` in any #/: order after a leaf name or
+    /// closing parenthesis.
+    fn parse_annotations(&mut self, id: NodeId) -> crate::Result<()> {
+        self.skip_ws();
+        // Optional name (for leaves or labelled internal nodes).
+        let name = self.take_name();
+        if !name.is_empty() {
+            self.nodes[id.0].name = Some(name);
+        }
+        // Now zero or more of `#k` and `:len`, in either order.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('#') => {
+                    self.pos += 1;
+                    let label = self.take_name();
+                    let k: u32 = label.parse().map_err(|_| {
+                        BioError::InvalidNewick(format!("bad branch label #{label:?}"))
+                    })?;
+                    if k >= 1 {
+                        self.nodes[id.0].foreground = true;
+                    }
+                }
+                Some(':') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')) {
+                        self.pos += 1;
+                    }
+                    let text: String = self.chars[start..self.pos].iter().collect();
+                    let len: f64 = text.parse().map_err(|_| {
+                        BioError::InvalidNewick(format!("bad branch length {text:?}"))
+                    })?;
+                    if len < 0.0 {
+                        return Err(BioError::InvalidNewick(format!(
+                            "negative branch length {len}"
+                        )));
+                    }
+                    self.nodes[id.0].branch_length = len;
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Take a run of name characters (anything except Newick structural
+    /// characters).
+    fn take_name(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if !matches!(c, '(' | ')' | ',' | ':' | ';' | '#') && !c.is_whitespace())
+        {
+            self.pos += 1;
+        }
+        self.chars[start..self.pos].iter().collect()
+    }
+}
+
+/// Serialize a tree back to Newick, preserving branch lengths and the
+/// foreground `#1` label.
+pub fn write_newick(tree: &Tree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), &mut out, true);
+    out.push(';');
+    out
+}
+
+fn write_node(tree: &Tree, id: NodeId, out: &mut String, is_root: bool) {
+    let node = tree.node(id);
+    if !node.children.is_empty() {
+        out.push('(');
+        for (i, &c) in node.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_node(tree, c, out, false);
+        }
+        out.push(')');
+    }
+    if let Some(name) = &node.name {
+        out.push_str(name);
+    }
+    if node.foreground {
+        out.push_str("#1");
+    }
+    if !is_root {
+        out.push_str(&format!(":{}", format_len(node.branch_length)));
+    }
+}
+
+fn format_len(len: f64) -> String {
+    // Shortest representation that round-trips typical lengths.
+    let s = format!("{len}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{len:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_pair() {
+        let t = parse_newick("(A:0.1,B:0.2);").unwrap();
+        assert_eq!(t.n_leaves(), 2);
+        let a = t.leaf_by_name("A").unwrap();
+        assert!((t.node(a).branch_length - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parse_nested_with_internal_lengths() {
+        let t = parse_newick("((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.n_branches(), 4);
+        assert!((t.total_length() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn foreground_label_on_leaf_and_internal() {
+        let t = parse_newick("(A#1:0.1,B:0.2);").unwrap();
+        let fg = t.foreground_branch().unwrap();
+        assert_eq!(t.node(fg).name.as_deref(), Some("A"));
+
+        let t2 = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
+        let fg2 = t2.foreground_branch().unwrap();
+        assert_eq!(t2.node(fg2).children.len(), 2);
+    }
+
+    #[test]
+    fn label_after_length_also_accepted() {
+        let t = parse_newick("(A:0.1#1,B:0.2);").unwrap();
+        assert!(t.foreground_branch().is_ok());
+    }
+
+    #[test]
+    fn label_zero_is_background() {
+        let t = parse_newick("(A#0:0.1,B:0.2);").unwrap();
+        assert!(t.foreground_branch().is_err());
+    }
+
+    #[test]
+    fn multifurcation_allowed() {
+        let t = parse_newick("(A:0.1,B:0.2,C:0.3);").unwrap();
+        assert_eq!(t.n_leaves(), 3);
+        assert!(!t.is_binary());
+    }
+
+    #[test]
+    fn scientific_notation_lengths() {
+        let t = parse_newick("(A:1e-3,B:2.5E-2);").unwrap();
+        let a = t.leaf_by_name("A").unwrap();
+        assert!((t.node(a).branch_length - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let t = parse_newick(" ( A : 0.1 , ( B : 0.2 , C : 0.3 ) : 0.05 ) ; ").unwrap();
+        assert_eq!(t.n_leaves(), 3);
+    }
+
+    #[test]
+    fn syntax_errors_rejected() {
+        assert!(parse_newick("(A:0.1,B:0.2").is_err()); // unbalanced
+        assert!(parse_newick("(A:0.1,:0.2);").is_err()); // unnamed leaf
+        assert!(parse_newick("(A:0.1,B:0.2);junk").is_err()); // trailing
+        assert!(parse_newick("(A:-0.5,B:0.2);").is_err()); // negative length
+        assert!(parse_newick("(A#x:0.1,B:0.2);").is_err()); // bad label
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let text = "((A:0.1,B:0.2)#1:0.05,(C:0.3,D:0.4):0.15);";
+        let t = parse_newick(text).unwrap();
+        let written = write_newick(&t);
+        let t2 = parse_newick(&written).unwrap();
+        assert_eq!(t.n_leaves(), t2.n_leaves());
+        assert!((t.total_length() - t2.total_length()).abs() < 1e-12);
+        let fg1 = t.foreground_branch().unwrap();
+        let fg2 = t2.foreground_branch().unwrap();
+        assert_eq!(t.node(fg1).children.len(), t2.node(fg2).children.len());
+    }
+}

@@ -1,0 +1,238 @@
+//! Minimal NEXUS format support.
+//!
+//! NEXUS is the other interchange format of the phylogenetics ecosystem
+//! (MrBayes, BEAST, PAUP*); supporting it lets the CLI consume datasets
+//! without conversion. Implemented subset:
+//!
+//! * `BEGIN DATA;` blocks with `DIMENSIONS`, `FORMAT` and a `MATRIX` of
+//!   name/sequence pairs (sequential, optionally interleaved);
+//! * `BEGIN TREES;` blocks with optional `TRANSLATE` tables and `TREE
+//!   name = [comment] <newick>;` statements.
+//!
+//! Comments in square brackets are stripped globally (NEXUS semantics),
+//! which also removes rooting annotations like `[&R]`.
+
+use crate::alignment::CodonAlignment;
+use crate::newick::parse_newick;
+use crate::site::Site;
+use crate::tree::Tree;
+use crate::BioError;
+use std::collections::HashMap;
+
+/// Strip `[...]` comments (non-nested, per the common dialect).
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut depth = 0usize;
+    for c in text.chars() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Check the `#NEXUS` magic (case-insensitive).
+pub fn is_nexus(text: &str) -> bool {
+    text.trim_start().to_ascii_uppercase().starts_with("#NEXUS")
+}
+
+/// Parse the first DATA (or CHARACTERS) block into a codon alignment.
+///
+/// # Errors
+/// [`BioError::ParseError`] on structural problems; alignment validation
+/// errors propagate unchanged.
+pub fn parse_nexus_alignment(text: &str) -> crate::Result<CodonAlignment> {
+    if !is_nexus(text) {
+        return Err(BioError::ParseError("missing #NEXUS header".into()));
+    }
+    let clean = strip_comments(text);
+    let upper = clean.to_ascii_uppercase();
+
+    // Locate the MATRIX section inside a DATA/CHARACTERS block.
+    let block_start = upper
+        .find("BEGIN DATA")
+        .or_else(|| upper.find("BEGIN CHARACTERS"))
+        .ok_or_else(|| BioError::ParseError("no DATA/CHARACTERS block".into()))?;
+    let rest_upper = &upper[block_start..];
+    let matrix_rel = rest_upper
+        .find("MATRIX")
+        .ok_or_else(|| BioError::ParseError("DATA block without MATRIX".into()))?;
+    let matrix_start = block_start + matrix_rel + "MATRIX".len();
+    let matrix_end_rel = upper[matrix_start..]
+        .find(';')
+        .ok_or_else(|| BioError::ParseError("MATRIX not terminated by ';'".into()))?;
+    let matrix_text = &clean[matrix_start..matrix_start + matrix_end_rel];
+
+    // Name/sequence tokens; interleaved blocks repeat names.
+    let mut order: Vec<String> = Vec::new();
+    let mut parts: HashMap<String, String> = HashMap::new();
+    for line in matrix_text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let name = tokens.next().expect("non-empty line has a first token").to_string();
+        let seq: String = tokens.collect();
+        if seq.is_empty() {
+            return Err(BioError::ParseError(format!(
+                "MATRIX line for {name:?} has no sequence data"
+            )));
+        }
+        if !parts.contains_key(&name) {
+            order.push(name.clone());
+        }
+        parts.entry(name).or_default().push_str(&seq);
+    }
+    if order.is_empty() {
+        return Err(BioError::ParseError("empty MATRIX".into()));
+    }
+
+    let mut seqs: Vec<Vec<Site>> = Vec::with_capacity(order.len());
+    for name in &order {
+        let nt = &parts[name];
+        if !nt.len().is_multiple_of(3) {
+            return Err(BioError::InvalidAlignment(format!(
+                "sequence {name:?} has {} nucleotides (not a multiple of 3)",
+                nt.len()
+            )));
+        }
+        let sites = nt
+            .as_bytes()
+            .chunks(3)
+            .map(|c| Site::from_chunk(std::str::from_utf8(c).expect("ASCII")))
+            .collect::<crate::Result<Vec<_>>>()?;
+        seqs.push(sites);
+    }
+    CodonAlignment::new(order, seqs)
+}
+
+/// Parse the first tree of the first TREES block, applying any TRANSLATE
+/// table.
+///
+/// # Errors
+/// [`BioError::ParseError`] / [`BioError::InvalidNewick`].
+pub fn parse_nexus_tree(text: &str) -> crate::Result<Tree> {
+    if !is_nexus(text) {
+        return Err(BioError::ParseError("missing #NEXUS header".into()));
+    }
+    let clean = strip_comments(text);
+    let upper = clean.to_ascii_uppercase();
+    let block_start = upper
+        .find("BEGIN TREES")
+        .ok_or_else(|| BioError::ParseError("no TREES block".into()))?;
+
+    // Optional TRANSLATE table: `TRANSLATE 1 name1, 2 name2, ...;`
+    let mut translate: HashMap<String, String> = HashMap::new();
+    if let Some(t_rel) = upper[block_start..].find("TRANSLATE") {
+        let t_start = block_start + t_rel + "TRANSLATE".len();
+        let t_end = upper[t_start..]
+            .find(';')
+            .ok_or_else(|| BioError::ParseError("TRANSLATE not terminated".into()))?;
+        for entry in clean[t_start..t_start + t_end].split(',') {
+            let mut it = entry.split_whitespace();
+            if let (Some(key), Some(value)) = (it.next(), it.next()) {
+                translate.insert(key.to_string(), value.to_string());
+            }
+        }
+    }
+
+    // First TREE statement.
+    let tree_rel = upper[block_start..]
+        .find("TREE ")
+        .ok_or_else(|| BioError::ParseError("TREES block without TREE statement".into()))?;
+    let stmt_start = block_start + tree_rel;
+    let eq = clean[stmt_start..]
+        .find('=')
+        .ok_or_else(|| BioError::ParseError("TREE statement without '='".into()))?;
+    let newick_start = stmt_start + eq + 1;
+    let end = clean[newick_start..]
+        .find(';')
+        .ok_or_else(|| BioError::ParseError("TREE statement not terminated".into()))?;
+    let newick = format!("{};", clean[newick_start..newick_start + end].trim());
+
+    let mut tree = parse_newick(&newick)?;
+    if !translate.is_empty() {
+        for id in tree.leaves() {
+            if let Some(name) = tree.node(id).name.clone() {
+                if let Some(full) = translate.get(&name) {
+                    tree.node_mut(id).name = Some(full.clone());
+                }
+            }
+        }
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NEXUS: &str = "#NEXUS
+BEGIN DATA;
+  DIMENSIONS NTAX=3 NCHAR=9;
+  FORMAT DATATYPE=DNA MISSING=? GAP=-;
+  MATRIX
+    A  ATGCCCTTT
+    B  ATGCCATTT
+    C  ATG---TTC
+  ;
+END;
+BEGIN TREES;
+  TRANSLATE 1 A, 2 B, 3 C;
+  TREE tree1 = [&R] ((1:0.1,2:0.2)#1:0.05,3:0.3);
+END;
+";
+
+    #[test]
+    fn parses_alignment() {
+        let aln = parse_nexus_alignment(NEXUS).unwrap();
+        assert_eq!(aln.n_sequences(), 3);
+        assert_eq!(aln.n_codons(), 3);
+        assert_eq!(aln.names(), &["A", "B", "C"]);
+        assert!(aln.sequence(2)[1].is_missing());
+    }
+
+    #[test]
+    fn parses_tree_with_translation() {
+        let tree = parse_nexus_tree(NEXUS).unwrap();
+        assert_eq!(tree.n_leaves(), 3);
+        assert!(tree.leaf_by_name("A").is_some());
+        assert!(tree.leaf_by_name("1").is_none(), "translate table applied");
+        assert!(tree.foreground_branch().is_ok());
+    }
+
+    #[test]
+    fn interleaved_matrix() {
+        let text = "#NEXUS\nBEGIN DATA;\nMATRIX\nA ATG\nB ATG\nA CCC\nB CCA\n;\nEND;\n";
+        let aln = parse_nexus_alignment(text).unwrap();
+        assert_eq!(aln.n_codons(), 2);
+        assert_eq!(aln.sequence(0)[1].to_string_repr(), "CCC");
+        assert_eq!(aln.sequence(1)[1].to_string_repr(), "CCA");
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let text = "#NEXUS\nBEGIN DATA;\nMATRIX\nA ATG[comment]CCC\nB ATGCCA\n;\nEND;\n";
+        let aln = parse_nexus_alignment(text).unwrap();
+        assert_eq!(aln.n_codons(), 2);
+    }
+
+    #[test]
+    fn rejects_non_nexus_and_malformed() {
+        assert!(parse_nexus_alignment(">A\nATG\n").is_err());
+        assert!(parse_nexus_alignment("#NEXUS\nBEGIN TREES;\nEND;\n").is_err());
+        assert!(parse_nexus_alignment("#NEXUS\nBEGIN DATA;\nMATRIX\nA ATG\n").is_err()); // no ';'
+        assert!(parse_nexus_tree("#NEXUS\nBEGIN DATA;\nMATRIX\nA ATG\n;\nEND;\n").is_err());
+    }
+
+    #[test]
+    fn is_nexus_detection() {
+        assert!(is_nexus("  #nexus\nstuff"));
+        assert!(!is_nexus(">fasta"));
+        assert!(!is_nexus("3 9\nA ATG..."));
+    }
+}

@@ -1,0 +1,158 @@
+//! Nucleotides in PAML's canonical T, C, A, G order.
+
+use crate::BioError;
+
+/// A DNA nucleotide. The discriminants follow PAML's TCAG ordering so that
+/// codon indices computed here match CodeML's internal numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Nuc {
+    /// Thymine.
+    T = 0,
+    /// Cytosine.
+    C = 1,
+    /// Adenine.
+    A = 2,
+    /// Guanine.
+    G = 3,
+}
+
+impl Nuc {
+    /// All four nucleotides in TCAG order.
+    pub const ALL: [Nuc; 4] = [Nuc::T, Nuc::C, Nuc::A, Nuc::G];
+
+    /// Parse from an (upper- or lower-case) character; `U` is accepted as
+    /// `T` for RNA input.
+    ///
+    /// # Errors
+    /// [`BioError::InvalidNucleotide`] for anything else (including
+    /// ambiguity codes, which this reproduction does not model).
+    pub fn from_char(c: char) -> crate::Result<Nuc> {
+        match c.to_ascii_uppercase() {
+            'T' | 'U' => Ok(Nuc::T),
+            'C' => Ok(Nuc::C),
+            'A' => Ok(Nuc::A),
+            'G' => Ok(Nuc::G),
+            other => Err(BioError::InvalidNucleotide(other)),
+        }
+    }
+
+    /// Upper-case character representation.
+    pub fn to_char(self) -> char {
+        match self {
+            Nuc::T => 'T',
+            Nuc::C => 'C',
+            Nuc::A => 'A',
+            Nuc::G => 'G',
+        }
+    }
+
+    /// Index in TCAG order (0–3).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Build from a TCAG-order index.
+    ///
+    /// # Panics
+    /// Panics if `i > 3`.
+    #[inline]
+    pub fn from_index(i: usize) -> Nuc {
+        Nuc::ALL[i]
+    }
+
+    /// Is this a purine (A or G)?
+    #[inline]
+    pub fn is_purine(self) -> bool {
+        matches!(self, Nuc::A | Nuc::G)
+    }
+
+    /// Is this a pyrimidine (C or T)?
+    #[inline]
+    pub fn is_pyrimidine(self) -> bool {
+        matches!(self, Nuc::C | Nuc::T)
+    }
+}
+
+/// Classification of a single-nucleotide change, per the paper's §II-A:
+/// a *transition* keeps the purine/pyrimidine class, a *transversion*
+/// crosses it. The ratio of the two rates is the model parameter κ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// purine→purine or pyrimidine→pyrimidine.
+    Transition,
+    /// purine→pyrimidine or pyrimidine→purine.
+    Transversion,
+}
+
+/// Classify the change between two **distinct** nucleotides.
+///
+/// # Panics
+/// Panics in debug builds if `a == b` (no change to classify).
+pub fn classify_change(a: Nuc, b: Nuc) -> ChangeKind {
+    debug_assert_ne!(a, b, "classify_change: identical nucleotides");
+    if a.is_purine() == b.is_purine() {
+        ChangeKind::Transition
+    } else {
+        ChangeKind::Transversion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_cases() {
+        assert_eq!(Nuc::from_char('a').unwrap(), Nuc::A);
+        assert_eq!(Nuc::from_char('G').unwrap(), Nuc::G);
+        assert_eq!(Nuc::from_char('u').unwrap(), Nuc::T);
+        assert!(Nuc::from_char('N').is_err());
+        assert!(Nuc::from_char('-').is_err());
+    }
+
+    #[test]
+    fn roundtrip_char_index() {
+        for n in Nuc::ALL {
+            assert_eq!(Nuc::from_char(n.to_char()).unwrap(), n);
+            assert_eq!(Nuc::from_index(n.index()), n);
+        }
+    }
+
+    #[test]
+    fn tcag_order() {
+        assert_eq!(Nuc::T.index(), 0);
+        assert_eq!(Nuc::C.index(), 1);
+        assert_eq!(Nuc::A.index(), 2);
+        assert_eq!(Nuc::G.index(), 3);
+    }
+
+    #[test]
+    fn purine_pyrimidine_partition() {
+        assert!(Nuc::A.is_purine() && Nuc::G.is_purine());
+        assert!(Nuc::C.is_pyrimidine() && Nuc::T.is_pyrimidine());
+        for n in Nuc::ALL {
+            assert!(n.is_purine() != n.is_pyrimidine());
+        }
+    }
+
+    #[test]
+    fn transitions_and_transversions() {
+        use ChangeKind::*;
+        assert_eq!(classify_change(Nuc::A, Nuc::G), Transition);
+        assert_eq!(classify_change(Nuc::C, Nuc::T), Transition);
+        assert_eq!(classify_change(Nuc::A, Nuc::C), Transversion);
+        assert_eq!(classify_change(Nuc::G, Nuc::T), Transversion);
+        // Exactly 4 of the 12 ordered pairs are transitions.
+        let mut transitions = 0;
+        for a in Nuc::ALL {
+            for b in Nuc::ALL {
+                if a != b && classify_change(a, b) == Transition {
+                    transitions += 1;
+                }
+            }
+        }
+        assert_eq!(transitions, 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Alignment-column site patterns.
+//!
+//! Identical alignment columns contribute identical per-site likelihoods,
+//! so the pruning engine evaluates each *unique* column once and weights it
+//! by its multiplicity — the standard trick in all ML phylogenetics codes
+//! (CodeML included), essential for long alignments like dataset ii
+//! (5004 codons).
+
+use crate::alignment::CodonAlignment;
+use crate::genetic_code::GeneticCode;
+use crate::site::Site;
+use crate::BioError;
+use std::collections::HashMap;
+
+/// Sentinel pattern entry for a missing-data cell. The pruning engine
+/// treats it as an uninformative (all-ones) leaf CPV. Chosen outside any
+/// genetic code's sense range.
+pub const MISSING: usize = usize::MAX;
+
+/// Unique alignment columns with multiplicities, in sense-codon index
+/// space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SitePatterns {
+    /// `patterns[p][taxon]` = dense sense-codon index of the codon of
+    /// `taxon` in pattern `p`.
+    patterns: Vec<Vec<usize>>,
+    /// Multiplicity of each pattern.
+    weights: Vec<f64>,
+    /// For each original site, the pattern it maps to.
+    site_to_pattern: Vec<usize>,
+    n_taxa: usize,
+}
+
+impl SitePatterns {
+    /// Compress an alignment into unique site patterns.
+    ///
+    /// # Errors
+    /// [`BioError::InvalidAlignment`] if a codon is a stop under `code`
+    /// (possible when an alignment validated under one code is used with
+    /// another, e.g. AGA under the mitochondrial code).
+    pub fn from_alignment(aln: &CodonAlignment, code: &GeneticCode) -> crate::Result<SitePatterns> {
+        let n_taxa = aln.n_sequences();
+        let n_sites = aln.n_codons();
+        let mut map: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut patterns: Vec<Vec<usize>> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut site_to_pattern = Vec::with_capacity(n_sites);
+
+        for site in 0..n_sites {
+            let col: Vec<usize> = (0..n_taxa)
+                .map(|t| match aln.sequence(t)[site] {
+                    Site::Codon(c) => code.sense_index(c).ok_or_else(|| {
+                        BioError::InvalidAlignment(format!(
+                            "codon {} at site {site} is a stop under this genetic code",
+                            c.to_string_repr()
+                        ))
+                    }),
+                    Site::Missing => Ok(MISSING),
+                })
+                .collect::<crate::Result<Vec<usize>>>()?;
+            let idx = *map.entry(col.clone()).or_insert_with(|| {
+                patterns.push(col);
+                weights.push(0.0);
+                patterns.len() - 1
+            });
+            weights[idx] += 1.0;
+            site_to_pattern.push(idx);
+        }
+
+        Ok(SitePatterns { patterns, weights, site_to_pattern, n_taxa })
+    }
+
+    /// Number of unique patterns.
+    pub fn n_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Number of taxa per pattern.
+    pub fn n_taxa(&self) -> usize {
+        self.n_taxa
+    }
+
+    /// Total number of sites (sum of weights).
+    pub fn n_sites(&self) -> usize {
+        self.site_to_pattern.len()
+    }
+
+    /// The sense-codon indices of pattern `p`, one per taxon.
+    pub fn pattern(&self, p: usize) -> &[usize] {
+        &self.patterns[p]
+    }
+
+    /// Multiplicity of pattern `p`.
+    pub fn weight(&self, p: usize) -> f64 {
+        self.weights[p]
+    }
+
+    /// All weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Pattern index for original alignment site `s` (used to expand
+    /// per-pattern posteriors back to per-site results for BEB output).
+    pub fn pattern_of_site(&self, s: usize) -> usize {
+        self.site_to_pattern[s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns_of(fasta: &str) -> SitePatterns {
+        let aln = CodonAlignment::from_fasta(fasta).unwrap();
+        SitePatterns::from_alignment(&aln, &GeneticCode::universal()).unwrap()
+    }
+
+    #[test]
+    fn identical_columns_collapse() {
+        // Columns: [CCC,CCC], [TAC,TAC], [CCC,CCC] → 2 unique patterns.
+        let p = patterns_of(">A\nCCCTACCCC\n>B\nCCCTACCCC\n");
+        assert_eq!(p.n_patterns(), 2);
+        assert_eq!(p.n_sites(), 3);
+        assert_eq!(p.weight(0), 2.0); // CCC column appears twice
+        assert_eq!(p.weight(1), 1.0);
+        assert_eq!(p.pattern_of_site(0), 0);
+        assert_eq!(p.pattern_of_site(1), 1);
+        assert_eq!(p.pattern_of_site(2), 0);
+    }
+
+    #[test]
+    fn weights_sum_to_sites() {
+        let p = patterns_of(">A\nCCCTACTGCCCCAAGGAG\n>B\nCCCTACTGCCCCAAGGAG\n>C\nCCCTATTGCACCAAGGAG\n");
+        let total: f64 = p.weights().iter().sum();
+        assert_eq!(total, p.n_sites() as f64);
+        assert_eq!(p.n_taxa(), 3);
+    }
+
+    #[test]
+    fn distinct_columns_stay_distinct() {
+        let p = patterns_of(">A\nCCCTAC\n>B\nCCCTAT\n");
+        // col0 = [CCC,CCC], col1 = [TAC,TAT]
+        assert_eq!(p.n_patterns(), 2);
+        assert_ne!(p.pattern(0), p.pattern(1));
+    }
+
+    #[test]
+    fn pattern_content_is_sense_indices() {
+        let code = GeneticCode::universal();
+        let p = patterns_of(">A\nTTT\n>B\nGGG\n");
+        let expect_a = code.sense_index(crate::Codon::from_str("TTT").unwrap()).unwrap();
+        let expect_b = code.sense_index(crate::Codon::from_str("GGG").unwrap()).unwrap();
+        assert_eq!(p.pattern(0), &[expect_a, expect_b]);
+    }
+
+    #[test]
+    fn long_repetitive_alignment_compresses_hard() {
+        // 100 copies of the same codon → exactly 1 pattern of weight 100.
+        let seq = "ATG".repeat(100);
+        let text = format!(">A\n{seq}\n>B\n{seq}\n");
+        let p = patterns_of(&text);
+        assert_eq!(p.n_patterns(), 1);
+        assert_eq!(p.weight(0), 100.0);
+    }
+}

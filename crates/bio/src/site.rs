@@ -1,0 +1,117 @@
+//! One position of one sequence: an observed codon or missing data.
+//!
+//! Real alignments (including the paper's Ensembl/Selectome inputs)
+//! contain gaps (`---`) and ambiguous codons (`N`s, partial gaps). CodeML
+//! treats such sites as *missing data*: the leaf's conditional
+//! probability vector is all-ones, i.e. the state is integrated out.
+
+use crate::codon::Codon;
+use crate::BioError;
+
+/// A codon-alignment cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// An unambiguous sense codon.
+    Codon(Codon),
+    /// A gap or ambiguous codon, treated as missing data.
+    Missing,
+}
+
+impl Site {
+    /// Parse a three-character chunk. Unambiguous nucleotide triplets
+    /// become [`Site::Codon`]; anything containing gap/ambiguity
+    /// characters (`-`, `.`, `?`, `N`, `X`) becomes [`Site::Missing`].
+    ///
+    /// # Errors
+    /// [`BioError::InvalidCodon`] for characters outside both alphabets
+    /// or wrong chunk length. (Stop codons are *not* rejected here — the
+    /// alignment validates those, so the error can name the sequence.)
+    pub fn from_chunk(chunk: &str) -> crate::Result<Site> {
+        let chars: Vec<char> = chunk.chars().collect();
+        if chars.len() != 3 {
+            return Err(BioError::InvalidCodon(chunk.to_string()));
+        }
+        let is_ambiguous =
+            |c: char| matches!(c.to_ascii_uppercase(), '-' | '.' | '?' | 'N' | 'X');
+        if chars.iter().any(|&c| is_ambiguous(c)) {
+            // Every character must still be legal (nucleotide or ambiguity).
+            for &c in &chars {
+                if !is_ambiguous(c) && crate::nucleotide::Nuc::from_char(c).is_err() {
+                    return Err(BioError::InvalidCodon(chunk.to_string()));
+                }
+            }
+            return Ok(Site::Missing);
+        }
+        Codon::from_str(chunk).map(Site::Codon)
+    }
+
+    /// Three-character representation (`---` for missing).
+    pub fn to_string_repr(self) -> String {
+        match self {
+            Site::Codon(c) => c.to_string_repr(),
+            Site::Missing => "---".to_string(),
+        }
+    }
+
+    /// Is this cell missing data?
+    #[inline]
+    pub fn is_missing(self) -> bool {
+        matches!(self, Site::Missing)
+    }
+
+    /// The codon, if observed.
+    #[inline]
+    pub fn codon(self) -> Option<Codon> {
+        match self {
+            Site::Codon(c) => Some(c),
+            Site::Missing => None,
+        }
+    }
+}
+
+impl From<Codon> for Site {
+    fn from(c: Codon) -> Site {
+        Site::Codon(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_codons_and_gaps() {
+        assert_eq!(Site::from_chunk("ATG").unwrap(), Site::Codon(Codon::from_str("ATG").unwrap()));
+        assert_eq!(Site::from_chunk("---").unwrap(), Site::Missing);
+        assert_eq!(Site::from_chunk("A-G").unwrap(), Site::Missing);
+        assert_eq!(Site::from_chunk("NNN").unwrap(), Site::Missing);
+        assert_eq!(Site::from_chunk("aNg").unwrap(), Site::Missing);
+        assert_eq!(Site::from_chunk("?..").unwrap(), Site::Missing);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Site::from_chunk("AT").is_err());
+        assert!(Site::from_chunk("ATGA").is_err());
+        assert!(Site::from_chunk("AZG").is_err());
+        assert!(Site::from_chunk("A G").is_err());
+    }
+
+    #[test]
+    fn roundtrip_repr() {
+        for chunk in ["ATG", "---", "CCC"] {
+            let site = Site::from_chunk(chunk).unwrap();
+            let back = Site::from_chunk(&site.to_string_repr()).unwrap();
+            assert_eq!(site, back);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let c = Site::from_chunk("ATG").unwrap();
+        assert!(!c.is_missing());
+        assert!(c.codon().is_some());
+        assert!(Site::Missing.is_missing());
+        assert_eq!(Site::Missing.codon(), None);
+    }
+}

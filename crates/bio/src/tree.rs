@@ -1,0 +1,470 @@
+//! Rooted phylogenetic trees with branch lengths and a foreground-branch
+//! mark.
+//!
+//! The branch-site model divides branches into one **foreground** branch
+//! (tested for positive selection) and **background** branches (§II-A,
+//! Table I). Each non-root node carries the length of the edge to its
+//! parent and a flag marking that edge as foreground.
+
+use crate::BioError;
+
+/// Index of a node in a [`Tree`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A single node: leaf (named, no children) or internal.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Parent node; `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Child nodes (empty for leaves).
+    pub children: Vec<NodeId>,
+    /// Taxon name for leaves; optional label for internal nodes.
+    pub name: Option<String>,
+    /// Length of the edge to the parent (ignored for the root).
+    pub branch_length: f64,
+    /// Whether the edge to the parent is the foreground branch.
+    pub foreground: bool,
+}
+
+/// A rooted phylogenetic tree stored as an arena of nodes.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Tree {
+    /// Build a tree from an arena and root index.
+    ///
+    /// # Errors
+    /// [`BioError::InvalidTree`] if the root index is out of range or
+    /// parent/child links are inconsistent.
+    pub fn new(nodes: Vec<Node>, root: NodeId) -> crate::Result<Tree> {
+        if root.0 >= nodes.len() {
+            return Err(BioError::InvalidTree("root index out of range".into()));
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            for &c in &node.children {
+                if c.0 >= nodes.len() {
+                    return Err(BioError::InvalidTree(format!("child index {} out of range", c.0)));
+                }
+                if nodes[c.0].parent != Some(NodeId(i)) {
+                    return Err(BioError::InvalidTree(format!(
+                        "node {} lists child {} whose parent link disagrees",
+                        i, c.0
+                    )));
+                }
+            }
+        }
+        if nodes[root.0].parent.is_some() {
+            return Err(BioError::InvalidTree("root has a parent".into()));
+        }
+        let tree = Tree { nodes, root };
+        // Reachability check: every node must be reachable from the root.
+        if tree.postorder().len() != tree.nodes.len() {
+            return Err(BioError::InvalidTree("disconnected nodes present".into()));
+        }
+        Ok(tree)
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of branches (edges) = nodes − 1.
+    pub fn n_branches(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Ids of all leaves, in arena order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .map(NodeId)
+            .filter(|&id| self.nodes[id.0].children.is_empty())
+            .collect()
+    }
+
+    /// Number of leaves (extant species, `s` in the paper).
+    pub fn n_leaves(&self) -> usize {
+        self.leaves().len()
+    }
+
+    /// Post-order traversal (children before parents, root last) — the
+    /// order in which Felsenstein pruning visits nodes (§II-B).
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        // Iterative DFS to avoid recursion depth limits on large trees.
+        let mut stack = vec![(self.root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                order.push(id);
+            } else {
+                stack.push((id, true));
+                for &c in &self.nodes[id.0].children {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Ids of all non-root nodes, i.e. one per branch, in arena order.
+    pub fn branch_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .map(NodeId)
+            .filter(|&id| self.nodes[id.0].parent.is_some())
+            .collect()
+    }
+
+    /// The unique foreground branch, identified by its child node.
+    ///
+    /// # Errors
+    /// [`BioError::InvalidTree`] unless exactly one branch is marked.
+    pub fn foreground_branch(&self) -> crate::Result<NodeId> {
+        let marked: Vec<NodeId> = self
+            .branch_nodes()
+            .into_iter()
+            .filter(|&id| self.nodes[id.0].foreground)
+            .collect();
+        match marked.as_slice() {
+            [one] => Ok(*one),
+            [] => Err(BioError::InvalidTree("no foreground branch marked (#1)".into())),
+            many => Err(BioError::InvalidTree(format!(
+                "{} foreground branches marked, expected 1",
+                many.len()
+            ))),
+        }
+    }
+
+    /// Find a leaf by name.
+    pub fn leaf_by_name(&self, name: &str) -> Option<NodeId> {
+        self.leaves()
+            .into_iter()
+            .find(|&id| self.nodes[id.0].name.as_deref() == Some(name))
+    }
+
+    /// Collect branch lengths for all non-root nodes in arena order
+    /// (the optimizer's view of the tree).
+    pub fn branch_lengths(&self) -> Vec<f64> {
+        self.branch_nodes()
+            .into_iter()
+            .map(|id| self.nodes[id.0].branch_length)
+            .collect()
+    }
+
+    /// Set branch lengths for all non-root nodes in arena order.
+    ///
+    /// # Panics
+    /// Panics if `lens.len() != n_branches()`.
+    pub fn set_branch_lengths(&mut self, lens: &[f64]) {
+        let ids = self.branch_nodes();
+        assert_eq!(lens.len(), ids.len(), "set_branch_lengths: length mismatch");
+        for (id, &len) in ids.into_iter().zip(lens) {
+            self.nodes[id.0].branch_length = len;
+        }
+    }
+
+    /// Sum of all branch lengths.
+    pub fn total_length(&self) -> f64 {
+        self.branch_lengths().iter().sum()
+    }
+
+    /// True if every internal node has exactly two children.
+    pub fn is_binary(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.children.is_empty() || n.children.len() == 2)
+    }
+
+    /// Restrict the tree to a subset of its leaves (identified by name),
+    /// suppressing the internal nodes left with a single child by merging
+    /// their branch lengths — the operation behind the paper's Fig. 3
+    /// experiment, which sub-samples the 95-species dataset iv down to 15
+    /// species.
+    ///
+    /// A merged edge is foreground if any of its constituent edges was.
+    /// If the old root retains a single child, that child becomes the new
+    /// root (its pendant length is dropped, as root edges carry none).
+    ///
+    /// # Errors
+    /// [`BioError::InvalidTree`] if fewer than two names match leaves.
+    pub fn restrict_to_leaves(&self, keep: &[&str]) -> crate::Result<Tree> {
+        let keep_set: std::collections::HashSet<&str> = keep.iter().copied().collect();
+        let kept_leaves: Vec<NodeId> = self
+            .leaves()
+            .into_iter()
+            .filter(|id| {
+                self.nodes[id.0]
+                    .name
+                    .as_deref()
+                    .map(|n| keep_set.contains(n))
+                    .unwrap_or(false)
+            })
+            .collect();
+        if kept_leaves.len() < 2 {
+            return Err(BioError::InvalidTree(format!(
+                "restriction keeps {} leaves, need at least 2",
+                kept_leaves.len()
+            )));
+        }
+
+        // Count surviving leaves below each node (postorder).
+        let mut survivors = vec![0usize; self.nodes.len()];
+        for id in self.postorder() {
+            let node = &self.nodes[id.0];
+            if node.children.is_empty() {
+                survivors[id.0] = usize::from(
+                    node.name.as_deref().map(|n| keep_set.contains(n)).unwrap_or(false),
+                );
+            } else {
+                survivors[id.0] = node.children.iter().map(|c| survivors[c.0]).sum();
+            }
+        }
+
+        // Walk down from the old root past any unary chain.
+        let mut new_root_old = self.root;
+        loop {
+            let surviving_children: Vec<NodeId> = self.nodes[new_root_old.0]
+                .children
+                .iter()
+                .copied()
+                .filter(|c| survivors[c.0] > 0)
+                .collect();
+            if surviving_children.len() == 1 && survivors[new_root_old.0] > 1 {
+                new_root_old = surviving_children[0];
+            } else {
+                break;
+            }
+        }
+
+        // Rebuild the arena recursively.
+        let mut nodes: Vec<Node> = Vec::new();
+        nodes.push(Node {
+            parent: None,
+            children: vec![],
+            name: self.nodes[new_root_old.0].name.clone(),
+            branch_length: 0.0,
+            foreground: false,
+        });
+        let mut stack: Vec<(NodeId, usize)> = vec![(new_root_old, 0)]; // (old node, new parent index)
+        while let Some((old_id, new_parent)) = stack.pop() {
+            for &child in &self.nodes[old_id.0].children {
+                if survivors[child.0] == 0 {
+                    continue;
+                }
+                // Follow unary chains, accumulating length and foreground.
+                let mut cur = child;
+                let mut length = self.nodes[cur.0].branch_length;
+                let mut foreground = self.nodes[cur.0].foreground;
+                loop {
+                    let alive: Vec<NodeId> = self.nodes[cur.0]
+                        .children
+                        .iter()
+                        .copied()
+                        .filter(|c| survivors[c.0] > 0)
+                        .collect();
+                    if alive.len() == 1 && !self.nodes[cur.0].children.is_empty() {
+                        cur = alive[0];
+                        length += self.nodes[cur.0].branch_length;
+                        foreground |= self.nodes[cur.0].foreground;
+                    } else {
+                        break;
+                    }
+                }
+                let new_id = nodes.len();
+                nodes.push(Node {
+                    parent: Some(NodeId(new_parent)),
+                    children: vec![],
+                    name: self.nodes[cur.0].name.clone(),
+                    branch_length: length,
+                    foreground,
+                });
+                nodes[new_parent].children.push(NodeId(new_id));
+                stack.push((cur, new_id));
+            }
+        }
+        Tree::new(nodes, NodeId(0))
+    }
+
+    /// Mark the branch above `id` as the (single) foreground branch,
+    /// clearing any previous mark.
+    ///
+    /// # Errors
+    /// [`BioError::InvalidTree`] if `id` is the root.
+    pub fn set_foreground(&mut self, id: NodeId) -> crate::Result<()> {
+        if self.nodes[id.0].parent.is_none() {
+            return Err(BioError::InvalidTree("root has no branch to mark".into()));
+        }
+        for n in &mut self.nodes {
+            n.foreground = false;
+        }
+        self.nodes[id.0].foreground = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::parse_newick;
+
+    fn five_taxon() -> Tree {
+        parse_newick("(((A:0.1,B:0.2):0.05,C:0.3)#1:0.1,(D:0.25,E:0.15):0.2);").unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let t = five_taxon();
+        assert_eq!(t.n_leaves(), 5);
+        assert_eq!(t.n_nodes(), 9);
+        assert_eq!(t.n_branches(), 8);
+        assert!(t.is_binary());
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let t = five_taxon();
+        let order = t.postorder();
+        assert_eq!(order.len(), t.n_nodes());
+        assert_eq!(*order.last().unwrap(), t.root());
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for id in order {
+            for &c in &t.node(id).children {
+                assert!(pos[&c] < pos[&id], "child after parent in postorder");
+            }
+        }
+    }
+
+    #[test]
+    fn foreground_branch_found() {
+        let t = five_taxon();
+        let fg = t.foreground_branch().unwrap();
+        // The marked branch subtends A, B, C.
+        let mut names = vec![];
+        let mut stack = vec![fg];
+        while let Some(id) = stack.pop() {
+            let n = t.node(id);
+            if n.children.is_empty() {
+                names.push(n.name.clone().unwrap());
+            }
+            stack.extend(&n.children);
+        }
+        names.sort();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn foreground_errors() {
+        let t = parse_newick("(A:0.1,B:0.2);").unwrap();
+        assert!(t.foreground_branch().is_err());
+        let t2 = parse_newick("(A#1:0.1,B#1:0.2);").unwrap();
+        assert!(t2.foreground_branch().is_err());
+    }
+
+    #[test]
+    fn set_foreground_moves_mark() {
+        let mut t = five_taxon();
+        let leaf_a = t.leaf_by_name("A").unwrap();
+        t.set_foreground(leaf_a).unwrap();
+        assert_eq!(t.foreground_branch().unwrap(), leaf_a);
+        assert!(t.set_foreground(t.root()).is_err());
+    }
+
+    #[test]
+    fn branch_length_roundtrip() {
+        let mut t = five_taxon();
+        let lens = t.branch_lengths();
+        assert_eq!(lens.len(), 8);
+        let doubled: Vec<f64> = lens.iter().map(|v| v * 2.0).collect();
+        t.set_branch_lengths(&doubled);
+        assert!((t.total_length() - 2.0 * lens.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_drops_leaves_and_merges_branches() {
+        // (((A:0.1,B:0.2):0.05,C:0.3)#1:0.1,(D:0.25,E:0.15):0.2)
+        let t = five_taxon();
+        let r = t.restrict_to_leaves(&["A", "C", "D"]).unwrap();
+        assert_eq!(r.n_leaves(), 3);
+        assert!(r.is_binary());
+        // B's removal makes A's edge merge with its parent edge:
+        // A: 0.1 + 0.05 = 0.15.
+        let a = r.leaf_by_name("A").unwrap();
+        assert!((r.node(a).branch_length - 0.15).abs() < 1e-12);
+        // E's removal merges D's edge: 0.25 + 0.2 = 0.45.
+        let d = r.leaf_by_name("D").unwrap();
+        assert!((r.node(d).branch_length - 0.45).abs() < 1e-12);
+        // Total length = sum of surviving path segments.
+        // Edges kept: A(0.15), C(0.3), fg(0.1), D(0.45).
+        assert!((r.total_length() - 1.0).abs() < 1e-12);
+        // The foreground mark survives on the (A,C) clade edge.
+        assert!(r.foreground_branch().is_ok());
+    }
+
+    #[test]
+    fn restrict_preserves_foreground_through_merges() {
+        // Foreground on an internal edge whose child collapses away.
+        let t = parse_newick("(((A:0.1,B:0.2)#1:0.05,C:0.3):0.1,D:0.4);").unwrap();
+        let r = t.restrict_to_leaves(&["A", "C", "D"]).unwrap();
+        // (A,B) clade reduces to leaf A; the foreground edge merges into
+        // A's pendant edge.
+        let fg = r.foreground_branch().unwrap();
+        assert_eq!(r.node(fg).name.as_deref(), Some("A"));
+        let a = r.leaf_by_name("A").unwrap();
+        assert!((r.node(a).branch_length - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_rerooting_when_one_side_vanishes() {
+        // Removing D and E leaves the root unary; the (A,B,C) clade node
+        // becomes the new root.
+        let t = five_taxon();
+        let r = t.restrict_to_leaves(&["A", "B", "C"]).unwrap();
+        assert_eq!(r.n_leaves(), 3);
+        assert_eq!(r.node(r.root()).children.len(), 2);
+        // Pendant lengths unchanged for A and B.
+        let a = r.leaf_by_name("A").unwrap();
+        assert!((r.node(a).branch_length - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_errors_on_too_few() {
+        let t = five_taxon();
+        assert!(t.restrict_to_leaves(&["A"]).is_err());
+        assert!(t.restrict_to_leaves(&["nope", "nada"]).is_err());
+    }
+
+    #[test]
+    fn restrict_to_all_is_identity_shape() {
+        let t = five_taxon();
+        let r = t.restrict_to_leaves(&["A", "B", "C", "D", "E"]).unwrap();
+        assert_eq!(r.n_leaves(), 5);
+        assert_eq!(r.n_branches(), t.n_branches());
+        assert!((r.total_length() - t.total_length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_lookup() {
+        let t = five_taxon();
+        assert!(t.leaf_by_name("D").is_some());
+        assert!(t.leaf_by_name("Z").is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based round-trip tests for the I/O layer: arbitrary valid
+//! alignments and trees must survive serialization → parsing unchanged.
+
+use proptest::prelude::*;
+use slim_bio::{parse_newick, write_newick, Codon, CodonAlignment, GeneticCode};
+
+/// Strategy: a random sense codon (index 0..61 in the universal code).
+fn codon_strategy() -> impl Strategy<Value = Codon> {
+    (0usize..61).prop_map(|i| GeneticCode::universal().sense_codon(i))
+}
+
+/// Strategy: an alignment of `n` sequences × `len` codons with simple
+/// alphanumeric names.
+fn alignment_strategy() -> impl Strategy<Value = CodonAlignment> {
+    (2usize..6, 1usize..30).prop_flat_map(|(n, len)| {
+        proptest::collection::vec(proptest::collection::vec(codon_strategy(), len), n).prop_map(
+            move |seqs| {
+                let names = (0..seqs.len()).map(|i| format!("SP{i}")).collect();
+                CodonAlignment::from_codons(names, seqs).expect("sense codons form a valid alignment")
+            },
+        )
+    })
+}
+
+/// Strategy: a random rooted binary tree in Newick text form, built
+/// recursively with bounded depth.
+fn newick_strategy() -> impl Strategy<Value = String> {
+    let leaf_counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let leaf = proptest::strategy::LazyJust::new(move || {
+        let k = leaf_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        format!("L{k}")
+    });
+    leaf.prop_recursive(4, 16, 2, |inner| {
+        (inner.clone(), inner, 0.001f64..2.0, 0.001f64..2.0)
+            .prop_map(|(a, b, la, lb)| format!("({a}:{la},{b}:{lb})"))
+    })
+    .prop_map(|core| format!("{core};"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn fasta_roundtrip(aln in alignment_strategy()) {
+        let text = aln.to_fasta();
+        let back = CodonAlignment::from_fasta(&text).unwrap();
+        prop_assert_eq!(back, aln);
+    }
+
+    #[test]
+    fn phylip_roundtrip(aln in alignment_strategy()) {
+        let text = aln.to_phylip();
+        let back = CodonAlignment::from_phylip(&text).unwrap();
+        prop_assert_eq!(back, aln);
+    }
+
+    #[test]
+    fn newick_roundtrip(text in newick_strategy()) {
+        let tree = match parse_newick(&text) {
+            Ok(t) => t,
+            Err(e) => return Err(TestCaseError::fail(format!("parse failed on {text:?}: {e}"))),
+        };
+        let written = write_newick(&tree);
+        let reparsed = parse_newick(&written).unwrap();
+        prop_assert_eq!(tree.n_leaves(), reparsed.n_leaves());
+        prop_assert_eq!(tree.n_branches(), reparsed.n_branches());
+        prop_assert!((tree.total_length() - reparsed.total_length()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn patterns_weights_always_sum_to_sites(aln in alignment_strategy()) {
+        let code = GeneticCode::universal();
+        let patterns = slim_bio::SitePatterns::from_alignment(&aln, &code).unwrap();
+        let total: f64 = patterns.weights().iter().sum();
+        prop_assert!((total - aln.n_codons() as f64).abs() < 1e-12);
+        prop_assert!(patterns.n_patterns() <= aln.n_codons());
+        // every site maps to a pattern matching its column
+        for s in 0..aln.n_codons() {
+            let p = patterns.pattern_of_site(s);
+            let col: Vec<usize> = (0..aln.n_sequences())
+                .map(|t| code.sense_index(aln.sequence(t)[s].codon().unwrap()).unwrap())
+                .collect();
+            prop_assert_eq!(patterns.pattern(p), col.as_slice());
+        }
+    }
+
+    #[test]
+    fn frequencies_always_valid(aln in alignment_strategy()) {
+        let code = GeneticCode::universal();
+        for model in [
+            slim_bio::FreqModel::Equal,
+            slim_bio::FreqModel::F1x4,
+            slim_bio::FreqModel::F3x4,
+            slim_bio::FreqModel::F61,
+        ] {
+            let pi = slim_bio::codon_frequencies(&aln, &code, model);
+            prop_assert!(slim_bio::frequencies::validate_frequencies(&pi), "{model:?}");
+        }
+    }
+}

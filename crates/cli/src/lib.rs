@@ -1,0 +1,373 @@
+//! # slim-cli
+//!
+//! Command-line front end mirroring CodeML's workflow: read a codon
+//! alignment (FASTA or PHYLIP), a Newick tree with the foreground branch
+//! marked `#1`, run the H0/H1 branch-site fits, and report the LRT and
+//! positively-selected sites.
+//!
+//! ```text
+//! slimcodeml --seq aln.fasta --tree tree.nwk [--backend slim|codeml|slim+|eq12]
+//!            [--freq f3x4|f61|f1x4|equal] [--seed N] [--max-iter N] [--scan]
+//! ```
+
+pub mod ctl;
+
+use ctl::CtlMode;
+use slim_bio::{parse_newick, CodonAlignment, FreqModel, Tree};
+use slim_core::{scan_all_branches, sites_test, Analysis, AnalysisOptions, Backend};
+use slim_opt::GradMode;
+
+/// Parsed command-line configuration.
+#[derive(Debug, Clone)]
+pub struct CliConfig {
+    /// Alignment file path.
+    pub seq_path: String,
+    /// Tree file path.
+    pub tree_path: String,
+    /// Analysis options assembled from flags.
+    pub options: AnalysisOptions,
+    /// Scan every branch instead of using the `#1` mark.
+    pub scan: bool,
+    /// Which test to run (branch-site by default; `--sites` or a control
+    /// file with `model = 0` selects M1a/M2a).
+    pub mode: CtlMode,
+}
+
+/// How the program was invoked: direct flags or a CodeML control file.
+#[derive(Debug, Clone)]
+pub enum Invocation {
+    /// All inputs given as flags.
+    Direct(Box<CliConfig>),
+    /// `--ctl <path>`: read a codeml.ctl-style file.
+    Ctl(String),
+}
+
+/// Parse argv-style arguments (excluding the program name).
+///
+/// # Errors
+/// A human-readable message describing the flag problem.
+pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut seq_path = None;
+    let mut tree_path = None;
+    let mut options = AnalysisOptions::default();
+    let mut scan = false;
+    let mut mode = CtlMode::BranchSite;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut take_value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--seq" | "-s" => seq_path = Some(take_value("--seq")?),
+            "--tree" | "-t" => tree_path = Some(take_value("--tree")?),
+            "--backend" | "-b" => {
+                let v = take_value("--backend")?;
+                options.backend = Backend::from_str_opt(&v)
+                    .ok_or_else(|| format!("unknown backend {v:?} (codeml|slim|slim+|eq12)"))?;
+            }
+            "--freq" | "-f" => {
+                let v = take_value("--freq")?;
+                options.freq_model = match v.to_ascii_lowercase().as_str() {
+                    "equal" => FreqModel::Equal,
+                    "f1x4" => FreqModel::F1x4,
+                    "f3x4" => FreqModel::F3x4,
+                    "f61" => FreqModel::F61,
+                    _ => return Err(format!("unknown frequency model {v:?}")),
+                };
+            }
+            "--seed" => {
+                options.seed = take_value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?;
+            }
+            "--max-iter" => {
+                options.max_iterations = take_value("--max-iter")?
+                    .parse()
+                    .map_err(|_| "bad --max-iter value".to_string())?;
+            }
+            "--forward-grad" => options.grad_mode = GradMode::Forward,
+            "--mito" => {
+                options.genetic_code = slim_bio::GeneticCode::vertebrate_mitochondrial()
+            }
+            "--scan" => scan = true,
+            "--sites" => mode = CtlMode::Sites,
+            "--ctl" => return Ok(Invocation::Ctl(take_value("--ctl")?)),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Invocation::Direct(Box::new(CliConfig {
+        seq_path: seq_path.ok_or_else(|| format!("--seq is required\n{}", usage()))?,
+        tree_path: tree_path.ok_or_else(|| format!("--tree is required\n{}", usage()))?,
+        options,
+        scan,
+        mode,
+    })))
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "usage: slimcodeml --seq <aln.fasta|aln.phy> --tree <tree.nwk> \
+     [--backend codeml|slim|slim+|eq12|slim-par] [--freq equal|f1x4|f3x4|f61] \
+     [--seed N] [--max-iter N] [--forward-grad] [--scan] [--sites]\n\
+       or: slimcodeml --ctl <codeml.ctl>"
+        .to_string()
+}
+
+/// Load an alignment, sniffing FASTA vs PHYLIP from the first byte.
+///
+/// # Errors
+/// A human-readable parse/IO message.
+pub fn load_alignment(text: &str) -> Result<CodonAlignment, String> {
+    load_alignment_with_code(text, &slim_bio::GeneticCode::universal())
+}
+
+/// Like [`load_alignment`] but validating stops under an explicit genetic
+/// code (the `--mito` / `icode = 1` path).
+///
+/// # Errors
+/// A human-readable parse message.
+pub fn load_alignment_with_code(
+    text: &str,
+    code: &slim_bio::GeneticCode,
+) -> Result<CodonAlignment, String> {
+    let trimmed = text.trim_start();
+    if slim_bio::is_nexus(text) {
+        // NEXUS matrices are validated under the universal code at parse
+        // time; re-validate under the requested code.
+        let aln = slim_bio::parse_nexus_alignment(text).map_err(|e| e.to_string())?;
+        let names = aln.names().to_vec();
+        let seqs = (0..aln.n_sequences()).map(|i| aln.sequence(i).to_vec()).collect();
+        CodonAlignment::new_with_code(names, seqs, code).map_err(|e| e.to_string())
+    } else if trimmed.starts_with('>') {
+        CodonAlignment::from_fasta_with_code(text, code).map_err(|e| e.to_string())
+    } else {
+        CodonAlignment::from_phylip_with_code(text, code).map_err(|e| e.to_string())
+    }
+}
+
+/// Load a Newick tree.
+///
+/// # Errors
+/// A human-readable parse message.
+pub fn load_tree(text: &str) -> Result<Tree, String> {
+    if slim_bio::is_nexus(text) {
+        slim_bio::parse_nexus_tree(text).map_err(|e| e.to_string())
+    } else {
+        parse_newick(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Run the configured analysis and render a CodeML-style report.
+///
+/// # Errors
+/// A human-readable message on any failure.
+pub fn run(config: &CliConfig, seq_text: &str, tree_text: &str) -> Result<String, String> {
+    let aln = load_alignment_with_code(seq_text, &config.options.genetic_code)?;
+    let tree = load_tree(tree_text)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "SlimCodeML reproduction — backend: {}\n{} sequences × {} codons\n\n",
+        config.options.backend.label(),
+        aln.n_sequences(),
+        aln.n_codons()
+    ));
+
+    if config.mode == CtlMode::Sites {
+        let result = sites_test(&tree, &aln, &config.options).map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "M1a: lnL = {:.6}, kappa = {:.4}, w0 = {:.4}, p0 = {:.4}, {} iterations\n",
+            result.m1a.lnl,
+            result.m1a.model.kappa,
+            result.m1a.model.omega0,
+            result.m1a.model.p0,
+            result.m1a.iterations
+        ));
+        out.push_str(&format!(
+            "M2a: lnL = {:.6}, kappa = {:.4}, w0 = {:.4}, w2 = {:.4}, p0 = {:.4}, p1 = {:.4}, {} iterations\n\n",
+            result.m2a.lnl,
+            result.m2a.model.kappa,
+            result.m2a.model.omega0,
+            result.m2a.model.omega2,
+            result.m2a.model.p0,
+            result.m2a.model.p1,
+            result.m2a.iterations
+        ));
+        out.push_str(&format!(
+            "LRT (M1a vs M2a): 2dlnL = {:.4}, p = {:.6} (chi2, 2 df) ({})\n",
+            result.statistic,
+            result.p_value,
+            if result.p_value < 0.05 { "positive selection detected" } else { "not significant" }
+        ));
+        let sites: Vec<String> = result
+            .site_posteriors
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.95)
+            .map(|(i, p)| format!("{} ({:.3})", i + 1, p))
+            .collect();
+        if sites.is_empty() {
+            out.push_str("No sites with posterior > 0.95.\n");
+        } else {
+            out.push_str(&format!("Sites under positive selection (NEB > 0.95): {}\n", sites.join(", ")));
+        }
+        return Ok(out);
+    }
+
+    if config.scan {
+        let entries = scan_all_branches(&tree, &aln, &config.options).map_err(|e| e.to_string())?;
+        out.push_str("branch  child      lnL0           lnL1           2dlnL     p-value\n");
+        for e in &entries {
+            out.push_str(&format!(
+                "{:<7} {:<10} {:<14.6} {:<14.6} {:<9.4} {:.4}{}\n",
+                e.branch.0,
+                e.child_name.clone().unwrap_or_else(|| "(internal)".into()),
+                e.result.h0.lnl,
+                e.result.h1.lnl,
+                e.result.lrt.statistic,
+                e.result.lrt.p_value,
+                if e.result.lrt.significant_at(0.05) { "  *" } else { "" }
+            ));
+        }
+        return Ok(out);
+    }
+
+    let analysis = Analysis::new(&tree, &aln, config.options.clone()).map_err(|e| e.to_string())?;
+    let result = analysis.test_positive_selection().map_err(|e| e.to_string())?;
+    out.push_str(&format!("{}\n{}\n\n", result.h0.summary(), result.h1.summary()));
+    out.push_str(&format!(
+        "LRT: 2dlnL = {:.4}, p = {:.6} ({})\n",
+        result.lrt.statistic,
+        result.lrt.p_value,
+        if result.lrt.significant_at(0.05) {
+            "positive selection detected"
+        } else {
+            "not significant"
+        }
+    ));
+    let sites: Vec<String> = result
+        .site_posteriors
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p > 0.95)
+        .map(|(i, p)| format!("{} ({:.3})", i + 1, p))
+        .collect();
+    if sites.is_empty() {
+        out.push_str("No sites with posterior > 0.95.\n");
+    } else {
+        out.push_str(&format!("Sites under positive selection (NEB > 0.95): {}\n", sites.join(", ")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn direct(inv: Invocation) -> CliConfig {
+        match inv {
+            Invocation::Direct(c) => *c,
+            Invocation::Ctl(p) => panic!("expected direct invocation, got ctl {p:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_minimal() {
+        let c = direct(parse_args(&args(&["--seq", "a.fa", "--tree", "t.nwk"])).unwrap());
+        assert_eq!(c.seq_path, "a.fa");
+        assert_eq!(c.tree_path, "t.nwk");
+        assert_eq!(c.options.backend, Backend::Slim);
+        assert!(!c.scan);
+        assert_eq!(c.mode, CtlMode::BranchSite);
+    }
+
+    #[test]
+    fn ctl_invocation() {
+        match parse_args(&args(&["--ctl", "codeml.ctl"])).unwrap() {
+            Invocation::Ctl(p) => assert_eq!(p, "codeml.ctl"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sites_flag() {
+        let c = direct(
+            parse_args(&args(&["--seq", "a", "--tree", "t", "--sites"])).unwrap(),
+        );
+        assert_eq!(c.mode, CtlMode::Sites);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let c = direct(
+            parse_args(&args(&[
+                "--seq", "a.fa", "--tree", "t.nwk", "--backend", "codeml", "--freq", "f61",
+                "--seed", "7", "--max-iter", "99", "--forward-grad", "--scan",
+            ]))
+            .unwrap(),
+        );
+        assert_eq!(c.options.backend, Backend::CodeMlStyle);
+        assert_eq!(c.options.freq_model, FreqModel::F61);
+        assert_eq!(c.options.seed, 7);
+        assert_eq!(c.options.max_iterations, 99);
+        assert!(c.scan);
+    }
+
+    #[test]
+    fn missing_required_flags() {
+        assert!(parse_args(&args(&["--seq", "a.fa"])).is_err());
+        assert!(parse_args(&args(&["--tree", "t.nwk"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse_args(&args(&["--wat"])).is_err());
+        assert!(parse_args(&args(&["--seq", "a", "--tree", "t", "--backend", "zzz"])).is_err());
+    }
+
+    #[test]
+    fn alignment_sniffing() {
+        assert!(load_alignment(">A\nATG\n>B\nATG\n").is_ok());
+        assert!(load_alignment("2 3\nA ATG\nB ATG\n").is_ok());
+        assert!(load_alignment("#NEXUS\nBEGIN DATA;\nMATRIX\nA ATG\nB ATG\n;\nEND;\n").is_ok());
+        assert!(load_alignment("garbage").is_err());
+        assert!(load_tree("#NEXUS\nBEGIN TREES;\nTREE t = (A:0.1,B:0.2);\nEND;\n").is_ok());
+    }
+
+    #[test]
+    fn end_to_end_sites_report() {
+        let cfg = direct(
+            parse_args(&args(&["--seq", "-", "--tree", "-", "--max-iter", "8", "--sites"]))
+                .unwrap(),
+        );
+        let report = run(
+            &cfg,
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+            "((A:0.2,B:0.2):0.1,C:0.3);", // note: no #1 needed
+        )
+        .unwrap();
+        assert!(report.contains("M1a"));
+        assert!(report.contains("M2a"));
+        assert!(report.contains("LRT"));
+    }
+
+    #[test]
+    fn end_to_end_report() {
+        let cfg = direct(parse_args(&args(&["--seq", "-", "--tree", "-", "--max-iter", "10"])).unwrap());
+        let report = run(
+            &cfg,
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+            "((A:0.2,B:0.2)#1:0.1,C:0.3);",
+        )
+        .unwrap();
+        assert!(report.contains("lnL"));
+        assert!(report.contains("LRT"));
+    }
+}

@@ -1,0 +1,63 @@
+//! `slimcodeml` binary entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let invocation = match slim_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = match invocation {
+        slim_cli::Invocation::Direct(c) => *c,
+        slim_cli::Invocation::Ctl(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read control file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match slim_cli::ctl::parse_ctl(&text) {
+                Ok(ctl) => slim_cli::CliConfig {
+                    seq_path: ctl.seq_path,
+                    tree_path: ctl.tree_path,
+                    options: ctl.options,
+                    scan: false,
+                    mode: ctl.mode,
+                },
+                Err(msg) => {
+                    eprintln!("control file error: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let seq_text = match std::fs::read_to_string(&config.seq_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", config.seq_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let tree_text = match std::fs::read_to_string(&config.tree_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", config.tree_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    match slim_cli::run(&config, &seq_text, &tree_text) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The analysis driver: wiring model, likelihood engine, transforms and
+//! optimizer into the H0/H1 fits and the LRT.
+
+use crate::{Backend, CoreError, Fit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slim_bio::{CodonAlignment, FreqModel, GeneticCode, Tree};
+use slim_lik::{log_likelihood, site_class_log_likelihoods, LikelihoodProblem};
+use slim_model::{BranchSiteModel, Hypothesis};
+use slim_opt::{minimize, minimize_lbfgs, BfgsOptions, Block, BlockTransform, GradMode};
+use slim_stat::{lrt_pvalue, positive_selection_posteriors, LrtResult};
+use std::time::Instant;
+
+/// Which quasi-Newton maximizer drives the fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Optimizer {
+    /// Dense-inverse-Hessian BFGS (§II-B of the paper; default).
+    #[default]
+    DenseBfgs,
+    /// Limited-memory BFGS: linear-cost iterations for very large trees
+    /// (the FastCodeML scale).
+    LBfgs,
+}
+
+/// Options controlling an analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Computational backend (CodeML-style vs Slim flavors).
+    pub backend: Backend,
+    /// Codon frequency estimator (CodeML `CodonFreq`).
+    pub freq_model: FreqModel,
+    /// RNG seed for initial-value jitter. The paper fixes this so both
+    /// engines start identically (§IV).
+    pub seed: u64,
+    /// BFGS iteration cap per hypothesis.
+    pub max_iterations: usize,
+    /// Finite-difference flavor for gradients.
+    pub grad_mode: GradMode,
+    /// Override the tree's branch lengths with this value at the start of
+    /// optimization (CodeML-style fixed starting lengths). `None` keeps
+    /// the input tree's lengths.
+    pub initial_branch_length: Option<f64>,
+    /// Relative jitter applied to the default parameter starting point.
+    pub jitter: f64,
+    /// Quasi-Newton flavor.
+    pub optimizer: Optimizer,
+    /// Genetic code (CodeML `icode`): universal by default; the
+    /// vertebrate mitochondrial code is also supported (60 sense codons).
+    pub genetic_code: GeneticCode,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            backend: Backend::Slim,
+            freq_model: FreqModel::F3x4,
+            seed: 1,
+            max_iterations: 500,
+            grad_mode: GradMode::Central,
+            initial_branch_length: None,
+            jitter: 0.05,
+            optimizer: Optimizer::default(),
+            genetic_code: GeneticCode::universal(),
+        }
+    }
+}
+
+/// Outcome of the full positive-selection test.
+#[derive(Debug, Clone)]
+pub struct TestResult {
+    /// Null fit (ω2 = 1).
+    pub h0: Fit,
+    /// Alternative fit (ω2 free).
+    pub h1: Fit,
+    /// The likelihood-ratio test between them.
+    pub lrt: LrtResult,
+    /// NEB posterior probability that each alignment *site* (not pattern)
+    /// is under positive selection on the foreground branch, computed at
+    /// the H1 MLE.
+    pub site_posteriors: Vec<f64>,
+}
+
+/// A dataset + options, ready to fit.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    problem: LikelihoodProblem,
+    options: AnalysisOptions,
+    init_branch_lengths: Vec<f64>,
+}
+
+/// Bounds shared with CodeML's defaults.
+const KAPPA_LO: f64 = 1e-3;
+const OMEGA0_LO: f64 = 1e-6;
+const OMEGA0_HI: f64 = 1.0 - 1e-6;
+const BL_LO: f64 = 1e-6;
+const BL_HI: f64 = 50.0;
+
+impl Analysis {
+    /// Build an analysis from a foreground-marked tree and an alignment.
+    ///
+    /// # Errors
+    /// [`CoreError::Bio`] if tree and alignment are inconsistent or no
+    /// unique foreground branch is marked.
+    pub fn new(tree: &Tree, aln: &CodonAlignment, options: AnalysisOptions) -> Result<Analysis, CoreError> {
+        let problem = LikelihoodProblem::new(tree, aln, &options.genetic_code, options.freq_model)?;
+        let mut init = tree.branch_lengths();
+        if let Some(l) = options.initial_branch_length {
+            init = vec![l; init.len()];
+        }
+        // Clamp into the optimizer's box.
+        for v in &mut init {
+            *v = v.clamp(BL_LO * 10.0, BL_HI / 10.0);
+        }
+        Ok(Analysis { problem, options, init_branch_lengths: init })
+    }
+
+    /// The underlying likelihood problem (for advanced use/benches).
+    pub fn problem(&self) -> &LikelihoodProblem {
+        &self.problem
+    }
+
+    /// Options in effect.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// Evaluate the log-likelihood at explicit parameter values.
+    ///
+    /// # Errors
+    /// [`CoreError::Linalg`] on eigensolver failure.
+    pub fn log_likelihood(
+        &self,
+        model: &BranchSiteModel,
+        branch_lengths: &[f64],
+    ) -> Result<f64, CoreError> {
+        Ok(log_likelihood(&self.problem, &self.options.backend.config(), model, branch_lengths)?)
+    }
+
+    /// Per-site log-likelihoods at explicit parameter values — CodeML's
+    /// `lnf` output, consumed by downstream model-comparison tools (AU/SH
+    /// tests and the like).
+    ///
+    /// # Errors
+    /// [`CoreError::Linalg`] on eigensolver failure.
+    pub fn site_log_likelihoods(
+        &self,
+        model: &BranchSiteModel,
+        branch_lengths: &[f64],
+    ) -> Result<Vec<f64>, CoreError> {
+        let value = site_class_log_likelihoods(
+            &self.problem,
+            &self.options.backend.config(),
+            model,
+            branch_lengths,
+        )?;
+        Ok((0..self.problem.n_sites())
+            .map(|s| value.per_pattern[self.problem.patterns.pattern_of_site(s)])
+            .collect())
+    }
+
+    /// Parameter layout: `[κ, ω0, ω2, p0, p1, branch lengths…]`.
+    fn transform(&self, hypothesis: Hypothesis) -> BlockTransform {
+        BlockTransform::new(vec![
+            Block::LowerBounded { lo: KAPPA_LO },
+            Block::BoxBounded { lo: OMEGA0_LO, hi: OMEGA0_HI },
+            match hypothesis {
+                Hypothesis::H0 => Block::Fixed { value: 1.0 },
+                Hypothesis::H1 => Block::LowerBounded { lo: 1.0 },
+            },
+            Block::SimplexWithRest { dim: 2 },
+            Block::BoxBoundedVec { lo: BL_LO, hi: BL_HI, count: self.problem.n_branches() },
+        ])
+    }
+
+    /// Starting parameter vector with seeded jitter (both engines get the
+    /// identical start for a given seed, as in the paper's protocol).
+    fn start_vector(&self, hypothesis: Hypothesis) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let mut jitter = |v: f64| -> f64 {
+            let factor = 1.0 + self.options.jitter * (rng.gen::<f64>() - 0.5) * 2.0;
+            v * factor
+        };
+        let m = BranchSiteModel::default_start(hypothesis);
+        let mut x = vec![
+            jitter(m.kappa),
+            jitter(m.omega0).clamp(OMEGA0_LO * 2.0, OMEGA0_HI / 2.0),
+            match hypothesis {
+                Hypothesis::H0 => 1.0,
+                Hypothesis::H1 => 1.0 + jitter(m.omega2 - 1.0).max(1e-3),
+            },
+            (jitter(m.p0)).clamp(0.05, 0.9),
+            (jitter(m.p1)).clamp(0.05, 0.9),
+        ];
+        // Keep (p0, p1) inside the simplex after jitter.
+        let s = x[3] + x[4];
+        if s > 0.95 {
+            x[3] *= 0.9 / s;
+            x[4] *= 0.9 / s;
+        }
+        for &b in &self.init_branch_lengths {
+            x.push(jitter(b).clamp(BL_LO * 2.0, BL_HI / 2.0));
+        }
+        x
+    }
+
+    /// Unpack an optimizer vector into model + branch lengths.
+    fn unpack(&self, x: &[f64]) -> (BranchSiteModel, Vec<f64>) {
+        let model = BranchSiteModel {
+            kappa: x[0],
+            omega0: x[1],
+            omega2: x[2],
+            p0: x[3],
+            p1: x[4],
+        };
+        (model, x[5..].to_vec())
+    }
+
+    /// Maximize one hypothesis.
+    ///
+    /// # Errors
+    /// [`CoreError::Optimization`] if no finite starting likelihood can be
+    /// found; numerical errors propagate as [`CoreError::Linalg`].
+    pub fn fit(&self, hypothesis: Hypothesis) -> Result<Fit, CoreError> {
+        let config = self.options.backend.config();
+        let transform = self.transform(hypothesis);
+        let x0 = self.start_vector(hypothesis);
+        let z0 = transform.to_unconstrained(&x0);
+
+        let problem = &self.problem;
+        let objective = |z: &[f64]| -> f64 {
+            let x = transform.to_constrained(z);
+            let (model, bl) = self.unpack(&x);
+            match log_likelihood(problem, &config, &model, &bl) {
+                Ok(lnl) if lnl.is_finite() => -lnl,
+                _ => f64::INFINITY,
+            }
+        };
+
+        // Sanity: the start must be evaluable.
+        if !objective(&z0).is_finite() {
+            return Err(CoreError::Optimization(
+                "likelihood not finite at the starting point".into(),
+            ));
+        }
+
+        let opts = BfgsOptions {
+            max_iterations: self.options.max_iterations,
+            grad_mode: self.options.grad_mode,
+            grad_tol: 1e-6,
+            f_tol: 1e-10,
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let result = match self.options.optimizer {
+            Optimizer::DenseBfgs => minimize(objective, &z0, &opts),
+            Optimizer::LBfgs => minimize_lbfgs(objective, &z0, &opts),
+        };
+        let wall_time = started.elapsed();
+
+        let x = transform.to_constrained(&result.x);
+        let (model, branch_lengths) = self.unpack(&x);
+        Ok(Fit {
+            hypothesis,
+            lnl: -result.f,
+            model,
+            branch_lengths,
+            iterations: result.iterations,
+            f_evals: result.f_evals,
+            wall_time,
+            termination: result.reason,
+        })
+    }
+
+    /// Run the full positive-selection test: fit H0 and H1, compute the
+    /// LRT, and NEB site posteriors at the H1 MLE.
+    ///
+    /// # Errors
+    /// Propagates fit errors.
+    pub fn test_positive_selection(&self) -> Result<TestResult, CoreError> {
+        let h0 = self.fit(Hypothesis::H0)?;
+        let h1 = self.fit(Hypothesis::H1)?;
+        let lrt = lrt_pvalue(h0.lnl, h1.lnl);
+
+        let value = site_class_log_likelihoods(
+            &self.problem,
+            &self.options.backend.config(),
+            &h1.model,
+            &h1.branch_lengths,
+        )?;
+        let per_pattern = positive_selection_posteriors(&value.per_class, &value.proportions);
+        let site_posteriors = (0..self.problem.n_sites())
+            .map(|s| per_pattern[self.problem.patterns.pattern_of_site(s)])
+            .collect();
+
+        Ok(TestResult { h0, h1, lrt, site_posteriors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_bio::parse_newick;
+
+    fn small_analysis(backend: Backend) -> Analysis {
+        let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,(C:0.2,D:0.2):0.1);").unwrap();
+        let aln = CodonAlignment::from_fasta(
+            ">A\nATGCCCAAATTTGGGCGA\n>B\nATGCCAAAATTTGGACGA\n>C\nATGCCCAAGTTTGGGCGA\n>D\nATGCCCAAATTCGGGCGT\n",
+        )
+        .unwrap();
+        Analysis::new(
+            &tree,
+            &aln,
+            AnalysisOptions { backend, max_iterations: 60, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_h0_improves_likelihood() {
+        let a = small_analysis(Backend::Slim);
+        let start_model = BranchSiteModel::default_start(Hypothesis::H0);
+        let start_lnl = a
+            .log_likelihood(&start_model, &a.init_branch_lengths)
+            .unwrap();
+        let fit = a.fit(Hypothesis::H0).unwrap();
+        assert!(fit.lnl >= start_lnl - 1e-9, "fit {0} vs start {start_lnl}", fit.lnl);
+        assert!(fit.model.is_valid(Hypothesis::H0));
+        assert!(fit.iterations <= 60);
+    }
+
+    #[test]
+    fn h1_at_least_as_good_as_h0() {
+        let a = small_analysis(Backend::Slim);
+        let r = a.test_positive_selection().unwrap();
+        // H1 nests H0; allow small optimizer noise.
+        assert!(r.h1.lnl >= r.h0.lnl - 0.05, "h1 {} vs h0 {}", r.h1.lnl, r.h0.lnl);
+        assert!(r.lrt.p_value > 0.0 && r.lrt.p_value <= 1.0);
+        assert_eq!(r.site_posteriors.len(), 6);
+        for &p in &r.site_posteriors {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn backends_reach_nearly_identical_likelihoods() {
+        // The heart of §IV-1: relative difference D between engine lnLs.
+        let base = small_analysis(Backend::CodeMlStyle).fit(Hypothesis::H0).unwrap();
+        let slim = small_analysis(Backend::Slim).fit(Hypothesis::H0).unwrap();
+        let d = ((base.lnl - slim.lnl) / base.lnl).abs();
+        assert!(d < 1e-5, "D = {d}, base {} vs slim {}", base.lnl, slim.lnl);
+    }
+
+    #[test]
+    fn lbfgs_reaches_comparable_likelihood() {
+        let dense = small_analysis(Backend::Slim).fit(Hypothesis::H0).unwrap();
+        let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,(C:0.2,D:0.2):0.1);").unwrap();
+        let aln = CodonAlignment::from_fasta(
+            ">A\nATGCCCAAATTTGGGCGA\n>B\nATGCCAAAATTTGGACGA\n>C\nATGCCCAAGTTTGGGCGA\n>D\nATGCCCAAATTCGGGCGT\n",
+        )
+        .unwrap();
+        let a = Analysis::new(
+            &tree,
+            &aln,
+            AnalysisOptions {
+                backend: Backend::Slim,
+                max_iterations: 60,
+                optimizer: Optimizer::LBfgs,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let limited = a.fit(Hypothesis::H0).unwrap();
+        assert!(
+            (dense.lnl - limited.lnl).abs() < 0.01,
+            "dense {} vs l-bfgs {}",
+            dense.lnl,
+            limited.lnl
+        );
+    }
+
+    #[test]
+    fn seeded_start_is_reproducible() {
+        let a = small_analysis(Backend::Slim);
+        let x1 = a.start_vector(Hypothesis::H1);
+        let x2 = a.start_vector(Hypothesis::H1);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn initial_branch_length_override() {
+        let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,C:0.3);").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nATGCCC\n>B\nATGCCA\n>C\nATGCCC\n").unwrap();
+        let a = Analysis::new(
+            &tree,
+            &aln,
+            AnalysisOptions { initial_branch_length: Some(0.5), jitter: 0.0, ..Default::default() },
+        )
+        .unwrap();
+        let x = a.start_vector(Hypothesis::H0);
+        for &b in &x[5..] {
+            assert!((b - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Selectable computational backends.
+
+use slim_lik::EngineConfig;
+
+/// Which numerical engine computes the likelihood. All backends compute
+/// the *same* function — the paper's accuracy experiment (§IV-1) checks
+/// exactly this — but with very different cost profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// CodeML v4.4c profile: Eq. 9 expm through naive kernels, per-site
+    /// naive matrix×vector CPV products.
+    CodeMlStyle,
+    /// SlimCodeML as measured in the paper: Eq. 10 `dsyrk` expm, blocked
+    /// kernels, per-site `dgemv`.
+    #[default]
+    Slim,
+    /// SlimCodeML plus bundled BLAS-3 site products (§III-B) and a
+    /// cross-evaluation eigendecomposition cache.
+    SlimPlus,
+    /// SlimCodeML with the Eq. 12 symmetric CPV application.
+    SlimSymmetric,
+    /// SlimCodeML with the four site-class pruning passes on separate
+    /// threads — the first step of the paper's FastCodeML direction
+    /// (§V-B).
+    SlimParallel,
+}
+
+impl Backend {
+    /// All backends, for sweeps.
+    pub const ALL: [Backend; 5] = [
+        Backend::CodeMlStyle,
+        Backend::Slim,
+        Backend::SlimPlus,
+        Backend::SlimSymmetric,
+        Backend::SlimParallel,
+    ];
+
+    /// Materialize the engine configuration.
+    pub fn config(self) -> EngineConfig {
+        match self {
+            Backend::CodeMlStyle => EngineConfig::codeml_style(),
+            Backend::Slim => EngineConfig::slim(),
+            Backend::SlimPlus => EngineConfig::slim_plus(),
+            Backend::SlimSymmetric => EngineConfig::slim_symmetric(),
+            Backend::SlimParallel => EngineConfig::slim_parallel(),
+        }
+    }
+
+    /// Display label matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        self.config().label
+    }
+
+    /// Parse from a CLI-style string.
+    pub fn from_str_opt(s: &str) -> Option<Backend> {
+        match s.to_ascii_lowercase().as_str() {
+            "codeml" | "codeml-style" | "baseline" => Some(Backend::CodeMlStyle),
+            "slim" | "slimcodeml" => Some(Backend::Slim),
+            "slim+" | "slimplus" | "slim-plus" => Some(Backend::SlimPlus),
+            "slim-sym" | "slimsymmetric" | "eq12" => Some(Backend::SlimSymmetric),
+            "slim-par" | "parallel" | "fastcodeml" => Some(Backend::SlimParallel),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Backend::CodeMlStyle.label(), "CodeML");
+        assert_eq!(Backend::Slim.label(), "SlimCodeML");
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!(Backend::from_str_opt("codeml"), Some(Backend::CodeMlStyle));
+        assert_eq!(Backend::from_str_opt("SLIM"), Some(Backend::Slim));
+        assert_eq!(Backend::from_str_opt("slim+"), Some(Backend::SlimPlus));
+        assert_eq!(Backend::from_str_opt("eq12"), Some(Backend::SlimSymmetric));
+        assert_eq!(Backend::from_str_opt("nope"), None);
+    }
+
+    #[test]
+    fn default_is_slim() {
+        assert_eq!(Backend::default(), Backend::Slim);
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors surfaced by the analysis driver.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Input-data problem (tree/alignment mismatch, missing foreground…).
+    Bio(slim_bio::BioError),
+    /// Numerical failure in the linear-algebra substrate.
+    Linalg(slim_linalg::LinalgError),
+    /// The optimizer could not produce a finite likelihood.
+    Optimization(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Bio(e) => write!(f, "input error: {e}"),
+            CoreError::Linalg(e) => write!(f, "numerical error: {e}"),
+            CoreError::Optimization(s) => write!(f, "optimization error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Bio(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Optimization(_) => None,
+        }
+    }
+}
+
+impl From<slim_bio::BioError> for CoreError {
+    fn from(e: slim_bio::BioError) -> Self {
+        CoreError::Bio(e)
+    }
+}
+
+impl From<slim_linalg::LinalgError> for CoreError {
+    fn from(e: slim_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: CoreError = slim_bio::BioError::InvalidTree("no foreground".into()).into();
+        assert!(e.to_string().contains("no foreground"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = CoreError::Optimization("bad start".into());
+        assert!(e.to_string().contains("bad start"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

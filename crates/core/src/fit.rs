@@ -1,0 +1,89 @@
+//! The result of maximizing one hypothesis.
+
+use slim_model::{BranchSiteModel, Hypothesis};
+use slim_opt::TerminationReason;
+use std::time::Duration;
+
+/// A maximized branch-site model fit.
+#[derive(Debug, Clone)]
+pub struct Fit {
+    /// Which hypothesis was fitted.
+    pub hypothesis: Hypothesis,
+    /// Maximized log-likelihood.
+    pub lnl: f64,
+    /// Parameter estimates at the maximum.
+    pub model: BranchSiteModel,
+    /// Branch-length estimates (problem branch order).
+    pub branch_lengths: Vec<f64>,
+    /// Optimizer iterations (the paper's Table III "Iterations" column).
+    pub iterations: usize,
+    /// Total likelihood evaluations, including finite differences.
+    pub f_evals: usize,
+    /// Wall-clock time of the fit.
+    pub wall_time: Duration,
+    /// Why the optimizer stopped.
+    pub termination: TerminationReason,
+}
+
+impl Fit {
+    /// Wall-time per optimizer iteration (used for the paper's
+    /// per-iteration speedups, Table IV).
+    pub fn seconds_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            self.wall_time.as_secs_f64()
+        } else {
+            self.wall_time.as_secs_f64() / self.iterations as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: lnL = {:.6}, kappa = {:.4}, w0 = {:.4}, w2 = {:.4}, p0 = {:.4}, p1 = {:.4}, {} iterations, {:.3}s",
+            self.hypothesis.name(),
+            self.lnl,
+            self.model.kappa,
+            self.model.omega0,
+            self.model.omega2,
+            self.model.p0,
+            self.model.p1,
+            self.iterations,
+            self.wall_time.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_fit(iterations: usize, secs: f64) -> Fit {
+        Fit {
+            hypothesis: Hypothesis::H1,
+            lnl: -1234.5,
+            model: BranchSiteModel::default_start(Hypothesis::H1),
+            branch_lengths: vec![0.1, 0.2],
+            iterations,
+            f_evals: 100,
+            wall_time: Duration::from_secs_f64(secs),
+            termination: TerminationReason::FunctionConverged,
+        }
+    }
+
+    #[test]
+    fn per_iteration_time() {
+        let f = dummy_fit(10, 5.0);
+        assert!((f.seconds_per_iteration() - 0.5).abs() < 1e-12);
+        // Zero iterations falls back to total time rather than dividing by 0.
+        let f0 = dummy_fit(0, 5.0);
+        assert_eq!(f0.seconds_per_iteration(), 5.0);
+    }
+
+    #[test]
+    fn summary_contains_fields() {
+        let s = dummy_fit(10, 1.0).summary();
+        assert!(s.contains("H1"));
+        assert!(s.contains("lnL"));
+        assert!(s.contains("10 iterations"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Cross-evaluation eigendecomposition cache.
+//!
+//! During derivative-based optimization most likelihood evaluations perturb
+//! a *branch length*, leaving (κ, ω, π) — and hence the eigendecomposition
+//! — unchanged. Caching `EigenSystem`s keyed by the exact parameter bits
+//! lets those evaluations skip §III-A steps 1–2 entirely. This goes one
+//! step beyond the paper (which rebuilds per iteration) and is ablated in
+//! the benches; the Slim engine uses it, the CodeML-style engine does not.
+
+use crate::EigenSystem;
+use parking_lot::Mutex;
+use slim_linalg::EigenMethod;
+use slim_model::RateMatrix;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Exact-bits cache key: (κ, ω, scale-policy-resolved Q) are captured by
+/// hashing κ/ω bit patterns plus a fingerprint of π.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    kappa_bits: u64,
+    omega_bits: u64,
+    pi_fingerprint: u64,
+    scale_bits: u64,
+}
+
+/// A bounded map from rate-matrix parameters to shared eigendecompositions.
+#[derive(Debug)]
+pub struct EigenCache {
+    map: Mutex<HashMap<Key, Arc<EigenSystem>>>,
+    capacity: usize,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl EigenCache {
+    /// Create a cache holding at most `capacity` decompositions (it is
+    /// cleared wholesale when full — parameter trajectories revisit few
+    /// distinct values, so LRU machinery is not worth its overhead).
+    pub fn new(capacity: usize) -> EigenCache {
+        EigenCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// Fetch or compute the eigensystem for `(kappa, omega, rm)`.
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures (never cached).
+    pub fn get_or_compute(
+        &self,
+        kappa: f64,
+        omega: f64,
+        rm: &RateMatrix,
+        method: EigenMethod,
+    ) -> Result<Arc<EigenSystem>, slim_linalg::LinalgError> {
+        let key = Key {
+            kappa_bits: kappa.to_bits(),
+            omega_bits: omega.to_bits(),
+            pi_fingerprint: fingerprint(&rm.pi),
+            scale_bits: rm.applied_factor.to_bits(),
+        };
+        if let Some(found) = self.map.lock().get(&key).cloned() {
+            *self.hits.lock() += 1;
+            return Ok(found);
+        }
+        *self.misses.lock() += 1;
+        let es = Arc::new(EigenSystem::from_rate_matrix(rm, method)?);
+        let mut map = self.map.lock();
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        map.insert(key, es.clone());
+        Ok(es)
+    }
+
+    /// (hits, misses) counters — used by ablation benches to verify the
+    /// cache is actually being exercised.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Drop all cached decompositions.
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+/// Order-sensitive 64-bit FNV-1a over the frequency bit patterns.
+fn fingerprint(pi: &[f64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &p in pi {
+        for b in p.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_bio::GeneticCode;
+    use slim_model::{build_rate_matrix, ScalePolicy};
+
+    fn rm(omega: f64) -> RateMatrix {
+        let code = GeneticCode::universal();
+        let pi = vec![1.0 / 61.0; 61];
+        build_rate_matrix(&code, 2.0, omega, &pi, ScalePolicy::PerClass)
+    }
+
+    #[test]
+    fn cache_hits_on_repeat() {
+        let cache = EigenCache::new(16);
+        let m = rm(0.5);
+        let a = cache.get_or_compute(2.0, 0.5, &m, EigenMethod::HouseholderQl).unwrap();
+        let b = cache.get_or_compute(2.0, 0.5, &m, EigenMethod::HouseholderQl).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_omegas_miss() {
+        let cache = EigenCache::new(16);
+        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
+        let _ = cache.get_or_compute(2.0, 1.0, &rm(1.0), EigenMethod::HouseholderQl).unwrap();
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn capacity_bound_respected() {
+        let cache = EigenCache::new(1);
+        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
+        let _ = cache.get_or_compute(2.0, 1.0, &rm(1.0), EigenMethod::HouseholderQl).unwrap();
+        // First entry was evicted by the wholesale clear.
+        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 3);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache = EigenCache::new(8);
+        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
+        cache.clear();
+        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
+        assert_eq!(cache.stats().1, 2);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_pi() {
+        let mut pi1 = vec![1.0 / 61.0; 61];
+        let pi2 = {
+            let mut p = pi1.clone();
+            p[0] += 1e-9;
+            p[1] -= 1e-9;
+            p
+        };
+        assert_ne!(fingerprint(&pi1), fingerprint(&pi2));
+        pi1[0] += 0.0; // no-op keeps mutability warning away
+    }
+}

@@ -1,0 +1,218 @@
+//! Conditional-probability-vector (CPV) application strategies (§III-B).
+//!
+//! Along every branch and at every alignment site, pruning computes
+//! `w' = P(t)·w`. The paper ships per-site `dgemv` (its measured
+//! configuration), notes that bundling all sites into one `dgemm` would be
+//! faster (BLAS-3), and derives post-hoc the symmetric form of Eq. 12.
+//! All four variants are implemented so the benches can ablate them.
+
+use slim_linalg::{gemm, gemv, naive, symv, Mat, Transpose};
+
+/// How to apply a transition matrix to per-site CPVs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CpvStrategy {
+    /// Textbook per-site matrix×vector loops (CodeML baseline).
+    NaivePerSite,
+    /// Tuned per-site `gemv` — the configuration the paper measured.
+    #[default]
+    PerSiteGemv,
+    /// One `gemm` over all sites (`P · W`, BLAS-3) — the §III-B
+    /// "additional optimization opportunity".
+    BundledGemm,
+    /// Eq. 12: symmetric `M`, per-site `symv` on `Π·w` — halves memory
+    /// traffic per product.
+    SymmetricSymv,
+}
+
+/// Apply `P` to every column of `w` (`w` is `n × sites`, column `s` is the
+/// CPV of site `s`), writing into `out`.
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn apply_dense(strategy: CpvStrategy, p: &Mat, w: &Mat, out: &mut Mat) {
+    let n = p.rows();
+    assert_eq!(p.cols(), n);
+    assert_eq!(w.rows(), n, "apply_dense: W rows mismatch");
+    assert_eq!((out.rows(), out.cols()), (w.rows(), w.cols()));
+    match strategy {
+        CpvStrategy::NaivePerSite => {
+            let sites = w.cols();
+            let mut col = vec![0.0; n];
+            let mut res = vec![0.0; n];
+            for s in 0..sites {
+                for i in 0..n {
+                    col[i] = w[(i, s)];
+                }
+                naive::matvec(p, &col, &mut res);
+                for i in 0..n {
+                    out[(i, s)] = res[i];
+                }
+            }
+        }
+        CpvStrategy::PerSiteGemv => {
+            let sites = w.cols();
+            let mut col = vec![0.0; n];
+            let mut res = vec![0.0; n];
+            for s in 0..sites {
+                for i in 0..n {
+                    col[i] = w[(i, s)];
+                }
+                gemv(1.0, p, &col, 0.0, &mut res);
+                for i in 0..n {
+                    out[(i, s)] = res[i];
+                }
+            }
+        }
+        CpvStrategy::BundledGemm => {
+            gemm(1.0, p, Transpose::No, w, Transpose::No, 0.0, out);
+        }
+        CpvStrategy::SymmetricSymv => {
+            panic!("SymmetricSymv needs a SymTransition; use SymTransition::apply_dense")
+        }
+    }
+}
+
+/// The Eq. 12 representation: a symmetric matrix `M = Ŷ·Ŷᵀ` and the
+/// frequencies π such that `e^{Qt}·w = M·(Π·w)`.
+#[derive(Debug, Clone)]
+pub struct SymTransition {
+    m: Mat,
+    pi: Vec<f64>,
+}
+
+impl SymTransition {
+    /// Wrap a precomputed symmetric matrix and frequency vector.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree.
+    pub fn new(m: Mat, pi: Vec<f64>) -> SymTransition {
+        assert!(m.is_square());
+        assert_eq!(m.rows(), pi.len());
+        SymTransition { m, pi }
+    }
+
+    /// The symmetric factor `M`.
+    pub fn matrix(&self) -> &Mat {
+        &self.m
+    }
+
+    /// The equilibrium frequencies π paired with `M`.
+    pub fn pi(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Apply to a single CPV: `w' = M·(Π·w)` via `symv`.
+    pub fn apply(&self, w: &[f64]) -> Vec<f64> {
+        let n = self.pi.len();
+        assert_eq!(w.len(), n);
+        let scaled: Vec<f64> = w.iter().zip(&self.pi).map(|(wi, p)| wi * p).collect();
+        let mut out = vec![0.0; n];
+        symv(1.0, &self.m, &scaled, 0.0, &mut out);
+        out
+    }
+
+    /// Apply to every column of a dense `n × sites` CPV block.
+    pub fn apply_dense(&self, w: &Mat, out: &mut Mat) {
+        let n = self.pi.len();
+        assert_eq!(w.rows(), n);
+        assert_eq!((out.rows(), out.cols()), (w.rows(), w.cols()));
+        let sites = w.cols();
+        let mut col = vec![0.0; n];
+        let mut res = vec![0.0; n];
+        for s in 0..sites {
+            for i in 0..n {
+                col[i] = w[(i, s)] * self.pi[i];
+            }
+            symv(1.0, &self.m, &col, 0.0, &mut res);
+            for i in 0..n {
+                out[(i, s)] = res[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_p() -> Mat {
+        // A small row-stochastic matrix.
+        Mat::from_rows(&[
+            &[0.7, 0.2, 0.1],
+            &[0.15, 0.8, 0.05],
+            &[0.1, 0.3, 0.6],
+        ])
+    }
+
+    fn toy_w() -> Mat {
+        Mat::from_rows(&[&[1.0, 0.0, 0.5], &[0.0, 1.0, 0.25], &[0.0, 0.0, 0.25]])
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let p = toy_p();
+        let w = toy_w();
+        let mut naive_out = Mat::zeros(3, 3);
+        let mut gemv_out = Mat::zeros(3, 3);
+        let mut gemm_out = Mat::zeros(3, 3);
+        apply_dense(CpvStrategy::NaivePerSite, &p, &w, &mut naive_out);
+        apply_dense(CpvStrategy::PerSiteGemv, &p, &w, &mut gemv_out);
+        apply_dense(CpvStrategy::BundledGemm, &p, &w, &mut gemm_out);
+        assert!(naive_out.approx_eq(&gemv_out, 1e-14));
+        assert!(naive_out.approx_eq(&gemm_out, 1e-14));
+    }
+
+    #[test]
+    fn known_column_result() {
+        let p = toy_p();
+        let w = toy_w();
+        let mut out = Mat::zeros(3, 3);
+        apply_dense(CpvStrategy::BundledGemm, &p, &w, &mut out);
+        // Column 0 of W is e₀ → column 0 of out is column 0 of P.
+        for i in 0..3 {
+            assert!((out[(i, 0)] - p[(i, 0)]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sym_transition_apply_matches_definition() {
+        // Symmetric M and π chosen arbitrarily; apply must equal M·diag(π)·w.
+        let mut m = Mat::from_rows(&[&[2.0, 0.5, 0.1], &[0.5, 1.5, 0.3], &[0.1, 0.3, 1.0]]);
+        m.symmetrize();
+        let pi = vec![0.2, 0.3, 0.5];
+        let st = SymTransition::new(m.clone(), pi.clone());
+        let w = vec![1.0, -2.0, 0.5];
+        let got = st.apply(&w);
+        let scaled: Vec<f64> = w.iter().zip(&pi).map(|(a, b)| a * b).collect();
+        let expect = m.mul_vec(&scaled);
+        for i in 0..3 {
+            assert!((got[i] - expect[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sym_transition_dense_matches_single() {
+        let mut m = Mat::from_rows(&[&[2.0, 0.5], &[0.5, 1.5]]);
+        m.symmetrize();
+        let st = SymTransition::new(m, vec![0.4, 0.6]);
+        let w = Mat::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]);
+        let mut out = Mat::zeros(2, 2);
+        st.apply_dense(&w, &mut out);
+        for s in 0..2 {
+            let col: Vec<f64> = (0..2).map(|i| w[(i, s)]).collect();
+            let single = st.apply(&col);
+            for i in 0..2 {
+                assert!((out[(i, s)] - single[i]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SymmetricSymv")]
+    fn dense_symmetric_panics_without_transition() {
+        let p = toy_p();
+        let w = toy_w();
+        let mut out = Mat::zeros(3, 3);
+        apply_dense(CpvStrategy::SymmetricSymv, &p, &w, &mut out);
+    }
+}

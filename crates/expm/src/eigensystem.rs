@@ -1,0 +1,233 @@
+//! Eigendecomposition-backed transition-probability computation.
+
+use slim_linalg::gemm::matmul;
+use slim_linalg::{naive, sym_eigen, syrk, EigenMethod, Mat, SymEigen, Transpose};
+use slim_model::RateMatrix;
+
+/// The eigendecomposition of the symmetric form `A = Π^{1/2} S Π^{1/2}` of
+/// one rate matrix, plus the frequency scalings needed to reconstruct
+/// `P(t) = e^{Qt}` for any branch length `t`.
+///
+/// Building this costs O(n³) **once per distinct ω value**; each branch
+/// then pays only the reconstruction (steps 3–5 of §III-A).
+#[derive(Debug, Clone)]
+pub struct EigenSystem {
+    /// Eigenvalues/eigenvectors of `A`.
+    pub eigen: SymEigen,
+    /// `π_i^{1/2}`.
+    pub sqrt_pi: Vec<f64>,
+    /// `π_i^{-1/2}`.
+    pub inv_sqrt_pi: Vec<f64>,
+    /// Equilibrium frequencies π.
+    pub pi: Vec<f64>,
+}
+
+impl EigenSystem {
+    /// Decompose a rate matrix (§III-A steps 1–2).
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures.
+    pub fn from_rate_matrix(
+        rm: &RateMatrix,
+        method: EigenMethod,
+    ) -> Result<EigenSystem, slim_linalg::LinalgError> {
+        let eigen = sym_eigen(&rm.a, method)?;
+        Ok(EigenSystem {
+            eigen,
+            sqrt_pi: rm.sqrt_pi.clone(),
+            inv_sqrt_pi: rm.inv_sqrt_pi.clone(),
+            pi: rm.pi.clone(),
+        })
+    }
+
+    /// Matrix order (61 for codon models).
+    pub fn order(&self) -> usize {
+        self.eigen.values.len()
+    }
+
+    /// `exp(λᵢ·t)` for all eigenvalues.
+    fn exp_lambda(&self, t: f64) -> Vec<f64> {
+        self.eigen.values.iter().map(|&l| (l * t).exp()).collect()
+    }
+
+    /// **Eq. 9, naive kernels** — the CodeML-style baseline.
+    ///
+    /// `Ỹ = X e^{Λt}` (O(n²)), then `Z = Ỹ·Xᵀ` via the textbook strided
+    /// triple loop (≈ 2n³ flops), then `P = Π^{-1/2} Z Π^{1/2}` (O(n²)).
+    pub fn transition_matrix_eq9_naive(&self, t: f64) -> Mat {
+        let y_tilde = self.eigen.vectors.mul_diag_right(&self.exp_lambda(t));
+        let z = naive::matmul_bt(&y_tilde, &self.eigen.vectors);
+        self.back_transform(z)
+    }
+
+    /// **Eq. 9, tuned kernels** — same algorithm as
+    /// [`Self::transition_matrix_eq9_naive`] but through the blocked
+    /// `gemm`. Separates "better kernels" from "fewer flops" in ablations.
+    pub fn transition_matrix_eq9(&self, t: f64) -> Mat {
+        let y_tilde = self.eigen.vectors.mul_diag_right(&self.exp_lambda(t));
+        let z = matmul(&y_tilde, Transpose::No, &self.eigen.vectors, Transpose::Yes);
+        self.back_transform(z)
+    }
+
+    /// **Eq. 10 — the SlimCodeML path.**
+    ///
+    /// `Y = X e^{Λt/2}` (§III-A step 3), `Z = Y·Yᵀ` via the symmetric
+    /// rank-k update (step 4, ≈ n³ flops — half of Eq. 9), then
+    /// `P = Π^{-1/2} Z Π^{1/2}` (step 5).
+    pub fn transition_matrix_eq10(&self, t: f64) -> Mat {
+        let half: Vec<f64> = self.eigen.values.iter().map(|&l| (l * t * 0.5).exp()).collect();
+        let y = self.eigen.vectors.mul_diag_right(&half);
+        let mut z = Mat::zeros(self.order(), self.order());
+        syrk(1.0, &y, 0.0, &mut z);
+        self.back_transform(z)
+    }
+
+    /// `P = Π^{-1/2} · Z · Π^{1/2}` with negative rounding noise clamped to
+    /// zero (probabilities), as CodeML does.
+    fn back_transform(&self, z: Mat) -> Mat {
+        let mut p = z.mul_diag_left(&self.inv_sqrt_pi).mul_diag_right(&self.sqrt_pi);
+        for v in p.as_mut_slice() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        p
+    }
+
+    /// **Eq. 12–13 preparation**: the symmetric matrix
+    /// `M = Ŷ·Ŷᵀ` with `Ŷ = Π^{-1/2} X e^{Λt/2}`, such that
+    /// `e^{Qt}·w = M·(Π·w)`.
+    ///
+    /// `M` is symmetric, so applying it with `symv` touches each
+    /// off-diagonal entry once — "saves about half of the memory accesses"
+    /// (§II-C2).
+    pub fn symmetric_transition(&self, t: f64) -> crate::cpv::SymTransition {
+        let half: Vec<f64> = self.eigen.values.iter().map(|&l| (l * t * 0.5).exp()).collect();
+        let y_hat = self
+            .eigen
+            .vectors
+            .mul_diag_left(&self.inv_sqrt_pi)
+            .mul_diag_right(&half);
+        let mut m = Mat::zeros(self.order(), self.order());
+        syrk(1.0, &y_hat, 0.0, &mut m);
+        crate::cpv::SymTransition::new(m, self.pi.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taylor::expm_taylor;
+    use slim_bio::GeneticCode;
+    use slim_model::{build_rate_matrix, ScalePolicy};
+
+    fn test_system(omega: f64) -> (RateMatrix, EigenSystem) {
+        let code = GeneticCode::universal();
+        let mut pi: Vec<f64> = (0..61).map(|i| 1.0 + ((i * 5) % 11) as f64).collect();
+        let s: f64 = pi.iter().sum();
+        for p in &mut pi {
+            *p /= s;
+        }
+        let rm = build_rate_matrix(&code, 2.3, omega, &pi, ScalePolicy::PerClass);
+        let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+        (rm, es)
+    }
+
+    #[test]
+    fn rows_sum_to_one_all_paths() {
+        let (_, es) = test_system(0.5);
+        for t in [0.01, 0.1, 1.0, 5.0] {
+            for p in [
+                es.transition_matrix_eq9_naive(t),
+                es.transition_matrix_eq9(t),
+                es.transition_matrix_eq10(t),
+            ] {
+                for i in 0..61 {
+                    let s: f64 = p.row(i).iter().sum();
+                    assert!((s - 1.0).abs() < 1e-9, "t={t} row {i}: {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq9_and_eq10_agree() {
+        let (_, es) = test_system(1.7);
+        for t in [0.001, 0.05, 0.5, 2.0] {
+            let p9 = es.transition_matrix_eq9(t);
+            let p9n = es.transition_matrix_eq9_naive(t);
+            let p10 = es.transition_matrix_eq10(t);
+            assert!(p9.approx_eq(&p10, 1e-11), "eq9 vs eq10 at t={t}");
+            assert!(p9.approx_eq(&p9n, 1e-11), "eq9 tuned vs naive at t={t}");
+        }
+    }
+
+    #[test]
+    fn matches_taylor_oracle() {
+        let (rm, es) = test_system(0.3);
+        for t in [0.01, 0.2, 1.0] {
+            let mut qt = rm.q.clone();
+            qt.scale(t);
+            let oracle = expm_taylor(&qt);
+            let p10 = es.transition_matrix_eq10(t);
+            assert!(
+                p10.approx_eq(&oracle, 1e-9),
+                "t={t}: max diff {}",
+                p10.max_abs_diff(&oracle)
+            );
+        }
+    }
+
+    #[test]
+    fn t_zero_gives_identity() {
+        let (_, es) = test_system(0.8);
+        let p = es.transition_matrix_eq10(0.0);
+        assert!(p.approx_eq(&Mat::identity(61), 1e-10));
+    }
+
+    #[test]
+    fn long_time_converges_to_stationary() {
+        // As t→∞ each row of P(t) approaches π.
+        let (rm, es) = test_system(0.5);
+        let p = es.transition_matrix_eq10(500.0);
+        for i in 0..61 {
+            for j in 0..61 {
+                assert!((p[(i, j)] - rm.pi[j]).abs() < 1e-6, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_nonnegative() {
+        let (_, es) = test_system(2.5);
+        for t in [0.001, 0.1, 1.0, 10.0] {
+            let p = es.transition_matrix_eq10(t);
+            assert!(p.as_slice().iter().all(|&v| v >= 0.0), "t={t}");
+        }
+    }
+
+    #[test]
+    fn chapman_kolmogorov() {
+        // P(s+t) = P(s)·P(t).
+        let (_, es) = test_system(0.9);
+        let p1 = es.transition_matrix_eq10(0.3);
+        let p2 = es.transition_matrix_eq10(0.7);
+        let p3 = es.transition_matrix_eq10(1.0);
+        let prod = matmul(&p1, Transpose::No, &p2, Transpose::No);
+        assert!(prod.approx_eq(&p3, 1e-10));
+    }
+
+    #[test]
+    fn symmetric_transition_matches_dense_apply() {
+        let (_, es) = test_system(1.2);
+        let t = 0.4;
+        let p = es.transition_matrix_eq10(t);
+        let sym = es.symmetric_transition(t);
+        let w: Vec<f64> = (0..61).map(|i| ((i * 13 % 7) as f64 + 1.0) / 8.0).collect();
+        let dense = p.mul_vec(&w);
+        let via_sym = sym.apply(&w);
+        for i in 0..61 {
+            assert!((dense[i] - via_sym[i]).abs() < 1e-11, "i={i}");
+        }
+    }
+}

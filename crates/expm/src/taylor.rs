@@ -1,0 +1,110 @@
+//! Scaling-and-squaring Taylor matrix exponential — accuracy oracle.
+//!
+//! Deliberately algorithm-independent of the eigendecomposition paths so
+//! it can referee them: Moler & Van Loan's "method 3" with scaling by
+//! powers of two ([34] in the paper's bibliography).
+
+use slim_linalg::gemm::matmul;
+use slim_linalg::norms::inf_norm;
+use slim_linalg::{Mat, Transpose};
+
+/// Number of Taylor terms after scaling ‖A‖∞ below 0.5.
+const TERMS: usize = 20;
+
+/// `e^A` by scaling and squaring with a truncated Taylor series.
+///
+/// Accurate to ~1e-13 relative for the well-conditioned matrices produced
+/// by codon models; used only in tests/benches, never on the hot path.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn expm_taylor(a: &Mat) -> Mat {
+    assert!(a.is_square(), "expm_taylor: square matrix required");
+    let n = a.rows();
+    let norm = inf_norm(a);
+    // Scale so the series converges fast: ‖A/2^s‖ ≤ 0.5.
+    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let mut scaled = a.clone();
+    scaled.scale(1.0 / f64::powi(2.0, s as i32));
+
+    // Taylor series: I + B + B²/2! + …
+    let mut result = Mat::identity(n);
+    let mut term = Mat::identity(n);
+    for k in 1..=TERMS {
+        term = matmul(&term, Transpose::No, &scaled, Transpose::No);
+        term.scale(1.0 / k as f64);
+        for (r, t) in result.as_mut_slice().iter_mut().zip(term.as_slice()) {
+            *r += t;
+        }
+    }
+
+    // Square back: e^A = (e^{A/2^s})^{2^s}.
+    for _ in 0..s {
+        result = matmul(&result, Transpose::No, &result, Transpose::No);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_zero_is_identity() {
+        let z = Mat::zeros(4, 4);
+        assert!(expm_taylor(&z).approx_eq(&Mat::identity(4), 1e-15));
+    }
+
+    #[test]
+    fn exp_diagonal() {
+        let a = Mat::from_diag(&[0.0, 1.0, -2.0]);
+        let e = expm_taylor(&a);
+        assert!((e[(0, 0)] - 1.0).abs() < 1e-13);
+        assert!((e[(1, 1)] - 1f64.exp()).abs() < 1e-12);
+        assert!((e[(2, 2)] - (-2f64).exp()).abs() < 1e-13);
+        assert!(e[(0, 1)].abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_nilpotent() {
+        // N = [[0,1],[0,0]] → e^N = I + N exactly.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let e = expm_taylor(&a);
+        assert!(e.approx_eq(&Mat::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]), 1e-14));
+    }
+
+    #[test]
+    fn exp_rotation_generator() {
+        // A = [[0,-θ],[θ,0]] → e^A = rotation by θ.
+        let theta = 0.7f64;
+        let a = Mat::from_rows(&[&[0.0, -theta], &[theta, 0.0]]);
+        let e = expm_taylor(&a);
+        let expect = Mat::from_rows(&[
+            &[theta.cos(), -theta.sin()],
+            &[theta.sin(), theta.cos()],
+        ]);
+        assert!(e.approx_eq(&expect, 1e-13));
+    }
+
+    #[test]
+    fn large_norm_triggers_scaling() {
+        // θ = 40 forces many squarings; rotation must stay accurate.
+        let theta = 40.0f64;
+        let a = Mat::from_rows(&[&[0.0, -theta], &[theta, 0.0]]);
+        let e = expm_taylor(&a);
+        assert!((e[(0, 0)] - theta.cos()).abs() < 1e-9);
+        assert!((e[(1, 0)] - theta.sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn additivity_for_commuting() {
+        // For a single matrix A: e^{2A} = (e^A)².
+        let a = Mat::from_rows(&[&[0.1, 0.2], &[0.3, -0.4]]);
+        let mut a2 = a.clone();
+        a2.scale(2.0);
+        let lhs = expm_taylor(&a2);
+        let ea = expm_taylor(&a);
+        let rhs = matmul(&ea, Transpose::No, &ea, Transpose::No);
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the matrix-exponential layer against the
+//! Taylor scaling-and-squaring oracle, over random codon-model inputs.
+
+use proptest::prelude::*;
+use slim_bio::{GeneticCode, N_CODONS};
+use slim_expm::{expm_taylor, EigenSystem};
+use slim_linalg::EigenMethod;
+use slim_model::{build_rate_matrix, ScalePolicy};
+
+fn pi_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.2f64..5.0, N_CODONS).prop_map(|raw| {
+        let s: f64 = raw.iter().sum();
+        raw.into_iter().map(|v| v / s).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// The eigendecomposition path agrees with the Taylor oracle across
+    /// random (κ, ω, π, t).
+    #[test]
+    fn eigen_expm_matches_taylor(
+        kappa in 0.5f64..6.0,
+        omega in 0.05f64..4.0,
+        pi in pi_strategy(),
+        t in 0.01f64..1.5,
+    ) {
+        let code = GeneticCode::universal();
+        let rm = build_rate_matrix(&code, kappa, omega, &pi, ScalePolicy::PerClass);
+        let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+        let p = es.transition_matrix_eq10(t);
+        let mut qt = rm.q.clone();
+        qt.scale(t);
+        let oracle = expm_taylor(&qt);
+        prop_assert!(
+            p.approx_eq(&oracle, 1e-8),
+            "max diff {} at t={t}",
+            p.max_abs_diff(&oracle)
+        );
+    }
+
+    /// The Eq. 12 symmetric representation applies identically to the
+    /// dense matrix for arbitrary CPVs.
+    #[test]
+    fn symmetric_apply_matches_dense(
+        kappa in 0.5f64..6.0,
+        omega in 0.05f64..4.0,
+        pi in pi_strategy(),
+        t in 0.01f64..1.5,
+        w in proptest::collection::vec(0.0f64..1.0, N_CODONS),
+    ) {
+        let code = GeneticCode::universal();
+        let rm = build_rate_matrix(&code, kappa, omega, &pi, ScalePolicy::PerClass);
+        let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+        let dense = es.transition_matrix_eq10(t).mul_vec(&w);
+        let sym = es.symmetric_transition(t).apply(&w);
+        for (a, b) in dense.iter().zip(&sym) {
+            prop_assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+}

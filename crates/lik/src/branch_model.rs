@@ -1,0 +1,130 @@
+//! The two-ratio *branch* model: one ω on the foreground branch, another
+//! everywhere else, with no site classes.
+//!
+//! Historically the precursor of the branch-site model (and still used as
+//! a complementary test); included as another §V-B "further model" that
+//! the optimized pipeline serves unchanged: two eigendecompositions per
+//! evaluation, one pruning pass.
+
+use crate::engine::{EngineConfig, ExpmPath};
+use crate::problem::LikelihoodProblem;
+use crate::pruning::{prune_one_class, TransOp};
+use slim_expm::{CpvStrategy, EigenSystem};
+use slim_linalg::LinalgError;
+use slim_model::{build_rate_matrix, rate_components, ScalePolicy};
+use std::sync::Arc;
+
+/// Log-likelihood under the two-ratio branch model.
+///
+/// `omega_background` applies on all branches except the foreground one,
+/// which uses `omega_foreground`. The rate scale is the background flux
+/// (branch lengths are expected substitutions per codon under background
+/// conditions, CodeML's convention for branch models).
+///
+/// # Errors
+/// Propagates eigensolver failures.
+///
+/// # Panics
+/// Panics on branch-length length mismatch (and the problem must have a
+/// foreground branch, enforced at problem construction).
+pub fn log_likelihood_branch(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    kappa: f64,
+    omega_background: f64,
+    omega_foreground: f64,
+    branch_lengths: &[f64],
+) -> Result<f64, LinalgError> {
+    assert_eq!(
+        branch_lengths.len(),
+        problem.n_branches(),
+        "branch length vector has wrong length"
+    );
+    let (syn, nonsyn) = rate_components(&problem.code, kappa, &problem.pi);
+    let scale = syn + omega_background * nonsyn;
+
+    let mut eigensystems: Vec<Arc<EigenSystem>> = Vec::with_capacity(2);
+    for &omega in &[omega_background, omega_foreground] {
+        let rm =
+            build_rate_matrix(&problem.code, kappa, omega, &problem.pi, ScalePolicy::External(scale));
+        let es = match &config.eigen_cache {
+            Some(cache) => cache.get_or_compute(kappa, omega, &rm, config.eigen)?,
+            None => Arc::new(EigenSystem::from_rate_matrix(&rm, config.eigen)?),
+        };
+        eigensystems.push(es);
+    }
+
+    let n_nodes = problem.children.len();
+    let mut ops: Vec<[Option<TransOp>; 3]> = (0..n_nodes).map(|_| [None, None, None]).collect();
+    for node in 0..n_nodes {
+        let Some(bi) = problem.branch_index[node] else { continue };
+        let t = branch_lengths[bi];
+        // Slot 0 = background ω, slot 1 = foreground ω; prune_one_class is
+        // called with (bg = 0, fg = 1).
+        let needed: &[usize] = if problem.is_foreground[node] { &[1] } else { &[0] };
+        for &w in needed {
+            let es = &eigensystems[w];
+            ops[node][w] = Some(match config.cpv {
+                CpvStrategy::SymmetricSymv => TransOp::Sym(es.symmetric_transition(t)),
+                _ => TransOp::Dense(match config.expm {
+                    ExpmPath::Eq9Naive => es.transition_matrix_eq9_naive(t),
+                    ExpmPath::Eq9Tuned => es.transition_matrix_eq9(t),
+                    ExpmPath::Eq10Syrk => es.transition_matrix_eq10(t),
+                }),
+            });
+        }
+    }
+
+    let per_pattern = prune_one_class(problem, config, &ops, 0, 1);
+    let mut lnl = 0.0;
+    for (p, &lp) in per_pattern.iter().enumerate() {
+        lnl += problem.patterns.weight(p) * lp;
+    }
+    Ok(lnl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m0::log_likelihood_m0;
+    use slim_bio::{parse_newick, CodonAlignment, FreqModel, GeneticCode};
+
+    fn problem() -> LikelihoodProblem {
+        let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">A\nATGCCCTTTAAG\n>B\nATGCCATTTAAG\n>C\nATGCCCTTCAAA\n")
+                .unwrap();
+        let code = GeneticCode::universal();
+        LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).unwrap()
+    }
+
+    #[test]
+    fn reduces_to_m0_when_omegas_equal() {
+        let p = problem();
+        let bl = vec![0.1; p.n_branches()];
+        let omega = 0.37;
+        let two_ratio =
+            log_likelihood_branch(&p, &EngineConfig::slim(), 2.0, omega, omega, &bl).unwrap();
+        let m0 = log_likelihood_m0(&p, &EngineConfig::slim(), 2.0, omega, &bl).unwrap();
+        assert!((two_ratio - m0).abs() < 1e-10, "two-ratio {two_ratio} vs M0 {m0}");
+    }
+
+    #[test]
+    fn engines_agree() {
+        let p = problem();
+        let bl = vec![0.1; p.n_branches()];
+        let base =
+            log_likelihood_branch(&p, &EngineConfig::codeml_style(), 2.0, 0.2, 3.0, &bl).unwrap();
+        let slim = log_likelihood_branch(&p, &EngineConfig::slim(), 2.0, 0.2, 3.0, &bl).unwrap();
+        assert!(((base - slim) / base).abs() < 1e-10);
+    }
+
+    #[test]
+    fn foreground_omega_matters() {
+        let p = problem();
+        let bl = vec![0.1; p.n_branches()];
+        let l1 = log_likelihood_branch(&p, &EngineConfig::slim(), 2.0, 0.2, 0.2, &bl).unwrap();
+        let l2 = log_likelihood_branch(&p, &EngineConfig::slim(), 2.0, 0.2, 5.0, &bl).unwrap();
+        assert!((l1 - l2).abs() > 1e-8, "foreground omega had no effect");
+    }
+}

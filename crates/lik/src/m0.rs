@@ -1,0 +1,129 @@
+//! The M0 (one-ratio) codon model: a single ω on every branch.
+//!
+//! The paper's §V-B notes that "the optimized likelihood computation can
+//! also be applied to further maximum likelihood-based evolutionary
+//! models"; M0 is the simplest such model and shares every building block
+//! — the Eq. 1 rate matrix, the symmetric expm paths, and the pruning
+//! engine (a single site class, identical foreground/background ω).
+
+use crate::engine::{EngineConfig, ExpmPath};
+use crate::problem::LikelihoodProblem;
+use crate::pruning::{prune_one_class, TransOp};
+use slim_expm::{CpvStrategy, EigenSystem};
+use slim_linalg::LinalgError;
+use slim_model::{build_rate_matrix, ScalePolicy};
+use std::sync::Arc;
+
+/// Log-likelihood of the alignment under M0 with parameters
+/// `(kappa, omega)` and the given branch lengths.
+///
+/// Works on problems built with
+/// [`LikelihoodProblem::new_unmarked`] — no foreground branch is needed.
+///
+/// # Errors
+/// Propagates eigensolver failures.
+///
+/// # Panics
+/// Panics if `branch_lengths.len()` mismatches the problem.
+pub fn log_likelihood_m0(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    kappa: f64,
+    omega: f64,
+    branch_lengths: &[f64],
+) -> Result<f64, LinalgError> {
+    assert_eq!(
+        branch_lengths.len(),
+        problem.n_branches(),
+        "branch length vector has wrong length"
+    );
+    let rm = build_rate_matrix(&problem.code, kappa, omega, &problem.pi, ScalePolicy::PerClass);
+    let es = match &config.eigen_cache {
+        Some(cache) => cache.get_or_compute(kappa, omega, &rm, config.eigen)?,
+        None => Arc::new(EigenSystem::from_rate_matrix(&rm, config.eigen)?),
+    };
+
+    let n_nodes = problem.children.len();
+    let mut ops: Vec<[Option<TransOp>; 3]> = (0..n_nodes).map(|_| [None, None, None]).collect();
+    for (node, op_slot) in ops.iter_mut().enumerate() {
+        let Some(bi) = problem.branch_index[node] else { continue };
+        let t = branch_lengths[bi];
+        op_slot[0] = Some(match config.cpv {
+            CpvStrategy::SymmetricSymv => TransOp::Sym(es.symmetric_transition(t)),
+            _ => TransOp::Dense(match config.expm {
+                ExpmPath::Eq9Naive => es.transition_matrix_eq9_naive(t),
+                ExpmPath::Eq9Tuned => es.transition_matrix_eq9(t),
+                ExpmPath::Eq10Syrk => es.transition_matrix_eq10(t),
+            }),
+        });
+    }
+
+    let per_pattern = prune_one_class(problem, config, &ops, 0, 0);
+    let mut lnl = 0.0;
+    for (p, &lp) in per_pattern.iter().enumerate() {
+        lnl += problem.patterns.weight(p) * lp;
+    }
+    Ok(lnl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_bio::{parse_newick, CodonAlignment, FreqModel, GeneticCode};
+    use slim_model::BranchSiteModel;
+
+    fn problem() -> LikelihoodProblem {
+        let tree = parse_newick("((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
+        let code = GeneticCode::universal();
+        LikelihoodProblem::new_unmarked(&tree, &aln, &code, FreqModel::F3x4).unwrap()
+    }
+
+    #[test]
+    fn m0_engines_agree() {
+        let p = problem();
+        let bl = vec![0.1; p.n_branches()];
+        let base = log_likelihood_m0(&p, &EngineConfig::codeml_style(), 2.0, 0.5, &bl).unwrap();
+        let slim = log_likelihood_m0(&p, &EngineConfig::slim(), 2.0, 0.5, &bl).unwrap();
+        assert!(((base - slim) / base).abs() < 1e-10, "{base} vs {slim}");
+        assert!(base.is_finite() && base < 0.0);
+    }
+
+    #[test]
+    fn m0_equals_branch_site_with_degenerate_mixture() {
+        // BSM with p0 → 1 and ω0 = ω is (almost) M0 with that ω: class 0
+        // dominates and uses ω everywhere.
+        let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
+        let code = GeneticCode::universal();
+        let p = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).unwrap();
+        let bl = vec![0.1; p.n_branches()];
+        let omega = 0.42;
+
+        let m0 = log_likelihood_m0(&p, &EngineConfig::slim(), 2.0, omega, &bl).unwrap();
+
+        let bsm = BranchSiteModel {
+            kappa: 2.0,
+            omega0: omega,
+            omega2: 1.0,
+            p0: 1.0 - 1e-9,
+            p1: 1e-9 / 2.0,
+        };
+        let lnl = crate::pruning::log_likelihood(&p, &EngineConfig::slim(), &bsm, &bl).unwrap();
+        // The BSM shared scale reduces to μ(ω) as p0→1, matching M0's
+        // per-class scale, so the two likelihoods must coincide.
+        assert!((m0 - lnl).abs() < 1e-4, "M0 {m0} vs degenerate BSM {lnl}");
+    }
+
+    #[test]
+    fn m0_omega_sensitivity() {
+        // Purifying data (few differences, mostly synonymous-compatible):
+        // small omega should beat large omega.
+        let p = problem();
+        let bl = vec![0.1; p.n_branches()];
+        let small = log_likelihood_m0(&p, &EngineConfig::slim(), 2.0, 0.1, &bl).unwrap();
+        let large = log_likelihood_m0(&p, &EngineConfig::slim(), 2.0, 5.0, &bl).unwrap();
+        assert!(small.is_finite() && large.is_finite());
+        assert_ne!(small, large);
+    }
+}

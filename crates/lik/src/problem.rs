@@ -1,0 +1,218 @@
+//! The static part of a likelihood computation: tree topology flattened
+//! into traversal-friendly arrays, site patterns, and frequencies.
+
+use slim_bio::{BioError, CodonAlignment, FreqModel, GeneticCode, SitePatterns, Tree};
+
+/// Immutable problem data shared by every likelihood evaluation of one
+/// dataset: the flattened tree, the compressed alignment, and π.
+///
+/// Branch lengths are *not* stored here — the optimizer passes them per
+/// evaluation, indexed by [`LikelihoodProblem::branch_index`].
+#[derive(Debug, Clone)]
+pub struct LikelihoodProblem {
+    /// Post-order node visitation (children before parents, root last).
+    pub postorder: Vec<usize>,
+    /// Children of each node.
+    pub children: Vec<Vec<usize>>,
+    /// Whether the edge above each node is the foreground branch.
+    pub is_foreground: Vec<bool>,
+    /// For non-root nodes, the index of their branch in the optimizer's
+    /// branch-length vector.
+    pub branch_index: Vec<Option<usize>>,
+    /// For leaves, the taxon row in the site patterns.
+    pub leaf_taxon: Vec<Option<usize>>,
+    /// Root node index.
+    pub root: usize,
+    /// Compressed alignment columns.
+    pub patterns: SitePatterns,
+    /// Equilibrium codon frequencies.
+    pub pi: Vec<f64>,
+    /// The genetic code (kept for downstream reporting).
+    pub code: GeneticCode,
+    /// Number of leaves (species), for reporting.
+    pub n_species: usize,
+}
+
+impl LikelihoodProblem {
+    /// Assemble a problem from a tree, an alignment and a frequency model.
+    ///
+    /// Leaf names must match alignment names exactly (a bijection); the
+    /// tree must have exactly one foreground branch.
+    ///
+    /// # Errors
+    /// [`BioError`] on name mismatches or missing/duplicated foreground
+    /// mark.
+    pub fn new(
+        tree: &Tree,
+        aln: &CodonAlignment,
+        code: &GeneticCode,
+        freq_model: FreqModel,
+    ) -> Result<LikelihoodProblem, BioError> {
+        tree.foreground_branch()?;
+        Self::new_unmarked(tree, aln, code, freq_model)
+    }
+
+    /// Like [`LikelihoodProblem::new`] but without requiring a foreground
+    /// branch — for models that treat all branches alike (e.g. M0, the
+    /// single-ω model in [`crate::m0`]).
+    ///
+    /// # Errors
+    /// [`BioError`] on tree/alignment inconsistencies.
+    pub fn new_unmarked(
+        tree: &Tree,
+        aln: &CodonAlignment,
+        code: &GeneticCode,
+        freq_model: FreqModel,
+    ) -> Result<LikelihoodProblem, BioError> {
+        let leaves = tree.leaves();
+        if leaves.len() != aln.n_sequences() {
+            return Err(BioError::InvalidTree(format!(
+                "tree has {} leaves but alignment has {} sequences",
+                leaves.len(),
+                aln.n_sequences()
+            )));
+        }
+
+        let n = tree.n_nodes();
+        let mut children = vec![Vec::new(); n];
+        let mut is_foreground = vec![false; n];
+        let mut branch_index = vec![None; n];
+        let mut leaf_taxon = vec![None; n];
+
+        for id in tree.branch_nodes() {
+            is_foreground[id.0] = tree.node(id).foreground;
+        }
+        for (bi, id) in tree.branch_nodes().into_iter().enumerate() {
+            branch_index[id.0] = Some(bi);
+        }
+        for i in 0..n {
+            children[i] = tree
+                .node(slim_bio::NodeId(i))
+                .children
+                .iter()
+                .map(|c| c.0)
+                .collect();
+        }
+        for id in &leaves {
+            let name = tree.node(*id).name.as_deref().ok_or_else(|| {
+                BioError::InvalidTree(format!("leaf node {} has no name", id.0))
+            })?;
+            let taxon = aln.index_of(name).ok_or_else(|| {
+                BioError::InvalidTree(format!("leaf {name:?} not found in the alignment"))
+            })?;
+            leaf_taxon[id.0] = Some(taxon);
+        }
+
+        let patterns = SitePatterns::from_alignment(aln, code)?;
+        let pi = slim_bio::codon_frequencies(aln, code, freq_model);
+
+        Ok(LikelihoodProblem {
+            postorder: tree.postorder().into_iter().map(|id| id.0).collect(),
+            children,
+            is_foreground,
+            branch_index,
+            leaf_taxon,
+            root: tree.root().0,
+            patterns,
+            pi,
+            code: code.clone(),
+            n_species: leaves.len(),
+        })
+    }
+
+    /// Number of branches (length the optimizer's branch vector must have).
+    pub fn n_branches(&self) -> usize {
+        self.branch_index.iter().flatten().count()
+    }
+
+    /// Number of unique site patterns.
+    pub fn n_patterns(&self) -> usize {
+        self.patterns.n_patterns()
+    }
+
+    /// Number of alignment sites.
+    pub fn n_sites(&self) -> usize {
+        self.patterns.n_sites()
+    }
+
+    /// Initial branch lengths taken from the tree used at construction
+    /// (the caller may also seed its own).
+    pub fn branch_order_of(&self, tree: &Tree) -> Vec<f64> {
+        tree.branch_lengths()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_bio::parse_newick;
+
+    fn toy() -> (Tree, CodonAlignment) {
+        let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">A\nCCCTACTGC\n>B\nCCCTACTGC\n>C\nCCCTATTGC\n").unwrap();
+        (tree, aln)
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let (tree, aln) = toy();
+        let code = GeneticCode::universal();
+        let p = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).unwrap();
+        assert_eq!(p.n_branches(), 4);
+        assert_eq!(p.n_species, 3);
+        assert_eq!(p.n_sites(), 3);
+        assert!(p.n_patterns() <= 3);
+        assert_eq!(p.postorder.len(), 5);
+        assert_eq!(*p.postorder.last().unwrap(), p.root);
+    }
+
+    #[test]
+    fn foreground_flag_propagated() {
+        let (tree, aln) = toy();
+        let code = GeneticCode::universal();
+        let p = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).unwrap();
+        let n_fg = p.is_foreground.iter().filter(|&&b| b).count();
+        assert_eq!(n_fg, 1);
+    }
+
+    #[test]
+    fn leaf_taxon_mapping_respects_names() {
+        // Shuffle the alignment order relative to the tree.
+        let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">C\nCCCTATTGC\n>A\nCCCTACTGC\n>B\nCCCTACTGC\n").unwrap();
+        let code = GeneticCode::universal();
+        let p = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F61).unwrap();
+        // Leaf named "A" must map to alignment row 1.
+        let a_node = (0..p.children.len())
+            .find(|&i| p.children[i].is_empty() && p.leaf_taxon[i] == Some(1))
+            .expect("leaf A present");
+        let _ = a_node;
+    }
+
+    #[test]
+    fn missing_name_rejected() {
+        let tree = parse_newick("((A:0.1,X:0.2)#1:0.05,C:0.3);").unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">A\nCCC\n>B\nCCC\n>C\nCCA\n").unwrap();
+        let code = GeneticCode::universal();
+        assert!(LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).is_err());
+    }
+
+    #[test]
+    fn wrong_leaf_count_rejected() {
+        let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nCCC\n>B\nCCC\n").unwrap();
+        let code = GeneticCode::universal();
+        assert!(LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).is_err());
+    }
+
+    #[test]
+    fn no_foreground_rejected() {
+        let tree = parse_newick("((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nCCC\n>B\nCCC\n>C\nCCA\n").unwrap();
+        let code = GeneticCode::universal();
+        assert!(LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).is_err());
+    }
+}

@@ -1,0 +1,527 @@
+//! Felsenstein pruning over site patterns with branch-site classes.
+
+use crate::engine::{EngineConfig, ExpmPath};
+use crate::problem::LikelihoodProblem;
+use slim_expm::{cpv, CpvStrategy, EigenSystem, SymTransition};
+use slim_linalg::{LinalgError, Mat};
+use slim_model::{build_rate_matrix, BranchSiteModel, ScalePolicy, N_SITE_CLASSES};
+use std::sync::Arc;
+
+/// Number of distinct ω rate matrices per evaluation (ω0, ω1 = 1, ω2).
+const N_OMEGA: usize = 3;
+
+/// A per-branch transition operator, in whichever representation the
+/// engine's CPV strategy needs.
+pub(crate) enum TransOp {
+    /// Dense `P(t)`.
+    Dense(Mat),
+    /// Eq. 12 symmetric representation.
+    Sym(SymTransition),
+}
+
+impl TransOp {
+    /// `P·e_c` — the CPV a leaf with observed codon `c` propagates to its
+    /// parent (the product against an indicator vector collapses to a
+    /// column gather; CodeML special-cases this identically).
+    fn column(&self, c: usize, out: &mut [f64]) {
+        match self {
+            TransOp::Dense(p) => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = p[(i, c)];
+                }
+            }
+            TransOp::Sym(st) => {
+                // P·e_c = M·(Π·e_c) = π_c · M[:,c].
+                let m = st.matrix();
+                let pic = st.pi()[c];
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = pic * m[(i, c)];
+                }
+            }
+        }
+    }
+
+    /// Apply to a dense block of CPVs (one column per pattern).
+    fn apply_dense(&self, strategy: CpvStrategy, w: &Mat, out: &mut Mat) {
+        match self {
+            TransOp::Dense(p) => cpv::apply_dense(strategy, p, w, out),
+            TransOp::Sym(st) => st.apply_dense(w, out),
+        }
+    }
+}
+
+/// Full output of one likelihood evaluation.
+#[derive(Debug, Clone)]
+pub struct LikelihoodValue {
+    /// Total log-likelihood Σ_sites ln Σ_classes p_c L_c(site).
+    pub lnl: f64,
+    /// Mixture log-likelihood per pattern.
+    pub per_pattern: Vec<f64>,
+    /// Per-class per-pattern log-likelihoods (`[class][pattern]`), the
+    /// inputs to empirical-Bayes site classification.
+    pub per_class: Vec<Vec<f64>>,
+    /// The four class proportions used.
+    pub proportions: [f64; N_SITE_CLASSES],
+}
+
+/// Convenience wrapper returning only the scalar log-likelihood.
+///
+/// # Errors
+/// Propagates eigensolver failures.
+pub fn log_likelihood(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    model: &BranchSiteModel,
+    branch_lengths: &[f64],
+) -> Result<f64, LinalgError> {
+    site_class_log_likelihoods(problem, config, model, branch_lengths).map(|v| v.lnl)
+}
+
+/// Evaluate the branch-site likelihood, returning per-class detail.
+///
+/// `branch_lengths` is indexed like [`LikelihoodProblem::branch_index`].
+///
+/// # Errors
+/// Propagates eigensolver failures.
+///
+/// # Panics
+/// Panics if `branch_lengths.len()` mismatches the problem.
+pub fn site_class_log_likelihoods(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    model: &BranchSiteModel,
+    branch_lengths: &[f64],
+) -> Result<LikelihoodValue, LinalgError> {
+    assert_eq!(
+        branch_lengths.len(),
+        problem.n_branches(),
+        "branch length vector has wrong length"
+    );
+    let n = problem.pi.len();
+    let n_pat = problem.n_patterns();
+
+    // --- 1. Rate matrices + eigendecompositions, one per distinct ω. ---
+    // All classes share one rate scale (the background mixture average),
+    // so ω2 > 1 genuinely accelerates foreground evolution — see
+    // BranchSiteModel::shared_scale.
+    let omegas = model.omegas();
+    let (syn_flux, nonsyn_flux) = slim_model::codon_model::rate_components(&problem.code, model.kappa, &problem.pi);
+    let scale = model.shared_scale(syn_flux, nonsyn_flux);
+    let mut eigensystems: Vec<Arc<EigenSystem>> = Vec::with_capacity(N_OMEGA);
+    for &omega in &omegas {
+        let rm = build_rate_matrix(&problem.code, model.kappa, omega, &problem.pi, ScalePolicy::External(scale));
+        let es = match &config.eigen_cache {
+            Some(cache) => cache.get_or_compute(model.kappa, omega, &rm, config.eigen)?,
+            None => Arc::new(EigenSystem::from_rate_matrix(&rm, config.eigen)?),
+        };
+        eigensystems.push(es);
+    }
+
+    // --- 2. Transition operators per (branch, needed ω). ---
+    // Background branches need ω0 and ω1; the foreground branch also ω2.
+    let n_nodes = problem.children.len();
+    let mut ops: Vec<[Option<TransOp>; N_OMEGA]> = (0..n_nodes).map(|_| [None, None, None]).collect();
+    for node in 0..n_nodes {
+        let Some(bi) = problem.branch_index[node] else { continue };
+        let t = branch_lengths[bi];
+        let needed: &[usize] = if problem.is_foreground[node] { &[0, 1, 2] } else { &[0, 1] };
+        for &w in needed {
+            let es = &eigensystems[w];
+            let op = match config.cpv {
+                CpvStrategy::SymmetricSymv => TransOp::Sym(es.symmetric_transition(t)),
+                _ => TransOp::Dense(match config.expm {
+                    ExpmPath::Eq9Naive => es.transition_matrix_eq9_naive(t),
+                    ExpmPath::Eq9Tuned => es.transition_matrix_eq9(t),
+                    ExpmPath::Eq10Syrk => es.transition_matrix_eq10(t),
+                }),
+            };
+            ops[node][w] = Some(op);
+        }
+    }
+
+    // --- 3. Pruning per site class (optionally on separate threads —
+    // the classes only read shared data, §V-B's FastCodeML direction). ---
+    let classes = model.site_classes();
+    let per_class: Vec<Vec<f64>> = if config.parallel_classes {
+        let ops_ref = &ops;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = classes
+                .iter()
+                .map(|class| {
+                    let (bg, fg, prop) =
+                        (class.background_omega, class.foreground_omega, class.proportion);
+                    scope.spawn(move |_| {
+                        if prop <= 0.0 {
+                            vec![f64::NEG_INFINITY; n_pat]
+                        } else {
+                            prune_one_class(problem, config, ops_ref, bg, fg)
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("class pruning thread")).collect()
+        })
+        .expect("crossbeam scope")
+    } else {
+        classes
+            .iter()
+            .map(|class| {
+                if class.proportion <= 0.0 {
+                    vec![f64::NEG_INFINITY; n_pat]
+                } else {
+                    prune_one_class(problem, config, &ops, class.background_omega, class.foreground_omega)
+                }
+            })
+            .collect()
+    };
+
+    // --- 4. Mix classes per pattern (log-sum-exp). ---
+    let mut per_pattern = vec![0.0f64; n_pat];
+    let mut lnl = 0.0f64;
+    let props = [
+        classes[0].proportion,
+        classes[1].proportion,
+        classes[2].proportion,
+        classes[3].proportion,
+    ];
+    for p in 0..n_pat {
+        let mut max = f64::NEG_INFINITY;
+        for c in 0..N_SITE_CLASSES {
+            if props[c] > 0.0 {
+                let v = props[c].ln() + per_class[c][p];
+                if v > max {
+                    max = v;
+                }
+            }
+        }
+        let value = if max.is_finite() {
+            let mut sum = 0.0;
+            for c in 0..N_SITE_CLASSES {
+                if props[c] > 0.0 {
+                    sum += (props[c].ln() + per_class[c][p] - max).exp();
+                }
+            }
+            max + sum.ln()
+        } else {
+            f64::NEG_INFINITY
+        };
+        per_pattern[p] = value;
+        lnl += problem.patterns.weight(p) * value;
+    }
+    let _ = n;
+
+    Ok(LikelihoodValue { lnl, per_pattern, per_class, proportions: props })
+}
+
+/// Pruning pass for one site class: returns per-pattern log-likelihood.
+pub(crate) fn prune_one_class(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    ops: &[[Option<TransOp>; N_OMEGA]],
+    bg_omega: usize,
+    fg_omega: usize,
+) -> Vec<f64> {
+    let n = problem.pi.len();
+    let n_pat = problem.n_patterns();
+    let n_nodes = problem.children.len();
+
+    // Per-node CPV blocks (n × patterns); leaves are handled implicitly.
+    let mut cpvs: Vec<Option<Mat>> = (0..n_nodes).map(|_| None).collect();
+    let mut scale_log = vec![0.0f64; n_pat];
+    let mut tmp = Mat::zeros(n, n_pat);
+
+    for &node in &problem.postorder {
+        if problem.children[node].is_empty() {
+            continue; // leaves contribute through their parent
+        }
+        let mut combined: Option<Mat> = None;
+        for &child in &problem.children[node] {
+            let w = if problem.is_foreground[child] { fg_omega } else { bg_omega };
+            let op = ops[child][w].as_ref().expect("operator built for needed omega");
+
+            if let Some(taxon) = problem.leaf_taxon[child] {
+                // Leaf: P·e_c collapses to a column gather per pattern.
+                // Missing data integrates the state out: P·1 = 1 (rows of
+                // P sum to one), so the contribution is a ones column.
+                let mut col = vec![0.0f64; n];
+                for p in 0..n_pat {
+                    let codon = problem.patterns.pattern(p)[taxon];
+                    if codon == slim_bio::patterns::MISSING {
+                        for i in 0..n {
+                            tmp[(i, p)] = 1.0;
+                        }
+                        continue;
+                    }
+                    op.column(codon, &mut col);
+                    for i in 0..n {
+                        tmp[(i, p)] = col[i];
+                    }
+                }
+            } else {
+                let child_cpv = cpvs[child].take().expect("child CPV computed in postorder");
+                op.apply_dense(config.cpv, &child_cpv, &mut tmp);
+            }
+
+            combined = Some(match combined {
+                None => tmp.clone(),
+                Some(mut acc) => {
+                    for (a, t) in acc.as_mut_slice().iter_mut().zip(tmp.as_slice()) {
+                        *a *= t;
+                    }
+                    acc
+                }
+            });
+        }
+        let mut cpv = combined.expect("internal node has children");
+
+        // Numerical rescaling per pattern column.
+        for p in 0..n_pat {
+            let mut m = 0.0f64;
+            for i in 0..n {
+                let v = cpv[(i, p)];
+                if v > m {
+                    m = v;
+                }
+            }
+            if m > 0.0 && m < config.scale_threshold {
+                let inv = 1.0 / m;
+                for i in 0..n {
+                    cpv[(i, p)] *= inv;
+                }
+                scale_log[p] += m.ln();
+            }
+        }
+        cpvs[node] = Some(cpv);
+    }
+
+    // Root combination with π.
+    let root_cpv = cpvs[problem.root].take().expect("root CPV computed");
+    let mut out = vec![0.0f64; n_pat];
+    for p in 0..n_pat {
+        let mut s = 0.0;
+        for i in 0..n {
+            s += problem.pi[i] * root_cpv[(i, p)];
+        }
+        out[p] = if s > 0.0 { s.ln() + scale_log[p] } else { f64::NEG_INFINITY };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_bio::{parse_newick, CodonAlignment, FreqModel, GeneticCode};
+    use slim_model::Hypothesis;
+
+    fn toy_problem() -> LikelihoodProblem {
+        let tree = parse_newick("(((A:0.1,B:0.2):0.05,C:0.3)#1:0.1,(D:0.25,E:0.15):0.2);").unwrap();
+        // The paper's Fig. 1 example alignment (5 species × 6 codons).
+        let aln = CodonAlignment::from_fasta(
+            ">A\nCCCTACTGCCCCAAGGAG\n>B\nCCCTACTGCCCCAAGGAG\n>C\nCCCTACTGCCCCAAGGAG\n>D\nCCCTATTGCCCCAAGGAG\n>E\nCCCTACTGCACCAAGGAG\n",
+        )
+        .unwrap();
+        let code = GeneticCode::universal();
+        LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).unwrap()
+    }
+
+    fn default_model() -> BranchSiteModel {
+        BranchSiteModel::default_start(Hypothesis::H1)
+    }
+
+    #[test]
+    fn engines_agree_to_high_precision() {
+        // The paper's accuracy experiment (§IV-1): relative lnL difference
+        // between CodeML-style and Slim paths must be ~1e-10 or better on
+        // small data.
+        let problem = toy_problem();
+        let model = default_model();
+        let bl = vec![0.1; problem.n_branches()];
+        let base = log_likelihood(&problem, &EngineConfig::codeml_style(), &model, &bl).unwrap();
+        let slim = log_likelihood(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
+        let plus = log_likelihood(&problem, &EngineConfig::slim_plus(), &model, &bl).unwrap();
+        let sym = log_likelihood(&problem, &EngineConfig::slim_symmetric(), &model, &bl).unwrap();
+        let d = |a: f64, b: f64| ((a - b) / a).abs();
+        assert!(base.is_finite() && base < 0.0);
+        assert!(d(base, slim) < 1e-10, "codeml {base} vs slim {slim}");
+        assert!(d(base, plus) < 1e-10, "codeml {base} vs slim+ {plus}");
+        assert!(d(base, sym) < 1e-10, "codeml {base} vs eq12 {sym}");
+    }
+
+    #[test]
+    fn missing_data_accepted_and_between_bounds() {
+        let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
+        let full = CodonAlignment::from_fasta(">A\nATGCCC\n>B\nATGCCA\n>C\nATGCCC\n").unwrap();
+        let gapped = CodonAlignment::from_fasta(">A\nATG---\n>B\nATGCCA\n>C\nATGNNN\n").unwrap();
+        let code = GeneticCode::universal();
+        let model = default_model();
+        let p_full = LikelihoodProblem::new(&tree, &full, &code, FreqModel::Equal).unwrap();
+        let p_gap = LikelihoodProblem::new(&tree, &gapped, &code, FreqModel::Equal).unwrap();
+        let bl = vec![0.1; 4];
+        let l_full = log_likelihood(&p_full, &EngineConfig::slim(), &model, &bl).unwrap();
+        let l_gap = log_likelihood(&p_gap, &EngineConfig::slim(), &model, &bl).unwrap();
+        // Less observed data → likelihood closer to 0 (larger lnL).
+        assert!(l_gap > l_full, "gapped {l_gap} vs full {l_full}");
+        assert!(l_gap < 0.0);
+    }
+
+    #[test]
+    fn all_missing_leaf_equals_pruned_tree() {
+        // A leaf with only missing data is integrated out; by
+        // Chapman–Kolmogorov the likelihood equals that of the tree with
+        // the leaf removed and its sibling path merged.
+        let tree_x = parse_newick("((A:0.1,X:0.7):0.2,C#1:0.3);").unwrap();
+        let aln_x = CodonAlignment::from_fasta(
+            ">A\nATGCCCTTT\n>X\n---------\n>C\nATGCCATTC\n",
+        )
+        .unwrap();
+        // Merged: A's branch is 0.1 + 0.2.
+        let tree_m = parse_newick("(A:0.3,C#1:0.3);").unwrap();
+        let aln_m = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>C\nATGCCATTC\n").unwrap();
+
+        let code = GeneticCode::universal();
+        let model = default_model();
+        let p_x = LikelihoodProblem::new(&tree_x, &aln_x, &code, FreqModel::Equal).unwrap();
+        let p_m = LikelihoodProblem::new(&tree_m, &aln_m, &code, FreqModel::Equal).unwrap();
+        let l_x = log_likelihood(
+            &p_x,
+            &EngineConfig::slim(),
+            &model,
+            &p_x.branch_order_of(&tree_x),
+        )
+        .unwrap();
+        let l_m = log_likelihood(
+            &p_m,
+            &EngineConfig::slim(),
+            &model,
+            &p_m.branch_order_of(&tree_m),
+        )
+        .unwrap();
+        assert!((l_x - l_m).abs() < 1e-9, "with missing leaf {l_x} vs pruned {l_m}");
+    }
+
+    #[test]
+    fn parallel_classes_match_serial() {
+        let problem = toy_problem();
+        let model = default_model();
+        let bl = vec![0.1; problem.n_branches()];
+        let serial = log_likelihood(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
+        let parallel = log_likelihood(&problem, &EngineConfig::slim_parallel(), &model, &bl).unwrap();
+        assert!(
+            (serial - parallel).abs() < 1e-12,
+            "parallel {parallel} vs serial {serial}"
+        );
+    }
+
+    #[test]
+    fn likelihood_value_structure() {
+        let problem = toy_problem();
+        let model = default_model();
+        let bl = vec![0.1; problem.n_branches()];
+        let v = site_class_log_likelihoods(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
+        assert_eq!(v.per_pattern.len(), problem.n_patterns());
+        assert_eq!(v.per_class.len(), 4);
+        assert!((v.proportions.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Total equals the weighted per-pattern sum.
+        let total: f64 = (0..problem.n_patterns())
+            .map(|p| problem.patterns.weight(p) * v.per_pattern[p])
+            .sum();
+        assert!((total - v.lnl).abs() < 1e-10);
+    }
+
+    #[test]
+    fn identical_sequences_favor_short_branches() {
+        let tree = parse_newick("((A:0.1,B:0.1)#1:0.1,C:0.1);").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nATGATGATG\n>B\nATGATGATG\n>C\nATGATGATG\n").unwrap();
+        let code = GeneticCode::universal();
+        let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F61).unwrap();
+        let model = default_model();
+        let short = log_likelihood(&problem, &EngineConfig::slim(), &model, &[0.01; 4]).unwrap();
+        let long = log_likelihood(&problem, &EngineConfig::slim(), &model, &[2.0; 4]).unwrap();
+        assert!(short > long, "identical sequences: short {short} vs long {long}");
+    }
+
+    #[test]
+    fn divergent_sequences_favor_longer_branches() {
+        let tree = parse_newick("((A:0.1,B:0.1)#1:0.1,C:0.1);").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nATGTTTCCA\n>B\nGTACATCGA\n>C\nTTGGCGAAT\n").unwrap();
+        let code = GeneticCode::universal();
+        let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::Equal).unwrap();
+        let model = default_model();
+        let tiny = log_likelihood(&problem, &EngineConfig::slim(), &model, &[1e-5; 4]).unwrap();
+        let medium = log_likelihood(&problem, &EngineConfig::slim(), &model, &[0.5; 4]).unwrap();
+        assert!(medium > tiny, "divergent: medium {medium} vs tiny {tiny}");
+    }
+
+    #[test]
+    fn likelihood_invariant_to_pattern_order() {
+        // Reordering alignment columns must not change lnL.
+        let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
+        let code = GeneticCode::universal();
+        let aln1 = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
+        let aln2 = CodonAlignment::from_fasta(">A\nTTTATGCCC\n>B\nTTTATGCCA\n>C\nTTCATGCCC\n").unwrap();
+        let model = default_model();
+        let p1 = LikelihoodProblem::new(&tree, &aln1, &code, FreqModel::Equal).unwrap();
+        let p2 = LikelihoodProblem::new(&tree, &aln2, &code, FreqModel::Equal).unwrap();
+        let l1 = log_likelihood(&p1, &EngineConfig::slim(), &model, &[0.1; 4]).unwrap();
+        let l2 = log_likelihood(&p2, &EngineConfig::slim(), &model, &[0.1; 4]).unwrap();
+        assert!((l1 - l2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn omega2_changes_likelihood_only_through_foreground() {
+        // With the foreground branch length at ~0, ω2 has (almost) no
+        // effect on the likelihood.
+        let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
+        let code = GeneticCode::universal();
+        let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::Equal).unwrap();
+        // branch order: find which branch is foreground and zero it.
+        let mut bl = vec![0.2; problem.n_branches()];
+        for node in 0..problem.children.len() {
+            if problem.is_foreground[node] {
+                bl[problem.branch_index[node].unwrap()] = 1e-9;
+            }
+        }
+        let m1 = BranchSiteModel { omega2: 1.0, ..default_model() };
+        let m2 = BranchSiteModel { omega2: 8.0, ..default_model() };
+        let l1 = log_likelihood(&problem, &EngineConfig::slim(), &m1, &bl).unwrap();
+        let l2 = log_likelihood(&problem, &EngineConfig::slim(), &m2, &bl).unwrap();
+        assert!((l1 - l2).abs() < 1e-6, "{l1} vs {l2}");
+    }
+
+    #[test]
+    fn scaling_keeps_large_trees_finite() {
+        // A caterpillar tree long enough to underflow without scaling.
+        let n_leaves = 40;
+        let mut newick = String::from("L0:0.5");
+        for i in 1..n_leaves {
+            newick = format!("({newick},L{i}:0.5):0.5");
+        }
+        let newick = format!("{newick};");
+        let tree = {
+            let mut t = parse_newick(&newick).unwrap();
+            let leaf = t.leaf_by_name("L0").unwrap();
+            t.set_foreground(leaf).unwrap();
+            t
+        };
+        let seq = "ATGCCC";
+        let fasta: String =
+            (0..n_leaves).map(|i| format!(">L{i}\n{seq}\n")).collect();
+        let aln = CodonAlignment::from_fasta(&fasta).unwrap();
+        let code = GeneticCode::universal();
+        let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::Equal).unwrap();
+        let model = default_model();
+        let bl = vec![0.5; problem.n_branches()];
+        let lnl = log_likelihood(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
+        assert!(lnl.is_finite(), "scaling failed: {lnl}");
+        assert!(lnl < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn branch_vector_length_checked() {
+        let problem = toy_problem();
+        let model = default_model();
+        let _ = log_likelihood(&problem, &EngineConfig::slim(), &model, &[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Bisection eigenvalues + inverse-iteration eigenvectors for symmetric
+//! tridiagonal matrices.
+//!
+//! Stand-in for the MRRR ("multiple relatively robust representations")
+//! path of LAPACK `dsyevr` that the paper names in §III-A step 2: like
+//! MRRR, this computes each eigenvalue independently by bisection on the
+//! Sturm sequence and each eigenvector by a shifted tridiagonal solve,
+//! rather than by accumulating O(n³) rotations as QL does.
+
+use crate::tridiag::Tridiag;
+use crate::{gemm, LinalgError, Mat, Result, Transpose};
+
+/// Number of eigenvalues of the tridiagonal matrix strictly less than `x`,
+/// via the Sturm sequence of leading principal minors.
+///
+/// `d` is the diagonal, `off[i]` couples rows `i` and `i+1`.
+pub fn sturm_count(d: &[f64], off: &[f64], x: f64) -> usize {
+    let n = d.len();
+    let mut count = 0usize;
+    let mut q = 1.0f64;
+    for i in 0..n {
+        let off2 = if i == 0 { 0.0 } else { off[i - 1] * off[i - 1] };
+        q = d[i] - x - if q != 0.0 { off2 / q } else { off2 / f64::MIN_POSITIVE.sqrt() };
+        if q < 0.0 {
+            count += 1;
+        } else if q == 0.0 {
+            // Treat exact zero as a tiny negative perturbation for robustness.
+            q = -f64::EPSILON * (d[i].abs() + off2.sqrt() + 1.0);
+            count += 1;
+        }
+    }
+    count
+}
+
+/// All eigenvalues of the symmetric tridiagonal matrix `(d, off)` by
+/// bisection, ascending, each to absolute tolerance ~`eps·‖T‖`.
+pub fn tridiag_eigenvalues(d: &[f64], off: &[f64]) -> Vec<f64> {
+    let n = d.len();
+    if n == 0 {
+        return vec![];
+    }
+    // Gershgorin bounds.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let r = (if i > 0 { off[i - 1].abs() } else { 0.0 })
+            + (if i + 1 < n { off[i].abs() } else { 0.0 });
+        lo = lo.min(d[i] - r);
+        hi = hi.max(d[i] + r);
+    }
+    let norm = hi.abs().max(lo.abs()).max(f64::MIN_POSITIVE);
+    let tol = 2.0 * f64::EPSILON * norm;
+    let mut lambdas = Vec::with_capacity(n);
+    for k in 0..n {
+        // Eigenvalue k (0-based ascending) is bracketed where the Sturm
+        // count crosses from <=k to >k.
+        let mut a = lo - tol;
+        let mut b = hi + tol;
+        while b - a > tol.max(f64::EPSILON * (a.abs() + b.abs())) {
+            let mid = 0.5 * (a + b);
+            if sturm_count(d, off, mid) > k {
+                b = mid;
+            } else {
+                a = mid;
+            }
+        }
+        lambdas.push(0.5 * (a + b));
+    }
+    lambdas
+}
+
+/// Solve `(T − λI)·x = b` for tridiagonal `T` using LU with partial
+/// pivoting (fill-in creates one extra superdiagonal). Overwrites `b` with
+/// the solution. The shifted matrix is near-singular by design (λ is an
+/// eigenvalue); zero pivots are replaced by a tiny value, which is the
+/// standard inverse-iteration trick.
+fn solve_shifted_tridiag(d: &[f64], off: &[f64], lambda: f64, b: &mut [f64]) {
+    let n = d.len();
+    if n == 1 {
+        let p = d[0] - lambda;
+        b[0] /= if p.abs() > f64::MIN_POSITIVE { p } else { f64::EPSILON };
+        return;
+    }
+    // Band storage: diag, upper1, upper2 after elimination.
+    let mut diag: Vec<f64> = d.iter().map(|&v| v - lambda).collect();
+    let mut up1: Vec<f64> = off.to_vec(); // coupling i..i+1
+    let mut up2 = vec![0.0f64; n];
+    let mut low: Vec<f64> = off.to_vec(); // subdiagonal copy (mutated)
+
+    let tiny = f64::EPSILON * d.iter().map(|v| v.abs()).fold(1.0, f64::max);
+
+    for i in 0..n - 1 {
+        if low[i].abs() > diag[i].abs() {
+            // Pivot: swap row i and i+1.
+            b.swap(i, i + 1);
+            std::mem::swap(&mut diag[i], &mut low[i]);
+            // After swap: row i gets (old row i+1): diag entry low[i] (done),
+            // up1 entry diag[i+1], up2 entry up1[i+1].
+            let new_up1 = diag[i + 1];
+            let new_up2 = if i + 1 < n - 1 { up1[i + 1] } else { 0.0 };
+            // Row i+1 keeps old row i entries shifted.
+            diag[i + 1] = up1[i];
+            up1[i] = new_up1;
+            if i + 1 < n - 1 {
+                up1[i + 1] = 0.0;
+            }
+            up2[i] = new_up2;
+        }
+        if diag[i].abs() < tiny {
+            diag[i] = tiny.copysign(diag[i]);
+        }
+        let m = low[i] / diag[i];
+        diag[i + 1] -= m * up1[i];
+        if i + 1 < n - 1 {
+            up1[i + 1] -= m * up2[i];
+        }
+        b[i + 1] -= m * b[i];
+    }
+    if diag[n - 1].abs() < tiny {
+        diag[n - 1] = tiny.copysign(diag[n - 1]);
+    }
+    // Back substitution.
+    b[n - 1] /= diag[n - 1];
+    if n >= 2 {
+        b[n - 2] = (b[n - 2] - up1[n - 2] * b[n - 1]) / diag[n - 2];
+    }
+    for i in (0..n.saturating_sub(2)).rev() {
+        b[i] = (b[i] - up1[i] * b[i + 1] - up2[i] * b[i + 2]) / diag[i];
+    }
+}
+
+/// Relative gap below which neighbouring eigenvalues are treated as a
+/// cluster whose eigenvectors must be re-orthogonalized.
+const CLUSTER_REL_GAP: f64 = 1e-10;
+
+/// Eigenvectors of the tridiagonal matrix by inverse iteration (LAPACK
+/// `dstein` lineage). Returns an `n×n` matrix whose column `j` is the unit
+/// eigenvector for `lambdas[j]`; clustered eigenvalues are orthogonalized
+/// against each other by modified Gram–Schmidt.
+pub fn tridiag_eigenvectors(d: &[f64], off: &[f64], lambdas: &[f64]) -> Mat {
+    let n = d.len();
+    let mut v = Mat::zeros(n, n);
+    let norm = lambdas.iter().map(|v| v.abs()).fold(1.0, f64::max);
+    let mut cluster_start = 0usize;
+    // Deterministic pseudo-random start vector generator.
+    let mut state = 0x853C49E6748FEA9Bu64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+
+    for j in 0..n {
+        if j > 0 && (lambdas[j] - lambdas[j - 1]).abs() > CLUSTER_REL_GAP * norm {
+            cluster_start = j;
+        }
+        let mut x: Vec<f64> = (0..n).map(|_| next()).collect();
+        // Two inverse-iteration sweeps are enough at bisection accuracy.
+        for _ in 0..3 {
+            // Orthogonalize within cluster before the solve to steer the
+            // iteration toward an unused direction.
+            for p in cluster_start..j {
+                let dotp = crate::vecops::dot(&x, &v.col(p));
+                for (xi, vpi) in x.iter_mut().zip(v.col(p)) {
+                    *xi -= dotp * vpi;
+                }
+            }
+            let nr = crate::vecops::nrm2(&x);
+            if nr > 0.0 {
+                crate::vecops::scal(1.0 / nr, &mut x);
+            }
+            solve_shifted_tridiag(d, off, lambdas[j], &mut x);
+            let nr = crate::vecops::nrm2(&x);
+            if nr > 0.0 {
+                crate::vecops::scal(1.0 / nr, &mut x);
+            }
+        }
+        // Final in-cluster orthogonalization + renormalize.
+        for p in cluster_start..j {
+            let dotp = crate::vecops::dot(&x, &v.col(p));
+            for (xi, vpi) in x.iter_mut().zip(v.col(p)) {
+                *xi -= dotp * vpi;
+            }
+        }
+        let nr = crate::vecops::nrm2(&x);
+        if nr > 0.0 {
+            crate::vecops::scal(1.0 / nr, &mut x);
+        }
+        v.as_mut_slice()
+            .chunks_mut(n)
+            .zip(&x)
+            .for_each(|(row, &xi)| row[j] = xi);
+    }
+    v
+}
+
+/// Full symmetric eigensolve via bisection + inverse iteration, starting
+/// from a Householder tridiagonalization. Returns `(eigenvalues ascending,
+/// eigenvector matrix with matching columns)`.
+///
+/// # Errors
+/// Currently infallible in practice; the `Result` mirrors the QL path so
+/// callers can treat solvers uniformly.
+pub fn sym_eigen_bisect(tri: &Tridiag) -> Result<(Vec<f64>, Mat)> {
+    let n = tri.d.len();
+    if n == 0 {
+        return Ok((vec![], Mat::zeros(0, 0)));
+    }
+    // Convert tred2's `e[1..]` convention into `off[i] = coupling(i, i+1)`.
+    let off: Vec<f64> = (0..n.saturating_sub(1)).map(|i| tri.e[i + 1]).collect();
+    let lambdas = tridiag_eigenvalues(&tri.d, &off);
+    for w in lambdas.windows(2) {
+        // NaN-aware ordering check (a plain `<=` hides the NaN case).
+        if w[0].partial_cmp(&w[1]) == Some(std::cmp::Ordering::Greater)
+            || w[0].is_nan()
+            || w[1].is_nan()
+        {
+            return Err(LinalgError::NoConvergence { op: "bisect", iterations: 0 });
+        }
+    }
+    let v = tridiag_eigenvectors(&tri.d, &off, &lambdas);
+    // Back-transform to the dense basis: Z = Q · V.
+    let z = gemm::matmul(&tri.q, Transpose::No, &v, Transpose::No);
+    Ok((lambdas, z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::tridiag::{tred2, tridiag_to_dense};
+
+    #[test]
+    fn sturm_count_simple() {
+        // T = diag(1, 2, 3): counts are a step function.
+        let d = [1.0, 2.0, 3.0];
+        let off = [0.0, 0.0];
+        assert_eq!(sturm_count(&d, &off, 0.0), 0);
+        assert_eq!(sturm_count(&d, &off, 1.5), 1);
+        assert_eq!(sturm_count(&d, &off, 2.5), 2);
+        assert_eq!(sturm_count(&d, &off, 10.0), 3);
+    }
+
+    #[test]
+    fn bisect_matches_analytic() {
+        // Same analytic case as the QL test.
+        let n = 8;
+        let d = vec![2.0; n];
+        let off = vec![1.0; n - 1];
+        let lam = tridiag_eigenvalues(&d, &off);
+        for (k, &l) in lam.iter().enumerate() {
+            let expect = 2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
+            assert!((l - expect).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn inverse_iteration_eigenvectors() {
+        let n = 6;
+        let d = vec![2.0; n];
+        let off = vec![1.0; n - 1];
+        let lam = tridiag_eigenvalues(&d, &off);
+        let v = tridiag_eigenvectors(&d, &off, &lam);
+        let dense = {
+            let mut e = vec![0.0; n];
+            e[1..n].copy_from_slice(&off[..n - 1]);
+            tridiag_to_dense(&d, &e)
+        };
+        // T v_j = λ_j v_j
+        for j in 0..n {
+            let vj = v.col(j);
+            let tv = dense.mul_vec(&vj);
+            for i in 0..n {
+                assert!((tv[i] - lam[j] * vj[i]).abs() < 1e-8, "j={j} i={i}");
+            }
+        }
+        // Orthogonality
+        let vtv = matmul(&v, Transpose::Yes, &v, Transpose::No);
+        assert!(vtv.approx_eq(&Mat::identity(n), 1e-8));
+    }
+
+    #[test]
+    fn full_dense_pipeline() {
+        for n in [3usize, 7, 20, 61] {
+            let mut state = 17 + n as u64;
+            let mut a = Mat::from_fn(n, n, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            });
+            a.symmetrize();
+            let tri = tred2(&a);
+            let (lam, z) = sym_eigen_bisect(&tri).unwrap();
+            // reconstruction
+            let zl = z.mul_diag_right(&lam);
+            let rec = matmul(&zl, Transpose::No, &z, Transpose::Yes);
+            assert!(
+                rec.approx_eq(&a, 1e-7),
+                "n={n}: reconstruction error {}",
+                rec.max_abs_diff(&a)
+            );
+            let ztz = matmul(&z, Transpose::Yes, &z, Transpose::No);
+            assert!(ztz.approx_eq(&Mat::identity(n), 1e-7), "n={n}: not orthogonal");
+        }
+    }
+
+    #[test]
+    fn degenerate_cluster() {
+        // diag(1,1,1) with zero coupling: triple eigenvalue.
+        let d = vec![1.0; 3];
+        let off = vec![0.0; 2];
+        let lam = tridiag_eigenvalues(&d, &off);
+        assert!(lam.iter().all(|&l| (l - 1.0).abs() < 1e-12));
+        let v = tridiag_eigenvectors(&d, &off, &lam);
+        let vtv = matmul(&v, Transpose::Yes, &v, Transpose::No);
+        assert!(vtv.approx_eq(&Mat::identity(3), 1e-8));
+    }
+}

@@ -1,0 +1,148 @@
+//! Cholesky factorization for symmetric positive-definite matrices.
+//!
+//! Used for covariance-style computations downstream of fitting (e.g.
+//! observed-information standard errors) and as another independently
+//! verifiable factorization for the test suite.
+
+use crate::{LinalgError, Mat, Result};
+
+/// Lower-triangular Cholesky factor: `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factorize a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] for rectangular input;
+    /// [`LinalgError::Singular`] if a pivot is not strictly positive
+    /// (matrix not positive definite).
+    pub fn new(a: &Mat) -> Result<Cholesky> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { op: "cholesky", rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::Singular { op: "cholesky" });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solve `A·x = b` by forward/back substitution.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "Cholesky::solve: rhs length mismatch");
+        // L·y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Lᵀ·x = y
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// log(det A) = 2 Σ log L_ii (numerically safe for tiny/huge
+    /// determinants).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, Transpose};
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        // A = B·Bᵀ + n·I is SPD.
+        let mut state = seed | 1;
+        let b = Mat::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let mut a = matmul(&b, Transpose::No, &b, Transpose::Yes);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn reconstructs() {
+        for n in [1usize, 3, 10] {
+            let a = spd(n, n as u64);
+            let ch = Cholesky::new(&a).unwrap();
+            let rec = matmul(ch.factor(), Transpose::No, ch.factor(), Transpose::Yes);
+            assert!(rec.approx_eq(&a, 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd(6, 9);
+        let b: Vec<f64> = (0..6).map(|i| (i as f64).cos()).collect();
+        let ch = Cholesky::new(&a).unwrap();
+        let lu = crate::Lu::new(&a).unwrap();
+        let x1 = ch.solve(&b);
+        let x2 = lu.solve(&b);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_lu() {
+        let a = spd(5, 4);
+        let ch = Cholesky::new(&a).unwrap();
+        let lu = crate::Lu::new(&a).unwrap();
+        assert!((ch.log_det() - lu.det().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(Cholesky::new(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+    }
+}

@@ -1,0 +1,158 @@
+//! Unified front-end over the symmetric eigensolvers.
+
+use crate::bisect::sym_eigen_bisect;
+use crate::jacobi::jacobi_eigen;
+use crate::ql::{sort_eigenpairs, tql2};
+use crate::tridiag::tred2;
+use crate::{LinalgError, Mat, Result};
+
+/// Which algorithm to use for a symmetric eigendecomposition.
+///
+/// Mirrors the paper's description of LAPACK `dsyevr`: "whenever possible,
+/// the eigenspectrum is computed using multiple relatively robust
+/// representations (MRRR) or a QR/QL method otherwise" — here
+/// [`EigenMethod::BisectionInverse`] plays the MRRR role and
+/// [`EigenMethod::HouseholderQl`] the QL role. [`EigenMethod::Jacobi`] is a
+/// slow independent cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EigenMethod {
+    /// Householder tridiagonalization + implicit-shift QL (default).
+    #[default]
+    HouseholderQl,
+    /// Householder tridiagonalization + bisection eigenvalues + inverse
+    /// iteration eigenvectors (`dsyevr`/MRRR stand-in).
+    BisectionInverse,
+    /// Cyclic Jacobi rotations.
+    Jacobi,
+}
+
+/// A symmetric eigendecomposition `A = X · diag(λ) · Xᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthogonal matrix whose column `j` is the eigenvector for
+    /// `values[j]`.
+    pub vectors: Mat,
+}
+
+impl SymEigen {
+    /// Reconstruct the original matrix `X Λ Xᵀ` (test/diagnostic helper).
+    pub fn reconstruct(&self) -> Mat {
+        let xl = self.vectors.mul_diag_right(&self.values);
+        crate::gemm::matmul(&xl, crate::Transpose::No, &self.vectors, crate::Transpose::Yes)
+    }
+
+    /// Largest absolute eigenvalue.
+    pub fn spectral_radius(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).fold(0.0, f64::max)
+    }
+}
+
+/// Compute the eigendecomposition of a symmetric matrix.
+///
+/// Only symmetry up to rounding is assumed; the input is symmetrized
+/// defensively (averaging `a_ij` and `a_ji`) before factorization, matching
+/// what `dsyevr` effectively does by referencing one triangle.
+///
+/// # Errors
+/// Propagates [`LinalgError`] from the selected backend (non-square input,
+/// iteration-cap exhaustion).
+pub fn sym_eigen(a: &Mat, method: EigenMethod) -> Result<SymEigen> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { op: "sym_eigen", rows: a.rows(), cols: a.cols() });
+    }
+    let mut work = a.clone();
+    work.symmetrize();
+    match method {
+        EigenMethod::HouseholderQl => {
+            let tri = tred2(&work);
+            let mut d = tri.d;
+            let mut e = tri.e;
+            let mut z = tri.q;
+            tql2(&mut d, &mut e, &mut z)?;
+            sort_eigenpairs(&mut d, &mut z);
+            Ok(SymEigen { values: d, vectors: z })
+        }
+        EigenMethod::BisectionInverse => {
+            let tri = tred2(&work);
+            let (values, vectors) = sym_eigen_bisect(&tri)?;
+            Ok(SymEigen { values, vectors })
+        }
+        EigenMethod::Jacobi => {
+            let (values, vectors) = jacobi_eigen(&work)?;
+            Ok(SymEigen { values, vectors })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, Transpose};
+
+    fn random_symmetric(n: usize, seed: u64) -> Mat {
+        let mut state = seed;
+        let mut m = Mat::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        m.symmetrize();
+        m
+    }
+
+    #[test]
+    fn all_methods_agree_on_eigenvalues() {
+        let a = random_symmetric(15, 42);
+        let ql = sym_eigen(&a, EigenMethod::HouseholderQl).unwrap();
+        let bi = sym_eigen(&a, EigenMethod::BisectionInverse).unwrap();
+        let ja = sym_eigen(&a, EigenMethod::Jacobi).unwrap();
+        for i in 0..15 {
+            assert!((ql.values[i] - bi.values[i]).abs() < 1e-9, "i={i} ql-vs-bisect");
+            assert!((ql.values[i] - ja.values[i]).abs() < 1e-9, "i={i} ql-vs-jacobi");
+        }
+    }
+
+    #[test]
+    fn reconstruct_and_orthogonality_each_method() {
+        let a = random_symmetric(12, 7);
+        for method in [EigenMethod::HouseholderQl, EigenMethod::BisectionInverse, EigenMethod::Jacobi] {
+            let eig = sym_eigen(&a, method).unwrap();
+            assert!(eig.reconstruct().approx_eq(&a, 1e-8), "{method:?} reconstruction");
+            let xtx = matmul(&eig.vectors, Transpose::Yes, &eig.vectors, Transpose::No);
+            assert!(xtx.approx_eq(&Mat::identity(12), 1e-8), "{method:?} orthogonality");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending() {
+        let a = random_symmetric(20, 99);
+        for method in [EigenMethod::HouseholderQl, EigenMethod::BisectionInverse, EigenMethod::Jacobi] {
+            let eig = sym_eigen(&a, method).unwrap();
+            for w in eig.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "{method:?} not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = random_symmetric(10, 5);
+        let trace: f64 = a.diag().iter().sum();
+        let eig = sym_eigen(&a, EigenMethod::HouseholderQl).unwrap();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(sym_eigen(&Mat::zeros(3, 4), EigenMethod::HouseholderQl).is_err());
+    }
+
+    #[test]
+    fn spectral_radius() {
+        let a = Mat::from_diag(&[-5.0, 2.0, 3.0]);
+        let eig = sym_eigen(&a, EigenMethod::Jacobi).unwrap();
+        assert!((eig.spectral_radius() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! BLAS level-3 general matrix–matrix product.
+//!
+//! The paper's "rules of thumb" (§V-C) recommend bundling work into level-3
+//! operations; this module provides the tuned `dgemm` stand-in used by the
+//! Slim engine (and, through [`crate::naive`], a deliberately untuned
+//! comparator used by the CodeML-style engine).
+
+use crate::Mat;
+
+/// Whether an operand participates transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// Cache-block size over the `k` dimension (rows of B touched per pass).
+/// 64×64 f64 panel ≈ 32 KiB, sized to stay within L1/L2 for the panel pair.
+const KC: usize = 64;
+/// Cache-block size over the `i` dimension.
+const MC: usize = 64;
+
+/// General matrix multiply `C ← α·op(A)·op(B) + β·C`.
+///
+/// `op(X)` is `X` or `Xᵀ` per the corresponding [`Transpose`] flag. The
+/// kernel is a cache-blocked `i-k-j` loop: the innermost loop runs over
+/// contiguous rows of (possibly pre-transposed) `B` and `C`, which
+/// auto-vectorizes and streams memory in row-major order.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm(alpha: f64, a: &Mat, ta: Transpose, b: &Mat, tb: Transpose, beta: f64, c: &mut Mat) {
+    // Materialize transposed operands. For the 61×61 codon matrices this
+    // copy is ~30 KiB and negligible next to the O(n³) product; it keeps a
+    // single highly-tuned NN kernel on the hot path.
+    let at;
+    let a_eff = match ta {
+        Transpose::No => a,
+        Transpose::Yes => {
+            at = a.transpose();
+            &at
+        }
+    };
+    let bt;
+    let b_eff = match tb {
+        Transpose::No => b,
+        Transpose::Yes => {
+            bt = b.transpose();
+            &bt
+        }
+    };
+    gemm_nn(alpha, a_eff, b_eff, beta, c);
+}
+
+/// The no-transpose kernel behind [`gemm`].
+fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "gemm: inner dimensions differ");
+    assert_eq!(c.rows(), m, "gemm: C rows mismatch");
+    assert_eq!(c.cols(), n, "gemm: C cols mismatch");
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let c_s = c.as_mut_slice();
+
+    let mut kk = 0;
+    while kk < k {
+        let k_end = (kk + KC).min(k);
+        let mut ii = 0;
+        while ii < m {
+            let i_end = (ii + MC).min(m);
+            for i in ii..i_end {
+                let c_row = &mut c_s[i * n..(i + 1) * n];
+                let a_row = &a_s[i * k..(i + 1) * k];
+                // Two-way unroll over p lets the compiler keep two B-row
+                // streams live and halves loop overhead.
+                let mut p = kk;
+                while p + 1 < k_end {
+                    let aip0 = alpha * a_row[p];
+                    let aip1 = alpha * a_row[p + 1];
+                    let b_row0 = &b_s[p * n..(p + 1) * n];
+                    let b_row1 = &b_s[(p + 1) * n..(p + 2) * n];
+                    for j in 0..n {
+                        c_row[j] += aip0 * b_row0[j] + aip1 * b_row1[j];
+                    }
+                    p += 2;
+                }
+                if p < k_end {
+                    let aip = alpha * a_row[p];
+                    let b_row = &b_s[p * n..(p + 1) * n];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aip * bj;
+                    }
+                }
+            }
+            ii = i_end;
+        }
+        kk = k_end;
+    }
+}
+
+/// Convenience: allocate and return `op(A)·op(B)`.
+pub fn matmul(a: &Mat, ta: Transpose, b: &Mat, tb: Transpose) -> Mat {
+    let m = match ta {
+        Transpose::No => a.rows(),
+        Transpose::Yes => a.cols(),
+    };
+    let n = match tb {
+        Transpose::No => b.cols(),
+        Transpose::Yes => b.rows(),
+    };
+    let mut c = Mat::zeros(m, n);
+    gemm(1.0, a, ta, b, tb, 0.0, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn rng_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+        // Small deterministic LCG; avoids a rand dependency here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Mat::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn gemm_matches_naive_square() {
+        for n in [1, 2, 7, 61, 65] {
+            let a = rng_mat(n, n, 1);
+            let b = rng_mat(n, n, 2);
+            let tuned = matmul(&a, Transpose::No, &b, Transpose::No);
+            let reference = naive::matmul(&a, &b);
+            assert!(tuned.approx_eq(&reference, 1e-10), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn gemm_rectangular() {
+        let a = rng_mat(5, 9, 3);
+        let b = rng_mat(9, 4, 4);
+        let tuned = matmul(&a, Transpose::No, &b, Transpose::No);
+        let reference = naive::matmul(&a, &b);
+        assert!(tuned.approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn gemm_transpose_flags() {
+        let a = rng_mat(6, 3, 5);
+        let b = rng_mat(6, 4, 6);
+        // AᵀB
+        let t1 = matmul(&a, Transpose::Yes, &b, Transpose::No);
+        let r1 = naive::matmul(&a.transpose(), &b);
+        assert!(t1.approx_eq(&r1, 1e-12));
+        // BᵀA
+        let t2 = matmul(&b, Transpose::Yes, &a, Transpose::No);
+        let r2 = naive::matmul(&b.transpose(), &a);
+        assert!(t2.approx_eq(&r2, 1e-12));
+        // A·(Aᵀ) via flags
+        let t3 = matmul(&a, Transpose::No, &a, Transpose::Yes);
+        let r3 = naive::matmul(&a, &a.transpose());
+        assert!(t3.approx_eq(&r3, 1e-12));
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = rng_mat(4, 4, 7);
+        let b = rng_mat(4, 4, 8);
+        let c0 = rng_mat(4, 4, 9);
+
+        let mut c = c0.clone();
+        gemm(2.0, &a, Transpose::No, &b, Transpose::No, 0.5, &mut c);
+
+        let mut expect = naive::matmul(&a, &b);
+        expect.scale(2.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                expect[(i, j)] += 0.5 * c0[(i, j)];
+            }
+        }
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_alpha_zero_only_scales_c() {
+        let a = rng_mat(3, 3, 10);
+        let b = rng_mat(3, 3, 11);
+        let mut c = Mat::filled(3, 3, 2.0);
+        gemm(0.0, &a, Transpose::No, &b, Transpose::No, 3.0, &mut c);
+        assert!(c.approx_eq(&Mat::filled(3, 3, 6.0), 1e-15));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = rng_mat(8, 8, 12);
+        let i = Mat::identity(8);
+        assert!(matmul(&a, Transpose::No, &i, Transpose::No).approx_eq(&a, 1e-15));
+        assert!(matmul(&i, Transpose::No, &a, Transpose::No).approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn block_boundaries_exercised() {
+        // Dimensions straddling KC/MC test the blocking edges.
+        let n = KC + 3;
+        let a = rng_mat(n, n, 13);
+        let b = rng_mat(n, n, 14);
+        let tuned = matmul(&a, Transpose::No, &b, Transpose::No);
+        let reference = naive::matmul(&a, &b);
+        assert!(tuned.approx_eq(&reference, 1e-9));
+    }
+}

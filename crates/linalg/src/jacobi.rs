@@ -1,0 +1,145 @@
+//! Cyclic Jacobi eigensolver for symmetric matrices.
+//!
+//! Slow but exceptionally robust and simple to verify; used as an
+//! independent cross-check of the Householder/QL and bisection solvers in
+//! tests and as a third [`crate::EigenMethod`].
+
+use crate::{LinalgError, Mat, Result};
+
+/// Maximum number of full sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Diagonalize symmetric `a` by cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues ascending, eigenvector matrix V)` with `A = V Λ Vᵀ`
+/// and eigenvector `j` in column `j`.
+///
+/// # Errors
+/// [`LinalgError::NotSquare`] for rectangular input;
+/// [`LinalgError::NoConvergence`] if the off-diagonal mass does not vanish
+/// within 64 sweeps.
+pub fn jacobi_eigen(a: &Mat) -> Result<(Vec<f64>, Mat)> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { op: "jacobi", rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Mat::identity(n);
+    if n <= 1 {
+        return Ok((m.diag(), v));
+    }
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        let scale = crate::norms::frobenius(&m).max(f64::MIN_POSITIVE);
+        // Rounding floors the achievable off-diagonal mass at ~n·ε·‖A‖.
+        if off.sqrt() <= n as f64 * f64::EPSILON * scale {
+            let mut d = m.diag();
+            crate::ql::sort_eigenpairs(&mut d, &mut v);
+            return Ok((d, v));
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::EPSILON * scale {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Rotation angle from the standard stable formulas.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of the symmetric matrix.
+                for k in 0..n {
+                    if k != p && k != q {
+                        let akp = m[(k, p)];
+                        let akq = m[(k, q)];
+                        let new_kp = c * akp - s * akq;
+                        let new_kq = s * akp + c * akq;
+                        m[(k, p)] = new_kp;
+                        m[(p, k)] = new_kp;
+                        m[(k, q)] = new_kq;
+                        m[(q, k)] = new_kq;
+                    }
+                }
+                m[(p, p)] = app - t * apq;
+                m[(q, q)] = aqq + t * apq;
+                m[(p, q)] = 0.0;
+                m[(q, p)] = 0.0;
+
+                // Accumulate rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { op: "jacobi", iterations: MAX_SWEEPS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, Transpose};
+
+    #[test]
+    fn jacobi_2x2_known() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (d, v) = jacobi_eigen(&a).unwrap();
+        assert!((d[0] - 1.0).abs() < 1e-12);
+        assert!((d[1] - 3.0).abs() < 1e-12);
+        let vl = v.mul_diag_right(&d);
+        let rec = matmul(&vl, Transpose::No, &v, Transpose::Yes);
+        assert!(rec.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn jacobi_reconstructs_random() {
+        for n in [3usize, 8, 25] {
+            let mut state = 3 * n as u64 + 11;
+            let mut a = Mat::from_fn(n, n, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            });
+            a.symmetrize();
+            let (d, v) = jacobi_eigen(&a).unwrap();
+            let vl = v.mul_diag_right(&d);
+            let rec = matmul(&vl, Transpose::No, &v, Transpose::Yes);
+            assert!(rec.approx_eq(&a, 1e-10), "n={n}");
+            let vtv = matmul(&v, Transpose::Yes, &v, Transpose::No);
+            assert!(vtv.approx_eq(&Mat::identity(n), 1e-11), "n={n}");
+        }
+    }
+
+    #[test]
+    fn jacobi_diagonal_input() {
+        let a = Mat::from_diag(&[5.0, -2.0, 1.0]);
+        let (d, _) = jacobi_eigen(&a).unwrap();
+        assert_eq!(d, vec![-2.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn jacobi_rejects_rectangular() {
+        assert!(matches!(
+            jacobi_eigen(&Mat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

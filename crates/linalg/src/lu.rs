@@ -1,0 +1,185 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used by tests (solving small systems, determinants) and available to
+//! downstream crates; the likelihood hot path never factorizes.
+
+use crate::{LinalgError, Mat, Result};
+
+/// An LU factorization `P·A = L·U` with partial (row) pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Mat,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), for determinants.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factorize a square matrix.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] for rectangular input,
+    /// [`LinalgError::Singular`] if a pivot underflows to zero.
+    pub fn new(a: &Mat) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { op: "lu", rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(LinalgError::Singular { op: "lu" });
+            }
+            if p != k {
+                let (rp, rk) = lu.two_rows_mut(p, k);
+                rp.swap_with_slice(rk);
+                perm.swap(p, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= m * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A·x = b`, returning `x`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the matrix order.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(b.len(), n, "Lu::solve: rhs length mismatch");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Backward substitution with upper triangle.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.order() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the original matrix (column-by-column solves).
+    pub fn inverse(&self) -> Mat {
+        let n = self.order();
+        let mut inv = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, Transpose};
+
+    #[test]
+    fn solve_known_system() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]);
+        // 2x + y = 3, x + 3y = 5 -> x = 4/5, y = 7/5
+        assert!((x[0] - 0.8).abs() < 1e-14);
+        assert!((x[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn det_and_inverse() {
+        let a = Mat::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() - (-6.0)).abs() < 1e-12);
+        let inv = lu.inverse();
+        let prod = matmul(&a, Transpose::No, &inv, Transpose::No);
+        assert!(prod.approx_eq(&Mat::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-15);
+        assert!((x[1] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn inverse_of_larger_random() {
+        let mut state = 99u64;
+        let a = Mat::from_fn(8, 8, |i, j| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            r + if i == j { 4.0 } else { 0.0 } // diagonally dominant
+        });
+        let lu = Lu::new(&a).unwrap();
+        let inv = lu.inverse();
+        let prod = matmul(&a, Transpose::No, &inv, Transpose::No);
+        assert!(prod.approx_eq(&Mat::identity(8), 1e-10));
+    }
+}

@@ -1,0 +1,94 @@
+//! Deliberately untuned "textbook" kernels.
+//!
+//! These stand in for CodeML v4.4c's hand-rolled C loops: the paper's
+//! baseline. They are *correct* but ignore every performance rule the paper
+//! recommends (§V-C): the inner product in [`matmul`] strides down a column
+//! of `B` (cache-hostile in row-major storage), nothing is blocked or
+//! unrolled, and no symmetry is exploited. The CodeML-style likelihood
+//! engine routes all of its linear algebra through this module so that the
+//! CodeML-vs-SlimCodeML comparison measures exactly the optimizations the
+//! paper describes.
+
+use crate::Mat;
+
+/// Textbook `i-j-k` matrix product `C = A·B` (≈ 2·m·n·k flops, strided
+/// access to `B`).
+pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.cols(), b.rows(), "naive::matmul: inner dimensions differ");
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.cols();
+    let mut c = Mat::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a[(i, p)] * b[(p, j)];
+            }
+            c[(i, j)] = s;
+        }
+    }
+    c
+}
+
+/// Textbook matrix–transpose product `C = A·Bᵀ` computed by materializing
+/// nothing and striding as CodeML's `matby`-style loops do.
+pub fn matmul_bt(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.cols(), b.cols(), "naive::matmul_bt: inner dimensions differ");
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.rows();
+    let mut c = Mat::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a[(i, p)] * b[(j, p)];
+            }
+            c[(i, j)] = s;
+        }
+    }
+    c
+}
+
+/// Textbook matrix–vector product `y = A·x` with no unrolling.
+pub fn matvec(a: &Mat, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.cols(), x.len(), "naive::matvec: dimension mismatch");
+    assert_eq!(a.rows(), y.len(), "naive::matvec: dimension mismatch");
+    for i in 0..a.rows() {
+        let mut s = 0.0;
+        for j in 0..a.cols() {
+            s += a[(i, j)] * x[j];
+        }
+        y[i] = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_bt_equals_matmul_of_transpose() {
+        let a = Mat::from_fn(3, 4, |i, j| (i + 2 * j) as f64);
+        let b = Mat::from_fn(5, 4, |i, j| (3 * i + j) as f64);
+        assert_eq!(matmul_bt(&a, &b), matmul(&a, &b.transpose()));
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let a = Mat::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 4];
+        matvec(&a, &x, &mut y);
+        assert_eq!(y, x);
+    }
+}

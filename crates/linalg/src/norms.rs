@@ -1,0 +1,71 @@
+//! Matrix norms and error measures used by tests, the expm accuracy oracle,
+//! and the experiment harness.
+
+use crate::Mat;
+
+/// Frobenius norm `‖A‖_F`.
+pub fn frobenius(a: &Mat) -> f64 {
+    crate::vecops::nrm2(a.as_slice())
+}
+
+/// Infinity norm `‖A‖_∞` (maximum absolute row sum).
+pub fn inf_norm(a: &Mat) -> f64 {
+    (0..a.rows())
+        .map(|i| a.row(i).iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// One norm `‖A‖_1` (maximum absolute column sum).
+pub fn one_norm(a: &Mat) -> f64 {
+    let mut sums = vec![0.0f64; a.cols()];
+    for i in 0..a.rows() {
+        for (s, v) in sums.iter_mut().zip(a.row(i)) {
+            *s += v.abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Maximum absolute element.
+pub fn max_abs(a: &Mat) -> f64 {
+    a.as_slice().iter().map(|v| v.abs()).fold(0.0, f64::max)
+}
+
+/// Relative Frobenius distance `‖A − B‖_F / max(‖A‖_F, ε)`.
+pub fn rel_frobenius_diff(a: &Mat, b: &Mat) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    let mut diff = a.clone();
+    for (d, bv) in diff.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *d -= bv;
+    }
+    frobenius(&diff) / frobenius(a).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_of_known_matrix() {
+        let a = Mat::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert!((frobenius(&a) - 30f64.sqrt()).abs() < 1e-14);
+        assert_eq!(inf_norm(&a), 7.0);
+        assert_eq!(one_norm(&a), 6.0);
+        assert_eq!(max_abs(&a), 4.0);
+    }
+
+    #[test]
+    fn rel_diff_zero_for_equal() {
+        let a = Mat::identity(5);
+        assert_eq!(rel_frobenius_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rel_diff_scales() {
+        let a = Mat::identity(2);
+        let mut b = a.clone();
+        b[(0, 0)] = 1.0 + 1e-8;
+        let d = rel_frobenius_diff(&a, &b);
+        assert!(d > 0.0 && d < 1e-7);
+    }
+}

@@ -1,0 +1,170 @@
+//! BLAS level-1 style vector kernels.
+//!
+//! These are the building blocks of the likelihood hot loops: dot products
+//! (root likelihood), axpy/scal (optimizer updates), and elementwise
+//! products (combining child conditional probability vectors at internal
+//! tree nodes).
+
+/// Dot product `xᵀy`, unrolled 4-way to expose instruction-level
+/// parallelism (separate accumulators break the FP dependency chain).
+///
+/// # Panics
+/// Panics if lengths differ (debug builds only; release relies on zip).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len().min(y.len());
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for k in 0..chunks {
+        let i = 4 * k;
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in 4 * chunks..n {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y ← αx + y`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← αx`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean norm with scaling to avoid overflow/underflow (like `dnrm2`).
+pub fn nrm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a).powi(2);
+                scale = a;
+            } else {
+                ssq += (a / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Index of the element with the largest absolute value (like `idamax`).
+/// Returns `None` for an empty slice.
+pub fn iamax(x: &[f64]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).expect("NaN in iamax"))
+        .map(|(i, _)| i)
+}
+
+/// Elementwise product `z_i = x_i · y_i` — the internal-node combine step of
+/// Felsenstein pruning (Fig. 2 of the paper).
+#[inline]
+pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), z.len());
+    for ((zi, xi), yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi * yi;
+    }
+}
+
+/// In-place elementwise product `y_i ← y_i · x_i`.
+#[inline]
+pub fn hadamard_in_place(x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi *= xi;
+    }
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn asum_signed(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Maximum element (assumes non-empty, no NaN).
+#[inline]
+pub fn max_elem(x: &[f64]) -> f64 {
+    x.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(dot(&x, &y), 35.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        // lengths that are not multiples of 4 exercise the tail loop
+        assert_eq!(dot(&x[..3], &y[..3]), 22.0);
+    }
+
+    #[test]
+    fn axpy_scal() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [6.0, 12.0]);
+    }
+
+    #[test]
+    fn nrm2_robust() {
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        // values whose squares would overflow naive summation
+        let big = 1e200;
+        assert!((nrm2(&[big, big]) - big * 2f64.sqrt()).abs() / big < 1e-14);
+        // values whose squares would underflow to zero naively
+        let tiny = 1e-200;
+        assert!((nrm2(&[tiny, tiny]) - tiny * 2f64.sqrt()).abs() / tiny < 1e-14);
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn iamax_cases() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
+        assert_eq!(iamax(&[]), None);
+        assert_eq!(iamax(&[0.0]), Some(0));
+    }
+
+    #[test]
+    fn hadamard_variants() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        let mut z = [0.0; 3];
+        hadamard(&x, &y, &mut z);
+        assert_eq!(z, [4.0, 10.0, 18.0]);
+        let mut w = y;
+        hadamard_in_place(&x, &mut w);
+        assert_eq!(w, [4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(asum_signed(&[1.0, -2.0, 4.0]), 3.0);
+        assert_eq!(max_elem(&[1.0, 7.0, -3.0]), 7.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Brent's method for bounded 1-D minimization.
+//!
+//! Used for single-parameter refinements (e.g. re-optimizing one branch
+//! length with everything else held fixed) and as a robust fallback when
+//! the full BFGS problem is ill-conditioned.
+
+/// Golden ratio complement.
+const CGOLD: f64 = 0.381_966_011_250_105;
+
+/// Minimize `f` on `[a, b]` by Brent's parabolic-interpolation/golden-
+/// section hybrid. Returns `(x_min, f_min)`.
+///
+/// # Panics
+/// Panics if `a >= b` or `max_iter == 0`.
+pub fn brent_min(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64, max_iter: usize) -> (f64, f64) {
+    assert!(a < b, "brent_min: invalid bracket");
+    assert!(max_iter > 0);
+    let (mut a, mut b) = (a, b);
+    let mut x = a + CGOLD * (b - a);
+    let (mut w, mut v) = (x, x);
+    let mut fx = f(x);
+    let (mut fw, mut fv) = (fx, fx);
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+
+    for _ in 0..max_iter {
+        let xm = 0.5 * (a + b);
+        let tol1 = tol * x.abs() + 1e-12;
+        let tol2 = 2.0 * tol1;
+        if (x - xm).abs() <= tol2 - 0.5 * (b - a) {
+            break;
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Parabolic fit through (x, w, v).
+            let r = (x - w) * (fx - fv);
+            let mut q = (x - v) * (fx - fw);
+            let mut p = (x - v) * q - (x - w) * r;
+            q = 2.0 * (q - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let etemp = e;
+            e = d;
+            if p.abs() < (0.5 * q * etemp).abs() && p > q * (a - x) && p < q * (b - x) {
+                d = p / q;
+                let u = x + d;
+                if u - a < tol2 || b - u < tol2 {
+                    d = tol1.copysign(xm - x);
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x >= xm { a - x } else { b - x };
+            d = CGOLD * e;
+        }
+        let u = if d.abs() >= tol1 { x + d } else { x + tol1.copysign(d) };
+        let fu = f(u);
+        if fu <= fx {
+            if u >= x {
+                a = x;
+            } else {
+                b = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                a = u;
+            } else {
+                b = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    (x, fx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parabola() {
+        let (x, fx) = brent_min(|x| (x - 2.0) * (x - 2.0) + 1.0, 0.0, 5.0, 1e-10, 100);
+        assert!((x - 2.0).abs() < 1e-7);
+        assert!((fx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_function() {
+        // minimum of x - ln(x) at x = 1
+        let (x, _) = brent_min(|x| x - x.ln(), 0.01, 10.0, 1e-10, 200);
+        assert!((x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimum_near_boundary() {
+        let (x, _) = brent_min(|x| (x - 0.001).powi(2), 0.0, 1.0, 1e-10, 200);
+        assert!((x - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oscillatory() {
+        // global bracket chosen around one well of cos(x): min at π.
+        let (x, _) = brent_min(|x| x.cos(), 2.0, 4.5, 1e-10, 200);
+        assert!((x - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn invalid_bracket_panics() {
+        let _ = brent_min(|x| x, 1.0, 0.0, 1e-8, 10);
+    }
+}

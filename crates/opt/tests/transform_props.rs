@@ -1,0 +1,76 @@
+//! Property-based tests for the parameter transforms: the bijection and
+//! domain guarantees BFGS relies on must hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use slim_opt::{Block, BlockTransform};
+
+fn h1_layout(n_branches: usize) -> BlockTransform {
+    BlockTransform::new(vec![
+        Block::LowerBounded { lo: 1e-3 },
+        Block::BoxBounded { lo: 1e-6, hi: 1.0 - 1e-6 },
+        Block::LowerBounded { lo: 1.0 },
+        Block::SimplexWithRest { dim: 2 },
+        Block::BoxBoundedVec { lo: 1e-6, hi: 50.0, count: n_branches },
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Any unconstrained vector maps into the valid parameter domain.
+    #[test]
+    fn constrained_image_respects_domains(
+        z in proptest::collection::vec(-30.0f64..30.0, 9),
+    ) {
+        let t = h1_layout(4);
+        let x = t.to_constrained(&z);
+        prop_assert!(x[0] > 1e-3);                      // κ
+        prop_assert!(x[1] > 0.0 && x[1] < 1.0);         // ω0
+        prop_assert!(x[2] >= 1.0);                      // ω2
+        prop_assert!(x[3] > 0.0 && x[4] > 0.0);         // p0, p1
+        prop_assert!(x[3] + x[4] < 1.0 + 1e-12);
+        for &b in &x[5..] {
+            prop_assert!(b > 1e-6 && b < 50.0);
+        }
+    }
+
+    /// Round trip constrained → unconstrained → constrained is identity
+    /// (within float tolerance) on interior points.
+    #[test]
+    fn roundtrip_interior(
+        kappa in 0.1f64..20.0,
+        omega0 in 0.01f64..0.95,
+        omega2 in 1.01f64..15.0,
+        p0 in 0.05f64..0.7,
+        p1 in 0.05f64..0.25,
+        bl in proptest::collection::vec(0.001f64..10.0, 4),
+    ) {
+        let t = h1_layout(4);
+        let mut x = vec![kappa, omega0, omega2, p0, p1];
+        x.extend(bl);
+        let z = t.to_unconstrained(&x);
+        let back = t.to_constrained(&z);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// The map is continuous-ish: small z perturbations make small x
+    /// perturbations (no jumps from clamping in the working range).
+    #[test]
+    fn locally_smooth(
+        z in proptest::collection::vec(-5.0f64..5.0, 9),
+        idx in 0usize..9,
+        eps in 1e-7f64..1e-5,
+    ) {
+        let t = h1_layout(4);
+        let x1 = t.to_constrained(&z);
+        let mut z2 = z.clone();
+        z2[idx] += eps;
+        let x2 = t.to_constrained(&z2);
+        for (a, b) in x1.iter().zip(&x2) {
+            // Lipschitz-ish bound: transforms have derivative O(scale).
+            prop_assert!((a - b).abs() < 100.0 * eps * (1.0 + a.abs()), "{a} -> {b}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # slim-sim
+//!
+//! Synthetic-data substrate. The paper evaluates on four Ensembl/Selectome
+//! alignments characterized by their shapes (Table II): we cannot ship
+//! those proprietary-pipeline files, so this crate simulates codon
+//! alignments of *identical shape* under the branch-site model itself —
+//! exercising exactly the same code paths and cost profile (the
+//! per-branch matrix exponentials and per-site CPV products depend only on
+//! species count, alignment length, and pattern diversity).
+//!
+//! * [`tree_gen`]: seeded Yule (pure-birth) random trees with exponential
+//!   branch lengths and a designated foreground branch;
+//! * [`seqgen`]: forward simulation of codon sequences along the tree
+//!   under branch-site model A;
+//! * [`presets`]: dataset analogs i–iv matching Table II's
+//!   (species × codons) shapes, plus the 15–95-species sub-sampling used
+//!   by Fig. 3.
+
+pub mod masking;
+pub mod presets;
+pub mod seqgen;
+pub mod tree_gen;
+
+pub use masking::mask_random_cells;
+pub use presets::{dataset, subsample_dataset, DatasetId, SimulatedDataset};
+pub use seqgen::simulate_alignment;
+pub use tree_gen::yule_tree;

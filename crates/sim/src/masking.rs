@@ -1,0 +1,107 @@
+//! Missing-data masking for simulated alignments.
+//!
+//! Real Ensembl/Selectome alignments contain gaps and ambiguous codons;
+//! the simulator produces fully-observed data. This module knocks out a
+//! seeded random fraction of cells so tests and benches can exercise the
+//! missing-data paths on realistic inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slim_bio::{CodonAlignment, Site};
+
+/// Replace a random `fraction` of alignment cells with missing data.
+///
+/// Each cell is masked independently with probability `fraction`, but no
+/// alignment *column* is ever fully masked (a fully-missing column carries
+/// no signal and some tools reject it) — one uniformly chosen cell per
+/// otherwise-fully-masked column is restored.
+///
+/// # Panics
+/// Panics if `fraction` is outside `[0, 1)`.
+pub fn mask_random_cells(aln: &CodonAlignment, fraction: f64, seed: u64) -> CodonAlignment {
+    assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_seq = aln.n_sequences();
+    let n_cod = aln.n_codons();
+
+    let mut seqs: Vec<Vec<Site>> =
+        (0..n_seq).map(|i| aln.sequence(i).to_vec()).collect();
+    for site in 0..n_cod {
+        let mut masked = 0usize;
+        for seq in seqs.iter_mut() {
+            if rng.gen::<f64>() < fraction {
+                seq[site] = Site::Missing;
+                masked += 1;
+            }
+        }
+        if masked == n_seq {
+            // Restore one random cell from the original.
+            let keep = rng.gen_range(0..n_seq);
+            seqs[keep][site] = aln.sequence(keep)[site];
+        }
+    }
+    CodonAlignment::new(aln.names().to_vec(), seqs).expect("masking preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqgen::simulate_alignment;
+    use crate::tree_gen::yule_tree;
+    use slim_model::{BranchSiteModel, Hypothesis};
+
+    fn base() -> CodonAlignment {
+        let tree = yule_tree(5, 0.2, 8);
+        let model = BranchSiteModel::default_start(Hypothesis::H0);
+        simulate_alignment(&tree, &model, &vec![1.0 / 61.0; 61], 200, 4)
+    }
+
+    #[test]
+    fn masks_expected_fraction() {
+        let aln = base();
+        let masked = mask_random_cells(&aln, 0.2, 42);
+        let f = masked.missing_fraction();
+        assert!((f - 0.2).abs() < 0.05, "observed fraction {f}");
+        assert_eq!(masked.n_sequences(), aln.n_sequences());
+        assert_eq!(masked.n_codons(), aln.n_codons());
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let aln = base();
+        let masked = mask_random_cells(&aln, 0.0, 1);
+        assert_eq!(masked, aln);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let aln = base();
+        assert_eq!(mask_random_cells(&aln, 0.3, 7), mask_random_cells(&aln, 0.3, 7));
+        assert_ne!(mask_random_cells(&aln, 0.3, 7), mask_random_cells(&aln, 0.3, 8));
+    }
+
+    #[test]
+    fn no_fully_missing_columns_even_at_high_fraction() {
+        let aln = base();
+        let masked = mask_random_cells(&aln, 0.95, 13);
+        for site in 0..masked.n_codons() {
+            let observed = (0..masked.n_sequences())
+                .filter(|&i| !masked.sequence(i)[site].is_missing())
+                .count();
+            assert!(observed >= 1, "column {site} fully masked");
+        }
+    }
+
+    #[test]
+    fn unmasked_cells_match_original() {
+        let aln = base();
+        let masked = mask_random_cells(&aln, 0.4, 21);
+        for i in 0..aln.n_sequences() {
+            for s in 0..aln.n_codons() {
+                if !masked.sequence(i)[s].is_missing() {
+                    assert_eq!(masked.sequence(i)[s], aln.sequence(i)[s]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Dataset analogs of the paper's Table II.
+//!
+//! | id  | paper dataset                                 | species | codons |
+//! |-----|-----------------------------------------------|---------|--------|
+//! | I   | ENSGT00390000016702.Primates.1.2              | 7       | 299    |
+//! | II  | ENSGT00580000081590.Primates.1.2              | 6       | 5004   |
+//! | III | ENSGT00550000073950.Euteleostomi.7.2          | 25      | 67     |
+//! | IV  | ENSGT00530000063518.Primates.1.1              | 95      | 39     |
+//!
+//! Each analog is simulated under branch-site model A on a seeded Yule
+//! tree with the same (species × codons) shape; see DESIGN.md §2 for the
+//! substitution argument.
+
+use crate::seqgen::simulate_alignment;
+use crate::tree_gen::yule_tree;
+use slim_bio::{CodonAlignment, Tree, N_CODONS};
+use slim_model::{BranchSiteModel, Hypothesis};
+
+/// The four Table II dataset shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// 7 species × 299 codons — small tree, average length.
+    I,
+    /// 6 species × 5004 codons — small tree, very long alignment.
+    II,
+    /// 25 species × 67 codons — medium tree, short alignment.
+    III,
+    /// 95 species × 39 codons — large tree, very short alignment.
+    IV,
+}
+
+impl DatasetId {
+    /// All four, in paper order.
+    pub const ALL: [DatasetId; 4] = [DatasetId::I, DatasetId::II, DatasetId::III, DatasetId::IV];
+
+    /// (species, codons) shape from Table II.
+    pub fn shape(self) -> (usize, usize) {
+        match self {
+            DatasetId::I => (7, 299),
+            DatasetId::II => (6, 5004),
+            DatasetId::III => (25, 67),
+            DatasetId::IV => (95, 39),
+        }
+    }
+
+    /// Roman-numeral label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetId::I => "i",
+            DatasetId::II => "ii",
+            DatasetId::III => "iii",
+            DatasetId::IV => "iv",
+        }
+    }
+
+    /// Deterministic seed per dataset (arbitrary but fixed, like the
+    /// paper's fixed RNG seed).
+    fn seed(self) -> u64 {
+        match self {
+            DatasetId::I => 1001,
+            DatasetId::II => 1002,
+            DatasetId::III => 1003,
+            DatasetId::IV => 1004,
+        }
+    }
+}
+
+/// A simulated stand-in for one Table II dataset.
+#[derive(Debug, Clone)]
+pub struct SimulatedDataset {
+    /// Which Table II shape this mirrors.
+    pub id: DatasetId,
+    /// The tree (with foreground branch marked) the data was simulated on.
+    pub tree: Tree,
+    /// The simulated codon alignment.
+    pub alignment: CodonAlignment,
+    /// The generating parameters (ground truth for recovery tests).
+    pub true_model: BranchSiteModel,
+}
+
+/// The generating model shared by all presets: moderate positive
+/// selection on ~10% of sites.
+fn generating_model() -> BranchSiteModel {
+    BranchSiteModel { kappa: 2.5, omega0: 0.15, omega2: 3.0, p0: 0.65, p1: 0.25 }
+}
+
+/// Skewed (non-uniform) codon frequencies shared by all presets, so that
+/// F3×4/F61 estimation is non-trivial.
+fn generating_pi() -> Vec<f64> {
+    let mut pi: Vec<f64> = (0..N_CODONS)
+        .map(|i| 1.0 + 0.5 * ((i as f64 * 0.61).sin() + 1.0))
+        .collect();
+    let s: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= s;
+    }
+    pi
+}
+
+/// Build the analog of one Table II dataset.
+pub fn dataset(id: DatasetId) -> SimulatedDataset {
+    let (species, codons) = id.shape();
+    // Mean branch length 0.15 expected substitutions/codon — typical of
+    // the within-clade Ensembl alignments the paper used.
+    let tree = yule_tree(species, 0.15, id.seed());
+    let model = generating_model();
+    let alignment = simulate_alignment(&tree, &model, &generating_pi(), codons, id.seed() ^ 0xABCD);
+    let _ = Hypothesis::H1;
+    SimulatedDataset { id, tree, alignment, true_model: model }
+}
+
+/// The Fig. 3 experiment: dataset iv sub-sampled to `n_species`
+/// (15 ≤ n ≤ 95 in the paper), exactly as the paper does — the *same*
+/// 95-species alignment and tree restricted to a subset of taxa (the
+/// first `n_species` in name order), with suppressed unary nodes merged.
+/// If the original foreground branch does not survive the restriction,
+/// the longest remaining branch is marked instead.
+///
+/// # Panics
+/// Panics if `n_species < 2` or `> 95`.
+pub fn subsample_dataset(n_species: usize) -> SimulatedDataset {
+    let full = dataset(DatasetId::IV);
+    assert!((2..=full.tree.n_leaves()).contains(&n_species), "subsample size out of range");
+    let names: Vec<String> = (1..=n_species).map(|i| format!("S{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut tree = full.tree.restrict_to_leaves(&name_refs).expect("valid restriction");
+    if tree.foreground_branch().is_err() {
+        let longest = tree
+            .branch_nodes()
+            .into_iter()
+            .max_by(|a, b| {
+                tree.node(*a)
+                    .branch_length
+                    .partial_cmp(&tree.node(*b).branch_length)
+                    .expect("finite lengths")
+            })
+            .expect("non-empty tree");
+        tree.set_foreground(longest).expect("non-root branch");
+    }
+    let keep: Vec<usize> = names
+        .iter()
+        .map(|n| full.alignment.index_of(n).expect("leaf name in alignment"))
+        .collect();
+    let alignment = full.alignment.subset(&keep).expect("valid subset");
+    SimulatedDataset { id: DatasetId::IV, tree, alignment, true_model: full.true_model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_table_ii() {
+        for id in DatasetId::ALL {
+            let (species, codons) = id.shape();
+            let d = dataset(id);
+            assert_eq!(d.alignment.n_sequences(), species, "{id:?}");
+            assert_eq!(d.alignment.n_codons(), codons, "{id:?}");
+            assert_eq!(d.tree.n_leaves(), species, "{id:?}");
+            assert!(d.tree.foreground_branch().is_ok(), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dataset(DatasetId::I);
+        let b = dataset(DatasetId::I);
+        assert_eq!(a.alignment, b.alignment);
+        assert_eq!(slim_bio::write_newick(&a.tree), slim_bio::write_newick(&b.tree));
+    }
+
+    #[test]
+    fn datasets_differ() {
+        assert_ne!(dataset(DatasetId::I).alignment, dataset(DatasetId::III).alignment);
+    }
+
+    #[test]
+    fn subsample_sizes() {
+        for n in [15usize, 55, 95] {
+            let d = subsample_dataset(n);
+            assert_eq!(d.tree.n_leaves(), n);
+            assert_eq!(d.alignment.n_codons(), 39);
+            assert_eq!(d.alignment.n_sequences(), n);
+            assert!(d.tree.foreground_branch().is_ok());
+        }
+    }
+
+    #[test]
+    fn subsample_is_true_restriction_of_dataset_iv() {
+        // The 15-species alignment must be a row subset of the full one.
+        let full = dataset(DatasetId::IV);
+        let sub = subsample_dataset(15);
+        for name in sub.alignment.names() {
+            let full_idx = full.alignment.index_of(name).expect("name exists in full dataset");
+            let sub_idx = sub.alignment.index_of(name).unwrap();
+            assert_eq!(sub.alignment.sequence(sub_idx), full.alignment.sequence(full_idx));
+        }
+        // Leaf-to-leaf path lengths are preserved by unary suppression:
+        // check the tree total is smaller but every pendant name exists.
+        assert!(sub.tree.total_length() < full.tree.total_length());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DatasetId::I.label(), "i");
+        assert_eq!(DatasetId::IV.label(), "iv");
+    }
+}

@@ -1,0 +1,203 @@
+//! Forward simulation of codon alignments under branch-site model A.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slim_bio::{CodonAlignment, GeneticCode, Tree};
+use slim_expm::EigenSystem;
+use slim_linalg::{EigenMethod, Mat};
+use slim_model::{build_rate_matrix, BranchSiteModel, ScalePolicy};
+
+/// Draw an index from a discrete distribution given as (possibly
+/// unnormalized non-negative) weights.
+fn sample_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0);
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Simulate a codon alignment of `n_codons` sites along `tree` under
+/// branch-site model A with the given parameters and equilibrium
+/// frequencies. Deterministic per seed.
+///
+/// Per site: a class is drawn from the Table I proportions; the root codon
+/// from π; each branch then transitions through `P(t)` built for the
+/// class's ω on that branch's role (foreground/background).
+///
+/// # Panics
+/// Panics if the tree lacks a foreground branch or `pi` is malformed.
+pub fn simulate_alignment(
+    tree: &Tree,
+    model: &BranchSiteModel,
+    pi: &[f64],
+    n_codons: usize,
+    seed: u64,
+) -> CodonAlignment {
+    let code = GeneticCode::universal();
+    assert_eq!(pi.len(), code.n_sense());
+    tree.foreground_branch().expect("tree must have a foreground branch");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Transition matrices per (branch node, distinct ω), sharing the same
+    // background-mixture rate scale the likelihood engine uses (see
+    // BranchSiteModel::shared_scale) so simulated branch lengths mean the
+    // same thing the estimator assumes.
+    let omegas = model.omegas();
+    let (syn_flux, nonsyn_flux) =
+        slim_model::codon_model::rate_components(&code, model.kappa, pi);
+    let scale = model.shared_scale(syn_flux, nonsyn_flux);
+    let eigensystems: Vec<EigenSystem> = omegas
+        .iter()
+        .map(|&w| {
+            let rm = build_rate_matrix(&code, model.kappa, w, pi, ScalePolicy::External(scale));
+            EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).expect("eigensolve")
+        })
+        .collect();
+
+    let n_nodes = tree.n_nodes();
+    let mut pmats: Vec<[Option<Mat>; 3]> = (0..n_nodes).map(|_| [None, None, None]).collect();
+    for id in tree.branch_nodes() {
+        let t = tree.node(id).branch_length;
+        let needed: &[usize] = if tree.node(id).foreground { &[0, 1, 2] } else { &[0, 1] };
+        for &w in needed {
+            pmats[id.0][w] = Some(eigensystems[w].transition_matrix_eq10(t));
+        }
+    }
+
+    let classes = model.site_classes();
+    let class_weights: Vec<f64> = classes.iter().map(|c| c.proportion).collect();
+
+    // Simulate states per node per site, preorder (parents before children).
+    let postorder = tree.postorder();
+    let preorder: Vec<_> = postorder.iter().rev().copied().collect();
+    let mut states: Vec<Vec<usize>> = vec![vec![0; n_codons]; n_nodes];
+
+    #[allow(clippy::needless_range_loop)] // `site` indexes per-node state rows
+    for site in 0..n_codons {
+        let class = &classes[sample_index(&mut rng, &class_weights)];
+        for &id in &preorder {
+            let node = tree.node(id);
+            match node.parent {
+                None => states[id.0][site] = sample_index(&mut rng, pi),
+                Some(parent) => {
+                    let w = if node.foreground { class.foreground_omega } else { class.background_omega };
+                    let p = pmats[id.0][w].as_ref().expect("P matrix built");
+                    let from = states[parent.0][site];
+                    states[id.0][site] = sample_index(&mut rng, p.row(from));
+                }
+            }
+        }
+    }
+
+    // Extract leaf sequences.
+    let mut names = Vec::new();
+    let mut seqs = Vec::new();
+    for id in tree.leaves() {
+        names.push(tree.node(id).name.clone().expect("named leaf"));
+        seqs.push(
+            states[id.0]
+                .iter()
+                .map(|&s| code.sense_codon(s))
+                .collect::<Vec<_>>(),
+        );
+    }
+    CodonAlignment::from_codons(names, seqs).expect("simulated alignment is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree_gen::yule_tree;
+    use slim_bio::N_CODONS;
+    use slim_model::Hypothesis;
+
+    fn uniform_pi() -> Vec<f64> {
+        vec![1.0 / N_CODONS as f64; N_CODONS]
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let tree = yule_tree(5, 0.2, 11);
+        let model = BranchSiteModel::default_start(Hypothesis::H1);
+        let a1 = simulate_alignment(&tree, &model, &uniform_pi(), 50, 123);
+        let a2 = simulate_alignment(&tree, &model, &uniform_pi(), 50, 123);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.n_sequences(), 5);
+        assert_eq!(a1.n_codons(), 50);
+        let a3 = simulate_alignment(&tree, &model, &uniform_pi(), 50, 124);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn no_stop_codons_by_construction() {
+        // CodonAlignment::new validates this; just make sure a decent-size
+        // simulation constructs successfully.
+        let tree = yule_tree(8, 0.3, 7);
+        let model = BranchSiteModel::default_start(Hypothesis::H1);
+        let aln = simulate_alignment(&tree, &model, &uniform_pi(), 300, 5);
+        assert_eq!(aln.n_codons(), 300);
+    }
+
+    #[test]
+    fn short_branches_give_similar_sequences() {
+        let tree = yule_tree(4, 0.001, 3);
+        let model = BranchSiteModel::default_start(Hypothesis::H0);
+        let aln = simulate_alignment(&tree, &model, &uniform_pi(), 200, 9);
+        // With ~0.001 expected substitutions/codon, sequences are nearly
+        // identical.
+        let a = aln.sequence(0);
+        let b = aln.sequence(1);
+        let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
+        assert!(diff < 10, "{diff} differences on near-zero branches");
+    }
+
+    #[test]
+    fn long_branches_randomize() {
+        let tree = yule_tree(4, 10.0, 3);
+        let model = BranchSiteModel::default_start(Hypothesis::H0);
+        let aln = simulate_alignment(&tree, &model, &uniform_pi(), 200, 9);
+        let a = aln.sequence(0);
+        let b = aln.sequence(1);
+        let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
+        assert!(diff > 150, "only {diff} differences on long branches");
+    }
+
+    #[test]
+    fn respects_equilibrium_frequencies() {
+        // Simulate with a pi concentrated on a few codons; the observed
+        // composition must reflect it.
+        let mut pi = vec![1e-4; N_CODONS];
+        pi[0] = 0.5;
+        pi[1] = 0.5 - 60.0 * 1e-4;
+        let s: f64 = pi.iter().sum();
+        for p in &mut pi {
+            *p /= s;
+        }
+        let tree = yule_tree(3, 0.05, 2);
+        let model = BranchSiteModel::default_start(Hypothesis::H0);
+        let aln = simulate_alignment(&tree, &model, &pi, 400, 77);
+        let code = GeneticCode::universal();
+        let mut mass01 = 0usize;
+        let mut total = 0usize;
+        for i in 0..aln.n_sequences() {
+            for &c in aln.sequence(i) {
+                let idx = code.sense_index(c.codon().unwrap()).unwrap();
+                if idx <= 1 {
+                    mass01 += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(
+            mass01 as f64 / total as f64 > 0.9,
+            "expected >90% mass on codons 0/1, got {}",
+            mass01 as f64 / total as f64
+        );
+    }
+}

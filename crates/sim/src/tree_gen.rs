@@ -1,0 +1,134 @@
+//! Seeded random phylogenies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slim_bio::tree::Node;
+use slim_bio::{NodeId, Tree};
+
+/// Generate a rooted binary tree on `n_leaves` taxa by a Yule (pure-birth)
+/// process: repeatedly split a uniformly chosen leaf. Branch lengths are
+/// exponential with the given mean; leaves are named `S1..Sn`; one
+/// uniformly chosen non-root branch is marked as foreground.
+///
+/// Deterministic for a fixed seed — the paper fixes the RNG seed "to
+/// generate comparable and reproducible results" (§IV).
+///
+/// # Panics
+/// Panics if `n_leaves < 2` or `mean_branch_length <= 0`.
+pub fn yule_tree(n_leaves: usize, mean_branch_length: f64, seed: u64) -> Tree {
+    assert!(n_leaves >= 2, "need at least two leaves");
+    assert!(mean_branch_length > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let exp = |rng: &mut StdRng| -> f64 {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        -mean_branch_length * u.ln()
+    };
+
+    // Arena of nodes; start with a root and two leaf children.
+    let mut nodes: Vec<Node> = Vec::with_capacity(2 * n_leaves - 1);
+    nodes.push(Node { parent: None, children: vec![], name: None, branch_length: 0.0, foreground: false });
+    let mut leaves: Vec<usize> = Vec::with_capacity(n_leaves);
+    for _ in 0..2 {
+        let id = nodes.len();
+        nodes.push(Node {
+            parent: Some(NodeId(0)),
+            children: vec![],
+            name: None,
+            branch_length: exp(&mut rng),
+            foreground: false,
+        });
+        nodes[0].children.push(NodeId(id));
+        leaves.push(id);
+    }
+
+    // Split random leaves until we have n_leaves.
+    while leaves.len() < n_leaves {
+        let pick = rng.gen_range(0..leaves.len());
+        let parent = leaves.swap_remove(pick);
+        for _ in 0..2 {
+            let id = nodes.len();
+            nodes.push(Node {
+                parent: Some(NodeId(parent)),
+                children: vec![],
+                name: None,
+                branch_length: exp(&mut rng),
+                foreground: false,
+            });
+            nodes[parent].children.push(NodeId(id));
+            leaves.push(id);
+        }
+    }
+
+    // Name leaves deterministically by arena order.
+    let mut counter = 0usize;
+    for node in nodes.iter_mut() {
+        if node.children.is_empty() {
+            counter += 1;
+            node.name = Some(format!("S{counter}"));
+        }
+    }
+
+    // Mark a random non-root branch as foreground.
+    let candidates: Vec<usize> = (1..nodes.len()).collect();
+    let fg = candidates[rng.gen_range(0..candidates.len())];
+    nodes[fg].foreground = true;
+
+    Tree::new(nodes, NodeId(0)).expect("generated tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_leaf_count() {
+        for n in [2usize, 3, 7, 25, 95] {
+            let t = yule_tree(n, 0.1, 42);
+            assert_eq!(t.n_leaves(), n, "n={n}");
+            assert_eq!(t.n_nodes(), 2 * n - 1, "binary rooted tree node count");
+            assert!(t.is_binary());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = yule_tree(10, 0.2, 7);
+        let b = yule_tree(10, 0.2, 7);
+        assert_eq!(slim_bio::write_newick(&a), slim_bio::write_newick(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = yule_tree(10, 0.2, 1);
+        let b = yule_tree(10, 0.2, 2);
+        assert_ne!(slim_bio::write_newick(&a), slim_bio::write_newick(&b));
+    }
+
+    #[test]
+    fn exactly_one_foreground() {
+        let t = yule_tree(20, 0.1, 99);
+        assert!(t.foreground_branch().is_ok());
+    }
+
+    #[test]
+    fn branch_lengths_positive_with_requested_mean() {
+        let t = yule_tree(50, 0.25, 3);
+        let lens = t.branch_lengths();
+        assert!(lens.iter().all(|&l| l > 0.0));
+        let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+        assert!(mean > 0.1 && mean < 0.5, "sample mean {mean} too far from 0.25");
+    }
+
+    #[test]
+    fn leaf_names_unique() {
+        let t = yule_tree(30, 0.1, 5);
+        let mut names: Vec<String> = t
+            .leaves()
+            .into_iter()
+            .map(|id| t.node(id).name.clone().unwrap())
+            .collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 30);
+    }
+}

@@ -1,0 +1,50 @@
+//! χ² distribution functions.
+
+use crate::gamma::reg_lower_gamma;
+
+/// CDF of the χ² distribution with `k` degrees of freedom.
+///
+/// # Panics
+/// Panics if `k == 0` or `x < 0` (via the gamma routines).
+pub fn chi2_cdf(x: f64, k: usize) -> f64 {
+    assert!(k > 0, "chi2_cdf: k must be positive");
+    reg_lower_gamma(k as f64 / 2.0, x / 2.0)
+}
+
+/// Survival function `P(X > x)` of the χ² distribution.
+pub fn chi2_sf(x: f64, k: usize) -> f64 {
+    (1.0 - chi2_cdf(x, k)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi2_1_known_quantiles() {
+        // Classic critical values for 1 df.
+        assert!((chi2_sf(3.841, 1) - 0.05).abs() < 5e-4);
+        assert!((chi2_sf(6.635, 1) - 0.01).abs() < 2e-4);
+        assert!((chi2_sf(2.706, 1) - 0.10).abs() < 5e-4);
+    }
+
+    #[test]
+    fn chi2_2_is_exponential() {
+        // χ²₂ CDF = 1 − e^{−x/2}.
+        for x in [0.5, 1.0, 2.0, 5.0] {
+            assert!((chi2_cdf(x, 2) - (1.0 - (-x / 2.0f64).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_properties() {
+        assert_eq!(chi2_cdf(0.0, 3), 0.0);
+        assert!(chi2_cdf(1e6, 3) > 1.0 - 1e-12);
+        let mut prev = 0.0;
+        for i in 0..40 {
+            let v = chi2_cdf(i as f64 * 0.5, 4);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Log-gamma and the regularized incomplete gamma function.
+
+/// Lanczos coefficients (g = 7, n = 9), good to ~15 significant digits.
+/// (Literal digit counts follow the published table; precision lints are
+/// silenced deliberately.)
+#[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// # Panics
+/// Panics for non-positive `x`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula keeps the Lanczos series in its sweet spot.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)` for
+/// `a > 0, x ≥ 0`, via the series (x < a + 1) or continued fraction.
+///
+/// # Panics
+/// Panics for invalid arguments.
+pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_lower_gamma requires a > 0");
+    assert!(x >= 0.0, "reg_lower_gamma requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut n = a;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= x / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-16 {
+                break;
+            }
+        }
+        (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a,x) (modified Lentz).
+        let tiny = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / tiny;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = b + an / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-16 {
+                break;
+            }
+        }
+        let q = (a * x.ln() - x - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-13);
+        assert!(ln_gamma(2.0).abs() < 1e-13);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x) → lnΓ(x+1) = ln x + lnΓ(x).
+        for x in [0.3, 1.7, 4.2, 11.0] {
+            assert!((ln_gamma(x + 1.0) - x.ln() - ln_gamma(x)).abs() < 1e-11, "x={x}");
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_limits() {
+        assert_eq!(reg_lower_gamma(2.0, 0.0), 0.0);
+        assert!((reg_lower_gamma(2.0, 100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_gamma_exponential_special_case() {
+        // P(1, x) = 1 − e^{−x}.
+        for x in [0.1, 0.5, 1.0, 3.0, 10.0] {
+            let expect = 1.0 - f64::exp(-x);
+            assert!((reg_lower_gamma(1.0, x) - expect).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let x = i as f64 * 0.2;
+            let v = reg_lower_gamma(3.0, x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a > 0")]
+    fn invalid_a_panics() {
+        let _ = reg_lower_gamma(0.0, 1.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # slim-stat
+//!
+//! Statistical machinery downstream of the likelihood fits:
+//!
+//! * [`gamma`]: log-gamma and the regularized incomplete gamma function;
+//! * [`chi2`]: χ² distribution functions built on them;
+//! * [`lrt`]: the likelihood-ratio test between H0 and H1 — the
+//!   positive-selection decision the whole pipeline exists for (§I-A of
+//!   the paper), with the 50:50 {point-mass-at-0, χ²₁} boundary null;
+//! * [`bayes`]: (naive) empirical-Bayes posterior probabilities that a
+//!   site belongs to the positively-selected classes (2a/2b), the
+//!   site-identification step the paper cites as the follow-up to a
+//!   significant LRT.
+
+pub mod bayes;
+pub mod chi2;
+pub mod gamma;
+pub mod lrt;
+
+pub use bayes::{class_posteriors, positive_selection_posteriors};
+pub use chi2::{chi2_cdf, chi2_sf};
+pub use gamma::{ln_gamma, reg_lower_gamma};
+pub use lrt::{aic, bic, lrt_pvalue, LrtResult};

@@ -1,0 +1,105 @@
+//! The likelihood-ratio test between H0 and H1.
+//!
+//! "The most common method to detect positive selection is to test through
+//! likelihood ratio test if a codon model allowing positive selection on a
+//! particular branch (H1) explains the data better than a codon model that
+//! does not (H0)" (§I-A). Because H0 pins ω2 = 1 at the *boundary* of H1's
+//! parameter space, the asymptotic null is not χ²₁ but the 50:50 mixture
+//! of a point mass at 0 and χ²₁ (Self & Liang, 1987), which halves the
+//! p-value for positive statistics.
+
+use crate::chi2::chi2_sf;
+
+/// Outcome of the likelihood-ratio test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrtResult {
+    /// `2 (lnL1 − lnL0)`, clamped at 0 (tiny negative values arise from
+    /// independent numerical optimizations of the two hypotheses).
+    pub statistic: f64,
+    /// Mixture-null p-value.
+    pub p_value: f64,
+    /// Conventional χ²₁ p-value (what a naive test would report).
+    pub p_value_chi2_1: f64,
+}
+
+/// Perform the branch-site LRT given the two maximized log-likelihoods.
+pub fn lrt_pvalue(lnl_h0: f64, lnl_h1: f64) -> LrtResult {
+    let raw = 2.0 * (lnl_h1 - lnl_h0);
+    let statistic = raw.max(0.0);
+    let p_chi2 = chi2_sf(statistic, 1);
+    let p_mixture = if statistic <= 0.0 { 1.0 } else { 0.5 * p_chi2 };
+    LrtResult { statistic, p_value: p_mixture, p_value_chi2_1: p_chi2 }
+}
+
+/// Conventional significance threshold used by Selectome-style scans.
+pub const ALPHA: f64 = 0.05;
+
+impl LrtResult {
+    /// Is positive selection detected at the given significance level?
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Akaike information criterion `AIC = 2k − 2 lnL`.
+pub fn aic(lnl: f64, n_params: usize) -> f64 {
+    2.0 * n_params as f64 - 2.0 * lnl
+}
+
+/// Bayesian information criterion `BIC = k ln(n) − 2 lnL` with `n`
+/// observations (alignment sites).
+pub fn bic(lnl: f64, n_params: usize, n_sites: usize) -> f64 {
+    n_params as f64 * (n_sites as f64).ln() - 2.0 * lnl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn information_criteria() {
+        // Better lnL lowers both criteria; more parameters raise them.
+        assert!(aic(-100.0, 5) < aic(-110.0, 5));
+        assert!(aic(-100.0, 5) < aic(-100.0, 8));
+        assert!(bic(-100.0, 5, 500) < bic(-110.0, 5, 500));
+        // BIC penalizes harder than AIC once ln(n) > 2.
+        assert!(bic(-100.0, 5, 500) > aic(-100.0, 5));
+    }
+
+    #[test]
+    fn zero_improvement_is_not_significant() {
+        let r = lrt_pvalue(-1000.0, -1000.0);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.significant_at(ALPHA));
+    }
+
+    #[test]
+    fn small_negative_clamped() {
+        // H1 slightly below H0 (optimizer noise) must behave like 0.
+        let r = lrt_pvalue(-1000.0, -1000.0001);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn large_improvement_significant() {
+        let r = lrt_pvalue(-1000.0, -990.0); // statistic 20
+        assert!(r.statistic == 20.0);
+        assert!(r.p_value < 1e-4);
+        assert!(r.significant_at(ALPHA));
+    }
+
+    #[test]
+    fn mixture_halves_pvalue() {
+        let r = lrt_pvalue(-500.0, -498.0); // statistic 4
+        assert!((r.p_value - 0.5 * r.p_value_chi2_1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn boundary_critical_value() {
+        // Under the mixture null, the 5% critical value is χ²₁(0.10) ≈ 2.71.
+        let r = lrt_pvalue(0.0, 2.706 / 2.0);
+        assert!((r.p_value - 0.05).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,9 @@
+* Branch-site positive selection test on the Fig. 1 example data.
+* Run with: cargo run --release -p slim-cli --bin slimcodeml -- --ctl data/codeml.ctl
+      seqfile = data/fig1.fasta
+     treefile = data/fig1.nwk
+      outfile = mlc            * accepted for compatibility, output on stdout
+        model = 2              * branch models
+      NSsites = 2              * -> branch-site model A
+    CodonFreq = 2              * F3x4
+         seed = 1

@@ -1,0 +1,80 @@
+//! Simulate data with known positive selection, then recover it.
+//!
+//! The motivating workflow of the paper's §I-A: simulate a gene where ~10%
+//! of sites on the foreground branch evolve with ω2 = 4 (strong positive
+//! selection), fit both hypotheses, and confirm the LRT detects the signal
+//! — then repeat on data simulated *without* selection (H0 truth) and
+//! confirm the test stays quiet.
+//!
+//! ```text
+//! cargo run --release --example simulate_and_detect
+//! ```
+
+use slimcodeml::core::{Analysis, AnalysisOptions, BranchSiteModel};
+use slimcodeml::model::Hypothesis;
+use slimcodeml::sim::{simulate_alignment, yule_tree};
+
+fn run_case(label: &str, true_model: &BranchSiteModel, seed: u64) {
+    let n_species = 8;
+    let n_codons = 600;
+    let mut tree = yule_tree(n_species, 0.2, seed);
+    // The branch-site test has limited power on short branches; put the
+    // foreground mark on the longest branch so a positive simulation
+    // carries a detectable number of selected substitutions.
+    let longest = tree
+        .branch_nodes()
+        .into_iter()
+        .max_by(|a, b| {
+            tree.node(*a)
+                .branch_length
+                .partial_cmp(&tree.node(*b).branch_length)
+                .unwrap()
+        })
+        .unwrap();
+    tree.set_foreground(longest).unwrap();
+    let pi = vec![1.0 / 61.0; 61];
+    let aln = simulate_alignment(&tree, true_model, &pi, n_codons, seed ^ 0xFEED);
+
+    let options = AnalysisOptions { max_iterations: 150, ..Default::default() };
+    let analysis = Analysis::new(&tree, &aln, options).expect("consistent inputs");
+    let result = analysis.test_positive_selection().expect("fits succeed");
+
+    println!("--- {label} ---");
+    println!("truth: w2 = {:.2}, p(selected) = {:.3}", true_model.omega2, true_model.positive_selection_proportion());
+    println!("{}", result.h0.summary());
+    println!("{}", result.h1.summary());
+    println!(
+        "LRT 2dlnL = {:.3}, p = {:.5} -> {}",
+        result.lrt.statistic,
+        result.lrt.p_value,
+        if result.lrt.significant_at(0.05) { "SELECTION DETECTED" } else { "not significant" }
+    );
+    let top: Vec<_> = result
+        .site_posteriors
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p > 0.95)
+        .map(|(i, _)| i + 1)
+        .collect();
+    println!("sites with NEB posterior > 0.95: {top:?}\n");
+}
+
+fn main() {
+    // Case 1: strong positive selection on the foreground branch
+    // (30% of sites at ω2 = 6).
+    run_case(
+        "data simulated UNDER positive selection",
+        &BranchSiteModel { kappa: 2.5, omega0: 0.1, omega2: 6.0, p0: 0.5, p1: 0.2 },
+        11,
+    );
+
+    // Case 2: the null is true (ω2 = 1 → classes 2a/2b are neutral on the
+    // foreground branch).
+    run_case(
+        "data simulated UNDER the null (no positive selection)",
+        &BranchSiteModel { kappa: 2.5, omega0: 0.1, omega2: 1.0, p0: 0.5, p1: 0.2 },
+        13,
+    );
+
+    let _ = Hypothesis::H1;
+}

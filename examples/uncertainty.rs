@@ -1,0 +1,53 @@
+//! Quantifying uncertainty around the branch-site test: standard errors
+//! (CodeML `getSE`) and the parametric bootstrap.
+//!
+//! ```text
+//! cargo run --release --example uncertainty
+//! ```
+
+use slimcodeml::core::{
+    parametric_bootstrap_lrt, Analysis, AnalysisOptions, Backend, BootstrapOptions,
+    BranchSiteModel, Hypothesis,
+};
+use slimcodeml::opt::GradMode;
+use slimcodeml::sim::{simulate_alignment, yule_tree};
+
+fn main() {
+    let tree = yule_tree(6, 0.2, 19);
+    let truth = BranchSiteModel { kappa: 2.5, omega0: 0.15, omega2: 1.0, p0: 0.7, p1: 0.2 };
+    let pi = vec![1.0 / 61.0; 61];
+    let aln = simulate_alignment(&tree, &truth, &pi, 250, 8);
+
+    let options = AnalysisOptions {
+        backend: Backend::SlimPlus,
+        max_iterations: 60,
+        grad_mode: GradMode::Forward,
+        ..Default::default()
+    };
+
+    // --- Standard errors at the H1 MLE. ---
+    let analysis = Analysis::new(&tree, &aln, options.clone()).expect("inputs");
+    let fit = analysis.fit(Hypothesis::H1).expect("fit");
+    println!("{}", fit.summary());
+    let se = analysis.standard_errors(&fit).expect("SEs");
+    let show = |name: &str, v: f64, s: Option<f64>| match s {
+        Some(s) => println!("  {name:<7} = {v:.4} ± {s:.4}"),
+        None => println!("  {name:<7} = {v:.4} (SE unavailable: boundary/flat direction)"),
+    };
+    println!("\nobserved-information standard errors:");
+    show("kappa", fit.model.kappa, se.kappa);
+    show("omega0", fit.model.omega0, se.omega0);
+    show("omega2", fit.model.omega2, se.omega2);
+    show("p0", fit.model.p0, se.p0);
+    show("p1", fit.model.p1, se.p1);
+
+    // --- Parametric bootstrap of the LRT (small R for the demo). ---
+    println!("\nparametric bootstrap (R = 10, simulating under the H0 MLE)…");
+    let boot = BootstrapOptions { replicates: 10, seed: 33 };
+    let result = parametric_bootstrap_lrt(&tree, &aln, &options, &boot).expect("bootstrap");
+    println!("observed 2dlnL = {:.4}", result.observed_statistic);
+    let mut sorted = result.null_statistics.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("null statistics: {sorted:.4?}");
+    println!("bootstrap p = {:.3} (data simulated under the null, so expect non-significance)", result.p_value);
+}

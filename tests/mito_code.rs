@@ -1,0 +1,72 @@
+//! End-to-end tests for the vertebrate mitochondrial genetic code
+//! (CodeML `icode = 1`) through the full public API.
+
+use slimcodeml::bio::{parse_newick, CodonAlignment, GeneticCode};
+use slimcodeml::core::{Analysis, AnalysisOptions, Backend, Hypothesis};
+use slimcodeml::opt::GradMode;
+
+fn mito_options() -> AnalysisOptions {
+    AnalysisOptions {
+        backend: Backend::SlimPlus,
+        max_iterations: 15,
+        grad_mode: GradMode::Forward,
+        genetic_code: GeneticCode::vertebrate_mitochondrial(),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn mito_alignment_with_tga_tryptophan_fits() {
+    // TGA is a stop universally but Trp in the mitochondrial code: this
+    // alignment is only analyzable under icode = 1.
+    let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,C:0.3);").unwrap();
+    let mito = GeneticCode::vertebrate_mitochondrial();
+    let aln = CodonAlignment::from_fasta_with_code(
+        ">A\nATGTGACCC\n>B\nATGTGACCA\n>C\nATGTGGCCC\n",
+        &mito,
+    )
+    .unwrap();
+    // Universal validation must reject the same text.
+    assert!(CodonAlignment::from_fasta(">A\nATGTGACCC\n>B\nATGTGACCA\n>C\nATGTGGCCC\n").is_err());
+
+    let analysis = Analysis::new(&tree, &aln, mito_options()).unwrap();
+    let fit = analysis.fit(Hypothesis::H0).unwrap();
+    assert!(fit.lnl.is_finite() && fit.lnl < 0.0);
+}
+
+#[test]
+fn mito_rejects_aga_stop() {
+    // AGA is Arg universally but a stop in the mitochondrial code.
+    let mito = GeneticCode::vertebrate_mitochondrial();
+    let text = ">A\nATGAGA\n>B\nATGAGG\n";
+    assert!(CodonAlignment::from_fasta(text).is_ok());
+    assert!(CodonAlignment::from_fasta_with_code(text, &mito).is_err());
+}
+
+#[test]
+fn mito_engines_agree() {
+    let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,C:0.3);").unwrap();
+    let mito = GeneticCode::vertebrate_mitochondrial();
+    let aln = CodonAlignment::from_fasta_with_code(
+        ">A\nATGTGACCCAAA\n>B\nATGTGACCAAAA\n>C\nATGTGGCCCAAG\n",
+        &mito,
+    )
+    .unwrap();
+    let truth = slimcodeml::core::BranchSiteModel::default_start(Hypothesis::H1);
+    let bl = tree.branch_lengths();
+    let mut lnls = Vec::new();
+    for backend in [Backend::CodeMlStyle, Backend::Slim, Backend::SlimPlus] {
+        let mut opts = mito_options();
+        opts.backend = backend;
+        let analysis = Analysis::new(&tree, &aln, opts).unwrap();
+        lnls.push(analysis.log_likelihood(&truth, &bl).unwrap());
+    }
+    for pair in lnls.windows(2) {
+        assert!(((pair[0] - pair[1]) / pair[0]).abs() < 1e-10, "{lnls:?}");
+    }
+    // The 60-state system must produce a different likelihood than a
+    // universal-code analysis of comparable (TGA-free) data would — just
+    // assert finiteness and negativity here; dimension correctness is
+    // covered by the engine agreement above.
+    assert!(lnls[0] < 0.0);
+}

@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) on the numerical core: invariants that
+//! must hold for arbitrary valid parameters, not just hand-picked ones.
+
+use proptest::prelude::*;
+use slimcodeml::bio::{GeneticCode, N_CODONS};
+use slimcodeml::expm::EigenSystem;
+use slimcodeml::linalg::gemm::{matmul, Transpose};
+use slimcodeml::linalg::{naive, sym_eigen, syrk, EigenMethod, Mat};
+use slimcodeml::model::{build_rate_matrix, BranchSiteModel, ScalePolicy};
+
+/// Strategy: a valid codon frequency vector (strictly positive, sums to 1).
+fn pi_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.1f64..10.0, N_CODONS).prop_map(|raw| {
+        let s: f64 = raw.iter().sum();
+        raw.into_iter().map(|v| v / s).collect()
+    })
+}
+
+/// Strategy: valid branch-site parameters.
+fn model_strategy() -> impl Strategy<Value = BranchSiteModel> {
+    (0.5f64..8.0, 0.01f64..0.95, 1.0f64..10.0, 0.1f64..0.7, 0.05f64..0.25).prop_map(
+        |(kappa, omega0, omega2, p0, p1)| BranchSiteModel { kappa, omega0, omega2, p0, p1 },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// P(t) rows are probability distributions for arbitrary (κ, ω, π, t).
+    #[test]
+    fn transition_matrices_are_stochastic(
+        kappa in 0.5f64..8.0,
+        omega in 0.01f64..6.0,
+        pi in pi_strategy(),
+        t in 0.0f64..3.0,
+    ) {
+        let code = GeneticCode::universal();
+        let rm = build_rate_matrix(&code, kappa, omega, &pi, ScalePolicy::PerClass);
+        let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+        let p = es.transition_matrix_eq10(t);
+        for i in 0..N_CODONS {
+            let row_sum: f64 = p.row(i).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-8, "row {i} sums to {row_sum}");
+            prop_assert!(p.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    /// Eq. 9 and Eq. 10 reconstructions agree for arbitrary parameters —
+    /// the algebraic identity behind the paper's flop saving.
+    #[test]
+    fn eq9_equals_eq10(
+        kappa in 0.5f64..8.0,
+        omega in 0.01f64..6.0,
+        pi in pi_strategy(),
+        t in 0.001f64..2.0,
+    ) {
+        let code = GeneticCode::universal();
+        let rm = build_rate_matrix(&code, kappa, omega, &pi, ScalePolicy::PerClass);
+        let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+        let p9 = es.transition_matrix_eq9(t);
+        let p10 = es.transition_matrix_eq10(t);
+        prop_assert!(p9.approx_eq(&p10, 1e-10), "max diff {}", p9.max_abs_diff(&p10));
+    }
+
+    /// Detailed balance: π_i P_ij(t) = π_j P_ji(t) (time reversibility is
+    /// what makes the symmetrization of Eq. 2 legitimate).
+    #[test]
+    fn detailed_balance_of_transition_probabilities(
+        kappa in 0.5f64..8.0,
+        omega in 0.05f64..4.0,
+        pi in pi_strategy(),
+        t in 0.01f64..2.0,
+    ) {
+        let code = GeneticCode::universal();
+        let rm = build_rate_matrix(&code, kappa, omega, &pi, ScalePolicy::PerClass);
+        let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+        let p = es.transition_matrix_eq10(t);
+        for (i, j) in [(0usize, 1usize), (5, 33), (20, 60), (7, 41)] {
+            let lhs = pi[i] * p[(i, j)];
+            let rhs = pi[j] * p[(j, i)];
+            prop_assert!((lhs - rhs).abs() < 1e-10, "({i},{j}): {lhs} vs {rhs}");
+        }
+    }
+
+    /// Site-class proportions always form a distribution.
+    #[test]
+    fn site_class_proportions_are_a_distribution(model in model_strategy()) {
+        let classes = model.site_classes();
+        let total: f64 = classes.iter().map(|c| c.proportion).sum();
+        prop_assert!((total - 1.0).abs() < 1e-10);
+        prop_assert!(classes.iter().all(|c| c.proportion >= 0.0));
+    }
+
+    /// syrk(A) == gemm(A, Aᵀ) for arbitrary rectangular matrices.
+    #[test]
+    fn syrk_matches_gemm(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let a = Mat::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let mut via_syrk = Mat::zeros(rows, rows);
+        syrk(1.0, &a, 0.0, &mut via_syrk);
+        let via_gemm = matmul(&a, Transpose::No, &a, Transpose::Yes);
+        prop_assert!(via_syrk.approx_eq(&via_gemm, 1e-11));
+    }
+
+    /// Blocked gemm matches the naive triple loop for arbitrary shapes.
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let a = Mat::from_fn(m, k, |_, _| next());
+        let b = Mat::from_fn(k, n, |_, _| next());
+        let tuned = matmul(&a, Transpose::No, &b, Transpose::No);
+        let reference = naive::matmul(&a, &b);
+        prop_assert!(tuned.approx_eq(&reference, 1e-11));
+    }
+
+    /// Eigendecomposition reconstructs arbitrary symmetric matrices and
+    /// preserves the trace.
+    #[test]
+    fn eigen_reconstructs(
+        n in 2usize..16,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed | 3;
+        let mut a = Mat::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        a.symmetrize();
+        let eig = sym_eigen(&a, EigenMethod::HouseholderQl).unwrap();
+        prop_assert!(eig.reconstruct().approx_eq(&a, 1e-8));
+        let trace: f64 = a.diag().iter().sum();
+        let sum: f64 = eig.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-9);
+    }
+}
