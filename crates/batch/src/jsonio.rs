@@ -1,0 +1,243 @@
+//! JSON plumbing for the batch layer.
+//!
+//! Reading uses `serde_json::Value` through its accessor API only.
+//! Writing is hand-rolled: output must be canonical (sorted keys, fixed
+//! float form) so that fingerprints and byte-identity guarantees hold —
+//! floats are emitted with Rust's shortest-roundtrip `Display`, which
+//! `f64::from_str` parses back exactly.
+
+use crate::{BatchError, Result};
+use serde_json::Value;
+
+/// Escape and quote a string for JSON output.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emit an `f64` as a JSON value: shortest-roundtrip decimal for finite
+/// values, `null` for NaN/infinite (JSON has no non-finite numbers).
+pub fn fnum(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` omits the decimal point for integral values; keep it
+        // so the token reads as a float ("1.0" not "1").
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Ordered JSON object builder (caller supplies already-encoded values).
+#[derive(Debug, Default)]
+pub struct Obj {
+    parts: Vec<String>,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj { parts: Vec::new() }
+    }
+
+    /// Add a key with an already-encoded JSON value.
+    pub fn raw(&mut self, key: &str, encoded: impl Into<String>) -> &mut Obj {
+        self.parts.push(format!("{}:{}", esc(key), encoded.into()));
+        self
+    }
+
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Obj {
+        self.raw(key, esc(value))
+    }
+
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Obj {
+        self.raw(key, fnum(value))
+    }
+
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Obj {
+        self.raw(key, value.to_string())
+    }
+
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Obj {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// FNV-1a 64-bit hash — the manifest fingerprint stored in journal
+/// headers to detect manifest/journal mismatches on `--resume`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn type_name(v: &Value) -> &'static str {
+    if v.is_null() {
+        "null"
+    } else if v.as_bool().is_some() {
+        "bool"
+    } else if v.is_number() {
+        "number"
+    } else if v.is_string() {
+        "string"
+    } else if v.is_array() {
+        "array"
+    } else {
+        "object"
+    }
+}
+
+/// Fetch a required string field, with `ctx` naming the enclosing object
+/// in error messages.
+pub fn get_str<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a str> {
+    match v.get(key) {
+        Some(s) => s.as_str().ok_or_else(|| {
+            BatchError::Manifest(format!(
+                "{ctx}: {key:?} must be a string, got {}",
+                type_name(s)
+            ))
+        }),
+        None => Err(BatchError::Manifest(format!(
+            "{ctx}: missing required key {key:?}"
+        ))),
+    }
+}
+
+/// Fetch an optional string field.
+pub fn opt_str<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<Option<&'a str>> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(s) if s.is_null() => Ok(None),
+        Some(s) => s.as_str().map(Some).ok_or_else(|| {
+            BatchError::Manifest(format!(
+                "{ctx}: {key:?} must be a string, got {}",
+                type_name(s)
+            ))
+        }),
+    }
+}
+
+/// Fetch an optional unsigned integer field.
+pub fn opt_u64(v: &Value, key: &str, ctx: &str) -> Result<Option<u64>> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(s) if s.is_null() => Ok(None),
+        Some(s) => s.as_u64().map(Some).ok_or_else(|| {
+            BatchError::Manifest(format!(
+                "{ctx}: {key:?} must be a non-negative integer, got {}",
+                type_name(s)
+            ))
+        }),
+    }
+}
+
+/// Fetch an optional finite float field.
+pub fn opt_f64(v: &Value, key: &str, ctx: &str) -> Result<Option<f64>> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(s) if s.is_null() => Ok(None),
+        Some(s) => match s.as_f64() {
+            Some(x) if x.is_finite() => Ok(Some(x)),
+            _ => Err(BatchError::Manifest(format!(
+                "{ctx}: {key:?} must be a finite number, got {}",
+                type_name(s)
+            ))),
+        },
+    }
+}
+
+/// Reject keys outside the allowed set — manifests with typos fail loudly
+/// instead of silently running defaults.
+pub fn check_keys(v: &Value, allowed: &[&str], ctx: &str) -> Result<()> {
+    let obj = v.as_object().ok_or_else(|| {
+        BatchError::Manifest(format!("{ctx}: expected an object, got {}", type_name(v)))
+    })?;
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(BatchError::Manifest(format!(
+                "{ctx}: unknown key {key:?} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(esc("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn float_emission_roundtrips() {
+        for v in [0.1 + 0.2, -1234.5678e-9, 3.0, f64::MIN_POSITIVE, 1e300] {
+            let s = fnum(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+        }
+        assert_eq!(fnum(f64::NAN), "null");
+        assert_eq!(fnum(f64::INFINITY), "null");
+        assert_eq!(fnum(3.0), "3.0");
+    }
+
+    #[test]
+    fn obj_builder() {
+        let mut o = Obj::new();
+        o.str("b", "x").u64("a", 7).bool("c", true).f64("d", 0.5);
+        assert_eq!(o.finish(), r#"{"b":"x","a":7,"c":true,"d":0.5}"#);
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // FNV-1a("a") — published test vector.
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn readers_report_context() {
+        let v: Value = serde_json::from_str(r#"{"x": 1, "y": "s"}"#).unwrap();
+        assert_eq!(get_str(&v, "y", "t").unwrap(), "s");
+        assert!(get_str(&v, "x", "t")
+            .unwrap_err()
+            .to_string()
+            .contains("must be a string"));
+        assert!(get_str(&v, "z", "t")
+            .unwrap_err()
+            .to_string()
+            .contains("missing"));
+        assert_eq!(opt_u64(&v, "x", "t").unwrap(), Some(1));
+        assert_eq!(opt_u64(&v, "z", "t").unwrap(), None);
+        assert!(check_keys(&v, &["x", "y"], "t").is_ok());
+        assert!(check_keys(&v, &["x"], "t")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown key"));
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end tests for the batch subsystem: determinism across worker
+//! counts, checkpoint/resume equivalence, and fault isolation.
+
+use slim_batch::{
+    run_batch, run_batch_with, run_pool, BatchManifest, JobError, JobInput, RunConfig,
+    SchedulerConfig,
+};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Third codon of taxon C, varied per gene so genes are distinct
+/// datasets (all Lys/Asn — no stops).
+const VARIANTS: [&str; 4] = ["AAA", "AAC", "AAG", "AAT"];
+
+fn workspace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("slim_batch_e2e_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_gene(dir: &Path, stem: &str, variant: usize) {
+    let v = VARIANTS[variant % VARIANTS.len()];
+    std::fs::write(
+        dir.join(format!("{stem}.fasta")),
+        format!(">A\nATGCCCAAATGGTTT\n>B\nATGCCAAAATGGTTC\n>C\nATGCCC{v}TGGTTT\n"),
+    )
+    .unwrap();
+}
+
+/// A 4-gene × all-branches manifest: the 3-taxon tree has 4 non-root
+/// nodes, so this expands to 16 jobs.
+fn write_manifest_16(dir: &Path) -> PathBuf {
+    std::fs::write(dir.join("tree.nwk"), "((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+    let mut genes = Vec::new();
+    for i in 0..4 {
+        write_gene(dir, &format!("g{i}"), i);
+        genes.push(format!(
+            r#"{{"id":"g{i}","alignment":"g{i}.fasta","tree":"tree.nwk","branches":"all","backend":"slim","max_iterations":25,"seed":{}}}"#,
+            11 + i
+        ));
+    }
+    let path = dir.join("manifest.json");
+    std::fs::write(
+        &path,
+        format!(r#"{{"version":1,"genes":[{}]}}"#, genes.join(",")),
+    )
+    .unwrap();
+    path
+}
+
+fn config(dir: &Path, journal: &str, workers: usize) -> RunConfig {
+    RunConfig {
+        workers,
+        retries: 1,
+        journal_path: dir.join(journal),
+        backoff: Duration::from_millis(1),
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_output_and_resume_matches_uninterrupted() {
+    let dir = workspace("determinism");
+    let manifest = write_manifest_16(&dir);
+
+    let serial = run_batch(&manifest, &config(&dir, "j1.jsonl", 1)).unwrap();
+    assert_eq!(serial.summary.done, 16, "all 16 jobs fit");
+    assert_eq!(serial.summary.failed, 0);
+
+    let pooled = run_batch(&manifest, &config(&dir, "j4.jsonl", 4)).unwrap();
+    assert_eq!(
+        serial.to_tsv(),
+        pooled.to_tsv(),
+        "TSV must be byte-identical at 1 vs 4 workers"
+    );
+    assert_eq!(
+        serial.to_json(false),
+        pooled.to_json(false),
+        "timing-free JSON must be byte-identical at 1 vs 4 workers"
+    );
+
+    // Interrupt a 2-worker run after a few completions: the cancel flag
+    // is cooperative, so in-flight jobs finish and the rest never start.
+    let interrupted_cfg = config(&dir, "resume.jsonl", 2);
+    let cancel = interrupted_cfg.cancel.clone();
+    let mut seen = 0usize;
+    let partial = run_batch_with(&manifest, &interrupted_cfg, |_rec| {
+        seen += 1;
+        if seen >= 5 {
+            cancel.cancel();
+        }
+    })
+    .unwrap();
+    assert!(
+        partial.summary.cancelled > 0,
+        "interruption left work undone ({} records)",
+        partial.records.len()
+    );
+    assert!(partial.records.len() >= 5);
+
+    // Resume from the journal: the merged output must match the
+    // uninterrupted run exactly.
+    let resumed_cfg = RunConfig {
+        resume: true,
+        ..config(&dir, "resume.jsonl", 2)
+    };
+    let resumed = run_batch(&manifest, &resumed_cfg).unwrap();
+    assert_eq!(resumed.summary.done, 16);
+    assert_eq!(
+        resumed.summary.from_journal,
+        partial.records.len(),
+        "every journaled record is reused, none recomputed"
+    );
+    assert_eq!(
+        resumed.to_tsv(),
+        serial.to_tsv(),
+        "resumed output must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(resumed.to_json(false), serial.to_json(false));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_journal_from_a_different_manifest() {
+    let dir = workspace("fingerprint");
+    let manifest = write_manifest_16(&dir);
+    let cfg = config(&dir, "j.jsonl", 1);
+
+    // Seed a journal with the original manifest (cancel immediately so
+    // this stays cheap).
+    let cancel = cfg.cancel.clone();
+    run_batch_with(&manifest, &cfg, |_| cancel.cancel()).unwrap();
+
+    // Edit the manifest (different seed ⇒ different fingerprint).
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    std::fs::write(&manifest, text.replace("\"seed\":11", "\"seed\":99")).unwrap();
+
+    let resumed_cfg = RunConfig {
+        resume: true,
+        ..config(&dir, "j.jsonl", 1)
+    };
+    let err = run_batch(&manifest, &resumed_cfg).unwrap_err().to_string();
+    assert!(err.contains("different manifest"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_inputs_are_quarantined_while_siblings_complete() {
+    let dir = workspace("faults");
+    std::fs::write(dir.join("tree.nwk"), "((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+    write_gene(&dir, "good", 0);
+    // Not FASTA, not PHYLIP, not NEXUS: fails to load.
+    std::fs::write(
+        dir.join("corrupt.fasta"),
+        "@@ this is not an alignment @@\n",
+    )
+    .unwrap();
+    // Valid FASTA whose taxa don't match the tree: loads, then every fit
+    // fails with an input error.
+    std::fs::write(
+        dir.join("mismatch.fasta"),
+        ">D\nATGCCC\n>E\nATGCCA\n>F\nATGCCC\n",
+    )
+    .unwrap();
+    let manifest = dir.join("manifest.json");
+    std::fs::write(
+        &manifest,
+        r#"{"version":1,"genes":[
+            {"id":"good","alignment":"good.fasta","tree":"tree.nwk","max_iterations":25},
+            {"id":"corrupt","alignment":"corrupt.fasta","tree":"tree.nwk","max_iterations":25},
+            {"id":"mismatch","alignment":"mismatch.fasta","tree":"tree.nwk","max_iterations":25}
+        ]}"#,
+    )
+    .unwrap();
+
+    let report = run_batch(&manifest, &config(&dir, "j.jsonl", 2)).unwrap();
+    assert_eq!(report.summary.total, 12, "3 genes × 4 branches");
+    assert_eq!(report.summary.done, 4, "the good gene completes in full");
+    assert_eq!(report.summary.failed, 8);
+    for rec in &report.records {
+        let gene = rec.key.split(':').next().unwrap();
+        match gene {
+            "good" => assert!(rec.outcome.is_ok(), "{}", rec.key),
+            "corrupt" => {
+                let f = rec.outcome.as_ref().unwrap_err();
+                assert!(f.error.contains("alignment:"), "{}", f.error);
+                assert_eq!(rec.attempts, 1, "poisoned jobs are fatal, never retried");
+            }
+            "mismatch" => {
+                let f = rec.outcome.as_ref().unwrap_err();
+                assert!(f.error.contains("input error"), "{}", f.error);
+                assert_eq!(rec.attempts, 1, "input errors are fatal, never retried");
+            }
+            other => panic!("unexpected gene {other}"),
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recoverable_failures_retry_to_the_limit_then_quarantine() {
+    let dir = workspace("retries");
+    std::fs::write(dir.join("tree.nwk"), "((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+    write_gene(&dir, "g", 1);
+    let text = r#"{"version":1,"genes":[
+        {"id":"g","alignment":"g.fasta","tree":"tree.nwk","max_iterations":25}
+    ]}"#;
+    let jobs = BatchManifest::parse(text).unwrap().expand(&dir);
+    assert_eq!(jobs.len(), 4);
+    assert!(jobs
+        .iter()
+        .all(|j| matches!(j.payload.input, JobInput::Ready { .. })));
+    let doomed_key = jobs[1].key.clone();
+
+    // Force one job to fail recoverably (a stand-in for a non-finite
+    // likelihood); siblings run the real fit.
+    let sched = SchedulerConfig {
+        workers: 2,
+        retries: 2,
+        backoff: Duration::from_millis(1),
+        ..SchedulerConfig::default()
+    };
+    let records = run_pool(
+        jobs,
+        &sched,
+        |job, attempt| {
+            if job.key == doomed_key {
+                Err(JobError::recoverable("non-finite log-likelihood (forced)"))
+            } else {
+                slim_batch::run_analysis_job(job, attempt)
+            }
+        },
+        |_| {},
+    );
+    assert_eq!(records.len(), 4);
+    for rec in &records {
+        if rec.key == doomed_key {
+            let f = rec.outcome.as_ref().unwrap_err();
+            assert_eq!(rec.attempts, 3, "1 initial + 2 retries");
+            assert!(f.recoverable);
+            assert!(f.error.contains("non-finite"));
+        } else {
+            assert!(rec.outcome.is_ok(), "sibling {} must complete", rec.key);
+            assert_eq!(rec.attempts, 1);
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -23,7 +23,9 @@ fn bench_cpv(c: &mut Criterion) {
     for sites in [64usize, 1024] {
         let mut state = 7u64;
         let w = Mat::from_fn(61, sites, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64).abs()
         });
         let mut out = Mat::zeros(61, sites);

@@ -18,7 +18,10 @@ fn bench_eigen(c: &mut Criterion) {
     group.sample_size(30);
     for (label, method) in [
         ("householder_ql (tred2+tql2)", EigenMethod::HouseholderQl),
-        ("bisection_inverse (dsyevr stand-in)", EigenMethod::BisectionInverse),
+        (
+            "bisection_inverse (dsyevr stand-in)",
+            EigenMethod::BisectionInverse,
+        ),
         ("jacobi", EigenMethod::Jacobi),
     ] {
         group.bench_function(label, |bench| {

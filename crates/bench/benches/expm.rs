@@ -38,7 +38,8 @@ fn bench_expm(c: &mut Criterion) {
     full.sample_size(20);
     full.bench_function("eigen_plus_eq10", |bench| {
         bench.iter(|| {
-            let es = EigenSystem::from_rate_matrix(black_box(&rm), EigenMethod::HouseholderQl).unwrap();
+            let es =
+                EigenSystem::from_rate_matrix(black_box(&rm), EigenMethod::HouseholderQl).unwrap();
             black_box(es.transition_matrix_eq10(t))
         })
     });

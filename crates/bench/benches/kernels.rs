@@ -11,7 +11,9 @@ use std::hint::black_box;
 fn rng_mat(n: usize, seed: u64) -> Mat {
     let mut state = seed;
     Mat::from_fn(n, n, |_, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     })
 }
@@ -31,10 +33,24 @@ fn bench_kernels(c: &mut Criterion) {
         bench.iter(|| black_box(naive::matmul_bt(black_box(&a), black_box(&b))))
     });
     group.bench_function("blocked_gemm", |bench| {
-        bench.iter(|| black_box(matmul(black_box(&a), Transpose::No, black_box(&b), Transpose::No)))
+        bench.iter(|| {
+            black_box(matmul(
+                black_box(&a),
+                Transpose::No,
+                black_box(&b),
+                Transpose::No,
+            ))
+        })
     });
     group.bench_function("blocked_gemm_abt", |bench| {
-        bench.iter(|| black_box(matmul(black_box(&a), Transpose::No, black_box(&b), Transpose::Yes)))
+        bench.iter(|| {
+            black_box(matmul(
+                black_box(&a),
+                Transpose::No,
+                black_box(&b),
+                Transpose::Yes,
+            ))
+        })
     });
     group.bench_function("syrk_aat (SlimCodeML)", |bench| {
         let mut out = Mat::zeros(n, n);

@@ -26,7 +26,10 @@ fn make_problem(n_species: usize, n_codons: usize, seed: u64) -> (LikelihoodProb
 
 fn bench_pruning(c: &mut Criterion) {
     let model = BranchSiteModel::default_start(Hypothesis::H1);
-    for (label, species, codons) in [("tall_40sp_39cod", 40usize, 39usize), ("wide_6sp_800cod", 6, 800)] {
+    for (label, species, codons) in [
+        ("tall_40sp_39cod", 40usize, 39usize),
+        ("wide_6sp_800cod", 6, 800),
+    ] {
         let (problem, bl) = make_problem(species, codons, 42);
         let mut group = c.benchmark_group(format!("likelihood_eval_{label}"));
         group.sample_size(20);

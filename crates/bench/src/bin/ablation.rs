@@ -46,9 +46,8 @@ fn main() {
 
     let ds = dataset(DatasetId::III);
     let code = GeneticCode::universal();
-    let problem =
-        LikelihoodProblem::new(&ds.tree, &ds.alignment, &code, slim_bio::FreqModel::F3x4)
-            .expect("problem");
+    let problem = LikelihoodProblem::new(&ds.tree, &ds.alignment, &code, slim_bio::FreqModel::F3x4)
+        .expect("problem");
     let model = BranchSiteModel::default_start(Hypothesis::H1);
     let bl = ds.tree.branch_lengths();
 
@@ -77,8 +76,14 @@ fn main() {
     println!("2. CPV strategy (expm fixed at Eq. 10):");
     for (label, cpv) in [
         ("naive per-site matvec (CodeML)", CpvStrategy::NaivePerSite),
-        ("per-site gemv (paper's SlimCodeML)", CpvStrategy::PerSiteGemv),
-        ("bundled gemm over sites (SS III-B)", CpvStrategy::BundledGemm),
+        (
+            "per-site gemv (paper's SlimCodeML)",
+            CpvStrategy::PerSiteGemv,
+        ),
+        (
+            "bundled gemm over sites (SS III-B)",
+            CpvStrategy::BundledGemm,
+        ),
         ("Eq. 12 symmetric symv", CpvStrategy::SymmetricSymv),
     ] {
         let cfg = EngineConfig::slim().with_cpv(cpv);
@@ -100,7 +105,10 @@ fn main() {
     println!("3. symmetric eigensolver (full Slim config):");
     for (label, method) in [
         ("Householder + implicit QL", EigenMethod::HouseholderQl),
-        ("bisection + inverse iteration", EigenMethod::BisectionInverse),
+        (
+            "bisection + inverse iteration",
+            EigenMethod::BisectionInverse,
+        ),
         ("cyclic Jacobi", EigenMethod::Jacobi),
     ] {
         let cfg = EngineConfig::slim().with_eigen(method);

@@ -1,0 +1,122 @@
+//! Batch-subsystem throughput: generate a 16-gene manifest with
+//! `slim-sim`, run it through `slim-batch` at 1/2/4/8 workers, and emit
+//! `BENCH_batch.json` with jobs/sec and speedup per worker count —
+//! seeding the perf trajectory for the orchestration layer.
+//!
+//! The sweep also cross-checks the determinism contract: every worker
+//! count must produce a byte-identical TSV report.
+//!
+//! ```text
+//! cargo run --release -p slim-bench --bin batch_throughput [--quick]
+//! ```
+
+use slim_batch::{run_batch, RunConfig};
+use slim_core::BranchSiteModel;
+use slim_sim::{simulate_alignment, yule_tree};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const N_GENES: usize = 16;
+
+fn generating_model() -> BranchSiteModel {
+    BranchSiteModel {
+        kappa: 2.0,
+        omega0: 0.2,
+        omega2: 3.0,
+        p0: 0.7,
+        p1: 0.2,
+    }
+}
+
+/// Write `N_GENES` simulated gene families plus a manifest testing one
+/// terminal branch each — a 16-job manifest, the acceptance workload.
+fn generate_workspace(dir: &Path, n_codons: usize, max_iterations: usize) -> PathBuf {
+    let code = slim_bio::GeneticCode::universal();
+    let pi = vec![1.0 / code.n_sense() as f64; code.n_sense()];
+    let model = generating_model();
+    let mut genes = Vec::with_capacity(N_GENES);
+    for i in 0..N_GENES {
+        let seed = 40_000 + i as u64;
+        let tree = yule_tree(4, 0.15, seed);
+        let aln = simulate_alignment(&tree, &model, &pi, n_codons, seed ^ 0x5111);
+        std::fs::write(
+            dir.join(format!("gene{i}.nwk")),
+            slim_bio::write_newick(&tree),
+        )
+        .unwrap();
+        std::fs::write(dir.join(format!("gene{i}.fasta")), aln.to_fasta()).unwrap();
+        genes.push(format!(
+            r#"{{"id":"gene{i}","alignment":"gene{i}.fasta","tree":"gene{i}.nwk","branches":["S1"],"backend":"slim","max_iterations":{max_iterations},"seed":{seed}}}"#
+        ));
+    }
+    let manifest = dir.join("manifest.json");
+    std::fs::write(
+        &manifest,
+        format!(r#"{{"version":1,"genes":[{}]}}"#, genes.join(",")),
+    )
+    .unwrap();
+    manifest
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_codons, max_iterations) = if quick { (20, 5) } else { (60, 25) };
+
+    let dir = std::env::temp_dir().join(format!("slim_batch_throughput_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = generate_workspace(&dir, n_codons, max_iterations);
+
+    println!(
+        "batch throughput — {N_GENES} jobs ({n_codons} codons, {max_iterations} iters/hypothesis{})",
+        if quick { ", quick" } else { "" }
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>9}",
+        "workers", "wall (s)", "jobs/sec", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline_tsv: Option<String> = None;
+    let mut baseline_secs = 0.0f64;
+    for &workers in &WORKER_COUNTS {
+        let config = RunConfig {
+            workers,
+            journal_path: dir.join(format!("w{workers}.journal.jsonl")),
+            ..RunConfig::default()
+        };
+        let started = Instant::now();
+        let report = run_batch(&manifest, &config).expect("batch run failed");
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(report.summary.done, N_GENES, "all jobs must fit");
+
+        let tsv = report.to_tsv();
+        match &baseline_tsv {
+            None => {
+                baseline_tsv = Some(tsv);
+                baseline_secs = wall;
+            }
+            Some(base) => assert_eq!(
+                base, &tsv,
+                "determinism violated: {workers}-worker TSV differs from 1-worker TSV"
+            ),
+        }
+
+        let jobs_per_sec = N_GENES as f64 / wall;
+        let speedup = baseline_secs / wall;
+        println!("{workers:>8} {wall:>12.3} {jobs_per_sec:>10.2} {speedup:>9.2}");
+        rows.push(format!(
+            r#"{{"workers":{workers},"wall_seconds":{wall:.4},"jobs_per_sec":{jobs_per_sec:.4},"speedup":{speedup:.4}}}"#
+        ));
+    }
+
+    let json = format!(
+        r#"{{"bench":"batch_throughput","jobs":{N_GENES},"codons":{n_codons},"max_iterations":{max_iterations},"quick":{quick},"runs":[{}]}}
+"#,
+        rows.join(",")
+    );
+    std::fs::write("BENCH_batch.json", &json).expect("cannot write BENCH_batch.json");
+    println!("\nwrote BENCH_batch.json");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -21,7 +21,11 @@ use std::time::Instant;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let lengths: &[usize] = if quick { &[50, 400] } else { &[50, 200, 800, 3200] };
+    let lengths: &[usize] = if quick {
+        &[50, 400]
+    } else {
+        &[50, 200, 800, 3200]
+    };
     let reps = if quick { 2 } else { 5 };
 
     let tree = yule_tree(8, 0.15, 77);

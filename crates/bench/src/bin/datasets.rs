@@ -39,5 +39,8 @@ fn main() {
     println!();
     println!("generating model: kappa = 2.5, w0 = 0.15, w2 = 3.0, p0 = 0.65, p1 = 0.25");
     println!();
-    println!("dataset i tree (Newick): {}", write_newick(&dataset(DatasetId::I).tree));
+    println!(
+        "dataset i tree (Newick): {}",
+        write_newick(&dataset(DatasetId::I).tree)
+    );
 }

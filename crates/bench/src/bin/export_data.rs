@@ -14,8 +14,11 @@ fn main() {
     std::fs::create_dir_all("data").expect("create data/");
     let ds = dataset(DatasetId::I);
     std::fs::write("data/primate_like.fasta", ds.alignment.to_fasta()).expect("write fasta");
-    std::fs::write("data/primate_like.nwk", format!("{}\n", write_newick(&ds.tree)))
-        .expect("write newick");
+    std::fs::write(
+        "data/primate_like.nwk",
+        format!("{}\n", write_newick(&ds.tree)),
+    )
+    .expect("write newick");
     println!(
         "exported dataset i analog: {} species × {} codons → data/primate_like.*",
         ds.alignment.n_sequences(),

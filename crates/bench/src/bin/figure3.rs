@@ -47,7 +47,10 @@ fn main() {
         for &n in &species {
             eprintln!("[bench] {n} species…");
             let ds = subsample_dataset(n);
-            let b = RunBudget { max_iterations: cap, grad_mode: GradMode::Forward };
+            let b = RunBudget {
+                max_iterations: cap,
+                grad_mode: GradMode::Forward,
+            };
             let base = run_engine(&ds, Backend::CodeMlStyle, &b);
             let slim = run_engine(&ds, Backend::Slim, &b);
             points.push(Point {
@@ -81,7 +84,10 @@ fn main() {
         let s_h0 = p.base.h0.seconds / p.slim.h0.seconds;
         let s_h1 = p.base.h1.seconds / p.slim.h1.seconds;
         let s_c = p.base.total_seconds() / p.slim.total_seconds();
-        println!("{:>8} {:>12.2} {:>12.2} {:>14.2}", p.species, s_h0, s_h1, s_c);
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>14.2}",
+            p.species, s_h0, s_h1, s_c
+        );
         series.push((p.species, s_c));
     }
 

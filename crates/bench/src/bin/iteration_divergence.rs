@@ -31,7 +31,10 @@ fn main() {
     println!();
 
     // Baseline: CodeML profile with QL eigensolver.
-    let budget = RunBudget { max_iterations: cap, grad_mode: GradMode::Forward };
+    let budget = RunBudget {
+        max_iterations: cap,
+        grad_mode: GradMode::Forward,
+    };
     let base = run_engine(&ds, Backend::CodeMlStyle, &budget);
     println!(
         "CodeML-style (QL eigen):        H0 {:>4} iters (lnL {:.6}), H1 {:>4} iters (lnL {:.6})",
@@ -91,13 +94,20 @@ fn fit_with_eigen(
 
     let transform = BlockTransform::new(vec![
         Block::LowerBounded { lo: 1e-3 },
-        Block::BoxBounded { lo: 1e-6, hi: 1.0 - 1e-6 },
+        Block::BoxBounded {
+            lo: 1e-6,
+            hi: 1.0 - 1e-6,
+        },
         match hypothesis {
             Hypothesis::H0 => Block::Fixed { value: 1.0 },
             Hypothesis::H1 => Block::LowerBounded { lo: 1.0 },
         },
         Block::SimplexWithRest { dim: 2 },
-        Block::BoxBoundedVec { lo: 1e-6, hi: 50.0, count: problem.n_branches() },
+        Block::BoxBoundedVec {
+            lo: 1e-6,
+            hi: 50.0,
+            count: problem.n_branches(),
+        },
     ]);
 
     // Same seeded start as Analysis::start_vector (seed 1, jitter 0.05).
@@ -131,7 +141,13 @@ fn fit_with_eigen(
 
     let objective = |z: &[f64]| -> f64 {
         let x = transform.to_constrained(z);
-        let model = BranchSiteModel { kappa: x[0], omega0: x[1], omega2: x[2], p0: x[3], p1: x[4] };
+        let model = BranchSiteModel {
+            kappa: x[0],
+            omega0: x[1],
+            omega2: x[2],
+            p0: x[3],
+            p1: x[4],
+        };
         match log_likelihood(&problem, &config, &model, &x[5..]) {
             Ok(lnl) if lnl.is_finite() => -lnl,
             _ => f64::INFINITY,

@@ -27,11 +27,26 @@ fn main() {
 
     println!("Table IV analog — speedups of SlimCodeML over CodeML-style engine");
     println!();
-    println!("{:<34} {:>7} {:>7} {:>7} {:>7}", "Dataset", "i", "ii", "iii", "iv");
+    println!(
+        "{:<34} {:>7} {:>7} {:>7} {:>7}",
+        "Dataset", "i", "ii", "iii", "iv"
+    );
     println!("{}", "-".repeat(66));
-    row("Overall speedup H0", |b, s| b.h0.seconds / s.h0.seconds, &runs);
-    row("Overall speedup H1", |b, s| b.h1.seconds / s.h1.seconds, &runs);
-    row("Combined speedup H0+H1", |b, s| b.total_seconds() / s.total_seconds(), &runs);
+    row(
+        "Overall speedup H0",
+        |b, s| b.h0.seconds / s.h0.seconds,
+        &runs,
+    );
+    row(
+        "Overall speedup H1",
+        |b, s| b.h1.seconds / s.h1.seconds,
+        &runs,
+    );
+    row(
+        "Combined speedup H0+H1",
+        |b, s| b.total_seconds() / s.total_seconds(),
+        &runs,
+    );
     row(
         "Per-iteration speedup H0",
         |b, s| b.h0.seconds_per_iteration() / s.h0.seconds_per_iteration(),

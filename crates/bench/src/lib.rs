@@ -52,12 +52,18 @@ pub struct RunBudget {
 impl RunBudget {
     /// Budget for the full (default) profile.
     pub fn full() -> RunBudget {
-        RunBudget { max_iterations: 50, grad_mode: GradMode::Forward }
+        RunBudget {
+            max_iterations: 50,
+            grad_mode: GradMode::Forward,
+        }
     }
 
     /// Budget for `--quick` runs.
     pub fn quick() -> RunBudget {
-        RunBudget { max_iterations: 8, grad_mode: GradMode::Forward }
+        RunBudget {
+            max_iterations: 8,
+            grad_mode: GradMode::Forward,
+        }
     }
 
     /// Parse from argv: `--quick` selects the quick budget.
@@ -141,9 +147,8 @@ pub struct Speedups {
 pub fn speedups(slow: &EngineRun, fast: &EngineRun) -> Speedups {
     let secs = |d: Duration| d.as_secs_f64();
     let per_iter = |fit: &Fit| fit.seconds_per_iteration();
-    let combined_per_iter = |run: &EngineRun| {
-        secs(run.total_time()) / run.total_iterations().max(1) as f64
-    };
+    let combined_per_iter =
+        |run: &EngineRun| secs(run.total_time()) / run.total_iterations().max(1) as f64;
     Speedups {
         overall_h0: secs(slow.h0.wall_time) / secs(fast.h0.wall_time),
         overall_h1: secs(slow.h1.wall_time) / secs(fast.h1.wall_time),
@@ -181,8 +186,16 @@ mod tests {
 
     #[test]
     fn speedup_arithmetic_matches_paper_definitions() {
-        let slow = EngineRun { backend: Backend::CodeMlStyle, h0: fake_fit(10.0, 10), h1: fake_fit(20.0, 20) };
-        let fast = EngineRun { backend: Backend::Slim, h0: fake_fit(2.0, 10), h1: fake_fit(5.0, 10) };
+        let slow = EngineRun {
+            backend: Backend::CodeMlStyle,
+            h0: fake_fit(10.0, 10),
+            h1: fake_fit(20.0, 20),
+        };
+        let fast = EngineRun {
+            backend: Backend::Slim,
+            h0: fake_fit(2.0, 10),
+            h1: fake_fit(5.0, 10),
+        };
         let s = speedups(&slow, &fast);
         assert!((s.overall_h0 - 5.0).abs() < 1e-12);
         assert!((s.overall_h1 - 4.0).abs() < 1e-12);

@@ -95,7 +95,11 @@ pub fn iteration_cap(budget: &RunBudget, id: DatasetId) -> usize {
 }
 
 fn cache_path(budget: &RunBudget) -> PathBuf {
-    let tag = if budget.max_iterations <= RunBudget::quick().max_iterations { "quick" } else { "full" };
+    let tag = if budget.max_iterations <= RunBudget::quick().max_iterations {
+        "quick"
+    } else {
+        "full"
+    };
     PathBuf::from(format!("target/slim-bench-results-{tag}.json"))
 }
 
@@ -112,7 +116,10 @@ pub fn load_or_run_all(budget: &RunBudget) -> Vec<StoredRun> {
     if !fresh {
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Ok(runs) = serde_json::from_str::<Vec<StoredRun>>(&text) {
-                eprintln!("[bench] using cached runs from {} (pass --fresh to recompute)", path.display());
+                eprintln!(
+                    "[bench] using cached runs from {} (pass --fresh to recompute)",
+                    path.display()
+                );
                 return runs;
             }
         }
@@ -148,8 +155,11 @@ pub fn load_or_run_all(budget: &RunBudget) -> Vec<StoredRun> {
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    std::fs::write(&path, serde_json::to_string_pretty(&out).expect("serialize"))
-        .expect("write bench cache");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&out).expect("serialize"),
+    )
+    .expect("write bench cache");
     out
 }
 
@@ -174,8 +184,18 @@ mod tests {
     use super::*;
 
     fn stored(dataset: &str, backend: &str, secs: f64, iters: usize) -> StoredRun {
-        let fit = StoredFit { lnl: -100.0, iterations: iters, f_evals: 10, seconds: secs };
-        StoredRun { dataset: dataset.into(), backend: backend.into(), h0: fit.clone(), h1: fit }
+        let fit = StoredFit {
+            lnl: -100.0,
+            iterations: iters,
+            f_evals: 10,
+            seconds: secs,
+        };
+        StoredRun {
+            dataset: dataset.into(),
+            backend: backend.into(),
+            h0: fit.clone(),
+            h1: fit,
+        }
     }
 
     #[test]
@@ -183,7 +203,10 @@ mod tests {
         let full = RunBudget::full();
         let quick = RunBudget::quick();
         for id in DatasetId::ALL {
-            assert!(iteration_cap(&quick, id) < iteration_cap(&full, id), "{id:?}");
+            assert!(
+                iteration_cap(&quick, id) < iteration_cap(&full, id),
+                "{id:?}"
+            );
         }
         // Dataset iv (the 14.7-hour one in the paper) gets the smallest cap.
         assert!(iteration_cap(&full, DatasetId::IV) < iteration_cap(&full, DatasetId::I));

@@ -62,7 +62,9 @@ impl CodonAlignment {
             let mut sorted: Vec<&String> = names.iter().collect();
             sorted.sort();
             if sorted.windows(2).any(|w| w[0] == w[1]) {
-                return Err(BioError::InvalidAlignment("duplicate sequence names".into()));
+                return Err(BioError::InvalidAlignment(
+                    "duplicate sequence names".into(),
+                ));
             }
         }
         for (name, seq) in names.iter().zip(&seqs) {
@@ -146,7 +148,9 @@ impl CodonAlignment {
         let mut seqs = Vec::with_capacity(keep.len());
         for &i in keep {
             if i >= self.n_sequences() {
-                return Err(BioError::InvalidAlignment(format!("subset index {i} out of range")));
+                return Err(BioError::InvalidAlignment(format!(
+                    "subset index {i} out of range"
+                )));
             }
             names.push(self.names[i].clone());
             seqs.push(self.seqs[i].clone());
@@ -184,9 +188,9 @@ impl CodonAlignment {
                 names.push(name);
                 buffers.push(String::new());
             } else {
-                let buf = buffers
-                    .last_mut()
-                    .ok_or_else(|| BioError::ParseError("FASTA sequence before first header".into()))?;
+                let buf = buffers.last_mut().ok_or_else(|| {
+                    BioError::ParseError("FASTA sequence before first header".into())
+                })?;
                 buf.push_str(line);
             }
         }

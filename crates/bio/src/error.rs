@@ -39,7 +39,11 @@ mod tests {
     #[test]
     fn display_includes_payload() {
         assert!(BioError::InvalidNucleotide('X').to_string().contains('X'));
-        assert!(BioError::InvalidCodon("TAA".into()).to_string().contains("TAA"));
-        assert!(BioError::InvalidNewick("unbalanced".into()).to_string().contains("unbalanced"));
+        assert!(BioError::InvalidCodon("TAA".into())
+            .to_string()
+            .contains("TAA"));
+        assert!(BioError::InvalidNewick("unbalanced".into())
+            .to_string()
+            .contains("unbalanced"));
     }
 }

@@ -30,6 +30,31 @@ pub enum FreqModel {
     F61,
 }
 
+impl FreqModel {
+    /// Parse a user-facing name (case-insensitive): `equal`, `f1x4`,
+    /// `f3x4`, `f61`. Shared by the CLI `--freq` flag and batch
+    /// manifests so both accept the same vocabulary.
+    pub fn from_str_opt(s: &str) -> Option<FreqModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "equal" => Some(FreqModel::Equal),
+            "f1x4" => Some(FreqModel::F1x4),
+            "f3x4" => Some(FreqModel::F3x4),
+            "f61" => Some(FreqModel::F61),
+            _ => None,
+        }
+    }
+
+    /// The name `from_str_opt` accepts for this model.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FreqModel::Equal => "equal",
+            FreqModel::F1x4 => "f1x4",
+            FreqModel::F3x4 => "f3x4",
+            FreqModel::F61 => "f61",
+        }
+    }
+}
+
 /// Estimate sense-codon equilibrium frequencies (length `code.n_sense()`
 /// vector, summing to 1, every entry strictly positive).
 pub fn codon_frequencies(aln: &CodonAlignment, code: &GeneticCode, model: FreqModel) -> Vec<f64> {
@@ -49,7 +74,9 @@ pub fn codon_frequencies(aln: &CodonAlignment, code: &GeneticCode, model: FreqMo
             for i in 0..aln.n_sequences() {
                 for site in aln.sequence(i) {
                     let Some(codon) = site.codon() else { continue };
-                    let Some(idx) = code.sense_index(codon) else { continue };
+                    let Some(idx) = code.sense_index(codon) else {
+                        continue;
+                    };
                     counts[idx] += 1.0;
                 }
             }
@@ -141,15 +168,22 @@ mod tests {
     use crate::nucleotide::Nuc;
 
     fn toy_alignment() -> CodonAlignment {
-        CodonAlignment::from_fasta(">A\nCCCTACTGCCCCAAGGAG\n>B\nCCCTACTGCCCCAAGGAG\n>C\nCCCTATTGCACCAAGGAG\n")
-            .unwrap()
+        CodonAlignment::from_fasta(
+            ">A\nCCCTACTGCCCCAAGGAG\n>B\nCCCTACTGCCCCAAGGAG\n>C\nCCCTATTGCACCAAGGAG\n",
+        )
+        .unwrap()
     }
 
     #[test]
     fn all_models_produce_valid_distributions() {
         let aln = toy_alignment();
         let code = GeneticCode::universal();
-        for model in [FreqModel::Equal, FreqModel::F1x4, FreqModel::F3x4, FreqModel::F61] {
+        for model in [
+            FreqModel::Equal,
+            FreqModel::F1x4,
+            FreqModel::F3x4,
+            FreqModel::F61,
+        ] {
             let pi = codon_frequencies(&aln, &code, model);
             assert!(validate_frequencies(&pi), "{model:?}");
         }
@@ -204,6 +238,23 @@ mod tests {
         for k in 0..4 {
             assert!((m0[k] - m2[k]).abs() < 0.05, "{m0:?} vs {m2:?}");
         }
+    }
+
+    #[test]
+    fn from_str_opt_roundtrips_labels() {
+        for model in [
+            FreqModel::Equal,
+            FreqModel::F1x4,
+            FreqModel::F3x4,
+            FreqModel::F61,
+        ] {
+            assert_eq!(FreqModel::from_str_opt(model.label()), Some(model));
+            assert_eq!(
+                FreqModel::from_str_opt(&model.label().to_uppercase()),
+                Some(model)
+            );
+        }
+        assert_eq!(FreqModel::from_str_opt("f9x9"), None);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use crate::N_CODONS;
 
 /// Amino-acid letters for the 64 codons in TCAG-major order
 /// (first nucleotide slowest); `*` marks stop codons.
-const UNIVERSAL_TABLE: &[u8; 64] = b"FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG";
+const UNIVERSAL_TABLE: &[u8; 64] =
+    b"FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG";
 
 /// Vertebrate mitochondrial code (NCBI transl_table 2, CodeML
 /// `icode = 1`): TGA → Trp, ATA → Met, AGA/AGG → stop. 60 sense codons.
@@ -39,7 +40,11 @@ impl GeneticCode {
                 next += 1;
             }
         }
-        GeneticCode { aa, sense_index, codon64 }
+        GeneticCode {
+            aa,
+            sense_index,
+            codon64,
+        }
     }
 
     /// The universal (standard) code — the code the paper's datasets use
@@ -94,7 +99,9 @@ impl GeneticCode {
 
     /// Iterate over all sense codons in dense-index order.
     pub fn sense_codons(&self) -> impl Iterator<Item = Codon> + '_ {
-        self.codon64.iter().map(|&c| Codon::from_index64(c as usize))
+        self.codon64
+            .iter()
+            .map(|&c| Codon::from_index64(c as usize))
     }
 
     /// Do two codons encode the same amino acid? (Both must be sense

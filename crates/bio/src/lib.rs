@@ -10,17 +10,17 @@
 //! multiple sequence alignment of codons plus a phylogenetic tree with one
 //! branch marked for the positive-selection test.
 
-pub mod nucleotide;
-pub mod codon;
-pub mod site;
-pub mod genetic_code;
 pub mod alignment;
-pub mod patterns;
+pub mod codon;
+mod error;
 pub mod frequencies;
+pub mod genetic_code;
 pub mod newick;
 pub mod nexus;
+pub mod nucleotide;
+pub mod patterns;
+pub mod site;
 pub mod tree;
-mod error;
 
 pub use alignment::CodonAlignment;
 pub use codon::Codon;

@@ -14,7 +14,11 @@ use crate::BioError;
 /// # Errors
 /// [`BioError::InvalidNewick`] on any syntax problem.
 pub fn parse_newick(text: &str) -> crate::Result<Tree> {
-    let mut parser = Parser { chars: text.trim().chars().collect(), pos: 0, nodes: Vec::new() };
+    let mut parser = Parser {
+        chars: text.trim().chars().collect(),
+        pos: 0,
+        nodes: Vec::new(),
+    };
     let root = parser.parse_subtree(None)?;
     parser.skip_ws();
     match parser.peek() {
@@ -22,12 +26,16 @@ pub fn parse_newick(text: &str) -> crate::Result<Tree> {
             parser.pos += 1;
             parser.skip_ws();
             if parser.pos != parser.chars.len() {
-                return Err(BioError::InvalidNewick("trailing characters after ';'".into()));
+                return Err(BioError::InvalidNewick(
+                    "trailing characters after ';'".into(),
+                ));
             }
         }
         None => {}
         Some(c) => {
-            return Err(BioError::InvalidNewick(format!("unexpected character {c:?} at top level")))
+            return Err(BioError::InvalidNewick(format!(
+                "unexpected character {c:?} at top level"
+            )))
         }
     }
     Tree::new(parser.nodes, root)
@@ -91,7 +99,10 @@ impl Parser {
         }
         self.parse_annotations(id)?;
         if self.nodes[id.0].children.is_empty() && self.nodes[id.0].name.is_none() {
-            return Err(BioError::InvalidNewick(format!("unnamed leaf at position {}", self.pos)));
+            return Err(BioError::InvalidNewick(format!(
+                "unnamed leaf at position {}",
+                self.pos
+            )));
         }
         Ok(id)
     }
@@ -123,7 +134,8 @@ impl Parser {
                     self.pos += 1;
                     self.skip_ws();
                     let start = self.pos;
-                    while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')) {
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+                    {
                         self.pos += 1;
                     }
                     let text: String = self.chars[start..self.pos].iter().collect();

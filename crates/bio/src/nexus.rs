@@ -75,7 +75,10 @@ pub fn parse_nexus_alignment(text: &str) -> crate::Result<CodonAlignment> {
             continue;
         }
         let mut tokens = line.split_whitespace();
-        let name = tokens.next().expect("non-empty line has a first token").to_string();
+        let name = tokens
+            .next()
+            .expect("non-empty line has a first token")
+            .to_string();
         let seq: String = tokens.collect();
         if seq.is_empty() {
             return Err(BioError::ParseError(format!(

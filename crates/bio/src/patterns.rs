@@ -67,7 +67,12 @@ impl SitePatterns {
             site_to_pattern.push(idx);
         }
 
-        Ok(SitePatterns { patterns, weights, site_to_pattern, n_taxa })
+        Ok(SitePatterns {
+            patterns,
+            weights,
+            site_to_pattern,
+            n_taxa,
+        })
     }
 
     /// Number of unique patterns.
@@ -131,7 +136,8 @@ mod tests {
 
     #[test]
     fn weights_sum_to_sites() {
-        let p = patterns_of(">A\nCCCTACTGCCCCAAGGAG\n>B\nCCCTACTGCCCCAAGGAG\n>C\nCCCTATTGCACCAAGGAG\n");
+        let p =
+            patterns_of(">A\nCCCTACTGCCCCAAGGAG\n>B\nCCCTACTGCCCCAAGGAG\n>C\nCCCTATTGCACCAAGGAG\n");
         let total: f64 = p.weights().iter().sum();
         assert_eq!(total, p.n_sites() as f64);
         assert_eq!(p.n_taxa(), 3);
@@ -149,8 +155,12 @@ mod tests {
     fn pattern_content_is_sense_indices() {
         let code = GeneticCode::universal();
         let p = patterns_of(">A\nTTT\n>B\nGGG\n");
-        let expect_a = code.sense_index(crate::Codon::from_str("TTT").unwrap()).unwrap();
-        let expect_b = code.sense_index(crate::Codon::from_str("GGG").unwrap()).unwrap();
+        let expect_a = code
+            .sense_index(crate::Codon::from_str("TTT").unwrap())
+            .unwrap();
+        let expect_b = code
+            .sense_index(crate::Codon::from_str("GGG").unwrap())
+            .unwrap();
         assert_eq!(p.pattern(0), &[expect_a, expect_b]);
     }
 

@@ -31,8 +31,7 @@ impl Site {
         if chars.len() != 3 {
             return Err(BioError::InvalidCodon(chunk.to_string()));
         }
-        let is_ambiguous =
-            |c: char| matches!(c.to_ascii_uppercase(), '-' | '.' | '?' | 'N' | 'X');
+        let is_ambiguous = |c: char| matches!(c.to_ascii_uppercase(), '-' | '.' | '?' | 'N' | 'X');
         if chars.iter().any(|&c| is_ambiguous(c)) {
             // Every character must still be legal (nucleotide or ambiguity).
             for &c in &chars {
@@ -81,7 +80,10 @@ mod tests {
 
     #[test]
     fn parses_codons_and_gaps() {
-        assert_eq!(Site::from_chunk("ATG").unwrap(), Site::Codon(Codon::from_str("ATG").unwrap()));
+        assert_eq!(
+            Site::from_chunk("ATG").unwrap(),
+            Site::Codon(Codon::from_str("ATG").unwrap())
+        );
         assert_eq!(Site::from_chunk("---").unwrap(), Site::Missing);
         assert_eq!(Site::from_chunk("A-G").unwrap(), Site::Missing);
         assert_eq!(Site::from_chunk("NNN").unwrap(), Site::Missing);

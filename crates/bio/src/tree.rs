@@ -47,7 +47,10 @@ impl Tree {
         for (i, node) in nodes.iter().enumerate() {
             for &c in &node.children {
                 if c.0 >= nodes.len() {
-                    return Err(BioError::InvalidTree(format!("child index {} out of range", c.0)));
+                    return Err(BioError::InvalidTree(format!(
+                        "child index {} out of range",
+                        c.0
+                    )));
                 }
                 if nodes[c.0].parent != Some(NodeId(i)) {
                     return Err(BioError::InvalidTree(format!(
@@ -145,7 +148,9 @@ impl Tree {
             .collect();
         match marked.as_slice() {
             [one] => Ok(*one),
-            [] => Err(BioError::InvalidTree("no foreground branch marked (#1)".into())),
+            [] => Err(BioError::InvalidTree(
+                "no foreground branch marked (#1)".into(),
+            )),
             many => Err(BioError::InvalidTree(format!(
                 "{} foreground branches marked, expected 1",
                 many.len()
@@ -231,7 +236,10 @@ impl Tree {
             let node = &self.nodes[id.0];
             if node.children.is_empty() {
                 survivors[id.0] = usize::from(
-                    node.name.as_deref().map(|n| keep_set.contains(n)).unwrap_or(false),
+                    node.name
+                        .as_deref()
+                        .map(|n| keep_set.contains(n))
+                        .unwrap_or(false),
                 );
             } else {
                 survivors[id.0] = node.children.iter().map(|c| survivors[c.0]).sum();
@@ -318,6 +326,23 @@ impl Tree {
         self.nodes[id.0].foreground = true;
         Ok(())
     }
+
+    /// A copy of this tree with the branch above `id` as the single
+    /// foreground branch. Convenience over clone + [`set_foreground`]
+    /// for callers that keep the original; hot paths that only need a
+    /// different mark should prefer
+    /// `LikelihoodProblem::new_with_foreground`, which borrows the tree
+    /// and overrides the mark without copying the arena.
+    ///
+    /// [`set_foreground`]: Tree::set_foreground
+    ///
+    /// # Errors
+    /// [`BioError::InvalidTree`] if `id` is the root.
+    pub fn with_foreground(&self, id: NodeId) -> crate::Result<Tree> {
+        let mut tree = self.clone();
+        tree.set_foreground(id)?;
+        Ok(tree)
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +411,17 @@ mod tests {
         t.set_foreground(leaf_a).unwrap();
         assert_eq!(t.foreground_branch().unwrap(), leaf_a);
         assert!(t.set_foreground(t.root()).is_err());
+    }
+
+    #[test]
+    fn with_foreground_leaves_original_untouched() {
+        let t = five_taxon();
+        let original_fg = t.foreground_branch().unwrap();
+        let leaf_b = t.leaf_by_name("B").unwrap();
+        let marked = t.with_foreground(leaf_b).unwrap();
+        assert_eq!(marked.foreground_branch().unwrap(), leaf_b);
+        assert_eq!(t.foreground_branch().unwrap(), original_fg);
+        assert!(t.with_foreground(t.root()).is_err());
     }
 
     #[test]

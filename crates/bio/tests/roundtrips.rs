@@ -16,7 +16,8 @@ fn alignment_strategy() -> impl Strategy<Value = CodonAlignment> {
         proptest::collection::vec(proptest::collection::vec(codon_strategy(), len), n).prop_map(
             move |seqs| {
                 let names = (0..seqs.len()).map(|i| format!("SP{i}")).collect();
-                CodonAlignment::from_codons(names, seqs).expect("sense codons form a valid alignment")
+                CodonAlignment::from_codons(names, seqs)
+                    .expect("sense codons form a valid alignment")
             },
         )
     })

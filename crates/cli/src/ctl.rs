@@ -62,12 +62,16 @@ pub fn parse_ctl(text: &str) -> Result<CtlConfig, String> {
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
-            return Err(format!("line {}: expected `key = value`, got {raw:?}", lineno + 1));
+            return Err(format!(
+                "line {}: expected `key = value`, got {raw:?}",
+                lineno + 1
+            ));
         };
         let key = key.trim();
         let value = value.trim();
         let parse_int = |v: &str| -> Result<i64, String> {
-            v.parse().map_err(|_| format!("line {}: bad integer {v:?} for {key}", lineno + 1))
+            v.parse()
+                .map_err(|_| format!("line {}: bad integer {v:?} for {key}", lineno + 1))
         };
         match key {
             "seqfile" => seqfile = Some(value.to_string()),
@@ -86,7 +90,12 @@ pub fn parse_ctl(text: &str) -> Result<CtlConfig, String> {
                     1 => FreqModel::F1x4,
                     2 => FreqModel::F3x4,
                     3 => FreqModel::F61,
-                    other => return Err(format!("line {}: CodonFreq = {other} unsupported", lineno + 1)),
+                    other => {
+                        return Err(format!(
+                            "line {}: CodonFreq = {other} unsupported",
+                            lineno + 1
+                        ))
+                    }
                 };
             }
             "seed" => options.seed = parse_int(value)? as u64,
@@ -95,7 +104,10 @@ pub fn parse_ctl(text: &str) -> Result<CtlConfig, String> {
                     0 => slim_bio::GeneticCode::universal(),
                     1 => slim_bio::GeneticCode::vertebrate_mitochondrial(),
                     other => {
-                        return Err(format!("line {}: icode = {other} unsupported (0|1)", lineno + 1))
+                        return Err(format!(
+                            "line {}: icode = {other} unsupported (0|1)",
+                            lineno + 1
+                        ))
                     }
                 };
             }
@@ -103,9 +115,14 @@ pub fn parse_ctl(text: &str) -> Result<CtlConfig, String> {
             // Commonly present CodeML keys that this reproduction either
             // fixes implicitly (the H0/H1 pair is always run) or ignores.
             "noisy" | "verbose" | "runmode" | "seqtype" | "clock" | "getSE" | "RateAncestor"
-            | "fix_kappa" | "kappa" | "fix_omega" | "omega" | "cleandata"
-            | "fix_blength" | "method" | "Small_Diff" | "ndata" | "aaDist" => {}
-            other => return Err(format!("line {}: unknown control key {other:?}", lineno + 1)),
+            | "fix_kappa" | "kappa" | "fix_omega" | "omega" | "cleandata" | "fix_blength"
+            | "method" | "Small_Diff" | "ndata" | "aaDist" => {}
+            other => {
+                return Err(format!(
+                    "line {}: unknown control key {other:?}",
+                    lineno + 1
+                ))
+            }
         }
     }
 
@@ -177,7 +194,9 @@ mod tests {
     #[test]
     fn errors() {
         assert!(parse_ctl("treefile = t\n").unwrap_err().contains("seqfile"));
-        assert!(parse_ctl("seqfile = a\ntreefile = t\nwat = 1\n").unwrap_err().contains("wat"));
+        assert!(parse_ctl("seqfile = a\ntreefile = t\nwat = 1\n")
+            .unwrap_err()
+            .contains("wat"));
         assert!(parse_ctl("seqfile = a\ntreefile = t\nmodel = 7\n")
             .unwrap_err()
             .contains("unsupported"));

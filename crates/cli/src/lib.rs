@@ -8,14 +8,22 @@
 //! ```text
 //! slimcodeml --seq aln.fasta --tree tree.nwk [--backend slim|codeml|slim+|eq12]
 //!            [--freq f3x4|f61|f1x4|equal] [--seed N] [--max-iter N] [--scan]
+//! slimcodeml batch manifest.json [--workers N] [--retries N] [--resume]
+//!            [--out PREFIX] [--timing]
 //! ```
+//!
+//! The `batch` subcommand drives `slim-batch`: a manifest of gene
+//! families is expanded into jobs, fanned across a worker pool with
+//! retry and quarantine, checkpointed to `<PREFIX>.journal.jsonl`, and
+//! aggregated into `<PREFIX>.tsv` + `<PREFIX>.json`.
 
 pub mod ctl;
 
 use ctl::CtlMode;
 use slim_bio::{parse_newick, CodonAlignment, FreqModel, Tree};
-use slim_core::{scan_all_branches, sites_test, Analysis, AnalysisOptions, Backend};
+use slim_core::{sites_test, Analysis, AnalysisOptions, Backend};
 use slim_opt::GradMode;
+use std::path::PathBuf;
 
 /// Parsed command-line configuration.
 #[derive(Debug, Clone)]
@@ -28,18 +36,42 @@ pub struct CliConfig {
     pub options: AnalysisOptions,
     /// Scan every branch instead of using the `#1` mark.
     pub scan: bool,
+    /// Worker threads for `--scan` (each branch is an independent job).
+    pub workers: usize,
     /// Which test to run (branch-site by default; `--sites` or a control
     /// file with `model = 0` selects M1a/M2a).
     pub mode: CtlMode,
 }
 
-/// How the program was invoked: direct flags or a CodeML control file.
+/// Configuration of the `batch` subcommand.
+#[derive(Debug, Clone)]
+pub struct BatchCliConfig {
+    /// Manifest file path.
+    pub manifest_path: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Extra attempts per job for recoverable failures.
+    pub retries: usize,
+    /// Continue from the checkpoint journal.
+    pub resume: bool,
+    /// Output prefix: writes `<prefix>.tsv`, `<prefix>.json`, and the
+    /// journal `<prefix>.journal.jsonl`.
+    pub out_prefix: String,
+    /// Include wall-clock timing (and journal provenance) in the JSON
+    /// report; off by default so output is deterministic.
+    pub timing: bool,
+}
+
+/// How the program was invoked: direct flags, a CodeML control file, or
+/// the `batch` subcommand.
 #[derive(Debug, Clone)]
 pub enum Invocation {
     /// All inputs given as flags.
     Direct(Box<CliConfig>),
     /// `--ctl <path>`: read a codeml.ctl-style file.
     Ctl(String),
+    /// `batch <manifest.json> ...`.
+    Batch(BatchCliConfig),
 }
 
 /// Parse argv-style arguments (excluding the program name).
@@ -47,10 +79,14 @@ pub enum Invocation {
 /// # Errors
 /// A human-readable message describing the flag problem.
 pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    if args.first().map(String::as_str) == Some("batch") {
+        return parse_batch_args(&args[1..]).map(Invocation::Batch);
+    }
     let mut seq_path = None;
     let mut tree_path = None;
     let mut options = AnalysisOptions::default();
     let mut scan = false;
+    let mut workers = 1usize;
     let mut mode = CtlMode::BranchSite;
 
     let mut it = args.iter().peekable();
@@ -70,13 +106,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             }
             "--freq" | "-f" => {
                 let v = take_value("--freq")?;
-                options.freq_model = match v.to_ascii_lowercase().as_str() {
-                    "equal" => FreqModel::Equal,
-                    "f1x4" => FreqModel::F1x4,
-                    "f3x4" => FreqModel::F3x4,
-                    "f61" => FreqModel::F61,
-                    _ => return Err(format!("unknown frequency model {v:?}")),
-                };
+                options.freq_model = FreqModel::from_str_opt(&v)
+                    .ok_or_else(|| format!("unknown frequency model {v:?}"))?;
             }
             "--seed" => {
                 options.seed = take_value("--seed")?
@@ -89,10 +120,15 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     .map_err(|_| "bad --max-iter value".to_string())?;
             }
             "--forward-grad" => options.grad_mode = GradMode::Forward,
-            "--mito" => {
-                options.genetic_code = slim_bio::GeneticCode::vertebrate_mitochondrial()
-            }
+            "--mito" => options.genetic_code = slim_bio::GeneticCode::vertebrate_mitochondrial(),
             "--scan" => scan = true,
+            "--workers" | "-w" => {
+                workers = take_value("--workers")?
+                    .parse()
+                    .ok()
+                    .filter(|&w: &usize| w >= 1)
+                    .ok_or_else(|| "bad --workers value (need an integer ≥ 1)".to_string())?;
+            }
             "--sites" => mode = CtlMode::Sites,
             "--ctl" => return Ok(Invocation::Ctl(take_value("--ctl")?)),
             "--help" | "-h" => return Err(usage()),
@@ -104,16 +140,143 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         tree_path: tree_path.ok_or_else(|| format!("--tree is required\n{}", usage()))?,
         options,
         scan,
+        workers,
         mode,
     })))
+}
+
+fn parse_batch_args(args: &[String]) -> Result<BatchCliConfig, String> {
+    let mut manifest_path = None;
+    let mut workers = 1usize;
+    let mut retries = 1usize;
+    let mut resume = false;
+    let mut out_prefix = None;
+    let mut timing = false;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut take_value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--workers" | "-w" => {
+                workers = take_value("--workers")?
+                    .parse()
+                    .ok()
+                    .filter(|&w: &usize| w >= 1)
+                    .ok_or_else(|| "bad --workers value (need an integer ≥ 1)".to_string())?;
+            }
+            "--retries" => {
+                retries = take_value("--retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries value".to_string())?;
+            }
+            "--resume" => resume = true,
+            "--out" | "-o" => out_prefix = Some(take_value("--out")?),
+            "--timing" => timing = true,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown batch flag {other:?}\n{}", usage()));
+            }
+            positional => {
+                if manifest_path.replace(positional.to_string()).is_some() {
+                    return Err(format!(
+                        "unexpected extra argument {positional:?}\n{}",
+                        usage()
+                    ));
+                }
+            }
+        }
+    }
+    let manifest_path =
+        manifest_path.ok_or_else(|| format!("batch requires a manifest path\n{}", usage()))?;
+    // Default the output prefix to `<manifest sans extension>.batch`, so
+    // reports land next to the inputs. The `.batch` suffix keeps
+    // `<prefix>.json` from colliding with the manifest itself.
+    let out_prefix = out_prefix.unwrap_or_else(|| {
+        let p = PathBuf::from(&manifest_path);
+        format!("{}.batch", p.with_extension("").to_string_lossy())
+    });
+    Ok(BatchCliConfig {
+        manifest_path,
+        workers,
+        retries,
+        resume,
+        out_prefix,
+        timing,
+    })
+}
+
+/// Run the `batch` subcommand: execute the manifest, write
+/// `<prefix>.tsv` and `<prefix>.json`, and return a human-readable
+/// summary for stdout.
+///
+/// # Errors
+/// A human-readable message on manifest/journal/IO failure. Per-job
+/// failures do not error — they are quarantined in the reports.
+pub fn run_batch(config: &BatchCliConfig) -> Result<String, String> {
+    let run_config = slim_batch::RunConfig {
+        workers: config.workers,
+        retries: config.retries,
+        resume: config.resume,
+        journal_path: PathBuf::from(format!("{}.journal.jsonl", config.out_prefix)),
+        ..slim_batch::RunConfig::default()
+    };
+    let report = slim_batch::run_batch(std::path::Path::new(&config.manifest_path), &run_config)
+        .map_err(|e| e.to_string())?;
+
+    let tsv_path = format!("{}.tsv", config.out_prefix);
+    let json_path = format!("{}.json", config.out_prefix);
+    if json_path == config.manifest_path || tsv_path == config.manifest_path {
+        return Err(format!(
+            "output prefix {:?} would overwrite the manifest {:?}; pick another --out",
+            config.out_prefix, config.manifest_path
+        ));
+    }
+    std::fs::write(&tsv_path, report.to_tsv())
+        .map_err(|e| format!("cannot write {tsv_path}: {e}"))?;
+    std::fs::write(&json_path, report.to_json(config.timing))
+        .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+
+    let s = &report.summary;
+    let mut out = format!(
+        "batch: {} jobs — {} done, {} failed, {} cancelled ({} retried, {} from journal) \
+         in {:.1}s on {} worker{}\n",
+        s.total,
+        s.done,
+        s.failed,
+        s.cancelled,
+        s.retried,
+        s.from_journal,
+        s.wall_seconds,
+        config.workers,
+        if config.workers == 1 { "" } else { "s" }
+    );
+    for rec in &report.records {
+        if let Err(f) = &rec.outcome {
+            out.push_str(&format!(
+                "  quarantined {} after {} attempt{}: {}\n",
+                rec.key,
+                rec.attempts,
+                if rec.attempts == 1 { "" } else { "s" },
+                f.error
+            ));
+        }
+    }
+    out.push_str(&format!("reports: {tsv_path}, {json_path}\n"));
+    Ok(out)
 }
 
 /// Usage text.
 pub fn usage() -> String {
     "usage: slimcodeml --seq <aln.fasta|aln.phy> --tree <tree.nwk> \
      [--backend codeml|slim|slim+|eq12|slim-par] [--freq equal|f1x4|f3x4|f61] \
-     [--seed N] [--max-iter N] [--forward-grad] [--scan] [--sites]\n\
-       or: slimcodeml --ctl <codeml.ctl>"
+     [--seed N] [--max-iter N] [--forward-grad] [--scan] [--workers N] [--sites]\n\
+       or: slimcodeml --ctl <codeml.ctl>\n\
+       or: slimcodeml batch <manifest.json> [--workers N] [--retries N] \
+     [--resume] [--out PREFIX] [--timing]"
         .to_string()
 }
 
@@ -140,7 +303,9 @@ pub fn load_alignment_with_code(
         // time; re-validate under the requested code.
         let aln = slim_bio::parse_nexus_alignment(text).map_err(|e| e.to_string())?;
         let names = aln.names().to_vec();
-        let seqs = (0..aln.n_sequences()).map(|i| aln.sequence(i).to_vec()).collect();
+        let seqs = (0..aln.n_sequences())
+            .map(|i| aln.sequence(i).to_vec())
+            .collect();
         CodonAlignment::new_with_code(names, seqs, code).map_err(|e| e.to_string())
     } else if trimmed.starts_with('>') {
         CodonAlignment::from_fasta_with_code(text, code).map_err(|e| e.to_string())
@@ -200,7 +365,11 @@ pub fn run(config: &CliConfig, seq_text: &str, tree_text: &str) -> Result<String
             "LRT (M1a vs M2a): 2dlnL = {:.4}, p = {:.6} (chi2, 2 df) ({})\n",
             result.statistic,
             result.p_value,
-            if result.p_value < 0.05 { "positive selection detected" } else { "not significant" }
+            if result.p_value < 0.05 {
+                "positive selection detected"
+            } else {
+                "not significant"
+            }
         ));
         let sites: Vec<String> = result
             .site_posteriors
@@ -212,32 +381,60 @@ pub fn run(config: &CliConfig, seq_text: &str, tree_text: &str) -> Result<String
         if sites.is_empty() {
             out.push_str("No sites with posterior > 0.95.\n");
         } else {
-            out.push_str(&format!("Sites under positive selection (NEB > 0.95): {}\n", sites.join(", ")));
-        }
-        return Ok(out);
-    }
-
-    if config.scan {
-        let entries = scan_all_branches(&tree, &aln, &config.options).map_err(|e| e.to_string())?;
-        out.push_str("branch  child      lnL0           lnL1           2dlnL     p-value\n");
-        for e in &entries {
             out.push_str(&format!(
-                "{:<7} {:<10} {:<14.6} {:<14.6} {:<9.4} {:.4}{}\n",
-                e.branch.0,
-                e.child_name.clone().unwrap_or_else(|| "(internal)".into()),
-                e.result.h0.lnl,
-                e.result.h1.lnl,
-                e.result.lrt.statistic,
-                e.result.lrt.p_value,
-                if e.result.lrt.significant_at(0.05) { "  *" } else { "" }
+                "Sites under positive selection (NEB > 0.95): {}\n",
+                sites.join(", ")
             ));
         }
         return Ok(out);
     }
 
+    if config.scan {
+        // Branch scans go through the slim-batch pool: each branch is an
+        // independent job, so scans get parallelism (`--workers`), retry,
+        // and fault isolation — one pathological branch cannot abort the
+        // scan.
+        let sched = slim_batch::SchedulerConfig {
+            workers: config.workers,
+            ..slim_batch::SchedulerConfig::default()
+        };
+        let entries = slim_batch::scan_branches(&tree, &aln, &config.options, &sched);
+        out.push_str("branch  child      lnL0           lnL1           2dlnL     p-value\n");
+        for e in &entries {
+            let child = e.child_name.clone().unwrap_or_else(|| "(internal)".into());
+            match &e.outcome {
+                Ok(r) => out.push_str(&format!(
+                    "{:<7} {:<10} {:<14.6} {:<14.6} {:<9.4} {:.4}{}\n",
+                    e.branch.0,
+                    child,
+                    r.lnl0,
+                    r.lnl1,
+                    r.stat,
+                    r.p_value,
+                    if r.p_value < 0.05 { "  *" } else { "" }
+                )),
+                Err(f) => out.push_str(&format!(
+                    "{:<7} {:<10} failed after {} attempt{}: {}\n",
+                    e.branch.0,
+                    child,
+                    e.attempts,
+                    if e.attempts == 1 { "" } else { "s" },
+                    f.error
+                )),
+            }
+        }
+        return Ok(out);
+    }
+
     let analysis = Analysis::new(&tree, &aln, config.options.clone()).map_err(|e| e.to_string())?;
-    let result = analysis.test_positive_selection().map_err(|e| e.to_string())?;
-    out.push_str(&format!("{}\n{}\n\n", result.h0.summary(), result.h1.summary()));
+    let result = analysis
+        .test_positive_selection()
+        .map_err(|e| e.to_string())?;
+    out.push_str(&format!(
+        "{}\n{}\n\n",
+        result.h0.summary(),
+        result.h1.summary()
+    ));
     out.push_str(&format!(
         "LRT: 2dlnL = {:.4}, p = {:.6} ({})\n",
         result.lrt.statistic,
@@ -258,7 +455,10 @@ pub fn run(config: &CliConfig, seq_text: &str, tree_text: &str) -> Result<String
     if sites.is_empty() {
         out.push_str("No sites with posterior > 0.95.\n");
     } else {
-        out.push_str(&format!("Sites under positive selection (NEB > 0.95): {}\n", sites.join(", ")));
+        out.push_str(&format!(
+            "Sites under positive selection (NEB > 0.95): {}\n",
+            sites.join(", ")
+        ));
     }
     Ok(out)
 }
@@ -275,6 +475,7 @@ mod tests {
         match inv {
             Invocation::Direct(c) => *c,
             Invocation::Ctl(p) => panic!("expected direct invocation, got ctl {p:?}"),
+            Invocation::Batch(b) => panic!("expected direct invocation, got batch {b:?}"),
         }
     }
 
@@ -289,6 +490,138 @@ mod tests {
     }
 
     #[test]
+    fn parses_batch_subcommand() {
+        let inv = parse_args(&args(&[
+            "batch",
+            "runs/m.json",
+            "--workers",
+            "4",
+            "--retries",
+            "2",
+            "--resume",
+            "--out",
+            "runs/out",
+            "--timing",
+        ]))
+        .unwrap();
+        match inv {
+            Invocation::Batch(b) => {
+                assert_eq!(b.manifest_path, "runs/m.json");
+                assert_eq!(b.workers, 4);
+                assert_eq!(b.retries, 2);
+                assert!(b.resume);
+                assert_eq!(b.out_prefix, "runs/out");
+                assert!(b.timing);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_defaults_and_errors() {
+        match parse_args(&args(&["batch", "m.json"])).unwrap() {
+            Invocation::Batch(b) => {
+                assert_eq!(b.workers, 1);
+                assert_eq!(b.retries, 1);
+                assert!(!b.resume);
+                assert_eq!(
+                    b.out_prefix, "m.batch",
+                    "default prefix must not let <prefix>.json collide with the manifest"
+                );
+                assert!(!b.timing);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse_args(&args(&["batch"])).is_err(),
+            "manifest path required"
+        );
+        assert!(parse_args(&args(&["batch", "a.json", "b.json"])).is_err());
+        assert!(parse_args(&args(&["batch", "m.json", "--workers", "0"])).is_err());
+        assert!(parse_args(&args(&["batch", "m.json", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn batch_subcommand_runs_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("slim_cli_batch_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("t.nwk"), "((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+        std::fs::write(
+            dir.join("g.fasta"),
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+        )
+        .unwrap();
+        let manifest = dir.join("m.json");
+        std::fs::write(
+            &manifest,
+            r#"{"version":1,"genes":[
+                {"id":"g","alignment":"g.fasta","tree":"t.nwk","branches":["A"],"max_iterations":15}
+            ]}"#,
+        )
+        .unwrap();
+        let config = match parse_args(&args(&[
+            "batch",
+            manifest.to_str().unwrap(),
+            "--workers",
+            "2",
+        ]))
+        .unwrap()
+        {
+            Invocation::Batch(b) => b,
+            other => panic!("{other:?}"),
+        };
+        let summary = run_batch(&config).unwrap();
+        assert!(summary.contains("1 done"), "{summary}");
+        let prefix = dir.join("m.batch");
+        let tsv = std::fs::read_to_string(format!("{}.tsv", prefix.display())).unwrap();
+        assert!(tsv.starts_with("job_id\t"));
+        assert!(tsv.contains("g:2\tg:A\tdone"), "{tsv}");
+        assert!(std::fs::metadata(format!("{}.json", prefix.display())).is_ok());
+        assert!(std::fs::metadata(format!("{}.journal.jsonl", prefix.display())).is_ok());
+        // The manifest must survive the run untouched.
+        let manifest_after = std::fs::read_to_string(&manifest).unwrap();
+        assert!(
+            manifest_after.contains("\"genes\""),
+            "manifest overwritten: {manifest_after}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_report_via_worker_pool() {
+        let cfg = direct(
+            parse_args(&args(&[
+                "--seq",
+                "-",
+                "--tree",
+                "-",
+                "--max-iter",
+                "10",
+                "--scan",
+                "--workers",
+                "2",
+            ]))
+            .unwrap(),
+        );
+        assert_eq!(cfg.workers, 2);
+        let report = run(
+            &cfg,
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+            "((A:0.2,B:0.2):0.1,C:0.3);",
+        )
+        .unwrap();
+        assert!(report.contains("branch  child"), "{report}");
+        // 3-taxon tree: 4 branches, each with finite fits.
+        assert_eq!(
+            report.lines().filter(|l| l.contains("0.")).count(),
+            4,
+            "{report}"
+        );
+        assert!(!report.contains("failed"), "{report}");
+    }
+
+    #[test]
     fn ctl_invocation() {
         match parse_args(&args(&["--ctl", "codeml.ctl"])).unwrap() {
             Invocation::Ctl(p) => assert_eq!(p, "codeml.ctl"),
@@ -298,9 +631,7 @@ mod tests {
 
     #[test]
     fn sites_flag() {
-        let c = direct(
-            parse_args(&args(&["--seq", "a", "--tree", "t", "--sites"])).unwrap(),
-        );
+        let c = direct(parse_args(&args(&["--seq", "a", "--tree", "t", "--sites"])).unwrap());
         assert_eq!(c.mode, CtlMode::Sites);
     }
 
@@ -308,8 +639,20 @@ mod tests {
     fn parses_all_flags() {
         let c = direct(
             parse_args(&args(&[
-                "--seq", "a.fa", "--tree", "t.nwk", "--backend", "codeml", "--freq", "f61",
-                "--seed", "7", "--max-iter", "99", "--forward-grad", "--scan",
+                "--seq",
+                "a.fa",
+                "--tree",
+                "t.nwk",
+                "--backend",
+                "codeml",
+                "--freq",
+                "f61",
+                "--seed",
+                "7",
+                "--max-iter",
+                "99",
+                "--forward-grad",
+                "--scan",
             ]))
             .unwrap(),
         );
@@ -344,8 +687,16 @@ mod tests {
     #[test]
     fn end_to_end_sites_report() {
         let cfg = direct(
-            parse_args(&args(&["--seq", "-", "--tree", "-", "--max-iter", "8", "--sites"]))
-                .unwrap(),
+            parse_args(&args(&[
+                "--seq",
+                "-",
+                "--tree",
+                "-",
+                "--max-iter",
+                "8",
+                "--sites",
+            ]))
+            .unwrap(),
         );
         let report = run(
             &cfg,
@@ -360,7 +711,8 @@ mod tests {
 
     #[test]
     fn end_to_end_report() {
-        let cfg = direct(parse_args(&args(&["--seq", "-", "--tree", "-", "--max-iter", "10"])).unwrap());
+        let cfg =
+            direct(parse_args(&args(&["--seq", "-", "--tree", "-", "--max-iter", "10"])).unwrap());
         let report = run(
             &cfg,
             ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",

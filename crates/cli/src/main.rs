@@ -13,6 +13,18 @@ fn main() -> ExitCode {
     };
     let config = match invocation {
         slim_cli::Invocation::Direct(c) => *c,
+        slim_cli::Invocation::Batch(batch) => {
+            return match slim_cli::run_batch(&batch) {
+                Ok(summary) => {
+                    print!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         slim_cli::Invocation::Ctl(path) => {
             let text = match std::fs::read_to_string(&path) {
                 Ok(t) => t,
@@ -27,6 +39,7 @@ fn main() -> ExitCode {
                     tree_path: ctl.tree_path,
                     options: ctl.options,
                     scan: false,
+                    workers: 1,
                     mode: ctl.mode,
                 },
                 Err(msg) => {

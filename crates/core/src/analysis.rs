@@ -101,8 +101,41 @@ impl Analysis {
     /// # Errors
     /// [`CoreError::Bio`] if tree and alignment are inconsistent or no
     /// unique foreground branch is marked.
-    pub fn new(tree: &Tree, aln: &CodonAlignment, options: AnalysisOptions) -> Result<Analysis, CoreError> {
+    pub fn new(
+        tree: &Tree,
+        aln: &CodonAlignment,
+        options: AnalysisOptions,
+    ) -> Result<Analysis, CoreError> {
         let problem = LikelihoodProblem::new(tree, aln, &options.genetic_code, options.freq_model)?;
+        Ok(Self::from_problem(problem, tree, options))
+    }
+
+    /// Build an analysis with the foreground branch given explicitly,
+    /// ignoring any marks on the tree. Equivalent to cloning the tree,
+    /// calling [`Tree::set_foreground`] and [`Analysis::new`], but without
+    /// copying the tree arena — the cheap path for branch scans and batch
+    /// runs that test many foregrounds on one dataset.
+    ///
+    /// # Errors
+    /// [`CoreError::Bio`] if `foreground` is the root or out of range, or
+    /// if tree and alignment are inconsistent.
+    pub fn with_foreground(
+        tree: &Tree,
+        foreground: slim_bio::NodeId,
+        aln: &CodonAlignment,
+        options: AnalysisOptions,
+    ) -> Result<Analysis, CoreError> {
+        let problem = LikelihoodProblem::new_with_foreground(
+            tree,
+            foreground,
+            aln,
+            &options.genetic_code,
+            options.freq_model,
+        )?;
+        Ok(Self::from_problem(problem, tree, options))
+    }
+
+    fn from_problem(problem: LikelihoodProblem, tree: &Tree, options: AnalysisOptions) -> Analysis {
         let mut init = tree.branch_lengths();
         if let Some(l) = options.initial_branch_length {
             init = vec![l; init.len()];
@@ -111,7 +144,11 @@ impl Analysis {
         for v in &mut init {
             *v = v.clamp(BL_LO * 10.0, BL_HI / 10.0);
         }
-        Ok(Analysis { problem, options, init_branch_lengths: init })
+        Analysis {
+            problem,
+            options,
+            init_branch_lengths: init,
+        }
     }
 
     /// The underlying likelihood problem (for advanced use/benches).
@@ -133,7 +170,12 @@ impl Analysis {
         model: &BranchSiteModel,
         branch_lengths: &[f64],
     ) -> Result<f64, CoreError> {
-        Ok(log_likelihood(&self.problem, &self.options.backend.config(), model, branch_lengths)?)
+        Ok(log_likelihood(
+            &self.problem,
+            &self.options.backend.config(),
+            model,
+            branch_lengths,
+        )?)
     }
 
     /// Per-site log-likelihoods at explicit parameter values — CodeML's
@@ -162,13 +204,20 @@ impl Analysis {
     fn transform(&self, hypothesis: Hypothesis) -> BlockTransform {
         BlockTransform::new(vec![
             Block::LowerBounded { lo: KAPPA_LO },
-            Block::BoxBounded { lo: OMEGA0_LO, hi: OMEGA0_HI },
+            Block::BoxBounded {
+                lo: OMEGA0_LO,
+                hi: OMEGA0_HI,
+            },
             match hypothesis {
                 Hypothesis::H0 => Block::Fixed { value: 1.0 },
                 Hypothesis::H1 => Block::LowerBounded { lo: 1.0 },
             },
             Block::SimplexWithRest { dim: 2 },
-            Block::BoxBoundedVec { lo: BL_LO, hi: BL_HI, count: self.problem.n_branches() },
+            Block::BoxBoundedVec {
+                lo: BL_LO,
+                hi: BL_HI,
+                count: self.problem.n_branches(),
+            },
         ])
     }
 
@@ -292,7 +341,12 @@ impl Analysis {
             .map(|s| per_pattern[self.problem.patterns.pattern_of_site(s)])
             .collect();
 
-        Ok(TestResult { h0, h1, lrt, site_posteriors })
+        Ok(TestResult {
+            h0,
+            h1,
+            lrt,
+            site_posteriors,
+        })
     }
 }
 
@@ -310,7 +364,11 @@ mod tests {
         Analysis::new(
             &tree,
             &aln,
-            AnalysisOptions { backend, max_iterations: 60, ..Default::default() },
+            AnalysisOptions {
+                backend,
+                max_iterations: 60,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -323,7 +381,11 @@ mod tests {
             .log_likelihood(&start_model, &a.init_branch_lengths)
             .unwrap();
         let fit = a.fit(Hypothesis::H0).unwrap();
-        assert!(fit.lnl >= start_lnl - 1e-9, "fit {0} vs start {start_lnl}", fit.lnl);
+        assert!(
+            fit.lnl >= start_lnl - 1e-9,
+            "fit {0} vs start {start_lnl}",
+            fit.lnl
+        );
         assert!(fit.model.is_valid(Hypothesis::H0));
         assert!(fit.iterations <= 60);
     }
@@ -333,7 +395,12 @@ mod tests {
         let a = small_analysis(Backend::Slim);
         let r = a.test_positive_selection().unwrap();
         // H1 nests H0; allow small optimizer noise.
-        assert!(r.h1.lnl >= r.h0.lnl - 0.05, "h1 {} vs h0 {}", r.h1.lnl, r.h0.lnl);
+        assert!(
+            r.h1.lnl >= r.h0.lnl - 0.05,
+            "h1 {} vs h0 {}",
+            r.h1.lnl,
+            r.h0.lnl
+        );
         assert!(r.lrt.p_value > 0.0 && r.lrt.p_value <= 1.0);
         assert_eq!(r.site_posteriors.len(), 6);
         for &p in &r.site_posteriors {
@@ -344,7 +411,9 @@ mod tests {
     #[test]
     fn backends_reach_nearly_identical_likelihoods() {
         // The heart of §IV-1: relative difference D between engine lnLs.
-        let base = small_analysis(Backend::CodeMlStyle).fit(Hypothesis::H0).unwrap();
+        let base = small_analysis(Backend::CodeMlStyle)
+            .fit(Hypothesis::H0)
+            .unwrap();
         let slim = small_analysis(Backend::Slim).fit(Hypothesis::H0).unwrap();
         let d = ((base.lnl - slim.lnl) / base.lnl).abs();
         assert!(d < 1e-5, "D = {d}, base {} vs slim {}", base.lnl, slim.lnl);
@@ -379,6 +448,27 @@ mod tests {
     }
 
     #[test]
+    fn with_foreground_matches_marked_clone() {
+        let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,(C:0.2,D:0.2):0.1);").unwrap();
+        let aln = CodonAlignment::from_fasta(
+            ">A\nATGCCCAAATTTGGGCGA\n>B\nATGCCAAAATTTGGACGA\n>C\nATGCCCAAGTTTGGGCGA\n>D\nATGCCCAAATTCGGGCGT\n",
+        )
+        .unwrap();
+        let options = AnalysisOptions {
+            max_iterations: 40,
+            ..Default::default()
+        };
+        let c = tree.leaf_by_name("C").unwrap();
+        let direct = Analysis::with_foreground(&tree, c, &aln, options.clone()).unwrap();
+        let marked_tree = tree.with_foreground(c).unwrap();
+        let cloned = Analysis::new(&marked_tree, &aln, options).unwrap();
+        let f1 = direct.fit(Hypothesis::H0).unwrap();
+        let f2 = cloned.fit(Hypothesis::H0).unwrap();
+        assert_eq!(f1.lnl, f2.lnl);
+        assert_eq!(f1.branch_lengths, f2.branch_lengths);
+    }
+
+    #[test]
     fn seeded_start_is_reproducible() {
         let a = small_analysis(Backend::Slim);
         let x1 = a.start_vector(Hypothesis::H1);
@@ -393,7 +483,11 @@ mod tests {
         let a = Analysis::new(
             &tree,
             &aln,
-            AnalysisOptions { initial_branch_length: Some(0.5), jitter: 0.0, ..Default::default() },
+            AnalysisOptions {
+                initial_branch_length: Some(0.5),
+                jitter: 0.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let x = a.start_vector(Hypothesis::H0);

@@ -5,6 +5,19 @@ use slim_lik::EngineConfig;
 /// Which numerical engine computes the likelihood. All backends compute
 /// the *same* function — the paper's accuracy experiment (§IV-1) checks
 /// exactly this — but with very different cost profiles.
+///
+/// # Interaction with batch runs
+///
+/// `slim-batch` parallelizes at the *job* level: each H0/H1 test runs on
+/// one worker thread. Backends are orthogonal to that and every backend
+/// is safe to use in a batch, but note the interplay for
+/// [`Backend::SlimParallel`]: it additionally threads the four site-class
+/// pruning passes *inside* a single likelihood evaluation, so a batch
+/// with `workers = N` can run up to `4N` compute threads. On a machine
+/// sized for `N` workers, prefer [`Backend::Slim`] or
+/// [`Backend::SlimPlus`] in manifests and let the batch pool own all
+/// cores; reserve `SlimParallel` for `workers` well below the core count.
+/// Results are identical either way — only the thread budget differs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// CodeML v4.4c profile: Eq. 9 expm through naive kernels, per-site

@@ -33,13 +33,20 @@ pub struct BebOptions {
 
 impl Default for BebOptions {
     fn default() -> Self {
-        BebOptions { n_omega0: 4, n_omega2: 4, n_props: 4, omega2_max: 11.0 }
+        BebOptions {
+            n_omega0: 4,
+            n_omega2: 4,
+            n_props: 4,
+            omega2_max: 11.0,
+        }
     }
 }
 
 /// Bin midpoints of (lo, hi) with `n` bins.
 fn midpoints(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    (0..n).map(|k| lo + (hi - lo) * (k as f64 + 0.5) / n as f64).collect()
+    (0..n)
+        .map(|k| lo + (hi - lo) * (k as f64 + 0.5) / n as f64)
+        .collect()
 }
 
 impl Analysis {
@@ -94,7 +101,10 @@ impl Analysis {
         }
 
         // Softmax the whole-data log-likelihood weights.
-        let max_lw = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max_lw = log_weights
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let weights: Vec<f64> = log_weights.iter().map(|&lw| (lw - max_lw).exp()).collect();
         let total: f64 = weights.iter().sum();
 
@@ -127,11 +137,20 @@ mod tests {
         let analysis = Analysis::new(
             &tree,
             &aln,
-            AnalysisOptions { backend: Backend::SlimPlus, max_iterations: 10, ..Default::default() },
+            AnalysisOptions {
+                backend: Backend::SlimPlus,
+                max_iterations: 10,
+                ..Default::default()
+            },
         )
         .unwrap();
         let fit = analysis.fit(Hypothesis::H1).unwrap();
-        let opts = BebOptions { n_omega0: 2, n_omega2: 2, n_props: 2, omega2_max: 5.0 };
+        let opts = BebOptions {
+            n_omega0: 2,
+            n_omega2: 2,
+            n_props: 2,
+            omega2_max: 5.0,
+        };
         let beb = analysis.beb_site_posteriors(&fit, &opts).unwrap();
         assert_eq!(beb.len(), 3);
         for &p in &beb {
@@ -144,16 +163,24 @@ mod tests {
         // On weak data NEB can be overconfident; BEB averages over the
         // prior and should stay strictly inside (0, 1).
         let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,C:0.3);").unwrap();
-        let aln =
-            CodonAlignment::from_fasta(">A\nATGCCC\n>B\nATGCCC\n>C\nATGCCC\n").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nATGCCC\n>B\nATGCCC\n>C\nATGCCC\n").unwrap();
         let analysis = Analysis::new(
             &tree,
             &aln,
-            AnalysisOptions { backend: Backend::SlimPlus, max_iterations: 5, ..Default::default() },
+            AnalysisOptions {
+                backend: Backend::SlimPlus,
+                max_iterations: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let fit = analysis.fit(Hypothesis::H1).unwrap();
-        let opts = BebOptions { n_omega0: 2, n_omega2: 2, n_props: 2, omega2_max: 5.0 };
+        let opts = BebOptions {
+            n_omega0: 2,
+            n_omega2: 2,
+            n_props: 2,
+            omega2_max: 5.0,
+        };
         let beb = analysis.beb_site_posteriors(&fit, &opts).unwrap();
         for &p in &beb {
             assert!(p > 0.0 && p < 1.0);

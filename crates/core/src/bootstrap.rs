@@ -23,7 +23,10 @@ pub struct BootstrapOptions {
 
 impl Default for BootstrapOptions {
     fn default() -> Self {
-        BootstrapOptions { replicates: 100, seed: 7 }
+        BootstrapOptions {
+            replicates: 100,
+            seed: 7,
+        }
     }
 }
 
@@ -65,18 +68,32 @@ pub fn parametric_bootstrap_lrt(
 
     let mut null_statistics = Vec::with_capacity(boot.replicates);
     for r in 0..boot.replicates {
-        let rep_aln =
-            simulate_alignment(&template, &h0.model, &pi, aln.n_codons(), boot.seed ^ (r as u64).wrapping_mul(0x9E3779B9));
+        let rep_aln = simulate_alignment(
+            &template,
+            &h0.model,
+            &pi,
+            aln.n_codons(),
+            boot.seed ^ (r as u64).wrapping_mul(0x9E3779B9),
+        );
         let rep_analysis = Analysis::new(&template, &rep_aln, options.clone())?;
         let rep_h0 = rep_analysis.fit(Hypothesis::H0)?;
         let rep_h1 = rep_analysis.fit(Hypothesis::H1)?;
         null_statistics.push((2.0 * (rep_h1.lnl - rep_h0.lnl)).max(0.0));
     }
 
-    let exceed = null_statistics.iter().filter(|&&s| s >= observed_statistic).count();
+    let exceed = null_statistics
+        .iter()
+        .filter(|&&s| s >= observed_statistic)
+        .count();
     let p_value = (1 + exceed) as f64 / (boot.replicates + 1) as f64;
 
-    Ok(BootstrapResult { h0, h1, observed_statistic, null_statistics, p_value })
+    Ok(BootstrapResult {
+        h0,
+        h1,
+        observed_statistic,
+        null_statistics,
+        p_value,
+    })
 }
 
 #[cfg(test)]
@@ -89,22 +106,26 @@ mod tests {
     #[test]
     fn bootstrap_runs_and_p_in_range() {
         let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,C:0.3);").unwrap();
-        let aln = CodonAlignment::from_fasta(
-            ">A\nATGCCCAAATTT\n>B\nATGCCAAAATTT\n>C\nATGCCCAAGTTC\n",
-        )
-        .unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">A\nATGCCCAAATTT\n>B\nATGCCAAAATTT\n>C\nATGCCCAAGTTC\n")
+                .unwrap();
         let options = AnalysisOptions {
             backend: Backend::SlimPlus,
             max_iterations: 10,
             grad_mode: GradMode::Forward,
             ..Default::default()
         };
-        let boot = BootstrapOptions { replicates: 2, seed: 3 };
+        let boot = BootstrapOptions {
+            replicates: 2,
+            seed: 3,
+        };
         let r = parametric_bootstrap_lrt(&tree, &aln, &options, &boot).unwrap();
         assert_eq!(r.null_statistics.len(), 2);
         assert!(r.p_value > 0.0 && r.p_value <= 1.0);
         assert!(r.observed_statistic >= 0.0);
         // With R = 2 the p-value granularity is thirds.
-        assert!([1.0 / 3.0, 2.0 / 3.0, 1.0].iter().any(|v| (r.p_value - v).abs() < 1e-12));
+        assert!([1.0 / 3.0, 2.0 / 3.0, 1.0]
+            .iter()
+            .any(|v| (r.p_value - v).abs() < 1e-12));
     }
 }

@@ -42,4 +42,5 @@ pub use stderr::StandardErrors;
 
 // Re-exports so downstream users need only slim-core for common flows.
 pub use slim_model::{BranchSiteModel, Hypothesis, SiteModel, SitesHypothesis};
+pub use slim_opt::GradMode;
 pub use slim_stat::LrtResult;

@@ -22,7 +22,12 @@ pub struct BranchScanEntry {
 /// Test every branch of `tree` as the foreground branch.
 ///
 /// Existing foreground marks in the input are ignored; each branch is
-/// marked in turn. Results come back in arena branch order.
+/// marked in turn via [`Analysis::with_foreground`], so the tree arena is
+/// never copied per branch. Results come back in arena branch order.
+///
+/// This is the sequential reference; `slim-batch` runs the same
+/// per-branch jobs through its worker pool for parallel, fault-isolated
+/// scans.
 ///
 /// # Errors
 /// Propagates per-branch analysis errors.
@@ -33,9 +38,7 @@ pub fn scan_all_branches(
 ) -> Result<Vec<BranchScanEntry>, CoreError> {
     let mut out = Vec::new();
     for branch in tree.branch_nodes() {
-        let mut marked = tree.clone();
-        marked.set_foreground(branch)?;
-        let analysis = Analysis::new(&marked, aln, options.clone())?;
+        let analysis = Analysis::with_foreground(tree, branch, aln, options.clone())?;
         let result = analysis.test_positive_selection()?;
         out.push(BranchScanEntry {
             branch,
@@ -56,10 +59,9 @@ mod tests {
     #[test]
     fn scans_every_branch() {
         let tree = parse_newick("((A:0.2,B:0.2):0.1,C:0.3);").unwrap();
-        let aln = slim_bio::CodonAlignment::from_fasta(
-            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
-        )
-        .unwrap();
+        let aln =
+            slim_bio::CodonAlignment::from_fasta(">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n")
+                .unwrap();
         let options = AnalysisOptions {
             backend: Backend::SlimPlus,
             max_iterations: 15, // keep the test fast; convergence not needed
@@ -69,7 +71,10 @@ mod tests {
         let entries = scan_all_branches(&tree, &aln, &options).unwrap();
         assert_eq!(entries.len(), tree.n_branches());
         // Leaf branches carry their names.
-        let named: Vec<_> = entries.iter().filter_map(|e| e.child_name.clone()).collect();
+        let named: Vec<_> = entries
+            .iter()
+            .filter_map(|e| e.child_name.clone())
+            .collect();
         assert!(named.contains(&"A".to_string()));
         for e in &entries {
             assert!(e.result.h1.lnl.is_finite());

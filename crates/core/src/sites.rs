@@ -85,26 +85,42 @@ pub fn sites_test(
         .map(|s| per_pattern[problem.patterns.pattern_of_site(s)])
         .collect();
 
-    Ok(SitesTestResult { m1a, m2a, statistic, p_value, site_posteriors })
+    Ok(SitesTestResult {
+        m1a,
+        m2a,
+        statistic,
+        p_value,
+        site_posteriors,
+    })
 }
 
 fn transform(hypothesis: SitesHypothesis, n_branches: usize) -> BlockTransform {
     let mut blocks = vec![
-        Block::LowerBounded { lo: 1e-3 },               // κ
-        Block::BoxBounded { lo: 1e-6, hi: 1.0 - 1e-6 }, // ω0
+        Block::LowerBounded { lo: 1e-3 }, // κ
+        Block::BoxBounded {
+            lo: 1e-6,
+            hi: 1.0 - 1e-6,
+        }, // ω0
     ];
     match hypothesis {
         SitesHypothesis::M1a => {
-            blocks.push(Block::Fixed { value: 1.0 });               // ω2 unused
-            blocks.push(Block::BoxBounded { lo: 1e-6, hi: 1.0 - 1e-6 }); // p0
-            blocks.push(Block::Fixed { value: 0.0 });               // p1 implied
+            blocks.push(Block::Fixed { value: 1.0 }); // ω2 unused
+            blocks.push(Block::BoxBounded {
+                lo: 1e-6,
+                hi: 1.0 - 1e-6,
+            }); // p0
+            blocks.push(Block::Fixed { value: 0.0 }); // p1 implied
         }
         SitesHypothesis::M2a => {
-            blocks.push(Block::LowerBounded { lo: 1.0 });  // ω2
+            blocks.push(Block::LowerBounded { lo: 1.0 }); // ω2
             blocks.push(Block::SimplexWithRest { dim: 2 }); // (p0, p1)
         }
     }
-    blocks.push(Block::BoxBoundedVec { lo: 1e-6, hi: 50.0, count: n_branches });
+    blocks.push(Block::BoxBoundedVec {
+        lo: 1e-6,
+        hi: 50.0,
+        count: n_branches,
+    });
     BlockTransform::new(blocks)
 }
 
@@ -145,7 +161,13 @@ fn fit_sites(
 
     let unpack = |x: &[f64]| -> (SiteModel, Vec<f64>) {
         (
-            SiteModel { kappa: x[0], omega0: x[1], omega2: x[2], p0: x[3], p1: x[4] },
+            SiteModel {
+                kappa: x[0],
+                omega0: x[1],
+                omega2: x[2],
+                p0: x[3],
+                p1: x[4],
+            },
             x[5..].to_vec(),
         )
     };
@@ -159,7 +181,9 @@ fn fit_sites(
         }
     };
     if !objective(&z0).is_finite() {
-        return Err(CoreError::Optimization("sites model not finite at start".into()));
+        return Err(CoreError::Optimization(
+            "sites model not finite at start".into(),
+        ));
     }
 
     let opts = BfgsOptions {
@@ -210,7 +234,12 @@ mod tests {
         )
         .unwrap();
         let r = sites_test(&tree, &aln, &options()).unwrap();
-        assert!(r.m2a.lnl >= r.m1a.lnl - 0.05, "m2a {} vs m1a {}", r.m2a.lnl, r.m1a.lnl);
+        assert!(
+            r.m2a.lnl >= r.m1a.lnl - 0.05,
+            "m2a {} vs m1a {}",
+            r.m2a.lnl,
+            r.m1a.lnl
+        );
         assert!(r.p_value > 0.0 && r.p_value <= 1.0);
         assert_eq!(r.site_posteriors.len(), 5);
         assert!(r.m1a.model.is_valid(SitesHypothesis::M1a));

@@ -35,7 +35,13 @@ fn pack(model: &BranchSiteModel) -> [f64; 5] {
 }
 
 fn unpack(x: &[f64; 5]) -> BranchSiteModel {
-    BranchSiteModel { kappa: x[0], omega0: x[1], omega2: x[2], p0: x[3], p1: x[4] }
+    BranchSiteModel {
+        kappa: x[0],
+        omega0: x[1],
+        omega2: x[2],
+        p0: x[3],
+        p1: x[4],
+    }
 }
 
 impl Analysis {
@@ -128,7 +134,13 @@ impl Analysis {
             }
         }
 
-        Ok(StandardErrors { kappa: se[0], omega0: se[1], omega2: se[2], p0: se[3], p1: se[4] })
+        Ok(StandardErrors {
+            kappa: se[0],
+            omega0: se[1],
+            omega2: se[2],
+            p0: se[3],
+            p1: se[4],
+        })
     }
 }
 

@@ -117,8 +117,12 @@ mod tests {
     fn cache_hits_on_repeat() {
         let cache = EigenCache::new(16);
         let m = rm(0.5);
-        let a = cache.get_or_compute(2.0, 0.5, &m, EigenMethod::HouseholderQl).unwrap();
-        let b = cache.get_or_compute(2.0, 0.5, &m, EigenMethod::HouseholderQl).unwrap();
+        let a = cache
+            .get_or_compute(2.0, 0.5, &m, EigenMethod::HouseholderQl)
+            .unwrap();
+        let b = cache
+            .get_or_compute(2.0, 0.5, &m, EigenMethod::HouseholderQl)
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats(), (1, 1));
     }
@@ -126,18 +130,28 @@ mod tests {
     #[test]
     fn distinct_omegas_miss() {
         let cache = EigenCache::new(16);
-        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
-        let _ = cache.get_or_compute(2.0, 1.0, &rm(1.0), EigenMethod::HouseholderQl).unwrap();
+        let _ = cache
+            .get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl)
+            .unwrap();
+        let _ = cache
+            .get_or_compute(2.0, 1.0, &rm(1.0), EigenMethod::HouseholderQl)
+            .unwrap();
         assert_eq!(cache.stats(), (0, 2));
     }
 
     #[test]
     fn capacity_bound_respected() {
         let cache = EigenCache::new(1);
-        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
-        let _ = cache.get_or_compute(2.0, 1.0, &rm(1.0), EigenMethod::HouseholderQl).unwrap();
+        let _ = cache
+            .get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl)
+            .unwrap();
+        let _ = cache
+            .get_or_compute(2.0, 1.0, &rm(1.0), EigenMethod::HouseholderQl)
+            .unwrap();
         // First entry was evicted by the wholesale clear.
-        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
+        let _ = cache
+            .get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl)
+            .unwrap();
         let (hits, misses) = cache.stats();
         assert_eq!(hits, 0);
         assert_eq!(misses, 3);
@@ -146,9 +160,13 @@ mod tests {
     #[test]
     fn clear_empties() {
         let cache = EigenCache::new(8);
-        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
+        let _ = cache
+            .get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl)
+            .unwrap();
         cache.clear();
-        let _ = cache.get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl).unwrap();
+        let _ = cache
+            .get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl)
+            .unwrap();
         assert_eq!(cache.stats().1, 2);
     }
 

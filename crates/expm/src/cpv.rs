@@ -137,11 +137,7 @@ mod tests {
 
     fn toy_p() -> Mat {
         // A small row-stochastic matrix.
-        Mat::from_rows(&[
-            &[0.7, 0.2, 0.1],
-            &[0.15, 0.8, 0.05],
-            &[0.1, 0.3, 0.6],
-        ])
+        Mat::from_rows(&[&[0.7, 0.2, 0.1], &[0.15, 0.8, 0.05], &[0.1, 0.3, 0.6]])
     }
 
     fn toy_w() -> Mat {

@@ -75,7 +75,12 @@ impl EigenSystem {
     /// rank-k update (step 4, ≈ n³ flops — half of Eq. 9), then
     /// `P = Π^{-1/2} Z Π^{1/2}` (step 5).
     pub fn transition_matrix_eq10(&self, t: f64) -> Mat {
-        let half: Vec<f64> = self.eigen.values.iter().map(|&l| (l * t * 0.5).exp()).collect();
+        let half: Vec<f64> = self
+            .eigen
+            .values
+            .iter()
+            .map(|&l| (l * t * 0.5).exp())
+            .collect();
         let y = self.eigen.vectors.mul_diag_right(&half);
         let mut z = Mat::zeros(self.order(), self.order());
         syrk(1.0, &y, 0.0, &mut z);
@@ -85,7 +90,9 @@ impl EigenSystem {
     /// `P = Π^{-1/2} · Z · Π^{1/2}` with negative rounding noise clamped to
     /// zero (probabilities), as CodeML does.
     fn back_transform(&self, z: Mat) -> Mat {
-        let mut p = z.mul_diag_left(&self.inv_sqrt_pi).mul_diag_right(&self.sqrt_pi);
+        let mut p = z
+            .mul_diag_left(&self.inv_sqrt_pi)
+            .mul_diag_right(&self.sqrt_pi);
         for v in p.as_mut_slice() {
             if *v < 0.0 {
                 *v = 0.0;
@@ -102,7 +109,12 @@ impl EigenSystem {
     /// off-diagonal entry once — "saves about half of the memory accesses"
     /// (§II-C2).
     pub fn symmetric_transition(&self, t: f64) -> crate::cpv::SymTransition {
-        let half: Vec<f64> = self.eigen.values.iter().map(|&l| (l * t * 0.5).exp()).collect();
+        let half: Vec<f64> = self
+            .eigen
+            .values
+            .iter()
+            .map(|&l| (l * t * 0.5).exp())
+            .collect();
         let y_hat = self
             .eigen
             .vectors

@@ -26,10 +26,10 @@
 //!
 //! A scaling-and-squaring Taylor expm serves as an accuracy oracle.
 
-mod eigensystem;
-mod taylor;
 mod cache;
 pub mod cpv;
+mod eigensystem;
+mod taylor;
 
 pub use cache::EigenCache;
 pub use cpv::{CpvStrategy, SymTransition};

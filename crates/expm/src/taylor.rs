@@ -23,7 +23,11 @@ pub fn expm_taylor(a: &Mat) -> Mat {
     let n = a.rows();
     let norm = inf_norm(a);
     // Scale so the series converges fast: ‖A/2^s‖ ≤ 0.5.
-    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
     let mut scaled = a.clone();
     scaled.scale(1.0 / f64::powi(2.0, s as i32));
 
@@ -79,10 +83,7 @@ mod tests {
         let theta = 0.7f64;
         let a = Mat::from_rows(&[&[0.0, -theta], &[theta, 0.0]]);
         let e = expm_taylor(&a);
-        let expect = Mat::from_rows(&[
-            &[theta.cos(), -theta.sin()],
-            &[theta.sin(), theta.cos()],
-        ]);
+        let expect = Mat::from_rows(&[&[theta.cos(), -theta.sin()], &[theta.sin(), theta.cos()]]);
         assert!(e.approx_eq(&expect, 1e-13));
     }
 

@@ -69,7 +69,10 @@ impl AncestralReconstruction {
                         best = s;
                     }
                 }
-                ReconstructedCodon { codon: code.sense_codon(best), posterior: best_p }
+                ReconstructedCodon {
+                    codon: code.sense_codon(best),
+                    posterior: best_p,
+                }
             })
             .collect()
     }
@@ -102,8 +105,13 @@ pub fn ancestral_reconstruction(
     let eigensystems: Vec<EigenSystem> = omegas
         .iter()
         .map(|&w| {
-            let rm =
-                build_rate_matrix(&problem.code, model.kappa, w, &problem.pi, ScalePolicy::External(scale));
+            let rm = build_rate_matrix(
+                &problem.code,
+                model.kappa,
+                w,
+                &problem.pi,
+                ScalePolicy::External(scale),
+            );
             EigenSystem::from_rate_matrix(&rm, config.eigen)
         })
         .collect::<Result<_, _>>()?;
@@ -111,9 +119,15 @@ pub fn ancestral_reconstruction(
     // Dense P(t) per (node, needed ω).
     let mut pmats: Vec<[Option<Mat>; 3]> = (0..n_nodes).map(|_| [None, None, None]).collect();
     for node in 0..n_nodes {
-        let Some(bi) = problem.branch_index[node] else { continue };
+        let Some(bi) = problem.branch_index[node] else {
+            continue;
+        };
         let t = branch_lengths[bi];
-        let needed: &[usize] = if problem.is_foreground[node] { &[0, 1, 2] } else { &[0, 1] };
+        let needed: &[usize] = if problem.is_foreground[node] {
+            &[0, 1, 2]
+        } else {
+            &[0, 1]
+        };
         for &w in needed {
             pmats[node][w] = Some(eigensystems[w].transition_matrix_eq10(t));
         }
@@ -260,7 +274,9 @@ pub fn ancestral_reconstruction(
 
     Ok(AncestralReconstruction {
         posteriors,
-        site_to_pattern: (0..problem.n_sites()).map(|s| problem.patterns.pattern_of_site(s)).collect(),
+        site_to_pattern: (0..problem.n_sites())
+            .map(|s| problem.patterns.pattern_of_site(s))
+            .collect(),
     })
 }
 
@@ -297,7 +313,10 @@ mod tests {
             if let Some(post) = &rec.posteriors[node] {
                 for p in 0..problem.n_patterns() {
                     let total: f64 = (0..61).map(|s| post[(s, p)]).sum();
-                    assert!((total - 1.0).abs() < 1e-10, "node {node} pattern {p}: {total}");
+                    assert!(
+                        (total - 1.0).abs() < 1e-10,
+                        "node {node} pattern {p}: {total}"
+                    );
                 }
             } else {
                 assert!(problem.children[node].is_empty());
@@ -342,7 +361,13 @@ mod tests {
         let ess: Vec<EigenSystem> = omegas
             .iter()
             .map(|&w| {
-                let rm = build_rate_matrix(&code, model.kappa, w, &problem.pi, ScalePolicy::External(scale));
+                let rm = build_rate_matrix(
+                    &code,
+                    model.kappa,
+                    w,
+                    &problem.pi,
+                    ScalePolicy::External(scale),
+                );
                 EigenSystem::from_rate_matrix(&rm, slim_linalg::EigenMethod::HouseholderQl).unwrap()
             })
             .collect();

@@ -45,8 +45,13 @@ pub fn log_likelihood_branch(
 
     let mut eigensystems: Vec<Arc<EigenSystem>> = Vec::with_capacity(2);
     for &omega in &[omega_background, omega_foreground] {
-        let rm =
-            build_rate_matrix(&problem.code, kappa, omega, &problem.pi, ScalePolicy::External(scale));
+        let rm = build_rate_matrix(
+            &problem.code,
+            kappa,
+            omega,
+            &problem.pi,
+            ScalePolicy::External(scale),
+        );
         let es = match &config.eigen_cache {
             Some(cache) => cache.get_or_compute(kappa, omega, &rm, config.eigen)?,
             None => Arc::new(EigenSystem::from_rate_matrix(&rm, config.eigen)?),
@@ -57,11 +62,17 @@ pub fn log_likelihood_branch(
     let n_nodes = problem.children.len();
     let mut ops: Vec<[Option<TransOp>; 3]> = (0..n_nodes).map(|_| [None, None, None]).collect();
     for node in 0..n_nodes {
-        let Some(bi) = problem.branch_index[node] else { continue };
+        let Some(bi) = problem.branch_index[node] else {
+            continue;
+        };
         let t = branch_lengths[bi];
         // Slot 0 = background ω, slot 1 = foreground ω; prune_one_class is
         // called with (bg = 0, fg = 1).
-        let needed: &[usize] = if problem.is_foreground[node] { &[1] } else { &[0] };
+        let needed: &[usize] = if problem.is_foreground[node] {
+            &[1]
+        } else {
+            &[0]
+        };
         for &w in needed {
             let es = &eigensystems[w];
             ops[node][w] = Some(match config.cpv {
@@ -106,7 +117,10 @@ mod tests {
         let two_ratio =
             log_likelihood_branch(&p, &EngineConfig::slim(), 2.0, omega, omega, &bl).unwrap();
         let m0 = log_likelihood_m0(&p, &EngineConfig::slim(), 2.0, omega, &bl).unwrap();
-        assert!((two_ratio - m0).abs() < 1e-10, "two-ratio {two_ratio} vs M0 {m0}");
+        assert!(
+            (two_ratio - m0).abs() < 1e-10,
+            "two-ratio {two_ratio} vs M0 {m0}"
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl EngineConfig {
     /// The FastCodeML direction (§V-B): the Slim profile with the four
     /// site-class pruning passes fanned out across threads.
     pub fn slim_parallel() -> EngineConfig {
-        EngineConfig { parallel_classes: true, label: "SlimCodeML-par", ..EngineConfig::slim() }
+        EngineConfig {
+            parallel_classes: true,
+            label: "SlimCodeML-par",
+            ..EngineConfig::slim()
+        }
     }
 
     /// Swap the eigensolver (builder-style).

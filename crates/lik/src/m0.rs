@@ -37,7 +37,13 @@ pub fn log_likelihood_m0(
         problem.n_branches(),
         "branch length vector has wrong length"
     );
-    let rm = build_rate_matrix(&problem.code, kappa, omega, &problem.pi, ScalePolicy::PerClass);
+    let rm = build_rate_matrix(
+        &problem.code,
+        kappa,
+        omega,
+        &problem.pi,
+        ScalePolicy::PerClass,
+    );
     let es = match &config.eigen_cache {
         Some(cache) => cache.get_or_compute(kappa, omega, &rm, config.eigen)?,
         None => Arc::new(EigenSystem::from_rate_matrix(&rm, config.eigen)?),
@@ -46,7 +52,9 @@ pub fn log_likelihood_m0(
     let n_nodes = problem.children.len();
     let mut ops: Vec<[Option<TransOp>; 3]> = (0..n_nodes).map(|_| [None, None, None]).collect();
     for (node, op_slot) in ops.iter_mut().enumerate() {
-        let Some(bi) = problem.branch_index[node] else { continue };
+        let Some(bi) = problem.branch_index[node] else {
+            continue;
+        };
         let t = branch_lengths[bi];
         op_slot[0] = Some(match config.cpv {
             CpvStrategy::SymmetricSymv => TransOp::Sym(es.symmetric_transition(t)),
@@ -74,7 +82,8 @@ mod tests {
 
     fn problem() -> LikelihoodProblem {
         let tree = parse_newick("((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
-        let aln = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
         let code = GeneticCode::universal();
         LikelihoodProblem::new_unmarked(&tree, &aln, &code, FreqModel::F3x4).unwrap()
     }
@@ -94,7 +103,8 @@ mod tests {
         // BSM with p0 → 1 and ω0 = ω is (almost) M0 with that ω: class 0
         // dominates and uses ω everywhere.
         let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
-        let aln = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
         let code = GeneticCode::universal();
         let p = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).unwrap();
         let bl = vec![0.1; p.n_branches()];

@@ -52,6 +52,42 @@ impl LikelihoodProblem {
         Self::new_unmarked(tree, aln, code, freq_model)
     }
 
+    /// Like [`LikelihoodProblem::new`] but with the foreground branch
+    /// given explicitly, overriding whatever marks the tree carries.
+    ///
+    /// This is the cheap way to evaluate the same dataset under many
+    /// candidate foreground branches (branch scans, batch runs): the tree
+    /// is only borrowed, so no arena copy is made per candidate — only
+    /// the flattened problem arrays are built.
+    ///
+    /// # Errors
+    /// [`BioError::InvalidTree`] if `foreground` is the root or out of
+    /// range; [`BioError`] on tree/alignment inconsistencies.
+    pub fn new_with_foreground(
+        tree: &Tree,
+        foreground: slim_bio::NodeId,
+        aln: &CodonAlignment,
+        code: &GeneticCode,
+        freq_model: FreqModel,
+    ) -> Result<LikelihoodProblem, BioError> {
+        if foreground.0 >= tree.n_nodes() {
+            return Err(BioError::InvalidTree(format!(
+                "foreground node {} out of range ({} nodes)",
+                foreground.0,
+                tree.n_nodes()
+            )));
+        }
+        if tree.node(foreground).parent.is_none() {
+            return Err(BioError::InvalidTree("root has no branch to mark".into()));
+        }
+        let mut problem = Self::new_unmarked(tree, aln, code, freq_model)?;
+        for flag in &mut problem.is_foreground {
+            *flag = false;
+        }
+        problem.is_foreground[foreground.0] = true;
+        Ok(problem)
+    }
+
     /// Like [`LikelihoodProblem::new`] but without requiring a foreground
     /// branch — for models that treat all branches alike (e.g. M0, the
     /// single-ω model in [`crate::m0`]).
@@ -94,9 +130,10 @@ impl LikelihoodProblem {
                 .collect();
         }
         for id in &leaves {
-            let name = tree.node(*id).name.as_deref().ok_or_else(|| {
-                BioError::InvalidTree(format!("leaf node {} has no name", id.0))
-            })?;
+            let name =
+                tree.node(*id).name.as_deref().ok_or_else(|| {
+                    BioError::InvalidTree(format!("leaf node {} has no name", id.0))
+                })?;
             let taxon = aln.index_of(name).ok_or_else(|| {
                 BioError::InvalidTree(format!("leaf {name:?} not found in the alignment"))
             })?;
@@ -177,6 +214,39 @@ mod tests {
     }
 
     #[test]
+    fn explicit_foreground_overrides_tree_marks() {
+        let (tree, aln) = toy();
+        let code = GeneticCode::universal();
+        let a = tree.leaf_by_name("A").unwrap();
+        let p =
+            LikelihoodProblem::new_with_foreground(&tree, a, &aln, &code, FreqModel::F3x4).unwrap();
+        // Only A's branch is foreground, regardless of the tree's #1 mark.
+        assert!(p.is_foreground[a.0]);
+        assert_eq!(p.is_foreground.iter().filter(|&&b| b).count(), 1);
+        // Matches what a marked clone would produce.
+        let marked = tree.with_foreground(a).unwrap();
+        let q = LikelihoodProblem::new(&marked, &aln, &code, FreqModel::F3x4).unwrap();
+        assert_eq!(p.is_foreground, q.is_foreground);
+        // Root and out-of-range rejected.
+        assert!(LikelihoodProblem::new_with_foreground(
+            &tree,
+            tree.root(),
+            &aln,
+            &code,
+            FreqModel::F3x4
+        )
+        .is_err());
+        assert!(LikelihoodProblem::new_with_foreground(
+            &tree,
+            slim_bio::NodeId(999),
+            &aln,
+            &code,
+            FreqModel::F3x4
+        )
+        .is_err());
+    }
+
+    #[test]
     fn leaf_taxon_mapping_respects_names() {
         // Shuffle the alignment order relative to the tree.
         let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
@@ -194,8 +264,7 @@ mod tests {
     #[test]
     fn missing_name_rejected() {
         let tree = parse_newick("((A:0.1,X:0.2)#1:0.05,C:0.3);").unwrap();
-        let aln =
-            CodonAlignment::from_fasta(">A\nCCC\n>B\nCCC\n>C\nCCA\n").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nCCC\n>B\nCCC\n>C\nCCA\n").unwrap();
         let code = GeneticCode::universal();
         assert!(LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).is_err());
     }

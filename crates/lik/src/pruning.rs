@@ -105,11 +105,18 @@ pub fn site_class_log_likelihoods(
     // so ω2 > 1 genuinely accelerates foreground evolution — see
     // BranchSiteModel::shared_scale.
     let omegas = model.omegas();
-    let (syn_flux, nonsyn_flux) = slim_model::codon_model::rate_components(&problem.code, model.kappa, &problem.pi);
+    let (syn_flux, nonsyn_flux) =
+        slim_model::codon_model::rate_components(&problem.code, model.kappa, &problem.pi);
     let scale = model.shared_scale(syn_flux, nonsyn_flux);
     let mut eigensystems: Vec<Arc<EigenSystem>> = Vec::with_capacity(N_OMEGA);
     for &omega in &omegas {
-        let rm = build_rate_matrix(&problem.code, model.kappa, omega, &problem.pi, ScalePolicy::External(scale));
+        let rm = build_rate_matrix(
+            &problem.code,
+            model.kappa,
+            omega,
+            &problem.pi,
+            ScalePolicy::External(scale),
+        );
         let es = match &config.eigen_cache {
             Some(cache) => cache.get_or_compute(model.kappa, omega, &rm, config.eigen)?,
             None => Arc::new(EigenSystem::from_rate_matrix(&rm, config.eigen)?),
@@ -120,11 +127,18 @@ pub fn site_class_log_likelihoods(
     // --- 2. Transition operators per (branch, needed ω). ---
     // Background branches need ω0 and ω1; the foreground branch also ω2.
     let n_nodes = problem.children.len();
-    let mut ops: Vec<[Option<TransOp>; N_OMEGA]> = (0..n_nodes).map(|_| [None, None, None]).collect();
+    let mut ops: Vec<[Option<TransOp>; N_OMEGA]> =
+        (0..n_nodes).map(|_| [None, None, None]).collect();
     for node in 0..n_nodes {
-        let Some(bi) = problem.branch_index[node] else { continue };
+        let Some(bi) = problem.branch_index[node] else {
+            continue;
+        };
         let t = branch_lengths[bi];
-        let needed: &[usize] = if problem.is_foreground[node] { &[0, 1, 2] } else { &[0, 1] };
+        let needed: &[usize] = if problem.is_foreground[node] {
+            &[0, 1, 2]
+        } else {
+            &[0, 1]
+        };
         for &w in needed {
             let es = &eigensystems[w];
             let op = match config.cpv {
@@ -148,8 +162,11 @@ pub fn site_class_log_likelihoods(
             let handles: Vec<_> = classes
                 .iter()
                 .map(|class| {
-                    let (bg, fg, prop) =
-                        (class.background_omega, class.foreground_omega, class.proportion);
+                    let (bg, fg, prop) = (
+                        class.background_omega,
+                        class.foreground_omega,
+                        class.proportion,
+                    );
                     scope.spawn(move |_| {
                         if prop <= 0.0 {
                             vec![f64::NEG_INFINITY; n_pat]
@@ -159,7 +176,10 @@ pub fn site_class_log_likelihoods(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("class pruning thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("class pruning thread"))
+                .collect()
         })
         .expect("crossbeam scope")
     } else {
@@ -169,7 +189,13 @@ pub fn site_class_log_likelihoods(
                 if class.proportion <= 0.0 {
                     vec![f64::NEG_INFINITY; n_pat]
                 } else {
-                    prune_one_class(problem, config, &ops, class.background_omega, class.foreground_omega)
+                    prune_one_class(
+                        problem,
+                        config,
+                        &ops,
+                        class.background_omega,
+                        class.foreground_omega,
+                    )
                 }
             })
             .collect()
@@ -210,7 +236,12 @@ pub fn site_class_log_likelihoods(
     }
     let _ = n;
 
-    Ok(LikelihoodValue { lnl, per_pattern, per_class, proportions: props })
+    Ok(LikelihoodValue {
+        lnl,
+        per_pattern,
+        per_class,
+        proportions: props,
+    })
 }
 
 /// Pruning pass for one site class: returns per-pattern log-likelihood.
@@ -236,8 +267,14 @@ pub(crate) fn prune_one_class(
         }
         let mut combined: Option<Mat> = None;
         for &child in &problem.children[node] {
-            let w = if problem.is_foreground[child] { fg_omega } else { bg_omega };
-            let op = ops[child][w].as_ref().expect("operator built for needed omega");
+            let w = if problem.is_foreground[child] {
+                fg_omega
+            } else {
+                bg_omega
+            };
+            let op = ops[child][w]
+                .as_ref()
+                .expect("operator built for needed omega");
 
             if let Some(taxon) = problem.leaf_taxon[child] {
                 // Leaf: P·e_c collapses to a column gather per pattern.
@@ -302,7 +339,11 @@ pub(crate) fn prune_one_class(
         for i in 0..n {
             s += problem.pi[i] * root_cpv[(i, p)];
         }
-        out[p] = if s > 0.0 { s.ln() + scale_log[p] } else { f64::NEG_INFINITY };
+        out[p] = if s > 0.0 {
+            s.ln() + scale_log[p]
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     out
 }
@@ -370,10 +411,8 @@ mod tests {
         // Chapman–Kolmogorov the likelihood equals that of the tree with
         // the leaf removed and its sibling path merged.
         let tree_x = parse_newick("((A:0.1,X:0.7):0.2,C#1:0.3);").unwrap();
-        let aln_x = CodonAlignment::from_fasta(
-            ">A\nATGCCCTTT\n>X\n---------\n>C\nATGCCATTC\n",
-        )
-        .unwrap();
+        let aln_x =
+            CodonAlignment::from_fasta(">A\nATGCCCTTT\n>X\n---------\n>C\nATGCCATTC\n").unwrap();
         // Merged: A's branch is 0.1 + 0.2.
         let tree_m = parse_newick("(A:0.3,C#1:0.3);").unwrap();
         let aln_m = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>C\nATGCCATTC\n").unwrap();
@@ -396,7 +435,10 @@ mod tests {
             &p_m.branch_order_of(&tree_m),
         )
         .unwrap();
-        assert!((l_x - l_m).abs() < 1e-9, "with missing leaf {l_x} vs pruned {l_m}");
+        assert!(
+            (l_x - l_m).abs() < 1e-9,
+            "with missing leaf {l_x} vs pruned {l_m}"
+        );
     }
 
     #[test]
@@ -405,7 +447,8 @@ mod tests {
         let model = default_model();
         let bl = vec![0.1; problem.n_branches()];
         let serial = log_likelihood(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
-        let parallel = log_likelihood(&problem, &EngineConfig::slim_parallel(), &model, &bl).unwrap();
+        let parallel =
+            log_likelihood(&problem, &EngineConfig::slim_parallel(), &model, &bl).unwrap();
         assert!(
             (serial - parallel).abs() < 1e-12,
             "parallel {parallel} vs serial {serial}"
@@ -431,19 +474,24 @@ mod tests {
     #[test]
     fn identical_sequences_favor_short_branches() {
         let tree = parse_newick("((A:0.1,B:0.1)#1:0.1,C:0.1);").unwrap();
-        let aln = CodonAlignment::from_fasta(">A\nATGATGATG\n>B\nATGATGATG\n>C\nATGATGATG\n").unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">A\nATGATGATG\n>B\nATGATGATG\n>C\nATGATGATG\n").unwrap();
         let code = GeneticCode::universal();
         let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F61).unwrap();
         let model = default_model();
         let short = log_likelihood(&problem, &EngineConfig::slim(), &model, &[0.01; 4]).unwrap();
         let long = log_likelihood(&problem, &EngineConfig::slim(), &model, &[2.0; 4]).unwrap();
-        assert!(short > long, "identical sequences: short {short} vs long {long}");
+        assert!(
+            short > long,
+            "identical sequences: short {short} vs long {long}"
+        );
     }
 
     #[test]
     fn divergent_sequences_favor_longer_branches() {
         let tree = parse_newick("((A:0.1,B:0.1)#1:0.1,C:0.1);").unwrap();
-        let aln = CodonAlignment::from_fasta(">A\nATGTTTCCA\n>B\nGTACATCGA\n>C\nTTGGCGAAT\n").unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">A\nATGTTTCCA\n>B\nGTACATCGA\n>C\nTTGGCGAAT\n").unwrap();
         let code = GeneticCode::universal();
         let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::Equal).unwrap();
         let model = default_model();
@@ -457,8 +505,10 @@ mod tests {
         // Reordering alignment columns must not change lnL.
         let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
         let code = GeneticCode::universal();
-        let aln1 = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
-        let aln2 = CodonAlignment::from_fasta(">A\nTTTATGCCC\n>B\nTTTATGCCA\n>C\nTTCATGCCC\n").unwrap();
+        let aln1 =
+            CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
+        let aln2 =
+            CodonAlignment::from_fasta(">A\nTTTATGCCC\n>B\nTTTATGCCA\n>C\nTTCATGCCC\n").unwrap();
         let model = default_model();
         let p1 = LikelihoodProblem::new(&tree, &aln1, &code, FreqModel::Equal).unwrap();
         let p2 = LikelihoodProblem::new(&tree, &aln2, &code, FreqModel::Equal).unwrap();
@@ -472,7 +522,8 @@ mod tests {
         // With the foreground branch length at ~0, ω2 has (almost) no
         // effect on the likelihood.
         let tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3);").unwrap();
-        let aln = CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
+        let aln =
+            CodonAlignment::from_fasta(">A\nATGCCCTTT\n>B\nATGCCATTT\n>C\nATGCCCTTC\n").unwrap();
         let code = GeneticCode::universal();
         let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::Equal).unwrap();
         // branch order: find which branch is foreground and zero it.
@@ -482,8 +533,14 @@ mod tests {
                 bl[problem.branch_index[node].unwrap()] = 1e-9;
             }
         }
-        let m1 = BranchSiteModel { omega2: 1.0, ..default_model() };
-        let m2 = BranchSiteModel { omega2: 8.0, ..default_model() };
+        let m1 = BranchSiteModel {
+            omega2: 1.0,
+            ..default_model()
+        };
+        let m2 = BranchSiteModel {
+            omega2: 8.0,
+            ..default_model()
+        };
         let l1 = log_likelihood(&problem, &EngineConfig::slim(), &m1, &bl).unwrap();
         let l2 = log_likelihood(&problem, &EngineConfig::slim(), &m2, &bl).unwrap();
         assert!((l1 - l2).abs() < 1e-6, "{l1} vs {l2}");
@@ -505,8 +562,7 @@ mod tests {
             t
         };
         let seq = "ATGCCC";
-        let fasta: String =
-            (0..n_leaves).map(|i| format!(">L{i}\n{seq}\n")).collect();
+        let fasta: String = (0..n_leaves).map(|i| format!(">L{i}\n{seq}\n")).collect();
         let aln = CodonAlignment::from_fasta(&fasta).unwrap();
         let code = GeneticCode::universal();
         let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::Equal).unwrap();

@@ -80,7 +80,9 @@ pub fn site_model_log_likelihood(
         let es = &eigensystems[k];
         let mut ops: Vec<[Option<TransOp>; 3]> = (0..n_nodes).map(|_| [None, None, None]).collect();
         for (node, slot) in ops.iter_mut().enumerate() {
-            let Some(bi) = problem.branch_index[node] else { continue };
+            let Some(bi) = problem.branch_index[node] else {
+                continue;
+            };
             let t = branch_lengths[bi];
             slot[0] = Some(match config.cpv {
                 CpvStrategy::SymmetricSymv => TransOp::Sym(es.symmetric_transition(t)),
@@ -143,10 +145,17 @@ mod tests {
         let p = problem();
         let m = SiteModel::default_start(SitesHypothesis::M2a);
         let bl = vec![0.1; p.n_branches()];
-        let base = site_model_log_likelihood(&p, &EngineConfig::codeml_style(), &m, SitesHypothesis::M2a, &bl)
-            .unwrap();
+        let base = site_model_log_likelihood(
+            &p,
+            &EngineConfig::codeml_style(),
+            &m,
+            SitesHypothesis::M2a,
+            &bl,
+        )
+        .unwrap();
         let slim =
-            site_model_log_likelihood(&p, &EngineConfig::slim(), &m, SitesHypothesis::M2a, &bl).unwrap();
+            site_model_log_likelihood(&p, &EngineConfig::slim(), &m, SitesHypothesis::M2a, &bl)
+                .unwrap();
         assert!(((base.lnl - slim.lnl) / base.lnl).abs() < 1e-10);
         assert!(base.lnl.is_finite() && base.lnl < 0.0);
     }
@@ -157,13 +166,32 @@ mod tests {
         // the same (p0, ω0) when M1a's neutral mass matches.
         let p = problem();
         let bl = vec![0.1; p.n_branches()];
-        let m2a = SiteModel { kappa: 2.0, omega0: 0.3, omega2: 5.0, p0: 0.6, p1: 0.4 };
-        let m1a = SiteModel { kappa: 2.0, omega0: 0.3, omega2: 1.0, p0: 0.6, p1: 0.4 };
-        let l2 = site_model_log_likelihood(&p, &EngineConfig::slim(), &m2a, SitesHypothesis::M2a, &bl)
-            .unwrap();
-        let l1 = site_model_log_likelihood(&p, &EngineConfig::slim(), &m1a, SitesHypothesis::M1a, &bl)
-            .unwrap();
-        assert!((l2.lnl - l1.lnl).abs() < 1e-9, "M2a {} vs M1a {}", l2.lnl, l1.lnl);
+        let m2a = SiteModel {
+            kappa: 2.0,
+            omega0: 0.3,
+            omega2: 5.0,
+            p0: 0.6,
+            p1: 0.4,
+        };
+        let m1a = SiteModel {
+            kappa: 2.0,
+            omega0: 0.3,
+            omega2: 1.0,
+            p0: 0.6,
+            p1: 0.4,
+        };
+        let l2 =
+            site_model_log_likelihood(&p, &EngineConfig::slim(), &m2a, SitesHypothesis::M2a, &bl)
+                .unwrap();
+        let l1 =
+            site_model_log_likelihood(&p, &EngineConfig::slim(), &m1a, SitesHypothesis::M1a, &bl)
+                .unwrap();
+        assert!(
+            (l2.lnl - l1.lnl).abs() < 1e-9,
+            "M2a {} vs M1a {}",
+            l2.lnl,
+            l1.lnl
+        );
     }
 
     #[test]
@@ -185,12 +213,20 @@ mod tests {
         // the likelihood.
         let p = problem();
         let bl = vec![0.1; p.n_branches()];
-        let m_lo = SiteModel { omega2: 1.5, ..SiteModel::default_start(SitesHypothesis::M2a) };
-        let m_hi = SiteModel { omega2: 6.0, ..SiteModel::default_start(SitesHypothesis::M2a) };
-        let l_lo = site_model_log_likelihood(&p, &EngineConfig::slim(), &m_lo, SitesHypothesis::M2a, &bl)
-            .unwrap();
-        let l_hi = site_model_log_likelihood(&p, &EngineConfig::slim(), &m_hi, SitesHypothesis::M2a, &bl)
-            .unwrap();
+        let m_lo = SiteModel {
+            omega2: 1.5,
+            ..SiteModel::default_start(SitesHypothesis::M2a)
+        };
+        let m_hi = SiteModel {
+            omega2: 6.0,
+            ..SiteModel::default_start(SitesHypothesis::M2a)
+        };
+        let l_lo =
+            site_model_log_likelihood(&p, &EngineConfig::slim(), &m_lo, SitesHypothesis::M2a, &bl)
+                .unwrap();
+        let l_hi =
+            site_model_log_likelihood(&p, &EngineConfig::slim(), &m_hi, SitesHypothesis::M2a, &bl)
+                .unwrap();
         assert!((l_lo.lnl - l_hi.lnl).abs() > 1e-6);
     }
 }

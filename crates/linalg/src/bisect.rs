@@ -20,7 +20,13 @@ pub fn sturm_count(d: &[f64], off: &[f64], x: f64) -> usize {
     let mut q = 1.0f64;
     for i in 0..n {
         let off2 = if i == 0 { 0.0 } else { off[i - 1] * off[i - 1] };
-        q = d[i] - x - if q != 0.0 { off2 / q } else { off2 / f64::MIN_POSITIVE.sqrt() };
+        q = d[i]
+            - x
+            - if q != 0.0 {
+                off2 / q
+            } else {
+                off2 / f64::MIN_POSITIVE.sqrt()
+            };
         if q < 0.0 {
             count += 1;
         } else if q == 0.0 {
@@ -78,7 +84,11 @@ fn solve_shifted_tridiag(d: &[f64], off: &[f64], lambda: f64, b: &mut [f64]) {
     let n = d.len();
     if n == 1 {
         let p = d[0] - lambda;
-        b[0] /= if p.abs() > f64::MIN_POSITIVE { p } else { f64::EPSILON };
+        b[0] /= if p.abs() > f64::MIN_POSITIVE {
+            p
+        } else {
+            f64::EPSILON
+        };
         return;
     }
     // Band storage: diag, upper1, upper2 after elimination.
@@ -145,7 +155,9 @@ pub fn tridiag_eigenvectors(d: &[f64], off: &[f64], lambdas: &[f64]) -> Mat {
     // Deterministic pseudo-random start vector generator.
     let mut state = 0x853C49E6748FEA9Bu64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
 
@@ -214,7 +226,10 @@ pub fn sym_eigen_bisect(tri: &Tridiag) -> Result<(Vec<f64>, Mat)> {
             || w[0].is_nan()
             || w[1].is_nan()
         {
-            return Err(LinalgError::NoConvergence { op: "bisect", iterations: 0 });
+            return Err(LinalgError::NoConvergence {
+                op: "bisect",
+                iterations: 0,
+            });
         }
     }
     let v = tridiag_eigenvectors(&tri.d, &off, &lambdas);
@@ -248,7 +263,8 @@ mod tests {
         let off = vec![1.0; n - 1];
         let lam = tridiag_eigenvalues(&d, &off);
         for (k, &l) in lam.iter().enumerate() {
-            let expect = 2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
             assert!((l - expect).abs() < 1e-10, "k={k}");
         }
     }
@@ -283,7 +299,9 @@ mod tests {
         for n in [3usize, 7, 20, 61] {
             let mut state = 17 + n as u64;
             let mut a = Mat::from_fn(n, n, |_, _| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             });
             a.symmetrize();
@@ -298,7 +316,10 @@ mod tests {
                 rec.max_abs_diff(&a)
             );
             let ztz = matmul(&z, Transpose::Yes, &z, Transpose::No);
-            assert!(ztz.approx_eq(&Mat::identity(n), 1e-7), "n={n}: not orthogonal");
+            assert!(
+                ztz.approx_eq(&Mat::identity(n), 1e-7),
+                "n={n}: not orthogonal"
+            );
         }
     }
 

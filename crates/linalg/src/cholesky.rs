@@ -23,7 +23,11 @@ impl Cholesky {
     /// (matrix not positive definite).
     pub fn new(a: &Mat) -> Result<Cholesky> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { op: "cholesky", rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                op: "cholesky",
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut l = Mat::zeros(n, n);
@@ -94,7 +98,9 @@ mod tests {
         // A = B·Bᵀ + n·I is SPD.
         let mut state = seed | 1;
         let b = Mat::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         });
         let mut a = matmul(&b, Transpose::No, &b, Transpose::Yes);
@@ -138,11 +144,17 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(Cholesky::new(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]
     fn rejects_rectangular() {
-        assert!(matches!(Cholesky::new(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Cholesky::new(&Mat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 }

@@ -40,7 +40,12 @@ impl SymEigen {
     /// Reconstruct the original matrix `X Λ Xᵀ` (test/diagnostic helper).
     pub fn reconstruct(&self) -> Mat {
         let xl = self.vectors.mul_diag_right(&self.values);
-        crate::gemm::matmul(&xl, crate::Transpose::No, &self.vectors, crate::Transpose::Yes)
+        crate::gemm::matmul(
+            &xl,
+            crate::Transpose::No,
+            &self.vectors,
+            crate::Transpose::Yes,
+        )
     }
 
     /// Largest absolute eigenvalue.
@@ -60,7 +65,11 @@ impl SymEigen {
 /// iteration-cap exhaustion).
 pub fn sym_eigen(a: &Mat, method: EigenMethod) -> Result<SymEigen> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { op: "sym_eigen", rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            op: "sym_eigen",
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let mut work = a.clone();
     work.symmetrize();
@@ -72,7 +81,10 @@ pub fn sym_eigen(a: &Mat, method: EigenMethod) -> Result<SymEigen> {
             let mut z = tri.q;
             tql2(&mut d, &mut e, &mut z)?;
             sort_eigenpairs(&mut d, &mut z);
-            Ok(SymEigen { values: d, vectors: z })
+            Ok(SymEigen {
+                values: d,
+                vectors: z,
+            })
         }
         EigenMethod::BisectionInverse => {
             let tri = tred2(&work);
@@ -94,7 +106,9 @@ mod tests {
     fn random_symmetric(n: usize, seed: u64) -> Mat {
         let mut state = seed;
         let mut m = Mat::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         });
         m.symmetrize();
@@ -108,26 +122,46 @@ mod tests {
         let bi = sym_eigen(&a, EigenMethod::BisectionInverse).unwrap();
         let ja = sym_eigen(&a, EigenMethod::Jacobi).unwrap();
         for i in 0..15 {
-            assert!((ql.values[i] - bi.values[i]).abs() < 1e-9, "i={i} ql-vs-bisect");
-            assert!((ql.values[i] - ja.values[i]).abs() < 1e-9, "i={i} ql-vs-jacobi");
+            assert!(
+                (ql.values[i] - bi.values[i]).abs() < 1e-9,
+                "i={i} ql-vs-bisect"
+            );
+            assert!(
+                (ql.values[i] - ja.values[i]).abs() < 1e-9,
+                "i={i} ql-vs-jacobi"
+            );
         }
     }
 
     #[test]
     fn reconstruct_and_orthogonality_each_method() {
         let a = random_symmetric(12, 7);
-        for method in [EigenMethod::HouseholderQl, EigenMethod::BisectionInverse, EigenMethod::Jacobi] {
+        for method in [
+            EigenMethod::HouseholderQl,
+            EigenMethod::BisectionInverse,
+            EigenMethod::Jacobi,
+        ] {
             let eig = sym_eigen(&a, method).unwrap();
-            assert!(eig.reconstruct().approx_eq(&a, 1e-8), "{method:?} reconstruction");
+            assert!(
+                eig.reconstruct().approx_eq(&a, 1e-8),
+                "{method:?} reconstruction"
+            );
             let xtx = matmul(&eig.vectors, Transpose::Yes, &eig.vectors, Transpose::No);
-            assert!(xtx.approx_eq(&Mat::identity(12), 1e-8), "{method:?} orthogonality");
+            assert!(
+                xtx.approx_eq(&Mat::identity(12), 1e-8),
+                "{method:?} orthogonality"
+            );
         }
     }
 
     #[test]
     fn eigenvalues_sorted_ascending() {
         let a = random_symmetric(20, 99);
-        for method in [EigenMethod::HouseholderQl, EigenMethod::BisectionInverse, EigenMethod::Jacobi] {
+        for method in [
+            EigenMethod::HouseholderQl,
+            EigenMethod::BisectionInverse,
+            EigenMethod::Jacobi,
+        ] {
             let eig = sym_eigen(&a, method).unwrap();
             for w in eig.values.windows(2) {
                 assert!(w[0] <= w[1] + 1e-12, "{method:?} not sorted");

@@ -59,13 +59,23 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = LinalgError::ShapeMismatch { op: "gemm", detail: "2x3 * 4x5".into() };
+        let e = LinalgError::ShapeMismatch {
+            op: "gemm",
+            detail: "2x3 * 4x5".into(),
+        };
         assert!(e.to_string().contains("gemm"));
-        let e = LinalgError::NoConvergence { op: "tql2", iterations: 30 };
+        let e = LinalgError::NoConvergence {
+            op: "tql2",
+            iterations: 30,
+        };
         assert!(e.to_string().contains("30"));
         let e = LinalgError::Singular { op: "lu" };
         assert!(e.to_string().contains("singular"));
-        let e = LinalgError::NotSquare { op: "eigen", rows: 2, cols: 3 };
+        let e = LinalgError::NotSquare {
+            op: "eigen",
+            rows: 2,
+            cols: 3,
+        };
         assert!(e.to_string().contains("2x3"));
     }
 }

@@ -138,7 +138,9 @@ mod tests {
         // Small deterministic LCG; avoids a rand dependency here.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Mat::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })
     }

@@ -75,7 +75,9 @@ mod tests {
     use super::*;
 
     fn sym_test_matrix(n: usize) -> Mat {
-        Mat::from_fn(n, n, |i, j| 1.0 / (1.0 + (i + j) as f64) + if i == j { 2.0 } else { 0.0 })
+        Mat::from_fn(n, n, |i, j| {
+            1.0 / (1.0 + (i + j) as f64) + if i == j { 2.0 } else { 0.0 }
+        })
     }
 
     #[test]
@@ -100,7 +102,12 @@ mod tests {
         gemv(1.5, &a, &x, -0.5, &mut y1);
         symv(1.5, &a, &x, -0.5, &mut y2);
         for i in 0..n {
-            assert!((y1[i] - y2[i]).abs() < 1e-13, "row {i}: {} vs {}", y1[i], y2[i]);
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-13,
+                "row {i}: {} vs {}",
+                y1[i],
+                y2[i]
+            );
         }
     }
 

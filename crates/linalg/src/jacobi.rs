@@ -20,7 +20,11 @@ const MAX_SWEEPS: usize = 64;
 /// within 64 sweeps.
 pub fn jacobi_eigen(a: &Mat) -> Result<(Vec<f64>, Mat)> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { op: "jacobi", rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            op: "jacobi",
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     let mut m = a.clone();
@@ -91,7 +95,10 @@ pub fn jacobi_eigen(a: &Mat) -> Result<(Vec<f64>, Mat)> {
             }
         }
     }
-    Err(LinalgError::NoConvergence { op: "jacobi", iterations: MAX_SWEEPS })
+    Err(LinalgError::NoConvergence {
+        op: "jacobi",
+        iterations: MAX_SWEEPS,
+    })
 }
 
 #[cfg(test)]
@@ -115,7 +122,9 @@ mod tests {
         for n in [3usize, 8, 25] {
             let mut state = 3 * n as u64 + 11;
             let mut a = Mat::from_fn(n, n, |_, _| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             });
             a.symmetrize();

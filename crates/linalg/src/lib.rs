@@ -36,25 +36,25 @@
 // recurrences in this crate; suppress the style lint crate-wide.
 #![allow(clippy::needless_range_loop)]
 
+pub mod bisect;
+mod cholesky;
+pub mod eigen;
 mod error;
-mod mat;
-pub mod vecops;
-pub mod gemv;
 pub mod gemm;
-pub mod syrk;
+pub mod gemv;
+pub mod jacobi;
+mod lu;
+mod mat;
 pub mod naive;
 pub mod norms;
-mod cholesky;
-mod lu;
-pub mod tridiag;
 pub mod ql;
-pub mod bisect;
-pub mod jacobi;
-pub mod eigen;
+pub mod syrk;
+pub mod tridiag;
+pub mod vecops;
 
 pub use cholesky::Cholesky;
-pub use error::LinalgError;
 pub use eigen::{sym_eigen, EigenMethod, SymEigen};
+pub use error::LinalgError;
 pub use gemm::{gemm, Transpose};
 pub use gemv::{gemv, ger, symv};
 pub use lu::Lu;

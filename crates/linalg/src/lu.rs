@@ -24,7 +24,11 @@ impl Lu {
     /// [`LinalgError::Singular`] if a pivot underflows to zero.
     pub fn new(a: &Mat) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { op: "lu", rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                op: "lu",
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -61,7 +65,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Order of the factored matrix.
@@ -173,7 +181,9 @@ mod tests {
     fn inverse_of_larger_random() {
         let mut state = 99u64;
         let a = Mat::from_fn(8, 8, |i, j| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
             r + if i == j { 4.0 } else { 0.0 } // diagonally dominant
         });

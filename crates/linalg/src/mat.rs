@@ -17,12 +17,20 @@ pub struct Mat {
 impl Mat {
     /// Create a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a `rows × cols` matrix with every element equal to `v`.
     pub fn filled(rows: usize, cols: usize, v: f64) -> Self {
-        Mat { rows, cols, data: vec![v; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -39,7 +47,11 @@ impl Mat {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "Mat::from_vec: data length mismatch");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Mat::from_vec: data length mismatch"
+        );
         Mat { rows, cols, data }
     }
 
@@ -55,7 +67,11 @@ impl Mat {
             assert_eq!(row.len(), c, "Mat::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Mat { rows: r, cols: c, data }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build a diagonal matrix from a slice of diagonal entries.
@@ -143,7 +159,9 @@ impl Mat {
     /// Copy column `j` into a new vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
         debug_assert!(j < self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Extract the diagonal (of a square or rectangular matrix).

@@ -34,7 +34,11 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
 /// Textbook matrix–transpose product `C = A·Bᵀ` computed by materializing
 /// nothing and striding as CodeML's `matby`-style loops do.
 pub fn matmul_bt(a: &Mat, b: &Mat) -> Mat {
-    assert_eq!(a.cols(), b.cols(), "naive::matmul_bt: inner dimensions differ");
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "naive::matmul_bt: inner dimensions differ"
+    );
     let m = a.rows();
     let k = a.cols();
     let n = b.rows();

@@ -68,7 +68,10 @@ pub fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Mat) -> Result<()> {
             }
             iter += 1;
             if iter > MAX_ITER {
-                return Err(LinalgError::NoConvergence { op: "tql2", iterations: MAX_ITER });
+                return Err(LinalgError::NoConvergence {
+                    op: "tql2",
+                    iterations: MAX_ITER,
+                });
             }
 
             // Wilkinson-style implicit shift.
@@ -174,7 +177,9 @@ mod tests {
         for n in [2usize, 3, 5, 10, 61] {
             let mut state = n as u64 * 31 + 5;
             let mut a = Mat::from_fn(n, n, |_, _| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             });
             a.symmetrize();
@@ -188,11 +193,18 @@ mod tests {
 
             // orthogonality
             let ztz = matmul(&z, Transpose::Yes, &z, Transpose::No);
-            assert!(ztz.approx_eq(&Mat::identity(n), 1e-9), "n={n}: Z not orthogonal");
+            assert!(
+                ztz.approx_eq(&Mat::identity(n), 1e-9),
+                "n={n}: Z not orthogonal"
+            );
             // reconstruction A = Z Λ Zᵀ
             let zl = z.mul_diag_right(&d);
             let rec = matmul(&zl, Transpose::No, &z, Transpose::Yes);
-            assert!(rec.approx_eq(&a, 1e-9), "n={n}: reconstruction failed, {}", rec.max_abs_diff(&a));
+            assert!(
+                rec.approx_eq(&a, 1e-9),
+                "n={n}: reconstruction failed, {}",
+                rec.max_abs_diff(&a)
+            );
             // ascending order
             for i in 1..n {
                 assert!(d[i] >= d[i - 1]);
@@ -213,7 +225,8 @@ mod tests {
         tql2(&mut d, &mut e, &mut z).unwrap();
         sort_eigenpairs(&mut d, &mut z);
         for (k, &lam) in d.iter().enumerate() {
-            let expect = 2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
             assert!((lam - expect).abs() < 1e-10, "k={k}: {lam} vs {expect}");
         }
         // eigenvectors reconstruct the dense T

@@ -21,7 +21,10 @@ use crate::Mat;
 pub fn syrk(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
     let n = a.rows();
     let k = a.cols();
-    assert!(c.is_square() && c.rows() == n, "syrk: C must be n×n with n = A.rows()");
+    assert!(
+        c.is_square() && c.rows() == n,
+        "syrk: C must be n×n with n = A.rows()"
+    );
 
     for i in 0..n {
         let a_i = &a.as_slice()[i * k..(i + 1) * k];
@@ -55,7 +58,9 @@ mod tests {
     fn rng_mat(rows: usize, cols: usize, seed: u64) -> Mat {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Mat::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })
     }

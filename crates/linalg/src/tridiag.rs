@@ -146,7 +146,9 @@ mod tests {
     fn random_symmetric(n: usize, seed: u64) -> Mat {
         let mut state = seed;
         let mut m = Mat::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         });
         m.symmetrize();
@@ -163,7 +165,11 @@ mod tests {
         let t = tridiag_to_dense(&tri.d, &tri.e);
         let qt = matmul(&tri.q, Transpose::No, &t, Transpose::No);
         let rec = matmul(&qt, Transpose::No, &tri.q, Transpose::Yes);
-        assert!(rec.approx_eq(a, 1e-9), "Q T Qᵀ != A (max diff {})", rec.max_abs_diff(a));
+        assert!(
+            rec.approx_eq(a, 1e-9),
+            "Q T Qᵀ != A (max diff {})",
+            rec.max_abs_diff(a)
+        );
     }
 
     #[test]

@@ -93,16 +93,35 @@ impl BranchSiteModel {
     /// Panics (debug) if the proportions are outside the simplex.
     pub fn site_classes(&self) -> [SiteClass; N_SITE_CLASSES] {
         let (p0, p1) = (self.p0, self.p1);
-        debug_assert!(p0 > 0.0 && p1 >= 0.0 && p0 + p1 <= 1.0 + 1e-12, "invalid proportions");
+        debug_assert!(
+            p0 > 0.0 && p1 >= 0.0 && p0 + p1 <= 1.0 + 1e-12,
+            "invalid proportions"
+        );
         let rest = (1.0 - p0 - p1).max(0.0);
         let denom = p0 + p1;
         let p2a = rest * p0 / denom;
         let p2b = rest * p1 / denom;
         [
-            SiteClass { proportion: p0, background_omega: 0, foreground_omega: 0 },
-            SiteClass { proportion: p1, background_omega: 1, foreground_omega: 1 },
-            SiteClass { proportion: p2a, background_omega: 0, foreground_omega: 2 },
-            SiteClass { proportion: p2b, background_omega: 1, foreground_omega: 2 },
+            SiteClass {
+                proportion: p0,
+                background_omega: 0,
+                foreground_omega: 0,
+            },
+            SiteClass {
+                proportion: p1,
+                background_omega: 1,
+                foreground_omega: 1,
+            },
+            SiteClass {
+                proportion: p2a,
+                background_omega: 0,
+                foreground_omega: 2,
+            },
+            SiteClass {
+                proportion: p2b,
+                background_omega: 1,
+                foreground_omega: 2,
+            },
         ]
     }
 
@@ -149,7 +168,11 @@ impl BranchSiteModel {
         let omegas = self.omegas();
         let mut nonsyn = 0.0;
         for class in self.site_classes() {
-            let w = omegas[if is_foreground { class.foreground_omega } else { class.background_omega }];
+            let w = omegas[if is_foreground {
+                class.foreground_omega
+            } else {
+                class.background_omega
+            }];
             nonsyn += class.proportion * w * nonsyn_flux;
         }
         (t * syn_flux / scale, t * nonsyn / scale)
@@ -163,7 +186,11 @@ impl BranchSiteModel {
             .iter()
             .map(|c| {
                 c.proportion
-                    * omegas[if is_foreground { c.foreground_omega } else { c.background_omega }]
+                    * omegas[if is_foreground {
+                        c.foreground_omega
+                    } else {
+                        c.background_omega
+                    }]
             })
             .sum()
     }
@@ -191,7 +218,13 @@ mod tests {
     use super::*;
 
     fn model() -> BranchSiteModel {
-        BranchSiteModel { kappa: 2.0, omega0: 0.1, omega2: 3.0, p0: 0.6, p1: 0.3 }
+        BranchSiteModel {
+            kappa: 2.0,
+            omega0: 0.1,
+            omega2: 3.0,
+            p0: 0.6,
+            p1: 0.3,
+        }
     }
 
     #[test]
@@ -245,7 +278,12 @@ mod tests {
 
         assert!(!BranchSiteModel { omega0: 1.5, ..m }.is_valid(Hypothesis::H1));
         assert!(!BranchSiteModel { kappa: -1.0, ..m }.is_valid(Hypothesis::H1));
-        assert!(!BranchSiteModel { p0: 0.9, p1: 0.2, ..m }.is_valid(Hypothesis::H1));
+        assert!(!BranchSiteModel {
+            p0: 0.9,
+            p1: 0.2,
+            ..m
+        }
+        .is_valid(Hypothesis::H1));
     }
 
     #[test]
@@ -276,8 +314,10 @@ mod tests {
         let m = model();
         // background: 0.6·0.1 + 0.3·1 + 2a·0.1 + 2b·1
         let c = m.site_classes();
-        let expect_bg = c[0].proportion * 0.1 + c[1].proportion * 1.0
-            + c[2].proportion * 0.1 + c[3].proportion * 1.0;
+        let expect_bg = c[0].proportion * 0.1
+            + c[1].proportion * 1.0
+            + c[2].proportion * 0.1
+            + c[3].proportion * 1.0;
         assert!((m.effective_omega(false) - expect_bg).abs() < 1e-12);
         assert!(m.effective_omega(true) > m.effective_omega(false));
     }

@@ -70,10 +70,20 @@ pub fn build_rate_matrix(
     pi: &[f64],
     scale: ScalePolicy,
 ) -> RateMatrix {
-    assert_eq!(pi.len(), code.n_sense(), "pi must have one entry per sense codon");
+    assert_eq!(
+        pi.len(),
+        code.n_sense(),
+        "pi must have one entry per sense codon"
+    );
     assert!(kappa.is_finite() && kappa > 0.0, "kappa must be positive");
-    assert!(omega.is_finite() && omega >= 0.0, "omega must be non-negative");
-    debug_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9, "pi must sum to 1");
+    assert!(
+        omega.is_finite() && omega >= 0.0,
+        "omega must be non-negative"
+    );
+    debug_assert!(
+        (pi.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+        "pi must sum to 1"
+    );
 
     let n = code.n_sense();
     let mut q = Mat::zeros(n, n);
@@ -86,7 +96,9 @@ pub fn build_rate_matrix(
                 continue;
             }
             let cj = code.sense_codon(j);
-            let Some(change) = ci.single_change(cj) else { continue };
+            let Some(change) = ci.single_change(cj) else {
+                continue;
+            };
             let mut rate = pi[j];
             if change.kind == ChangeKind::Transition {
                 rate *= kappa;
@@ -136,7 +148,15 @@ pub fn build_rate_matrix(
     // matrix.
     a.symmetrize();
 
-    RateMatrix { q, a, pi: pi.to_vec(), sqrt_pi, inv_sqrt_pi, raw_rate, applied_factor: factor }
+    RateMatrix {
+        q,
+        a,
+        pi: pi.to_vec(),
+        sqrt_pi,
+        inv_sqrt_pi,
+        raw_rate,
+        applied_factor: factor,
+    }
 }
 
 /// Decompose the stationary flux of the Eq. 1 matrix into its synonymous
@@ -158,7 +178,9 @@ pub fn rate_components(code: &GeneticCode, kappa: f64, pi: &[f64]) -> (f64, f64)
                 continue;
             }
             let cj = code.sense_codon(j);
-            let Some(change) = ci.single_change(cj) else { continue };
+            let Some(change) = ci.single_change(cj) else {
+                continue;
+            };
             let mut rate = pi[i] * pi[j];
             if change.kind == ChangeKind::Transition {
                 rate *= kappa;
@@ -182,7 +204,9 @@ impl RateMatrix {
     /// The stationary substitution rate `-Σ πᵢ qᵢᵢ` of the **scaled**
     /// matrix (1.0 under [`ScalePolicy::PerClass`]).
     pub fn stationary_rate(&self) -> f64 {
-        (0..self.order()).map(|i| -self.pi[i] * self.q[(i, i)]).sum()
+        (0..self.order())
+            .map(|i| -self.pi[i] * self.q[(i, i)])
+            .sum()
     }
 
     /// Verify detailed balance `πᵢ qᵢⱼ = πⱼ qⱼᵢ` within `tol`
@@ -228,7 +252,10 @@ pub fn build_rate_matrix_mg94(
     assert!(omega.is_finite() && omega >= 0.0);
     for row in pos_freqs {
         let s: f64 = row.iter().sum();
-        assert!((s - 1.0).abs() < 1e-9, "positional frequencies must sum to 1");
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "positional frequencies must sum to 1"
+        );
         assert!(row.iter().all(|&f| f > 0.0));
     }
 
@@ -252,7 +279,9 @@ pub fn build_rate_matrix_mg94(
                 continue;
             }
             let cj = code.sense_codon(j);
-            let Some(change) = ci.single_change(cj) else { continue };
+            let Some(change) = ci.single_change(cj) else {
+                continue;
+            };
             let mut rate = pos_freqs[change.position][change.to.index()];
             if change.kind == ChangeKind::Transition {
                 rate *= kappa;
@@ -291,7 +320,15 @@ pub fn build_rate_matrix_mg94(
     let mut a = q.mul_diag_left(&sqrt_pi).mul_diag_right(&inv_sqrt_pi);
     a.symmetrize();
 
-    RateMatrix { q, a, pi, sqrt_pi, inv_sqrt_pi, raw_rate, applied_factor: factor }
+    RateMatrix {
+        q,
+        a,
+        pi,
+        sqrt_pi,
+        inv_sqrt_pi,
+        raw_rate,
+        applied_factor: factor,
+    }
 }
 
 #[cfg(test)]
@@ -453,7 +490,8 @@ mod tests {
     #[test]
     fn mg94_rows_sum_to_zero_and_reversible() {
         let code = GeneticCode::universal();
-        let rm = build_rate_matrix_mg94(&code, 2.5, 0.4, &skewed_pos_freqs(), ScalePolicy::PerClass);
+        let rm =
+            build_rate_matrix_mg94(&code, 2.5, 0.4, &skewed_pos_freqs(), ScalePolicy::PerClass);
         for i in 0..N_CODONS {
             let s: f64 = rm.q.row(i).iter().sum();
             assert!(s.abs() < 1e-12, "row {i}");

@@ -12,10 +12,12 @@
 //!   classes, the alternative hypothesis H1 (ω₂ ≥ 1 free) and the null H0
 //!   (ω₂ = 1 fixed).
 
-pub mod codon_model;
 pub mod branch_site;
+pub mod codon_model;
 pub mod site_model;
 
 pub use branch_site::{BranchSiteModel, Hypothesis, SiteClass, N_SITE_CLASSES};
-pub use codon_model::{build_rate_matrix, build_rate_matrix_mg94, rate_components, RateMatrix, ScalePolicy};
+pub use codon_model::{
+    build_rate_matrix, build_rate_matrix_mg94, rate_components, RateMatrix, ScalePolicy,
+};
 pub use site_model::{OmegaClass, SiteModel, SitesHypothesis};

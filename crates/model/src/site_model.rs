@@ -62,12 +62,20 @@ impl SiteModel {
     /// A reasonable optimization start.
     pub fn default_start(hypothesis: SitesHypothesis) -> SiteModel {
         match hypothesis {
-            SitesHypothesis::M1a => {
-                SiteModel { kappa: 2.0, omega0: 0.2, omega2: 1.0, p0: 0.7, p1: 0.3 }
-            }
-            SitesHypothesis::M2a => {
-                SiteModel { kappa: 2.0, omega0: 0.2, omega2: 2.5, p0: 0.6, p1: 0.3 }
-            }
+            SitesHypothesis::M1a => SiteModel {
+                kappa: 2.0,
+                omega0: 0.2,
+                omega2: 1.0,
+                p0: 0.7,
+                p1: 0.3,
+            },
+            SitesHypothesis::M2a => SiteModel {
+                kappa: 2.0,
+                omega0: 0.2,
+                omega2: 2.5,
+                p0: 0.6,
+                p1: 0.3,
+            },
         }
     }
 
@@ -75,15 +83,30 @@ impl SiteModel {
     pub fn classes(&self, hypothesis: SitesHypothesis) -> Vec<OmegaClass> {
         match hypothesis {
             SitesHypothesis::M1a => vec![
-                OmegaClass { proportion: self.p0, omega: self.omega0 },
-                OmegaClass { proportion: 1.0 - self.p0, omega: 1.0 },
+                OmegaClass {
+                    proportion: self.p0,
+                    omega: self.omega0,
+                },
+                OmegaClass {
+                    proportion: 1.0 - self.p0,
+                    omega: 1.0,
+                },
             ],
             SitesHypothesis::M2a => {
                 let p2 = (1.0 - self.p0 - self.p1).max(0.0);
                 vec![
-                    OmegaClass { proportion: self.p0, omega: self.omega0 },
-                    OmegaClass { proportion: self.p1, omega: 1.0 },
-                    OmegaClass { proportion: p2, omega: self.omega2 },
+                    OmegaClass {
+                        proportion: self.p0,
+                        omega: self.omega0,
+                    },
+                    OmegaClass {
+                        proportion: self.p1,
+                        omega: 1.0,
+                    },
+                    OmegaClass {
+                        proportion: p2,
+                        omega: self.omega2,
+                    },
                 ]
             }
         }
@@ -92,7 +115,12 @@ impl SiteModel {
     /// Shared rate scale: the class-mixture-averaged stationary flux
     /// (every branch sees every class, so — unlike the branch-site model —
     /// the average runs over *all* classes).
-    pub fn shared_scale(&self, hypothesis: SitesHypothesis, syn_flux: f64, nonsyn_flux: f64) -> f64 {
+    pub fn shared_scale(
+        &self,
+        hypothesis: SitesHypothesis,
+        syn_flux: f64,
+        nonsyn_flux: f64,
+    ) -> f64 {
         self.classes(hypothesis)
             .iter()
             .map(|c| c.proportion * (syn_flux + c.omega * nonsyn_flux))
@@ -122,7 +150,13 @@ mod tests {
 
     #[test]
     fn class_proportions_sum_to_one() {
-        let m = SiteModel { kappa: 2.0, omega0: 0.1, omega2: 3.0, p0: 0.5, p1: 0.3 };
+        let m = SiteModel {
+            kappa: 2.0,
+            omega0: 0.1,
+            omega2: 3.0,
+            p0: 0.5,
+            p1: 0.3,
+        };
         for h in [SitesHypothesis::M1a, SitesHypothesis::M2a] {
             let total: f64 = m.classes(h).iter().map(|c| c.proportion).sum();
             assert!((total - 1.0).abs() < 1e-12, "{h:?}");
@@ -143,7 +177,13 @@ mod tests {
 
     #[test]
     fn shared_scale_weights_all_classes() {
-        let m = SiteModel { kappa: 2.0, omega0: 0.5, omega2: 2.0, p0: 0.5, p1: 0.25 };
+        let m = SiteModel {
+            kappa: 2.0,
+            omega0: 0.5,
+            omega2: 2.0,
+            p0: 0.5,
+            p1: 0.25,
+        };
         let (syn, nonsyn) = (1.0, 1.0);
         // M2a: 0.5·(1+0.5) + 0.25·(1+1) + 0.25·(1+2) = 0.75+0.5+0.75 = 2.0
         assert!((m.shared_scale(SitesHypothesis::M2a, syn, nonsyn) - 2.0).abs() < 1e-12);
@@ -156,9 +196,22 @@ mod tests {
         let good = SiteModel::default_start(SitesHypothesis::M2a);
         assert!(good.is_valid(SitesHypothesis::M2a));
         assert!(good.is_valid(SitesHypothesis::M1a));
-        assert!(!SiteModel { omega0: 1.5, ..good }.is_valid(SitesHypothesis::M1a));
-        assert!(!SiteModel { omega2: 0.5, ..good }.is_valid(SitesHypothesis::M2a));
-        assert!(!SiteModel { p0: 0.8, p1: 0.5, ..good }.is_valid(SitesHypothesis::M2a));
+        assert!(!SiteModel {
+            omega0: 1.5,
+            ..good
+        }
+        .is_valid(SitesHypothesis::M1a));
+        assert!(!SiteModel {
+            omega2: 0.5,
+            ..good
+        }
+        .is_valid(SitesHypothesis::M2a));
+        assert!(!SiteModel {
+            p0: 0.8,
+            p1: 0.5,
+            ..good
+        }
+        .is_valid(SitesHypothesis::M2a));
     }
 
     #[test]

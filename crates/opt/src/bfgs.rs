@@ -170,7 +170,11 @@ pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) ->
             }
             // Quadratic model through (0, fx), slope dg, (alpha, f_new).
             let denom = 2.0 * (f_new - fx - dg * alpha);
-            let alpha_q = if denom > 0.0 { -dg * alpha * alpha / denom } else { 0.5 * alpha };
+            let alpha_q = if denom > 0.0 {
+                -dg * alpha * alpha / denom
+            } else {
+                0.5 * alpha
+            };
             alpha = alpha_q.clamp(0.1 * alpha, 0.5 * alpha);
         }
         if !accepted {
@@ -196,8 +200,7 @@ pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) ->
             let coef = rho * (1.0 + rho * yhy);
             for i in 0..n {
                 for j in 0..n {
-                    h[i * n + j] +=
-                        coef * s[i] * s[j] - rho * (s[i] * hy[j] + hy[i] * s[j]);
+                    h[i * n + j] += coef * s[i] * s[j] - rho * (s[i] * hy[j] + hy[i] * s[j]);
                 }
             }
         }
@@ -213,7 +216,14 @@ pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) ->
         }
     }
 
-    BfgsResult { x, f: fx, grad: g, iterations, f_evals: evals_cell.get(), reason }
+    BfgsResult {
+        x,
+        f: fx,
+        grad: g,
+        iterations,
+        f_evals: evals_cell.get(),
+        reason,
+    }
 }
 
 #[cfg(test)]
@@ -234,8 +244,21 @@ mod tests {
     #[test]
     fn rosenbrock_2d() {
         let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
-        let r = minimize(f, &[-1.2, 1.0], &BfgsOptions { max_iterations: 2000, ..Default::default() });
-        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?} after {} iters ({:?})", r.x, r.iterations, r.reason);
+        let r = minimize(
+            f,
+            &[-1.2, 1.0],
+            &BfgsOptions {
+                max_iterations: 2000,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (r.x[0] - 1.0).abs() < 1e-3,
+            "{:?} after {} iters ({:?})",
+            r.x,
+            r.iterations,
+            r.reason
+        );
         assert!((r.x[1] - 1.0).abs() < 1e-3);
     }
 
@@ -269,7 +292,10 @@ mod tests {
         let forward = minimize(
             f,
             &[0.0, 0.0],
-            &BfgsOptions { grad_mode: GradMode::Forward, ..Default::default() },
+            &BfgsOptions {
+                grad_mode: GradMode::Forward,
+                ..Default::default()
+            },
         );
         assert!((forward.x[0] - 3.0).abs() < 1e-3);
         assert!(forward.f_evals < central.f_evals);
@@ -278,7 +304,13 @@ mod tests {
     #[test]
     fn infinity_treated_as_rejection() {
         // Objective infinite left of x = 0; minimum at x = 1.
-        let f = |x: &[f64]| if x[0] <= 0.0 { f64::INFINITY } else { (x[0] - 1.0).powi(2) };
+        let f = |x: &[f64]| {
+            if x[0] <= 0.0 {
+                f64::INFINITY
+            } else {
+                (x[0] - 1.0).powi(2)
+            }
+        };
         let r = minimize(f, &[2.0], &BfgsOptions::default());
         assert!((r.x[0] - 1.0).abs() < 1e-4, "{:?}", r.x);
     }
@@ -286,7 +318,14 @@ mod tests {
     #[test]
     fn iteration_cap_respected() {
         let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
-        let r = minimize(f, &[-1.2, 1.0], &BfgsOptions { max_iterations: 3, ..Default::default() });
+        let r = minimize(
+            f,
+            &[-1.2, 1.0],
+            &BfgsOptions {
+                max_iterations: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.iterations, 3);
         assert_eq!(r.reason, TerminationReason::MaxIterations);
     }

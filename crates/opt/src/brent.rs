@@ -12,7 +12,13 @@ const CGOLD: f64 = 0.381_966_011_250_105;
 ///
 /// # Panics
 /// Panics if `a >= b` or `max_iter == 0`.
-pub fn brent_min(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64, max_iter: usize) -> (f64, f64) {
+pub fn brent_min(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> (f64, f64) {
     assert!(a < b, "brent_min: invalid bracket");
     assert!(max_iter > 0);
     let (mut a, mut b) = (a, b);
@@ -56,7 +62,11 @@ pub fn brent_min(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64, max_it
             e = if x >= xm { a - x } else { b - x };
             d = CGOLD * e;
         }
-        let u = if d.abs() >= tol1 { x + d } else { x + tol1.copysign(d) };
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else {
+            x + tol1.copysign(d)
+        };
         let fu = f(u);
         if fu <= fx {
             if u >= x {

@@ -116,7 +116,11 @@ pub fn minimize_lbfgs(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptio
                 break;
             }
             let denom = 2.0 * (f_new - fx - dg * alpha);
-            let alpha_q = if denom > 0.0 { -dg * alpha * alpha / denom } else { 0.5 * alpha };
+            let alpha_q = if denom > 0.0 {
+                -dg * alpha * alpha / denom
+            } else {
+                0.5 * alpha
+            };
             alpha = alpha_q.clamp(0.1 * alpha, 0.5 * alpha);
         }
         if !accepted {
@@ -146,7 +150,14 @@ pub fn minimize_lbfgs(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptio
         }
     }
 
-    BfgsResult { x, f: fx, grad: g, iterations, f_evals: evals_cell.get(), reason }
+    BfgsResult {
+        x,
+        f: fx,
+        grad: g,
+        iterations,
+        f_evals: evals_cell.get(),
+        reason,
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +178,10 @@ mod tests {
         let r = minimize_lbfgs(
             f,
             &[-1.2, 1.0],
-            &BfgsOptions { max_iterations: 3000, ..Default::default() },
+            &BfgsOptions {
+                max_iterations: 3000,
+                ..Default::default()
+            },
         );
         assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?} ({:?})", r.x, r.reason);
         assert!((r.x[1] - 1.0).abs() < 1e-3);
@@ -179,7 +193,10 @@ mod tests {
         // iterations and never build an n² object.
         let n = 200;
         let f = |x: &[f64]| {
-            x.iter().enumerate().map(|(i, &v)| (1.0 + (i % 7) as f64) * v * v).sum::<f64>()
+            x.iter()
+                .enumerate()
+                .map(|(i, &v)| (1.0 + (i % 7) as f64) * v * v)
+                .sum::<f64>()
         };
         let r = minimize_lbfgs(f, &vec![1.0; n], &BfgsOptions::default());
         assert!(r.f < 1e-6, "f = {}", r.f);
@@ -193,7 +210,12 @@ mod tests {
         };
         let dense = crate::bfgs::minimize(f, &[0.0, 0.0], &BfgsOptions::default());
         let limited = minimize_lbfgs(f, &[0.0, 0.0], &BfgsOptions::default());
-        assert!((dense.f - limited.f).abs() < 1e-6, "{} vs {}", dense.f, limited.f);
+        assert!(
+            (dense.f - limited.f).abs() < 1e-6,
+            "{} vs {}",
+            dense.f,
+            limited.f
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod numgrad;
 pub mod transform;
 
 pub use bfgs::{minimize, BfgsOptions, BfgsResult, TerminationReason};
-pub use lbfgs::minimize_lbfgs;
 pub use brent::brent_min;
+pub use lbfgs::minimize_lbfgs;
 pub use numgrad::{central_gradient, forward_gradient, GradMode};
 pub use transform::{Block, BlockTransform};

@@ -72,7 +72,11 @@ mod tests {
     }
 
     fn quadratic_grad(x: &[f64]) -> Vec<f64> {
-        let mut g: Vec<f64> = x.iter().enumerate().map(|(i, &v)| 2.0 * (i + 1) as f64 * v).collect();
+        let mut g: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 2.0 * (i + 1) as f64 * v)
+            .collect();
         if x.len() >= 2 {
             g[0] += x[1];
             g[1] += x[0];
@@ -86,7 +90,12 @@ mod tests {
         let g = central_gradient(quadratic, &x);
         let expect = quadratic_grad(&x);
         for i in 0..3 {
-            assert!((g[i] - expect[i]).abs() < 1e-8, "i={i}: {} vs {}", g[i], expect[i]);
+            assert!(
+                (g[i] - expect[i]).abs() < 1e-8,
+                "i={i}: {} vs {}",
+                g[i],
+                expect[i]
+            );
         }
     }
 

@@ -53,7 +53,10 @@ impl Block {
     /// Number of constrained parameters this block covers.
     pub fn constrained_len(&self) -> usize {
         match self {
-            Block::Free | Block::LowerBounded { .. } | Block::BoxBounded { .. } | Block::Fixed { .. } => 1,
+            Block::Free
+            | Block::LowerBounded { .. }
+            | Block::BoxBounded { .. }
+            | Block::Fixed { .. } => 1,
             Block::SimplexWithRest { dim } => *dim,
             Block::BoxBoundedVec { count, .. } => *count,
         }
@@ -110,7 +113,11 @@ impl BlockTransform {
     /// Panics if `x.len()` mismatches, or a value sits outside its block's
     /// domain.
     pub fn to_unconstrained(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.constrained_len(), "to_unconstrained: length mismatch");
+        assert_eq!(
+            x.len(),
+            self.constrained_len(),
+            "to_unconstrained: length mismatch"
+        );
         let mut z = Vec::with_capacity(self.unconstrained_len());
         let mut xi = 0usize;
         for block in &self.blocks {
@@ -125,7 +132,11 @@ impl BlockTransform {
                     xi += 1;
                 }
                 Block::BoxBounded { lo, hi } => {
-                    assert!(x[xi] > lo && x[xi] < hi, "value {} outside ({lo},{hi})", x[xi]);
+                    assert!(
+                        x[xi] > lo && x[xi] < hi,
+                        "value {} outside ({lo},{hi})",
+                        x[xi]
+                    );
                     z.push(logit((x[xi] - lo) / (hi - lo)));
                     xi += 1;
                 }
@@ -163,7 +174,11 @@ impl BlockTransform {
     /// # Panics
     /// Panics if `z.len()` mismatches.
     pub fn to_constrained(&self, z: &[f64]) -> Vec<f64> {
-        assert_eq!(z.len(), self.unconstrained_len(), "to_constrained: length mismatch");
+        assert_eq!(
+            z.len(),
+            self.unconstrained_len(),
+            "to_constrained: length mismatch"
+        );
         let mut x = Vec::with_capacity(self.constrained_len());
         let mut zi = 0usize;
         for block in &self.blocks {
@@ -188,7 +203,10 @@ impl BlockTransform {
                     // remainder class.
                     let zs = &z[zi..zi + dim];
                     let zmax = zs.iter().copied().fold(0.0f64, f64::max); // include the 0 logit
-                    let exps: Vec<f64> = zs.iter().map(|&v| (v.clamp(-700.0, 700.0) - zmax).exp()).collect();
+                    let exps: Vec<f64> = zs
+                        .iter()
+                        .map(|&v| (v.clamp(-700.0, 700.0) - zmax).exp())
+                        .collect();
                     let rest = (-zmax).exp();
                     let denom: f64 = exps.iter().sum::<f64>() + rest;
                     for e in exps {
@@ -280,7 +298,11 @@ mod tests {
 
     #[test]
     fn box_vec_block() {
-        let t = BlockTransform::new(vec![Block::BoxBoundedVec { lo: 1e-6, hi: 50.0, count: 3 }]);
+        let t = BlockTransform::new(vec![Block::BoxBoundedVec {
+            lo: 1e-6,
+            hi: 50.0,
+            count: 3,
+        }]);
         assert_eq!(t.constrained_len(), 3);
         roundtrip(&t, &[0.1, 1.0, 10.0], 1e-9);
     }
@@ -289,11 +311,18 @@ mod tests {
     fn composite_model_layout() {
         // The H1 layout: κ, ω0, ω2, (p0,p1), 4 branch lengths.
         let t = BlockTransform::new(vec![
-            Block::LowerBounded { lo: 0.0 },                  // κ
-            Block::BoxBounded { lo: 1e-6, hi: 1.0 - 1e-6 },   // ω0
-            Block::LowerBounded { lo: 1.0 },                  // ω2
-            Block::SimplexWithRest { dim: 2 },                // p0, p1
-            Block::BoxBoundedVec { lo: 1e-6, hi: 50.0, count: 4 },
+            Block::LowerBounded { lo: 0.0 }, // κ
+            Block::BoxBounded {
+                lo: 1e-6,
+                hi: 1.0 - 1e-6,
+            }, // ω0
+            Block::LowerBounded { lo: 1.0 }, // ω2
+            Block::SimplexWithRest { dim: 2 }, // p0, p1
+            Block::BoxBoundedVec {
+                lo: 1e-6,
+                hi: 50.0,
+                count: 4,
+            },
         ]);
         assert_eq!(t.constrained_len(), 9);
         assert_eq!(t.unconstrained_len(), 9);
@@ -304,7 +333,10 @@ mod tests {
     fn h0_layout_fixes_omega2() {
         let t = BlockTransform::new(vec![
             Block::LowerBounded { lo: 0.0 },
-            Block::BoxBounded { lo: 1e-6, hi: 1.0 - 1e-6 },
+            Block::BoxBounded {
+                lo: 1e-6,
+                hi: 1.0 - 1e-6,
+            },
             Block::Fixed { value: 1.0 },
             Block::SimplexWithRest { dim: 2 },
         ]);

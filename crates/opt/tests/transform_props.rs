@@ -7,10 +7,17 @@ use slim_opt::{Block, BlockTransform};
 fn h1_layout(n_branches: usize) -> BlockTransform {
     BlockTransform::new(vec![
         Block::LowerBounded { lo: 1e-3 },
-        Block::BoxBounded { lo: 1e-6, hi: 1.0 - 1e-6 },
+        Block::BoxBounded {
+            lo: 1e-6,
+            hi: 1.0 - 1e-6,
+        },
         Block::LowerBounded { lo: 1.0 },
         Block::SimplexWithRest { dim: 2 },
-        Block::BoxBoundedVec { lo: 1e-6, hi: 50.0, count: n_branches },
+        Block::BoxBoundedVec {
+            lo: 1e-6,
+            hi: 50.0,
+            count: n_branches,
+        },
     ])
 }
 

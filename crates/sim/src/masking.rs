@@ -24,8 +24,7 @@ pub fn mask_random_cells(aln: &CodonAlignment, fraction: f64, seed: u64) -> Codo
     let n_seq = aln.n_sequences();
     let n_cod = aln.n_codons();
 
-    let mut seqs: Vec<Vec<Site>> =
-        (0..n_seq).map(|i| aln.sequence(i).to_vec()).collect();
+    let mut seqs: Vec<Vec<Site>> = (0..n_seq).map(|i| aln.sequence(i).to_vec()).collect();
     for site in 0..n_cod {
         let mut masked = 0usize;
         for seq in seqs.iter_mut() {
@@ -76,8 +75,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let aln = base();
-        assert_eq!(mask_random_cells(&aln, 0.3, 7), mask_random_cells(&aln, 0.3, 7));
-        assert_ne!(mask_random_cells(&aln, 0.3, 7), mask_random_cells(&aln, 0.3, 8));
+        assert_eq!(
+            mask_random_cells(&aln, 0.3, 7),
+            mask_random_cells(&aln, 0.3, 7)
+        );
+        assert_ne!(
+            mask_random_cells(&aln, 0.3, 7),
+            mask_random_cells(&aln, 0.3, 8)
+        );
     }
 
     #[test]

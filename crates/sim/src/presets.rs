@@ -81,7 +81,13 @@ pub struct SimulatedDataset {
 /// The generating model shared by all presets: moderate positive
 /// selection on ~10% of sites.
 fn generating_model() -> BranchSiteModel {
-    BranchSiteModel { kappa: 2.5, omega0: 0.15, omega2: 3.0, p0: 0.65, p1: 0.25 }
+    BranchSiteModel {
+        kappa: 2.5,
+        omega0: 0.15,
+        omega2: 3.0,
+        p0: 0.65,
+        p1: 0.25,
+    }
 }
 
 /// Skewed (non-uniform) codon frequencies shared by all presets, so that
@@ -106,7 +112,12 @@ pub fn dataset(id: DatasetId) -> SimulatedDataset {
     let model = generating_model();
     let alignment = simulate_alignment(&tree, &model, &generating_pi(), codons, id.seed() ^ 0xABCD);
     let _ = Hypothesis::H1;
-    SimulatedDataset { id, tree, alignment, true_model: model }
+    SimulatedDataset {
+        id,
+        tree,
+        alignment,
+        true_model: model,
+    }
 }
 
 /// The Fig. 3 experiment: dataset iv sub-sampled to `n_species`
@@ -120,10 +131,16 @@ pub fn dataset(id: DatasetId) -> SimulatedDataset {
 /// Panics if `n_species < 2` or `> 95`.
 pub fn subsample_dataset(n_species: usize) -> SimulatedDataset {
     let full = dataset(DatasetId::IV);
-    assert!((2..=full.tree.n_leaves()).contains(&n_species), "subsample size out of range");
+    assert!(
+        (2..=full.tree.n_leaves()).contains(&n_species),
+        "subsample size out of range"
+    );
     let names: Vec<String> = (1..=n_species).map(|i| format!("S{i}")).collect();
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    let mut tree = full.tree.restrict_to_leaves(&name_refs).expect("valid restriction");
+    let mut tree = full
+        .tree
+        .restrict_to_leaves(&name_refs)
+        .expect("valid restriction");
     if tree.foreground_branch().is_err() {
         let longest = tree
             .branch_nodes()
@@ -142,7 +159,12 @@ pub fn subsample_dataset(n_species: usize) -> SimulatedDataset {
         .map(|n| full.alignment.index_of(n).expect("leaf name in alignment"))
         .collect();
     let alignment = full.alignment.subset(&keep).expect("valid subset");
-    SimulatedDataset { id: DatasetId::IV, tree, alignment, true_model: full.true_model }
+    SimulatedDataset {
+        id: DatasetId::IV,
+        tree,
+        alignment,
+        true_model: full.true_model,
+    }
 }
 
 #[cfg(test)]
@@ -166,12 +188,18 @@ mod tests {
         let a = dataset(DatasetId::I);
         let b = dataset(DatasetId::I);
         assert_eq!(a.alignment, b.alignment);
-        assert_eq!(slim_bio::write_newick(&a.tree), slim_bio::write_newick(&b.tree));
+        assert_eq!(
+            slim_bio::write_newick(&a.tree),
+            slim_bio::write_newick(&b.tree)
+        );
     }
 
     #[test]
     fn datasets_differ() {
-        assert_ne!(dataset(DatasetId::I).alignment, dataset(DatasetId::III).alignment);
+        assert_ne!(
+            dataset(DatasetId::I).alignment,
+            dataset(DatasetId::III).alignment
+        );
     }
 
     #[test]
@@ -191,9 +219,15 @@ mod tests {
         let full = dataset(DatasetId::IV);
         let sub = subsample_dataset(15);
         for name in sub.alignment.names() {
-            let full_idx = full.alignment.index_of(name).expect("name exists in full dataset");
+            let full_idx = full
+                .alignment
+                .index_of(name)
+                .expect("name exists in full dataset");
             let sub_idx = sub.alignment.index_of(name).unwrap();
-            assert_eq!(sub.alignment.sequence(sub_idx), full.alignment.sequence(full_idx));
+            assert_eq!(
+                sub.alignment.sequence(sub_idx),
+                full.alignment.sequence(full_idx)
+            );
         }
         // Leaf-to-leaf path lengths are preserved by unary suppression:
         // check the tree total is smaller but every pendant name exists.

@@ -41,7 +41,8 @@ pub fn simulate_alignment(
 ) -> CodonAlignment {
     let code = GeneticCode::universal();
     assert_eq!(pi.len(), code.n_sense());
-    tree.foreground_branch().expect("tree must have a foreground branch");
+    tree.foreground_branch()
+        .expect("tree must have a foreground branch");
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Transition matrices per (branch node, distinct ω), sharing the same
@@ -49,8 +50,7 @@ pub fn simulate_alignment(
     // BranchSiteModel::shared_scale) so simulated branch lengths mean the
     // same thing the estimator assumes.
     let omegas = model.omegas();
-    let (syn_flux, nonsyn_flux) =
-        slim_model::codon_model::rate_components(&code, model.kappa, pi);
+    let (syn_flux, nonsyn_flux) = slim_model::codon_model::rate_components(&code, model.kappa, pi);
     let scale = model.shared_scale(syn_flux, nonsyn_flux);
     let eigensystems: Vec<EigenSystem> = omegas
         .iter()
@@ -64,7 +64,11 @@ pub fn simulate_alignment(
     let mut pmats: Vec<[Option<Mat>; 3]> = (0..n_nodes).map(|_| [None, None, None]).collect();
     for id in tree.branch_nodes() {
         let t = tree.node(id).branch_length;
-        let needed: &[usize] = if tree.node(id).foreground { &[0, 1, 2] } else { &[0, 1] };
+        let needed: &[usize] = if tree.node(id).foreground {
+            &[0, 1, 2]
+        } else {
+            &[0, 1]
+        };
         for &w in needed {
             pmats[id.0][w] = Some(eigensystems[w].transition_matrix_eq10(t));
         }
@@ -86,7 +90,11 @@ pub fn simulate_alignment(
             match node.parent {
                 None => states[id.0][site] = sample_index(&mut rng, pi),
                 Some(parent) => {
-                    let w = if node.foreground { class.foreground_omega } else { class.background_omega };
+                    let w = if node.foreground {
+                        class.foreground_omega
+                    } else {
+                        class.background_omega
+                    };
                     let p = pmats[id.0][w].as_ref().expect("P matrix built");
                     let from = states[parent.0][site];
                     states[id.0][site] = sample_index(&mut rng, p.row(from));

@@ -26,7 +26,13 @@ pub fn yule_tree(n_leaves: usize, mean_branch_length: f64, seed: u64) -> Tree {
 
     // Arena of nodes; start with a root and two leaf children.
     let mut nodes: Vec<Node> = Vec::with_capacity(2 * n_leaves - 1);
-    nodes.push(Node { parent: None, children: vec![], name: None, branch_length: 0.0, foreground: false });
+    nodes.push(Node {
+        parent: None,
+        children: vec![],
+        name: None,
+        branch_length: 0.0,
+        foreground: false,
+    });
     let mut leaves: Vec<usize> = Vec::with_capacity(n_leaves);
     for _ in 0..2 {
         let id = nodes.len();
@@ -116,7 +122,10 @@ mod tests {
         let lens = t.branch_lengths();
         assert!(lens.iter().all(|&l| l > 0.0));
         let mean = lens.iter().sum::<f64>() / lens.len() as f64;
-        assert!(mean > 0.1 && mean < 0.5, "sample mean {mean} too far from 0.25");
+        assert!(
+            mean > 0.1 && mean < 0.5,
+            "sample mean {mean} too far from 0.25"
+        );
     }
 
     #[test]

@@ -112,12 +112,7 @@ mod tests {
 
     #[test]
     fn positive_selection_sums_classes_2a_2b() {
-        let per_class = vec![
-            vec![-10.0],
-            vec![-10.0],
-            vec![-10.0],
-            vec![-10.0],
-        ];
+        let per_class = vec![vec![-10.0], vec![-10.0], vec![-10.0], vec![-10.0]];
         let ps = positive_selection_posteriors(&per_class, &[0.25, 0.25, 0.25, 0.25]);
         assert!((ps[0] - 0.5).abs() < 1e-12);
     }
@@ -125,7 +120,12 @@ mod tests {
     #[test]
     fn underflow_safe_with_extreme_logs() {
         // Log-likelihoods around −10⁵ must not underflow the posteriors.
-        let per_class = vec![vec![-100000.0], vec![-100001.0], vec![-100002.0], vec![-99999.0]];
+        let per_class = vec![
+            vec![-100000.0],
+            vec![-100001.0],
+            vec![-100002.0],
+            vec![-99999.0],
+        ];
         let ps = positive_selection_posteriors(&per_class, &[0.25, 0.25, 0.25, 0.25]);
         assert!(ps[0].is_finite());
         assert!(ps[0] > 0.0 && ps[0] < 1.0);

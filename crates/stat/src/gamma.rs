@@ -108,7 +108,10 @@ mod tests {
     fn ln_gamma_recurrence() {
         // Γ(x+1) = x Γ(x) → lnΓ(x+1) = ln x + lnΓ(x).
         for x in [0.3, 1.7, 4.2, 11.0] {
-            assert!((ln_gamma(x + 1.0) - x.ln() - ln_gamma(x)).abs() < 1e-11, "x={x}");
+            assert!(
+                (ln_gamma(x + 1.0) - x.ln() - ln_gamma(x)).abs() < 1e-11,
+                "x={x}"
+            );
         }
     }
 

@@ -28,7 +28,11 @@ pub fn lrt_pvalue(lnl_h0: f64, lnl_h1: f64) -> LrtResult {
     let statistic = raw.max(0.0);
     let p_chi2 = chi2_sf(statistic, 1);
     let p_mixture = if statistic <= 0.0 { 1.0 } else { 0.5 * p_chi2 };
-    LrtResult { statistic, p_value: p_mixture, p_value_chi2_1: p_chi2 }
+    LrtResult {
+        statistic,
+        p_value: p_mixture,
+        p_value_chi2_1: p_chi2,
+    }
 }
 
 /// Conventional significance threshold used by Selectome-style scans.

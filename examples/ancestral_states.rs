@@ -20,7 +20,13 @@ use slimcodeml::sim::{simulate_alignment, yule_tree};
 
 fn main() {
     let tree = yule_tree(6, 0.15, 41);
-    let truth = BranchSiteModel { kappa: 2.2, omega0: 0.1, omega2: 2.0, p0: 0.7, p1: 0.2 };
+    let truth = BranchSiteModel {
+        kappa: 2.2,
+        omega0: 0.1,
+        omega2: 2.0,
+        p0: 0.7,
+        p1: 0.2,
+    };
     let pi = vec![1.0 / 61.0; 61];
     let aln = simulate_alignment(&tree, &truth, &pi, 60, 17);
 
@@ -54,7 +60,12 @@ fn main() {
             confident += 1;
         }
         if i < 10 {
-            println!("  site {:>2}: {} (posterior {:.3})", i + 1, r.codon.to_string_repr(), r.posterior);
+            println!(
+                "  site {:>2}: {} (posterior {:.3})",
+                i + 1,
+                r.codon.to_string_repr(),
+                r.posterior
+            );
         }
     }
     println!("  …");
@@ -64,6 +75,8 @@ fn main() {
     );
 
     // Internal nodes overall.
-    let n_internal = (0..problem.children.len()).filter(|&n| rec.posteriors[n].is_some()).count();
+    let n_internal = (0..problem.children.len())
+        .filter(|&n| rec.posteriors[n].is_some())
+        .count();
     println!("reconstructed {n_internal} internal nodes");
 }

@@ -19,15 +19,26 @@ fn main() {
     // Simulate a 6-species gene with positive selection on whichever
     // branch the generator marked as foreground.
     let tree = yule_tree(6, 0.2, 21);
-    let truth = BranchSiteModel { kappa: 2.0, omega0: 0.15, omega2: 5.0, p0: 0.55, p1: 0.3 };
+    let truth = BranchSiteModel {
+        kappa: 2.0,
+        omega0: 0.15,
+        omega2: 5.0,
+        p0: 0.55,
+        p1: 0.3,
+    };
     let pi = vec![1.0 / 61.0; 61];
     let aln = simulate_alignment(&tree, &truth, &pi, 300, 99);
 
-    let true_fg = tree.foreground_branch().expect("simulator marks one branch");
+    let true_fg = tree
+        .foreground_branch()
+        .expect("simulator marks one branch");
     println!(
         "simulated with positive selection on branch {} (child {})\n",
         true_fg.0,
-        tree.node(true_fg).name.clone().unwrap_or_else(|| "internal".into())
+        tree.node(true_fg)
+            .name
+            .clone()
+            .unwrap_or_else(|| "internal".into())
     );
 
     let options = AnalysisOptions {
@@ -47,13 +58,23 @@ fn main() {
             e.child_name.clone().unwrap_or_else(|| "(internal)".into()),
             e.result.lrt.statistic,
             e.result.lrt.p_value,
-            if e.result.lrt.significant_at(0.05) { "POSITIVE SELECTION" } else { "-" }
+            if e.result.lrt.significant_at(0.05) {
+                "POSITIVE SELECTION"
+            } else {
+                "-"
+            }
         );
     }
 
     let best = entries
         .iter()
-        .min_by(|a, b| a.result.lrt.p_value.partial_cmp(&b.result.lrt.p_value).unwrap())
+        .min_by(|a, b| {
+            a.result
+                .lrt
+                .p_value
+                .partial_cmp(&b.result.lrt.p_value)
+                .unwrap()
+        })
         .unwrap();
     println!(
         "\nstrongest signal on branch {} (true foreground was {})",

@@ -23,11 +23,17 @@ fn main() {
     pi.iter_mut().for_each(|p| *p /= total);
 
     let rm = build_rate_matrix(&code, 2.5, 0.4, &pi, ScalePolicy::PerClass);
-    println!("rate matrix built: 61×61, stationary rate = {:.6}", rm.stationary_rate());
+    println!(
+        "rate matrix built: 61×61, stationary rate = {:.6}",
+        rm.stationary_rate()
+    );
 
     let started = Instant::now();
     let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
-    println!("symmetric eigendecomposition (tred2+tql2): {:?}", started.elapsed());
+    println!(
+        "symmetric eigendecomposition (tred2+tql2): {:?}",
+        started.elapsed()
+    );
 
     let t = 0.37;
     let reps = 2000;
@@ -43,9 +49,13 @@ fn main() {
         last.unwrap()
     };
 
-    let p9n = time("Eq. 9, naive kernels (CodeML)", &|| es.transition_matrix_eq9_naive(t));
+    let p9n = time("Eq. 9, naive kernels (CodeML)", &|| {
+        es.transition_matrix_eq9_naive(t)
+    });
     let p9 = time("Eq. 9, blocked gemm", &|| es.transition_matrix_eq9(t));
-    let p10 = time("Eq. 10, syrk (SlimCodeML)", &|| es.transition_matrix_eq10(t));
+    let p10 = time("Eq. 10, syrk (SlimCodeML)", &|| {
+        es.transition_matrix_eq10(t)
+    });
 
     // Accuracy against the Taylor scaling-and-squaring oracle.
     let mut qt = rm.q.clone();
@@ -56,8 +66,10 @@ fn main() {
     println!("  Eq. 9 gemm  : {:.3e}", p9.max_abs_diff(&oracle));
     println!("  Eq. 10 syrk : {:.3e}", p10.max_abs_diff(&oracle));
     println!("\nmax |Eq9 - Eq10| = {:.3e}", p9.max_abs_diff(&p10));
-    println!("row sums of Eq. 10 path (first 3): {:.12} {:.12} {:.12}",
+    println!(
+        "row sums of Eq. 10 path (first 3): {:.12} {:.12} {:.12}",
         p10.row(0).iter().sum::<f64>(),
         p10.row(1).iter().sum::<f64>(),
-        p10.row(2).iter().sum::<f64>());
+        p10.row(2).iter().sum::<f64>()
+    );
 }

@@ -13,10 +13,8 @@ use slimcodeml::core::{Analysis, AnalysisOptions, Backend};
 fn main() {
     // The Fig. 1 example: 5 species, 6 codons, foreground branch above the
     // (A, B, C) clade's ancestor... here above (A, B) to keep it interesting.
-    let tree = parse_newick(
-        "(((A:0.1,B:0.1)#1:0.05,C:0.15):0.05,(D:0.12,E:0.12):0.08);",
-    )
-    .expect("valid Newick");
+    let tree = parse_newick("(((A:0.1,B:0.1)#1:0.05,C:0.15):0.05,(D:0.12,E:0.12):0.08);")
+        .expect("valid Newick");
     let aln = CodonAlignment::from_fasta(concat!(
         ">A\nCCCTACTGCCCCAAGGAG\n",
         ">B\nCCCTACTGCCCCAAGGAG\n",

@@ -35,19 +35,30 @@ fn run_case(label: &str, true_model: &BranchSiteModel, seed: u64) {
     let pi = vec![1.0 / 61.0; 61];
     let aln = simulate_alignment(&tree, true_model, &pi, n_codons, seed ^ 0xFEED);
 
-    let options = AnalysisOptions { max_iterations: 150, ..Default::default() };
+    let options = AnalysisOptions {
+        max_iterations: 150,
+        ..Default::default()
+    };
     let analysis = Analysis::new(&tree, &aln, options).expect("consistent inputs");
     let result = analysis.test_positive_selection().expect("fits succeed");
 
     println!("--- {label} ---");
-    println!("truth: w2 = {:.2}, p(selected) = {:.3}", true_model.omega2, true_model.positive_selection_proportion());
+    println!(
+        "truth: w2 = {:.2}, p(selected) = {:.3}",
+        true_model.omega2,
+        true_model.positive_selection_proportion()
+    );
     println!("{}", result.h0.summary());
     println!("{}", result.h1.summary());
     println!(
         "LRT 2dlnL = {:.3}, p = {:.5} -> {}",
         result.lrt.statistic,
         result.lrt.p_value,
-        if result.lrt.significant_at(0.05) { "SELECTION DETECTED" } else { "not significant" }
+        if result.lrt.significant_at(0.05) {
+            "SELECTION DETECTED"
+        } else {
+            "not significant"
+        }
     );
     let top: Vec<_> = result
         .site_posteriors
@@ -64,7 +75,13 @@ fn main() {
     // (30% of sites at ω2 = 6).
     run_case(
         "data simulated UNDER positive selection",
-        &BranchSiteModel { kappa: 2.5, omega0: 0.1, omega2: 6.0, p0: 0.5, p1: 0.2 },
+        &BranchSiteModel {
+            kappa: 2.5,
+            omega0: 0.1,
+            omega2: 6.0,
+            p0: 0.5,
+            p1: 0.2,
+        },
         11,
     );
 
@@ -72,7 +89,13 @@ fn main() {
     // foreground branch).
     run_case(
         "data simulated UNDER the null (no positive selection)",
-        &BranchSiteModel { kappa: 2.5, omega0: 0.1, omega2: 1.0, p0: 0.5, p1: 0.2 },
+        &BranchSiteModel {
+            kappa: 2.5,
+            omega0: 0.1,
+            omega2: 1.0,
+            p0: 0.5,
+            p1: 0.2,
+        },
         13,
     );
 

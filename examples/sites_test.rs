@@ -33,14 +33,29 @@ fn main() {
 
     // Dataset A: pervasive selection (ω2 = 5 on the foreground branch,
     // which we choose to be a long internal edge, plus elevated ω0).
-    let strong = BranchSiteModel { kappa: 2.0, omega0: 0.9, omega2: 5.0, p0: 0.4, p1: 0.2 };
+    let strong = BranchSiteModel {
+        kappa: 2.0,
+        omega0: 0.9,
+        omega2: 5.0,
+        p0: 0.4,
+        p1: 0.2,
+    };
     let aln_sel = simulate_alignment(&tree, &strong, &pi, 400, 71);
 
     // Dataset B: purifying evolution everywhere.
-    let purifying = BranchSiteModel { kappa: 2.0, omega0: 0.05, omega2: 1.0, p0: 0.8, p1: 0.15 };
+    let purifying = BranchSiteModel {
+        kappa: 2.0,
+        omega0: 0.05,
+        omega2: 1.0,
+        p0: 0.8,
+        p1: 0.15,
+    };
     let aln_null = simulate_alignment(&tree, &purifying, &pi, 400, 72);
 
-    for (label, aln) in [("selection-enriched data", &aln_sel), ("purifying data", &aln_null)] {
+    for (label, aln) in [
+        ("selection-enriched data", &aln_sel),
+        ("purifying data", &aln_null),
+    ] {
         println!("--- {label} ---");
         let r = sites_test(&tree, aln, &options).expect("sites test");
         println!(
@@ -53,7 +68,10 @@ fn main() {
             r.m2a.model.omega2,
             (1.0 - r.m2a.model.p0 - r.m2a.model.p1).max(0.0)
         );
-        println!("LRT: 2dlnL = {:.4}, p = {:.5} (chi2, 2 df)", r.statistic, r.p_value);
+        println!(
+            "LRT: 2dlnL = {:.4}, p = {:.5} (chi2, 2 df)",
+            r.statistic, r.p_value
+        );
         let flagged: Vec<usize> = r
             .site_posteriors
             .iter()
@@ -61,6 +79,10 @@ fn main() {
             .filter(|(_, &p)| p > 0.95)
             .map(|(i, _)| i + 1)
             .collect();
-        println!("sites with posterior > 0.95: {} of {}\n", flagged.len(), aln.n_codons());
+        println!(
+            "sites with posterior > 0.95: {} of {}\n",
+            flagged.len(),
+            aln.n_codons()
+        );
     }
 }

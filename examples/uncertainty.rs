@@ -14,7 +14,13 @@ use slimcodeml::sim::{simulate_alignment, yule_tree};
 
 fn main() {
     let tree = yule_tree(6, 0.2, 19);
-    let truth = BranchSiteModel { kappa: 2.5, omega0: 0.15, omega2: 1.0, p0: 0.7, p1: 0.2 };
+    let truth = BranchSiteModel {
+        kappa: 2.5,
+        omega0: 0.15,
+        omega2: 1.0,
+        p0: 0.7,
+        p1: 0.2,
+    };
     let pi = vec![1.0 / 61.0; 61];
     let aln = simulate_alignment(&tree, &truth, &pi, 250, 8);
 
@@ -43,11 +49,17 @@ fn main() {
 
     // --- Parametric bootstrap of the LRT (small R for the demo). ---
     println!("\nparametric bootstrap (R = 10, simulating under the H0 MLE)…");
-    let boot = BootstrapOptions { replicates: 10, seed: 33 };
+    let boot = BootstrapOptions {
+        replicates: 10,
+        seed: 33,
+    };
     let result = parametric_bootstrap_lrt(&tree, &aln, &options, &boot).expect("bootstrap");
     println!("observed 2dlnL = {:.4}", result.observed_statistic);
     let mut sorted = result.null_statistics.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     println!("null statistics: {sorted:.4?}");
-    println!("bootstrap p = {:.3} (data simulated under the null, so expect non-significance)", result.p_value);
+    println!(
+        "bootstrap p = {:.3} (data simulated under the null, so expect non-significance)",
+        result.p_value
+    );
 }

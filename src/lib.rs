@@ -19,6 +19,7 @@
 //! | [`stat`] | `slim-stat` | χ², LRT (boundary mixture null), NEB posteriors |
 //! | [`sim`] | `slim-sim` | Yule trees, BSM sequence simulation, Table II presets |
 //! | [`core`] | `slim-core` | the public `Analysis` API |
+//! | [`batch`] | `slim-batch` | multi-gene batch runs: manifest, worker pool, checkpoint/resume |
 //!
 //! ## Quickstart
 //!
@@ -34,6 +35,7 @@
 //! assert!(fit.lnl.is_finite());
 //! ```
 
+pub use slim_batch as batch;
 pub use slim_bio as bio;
 pub use slim_core as core;
 pub use slim_expm as expm;

@@ -15,7 +15,11 @@ fn quick_options(backend: Backend) -> AnalysisOptions {
 }
 
 /// Simulate with strong positive selection on the longest branch.
-fn selection_dataset() -> (slimcodeml::bio::Tree, slimcodeml::bio::CodonAlignment, BranchSiteModel) {
+fn selection_dataset() -> (
+    slimcodeml::bio::Tree,
+    slimcodeml::bio::CodonAlignment,
+    BranchSiteModel,
+) {
     let mut tree = yule_tree(6, 0.25, 17);
     let longest = tree
         .branch_nodes()
@@ -28,7 +32,13 @@ fn selection_dataset() -> (slimcodeml::bio::Tree, slimcodeml::bio::CodonAlignmen
         })
         .unwrap();
     tree.set_foreground(longest).unwrap();
-    let truth = BranchSiteModel { kappa: 2.0, omega0: 0.1, omega2: 8.0, p0: 0.45, p1: 0.2 };
+    let truth = BranchSiteModel {
+        kappa: 2.0,
+        omega0: 0.1,
+        omega2: 8.0,
+        p0: 0.45,
+        p1: 0.2,
+    };
     let pi = vec![1.0 / 61.0; 61];
     let aln = simulate_alignment(&tree, &truth, &pi, 300, 99);
     (tree, aln, truth)
@@ -45,16 +55,29 @@ fn detects_simulated_positive_selection() {
         result.lrt.statistic
     );
     assert!(result.lrt.significant_at(0.05));
-    assert!(result.h1.model.omega2 > 1.5, "w2 estimate {}", result.h1.model.omega2);
+    assert!(
+        result.h1.model.omega2 > 1.5,
+        "w2 estimate {}",
+        result.h1.model.omega2
+    );
     // Some sites should be flagged.
     let flagged = result.site_posteriors.iter().filter(|&&p| p > 0.95).count();
-    assert!(flagged > 0, "no sites flagged despite strong simulated selection");
+    assert!(
+        flagged > 0,
+        "no sites flagged despite strong simulated selection"
+    );
 }
 
 #[test]
 fn null_data_yields_no_signal() {
     let tree = yule_tree(6, 0.25, 23);
-    let truth = BranchSiteModel { kappa: 2.0, omega0: 0.1, omega2: 1.0, p0: 0.45, p1: 0.2 };
+    let truth = BranchSiteModel {
+        kappa: 2.0,
+        omega0: 0.1,
+        omega2: 1.0,
+        p0: 0.45,
+        p1: 0.2,
+    };
     let pi = vec![1.0 / 61.0; 61];
     let aln = simulate_alignment(&tree, &truth, &pi, 300, 31);
     let analysis = Analysis::new(&tree, &aln, quick_options(Backend::Slim)).unwrap();
@@ -90,11 +113,24 @@ fn mle_beats_truth_and_truth_beats_null_params() {
     let analysis = Analysis::new(&tree, &aln, quick_options(Backend::Slim)).unwrap();
     let bl = tree.branch_lengths();
     let lnl_truth = analysis.log_likelihood(&truth, &bl).unwrap();
-    let wrong = BranchSiteModel { kappa: 9.0, omega0: 0.9, omega2: 1.0, p0: 0.1, p1: 0.8 };
+    let wrong = BranchSiteModel {
+        kappa: 9.0,
+        omega0: 0.9,
+        omega2: 1.0,
+        p0: 0.1,
+        p1: 0.8,
+    };
     let lnl_wrong = analysis.log_likelihood(&wrong, &bl).unwrap();
-    assert!(lnl_truth > lnl_wrong, "truth {lnl_truth} should beat wrong {lnl_wrong}");
+    assert!(
+        lnl_truth > lnl_wrong,
+        "truth {lnl_truth} should beat wrong {lnl_wrong}"
+    );
     let fit = analysis.fit(Hypothesis::H1).unwrap();
-    assert!(fit.lnl > lnl_truth - 1e-6, "MLE {} should beat truth {lnl_truth}", fit.lnl);
+    assert!(
+        fit.lnl > lnl_truth - 1e-6,
+        "MLE {} should beat truth {lnl_truth}",
+        fit.lnl
+    );
 }
 
 #[test]

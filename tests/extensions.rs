@@ -31,14 +31,26 @@ fn sites_test_detects_pervasive_selection() {
     let pi = vec![1.0 / 61.0; 61];
     let sel = simulate_alignment(
         &tree,
-        &BranchSiteModel { kappa: 2.0, omega0: 0.9, omega2: 1.0, p0: 0.9, p1: 0.05 },
+        &BranchSiteModel {
+            kappa: 2.0,
+            omega0: 0.9,
+            omega2: 1.0,
+            p0: 0.9,
+            p1: 0.05,
+        },
         &pi,
         200,
         5,
     );
     let pur = simulate_alignment(
         &tree,
-        &BranchSiteModel { kappa: 2.0, omega0: 0.05, omega2: 1.0, p0: 0.95, p1: 0.04 },
+        &BranchSiteModel {
+            kappa: 2.0,
+            omega0: 0.05,
+            omega2: 1.0,
+            p0: 0.95,
+            p1: 0.04,
+        },
         &pi,
         200,
         6,
@@ -99,7 +111,13 @@ fn beb_and_neb_agree_qualitatively() {
         })
         .unwrap();
     tree.set_foreground(longest).unwrap();
-    let truth = BranchSiteModel { kappa: 2.0, omega0: 0.1, omega2: 8.0, p0: 0.45, p1: 0.2 };
+    let truth = BranchSiteModel {
+        kappa: 2.0,
+        omega0: 0.1,
+        omega2: 8.0,
+        p0: 0.45,
+        p1: 0.2,
+    };
     let pi = vec![1.0 / 61.0; 61];
     let aln = simulate_alignment(&tree, &truth, &pi, 150, 99);
 
@@ -108,7 +126,12 @@ fn beb_and_neb_agree_qualitatively() {
     let beb = analysis
         .beb_site_posteriors(
             &result.h1,
-            &BebOptions { n_omega0: 2, n_omega2: 3, n_props: 2, omega2_max: 10.0 },
+            &BebOptions {
+                n_omega0: 2,
+                n_omega2: 3,
+                n_props: 2,
+                omega2_max: 10.0,
+            },
         )
         .unwrap();
     assert_eq!(beb.len(), result.site_posteriors.len());
@@ -154,7 +177,10 @@ fn m0_and_two_ratio_nested_ordering() {
             );
         }
     }
-    assert!(best_two >= best_m0 - 1e-12, "two-ratio {best_two} vs M0 {best_m0}");
+    assert!(
+        best_two >= best_m0 - 1e-12,
+        "two-ratio {best_two} vs M0 {best_m0}"
+    );
 }
 
 #[test]
@@ -180,10 +206,8 @@ fn parallel_backend_end_to_end() {
 #[test]
 fn missing_data_through_full_fit() {
     let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,C:0.3);").unwrap();
-    let aln = CodonAlignment::from_fasta(
-        ">A\nATGCCCAAA---\n>B\nATG---AAATTT\n>C\nATGCCCNNNTTT\n",
-    )
-    .unwrap();
+    let aln = CodonAlignment::from_fasta(">A\nATGCCCAAA---\n>B\nATG---AAATTT\n>C\nATGCCCNNNTTT\n")
+        .unwrap();
     assert!(aln.missing_fraction() > 0.0);
     let analysis = Analysis::new(&tree, &aln, quick(Backend::Slim)).unwrap();
     let fit = analysis.fit(Hypothesis::H0).unwrap();
@@ -198,9 +222,15 @@ fn lbfgs_and_dense_bfgs_agree_through_api() {
     let aln = simulate_alignment(&tree, &truth, &pi, 100, 4);
     let mut opts = quick(Backend::SlimPlus);
     opts.max_iterations = 40;
-    let dense = Analysis::new(&tree, &aln, opts.clone()).unwrap().fit(Hypothesis::H0).unwrap();
+    let dense = Analysis::new(&tree, &aln, opts.clone())
+        .unwrap()
+        .fit(Hypothesis::H0)
+        .unwrap();
     opts.optimizer = Optimizer::LBfgs;
-    let limited = Analysis::new(&tree, &aln, opts).unwrap().fit(Hypothesis::H0).unwrap();
+    let limited = Analysis::new(&tree, &aln, opts)
+        .unwrap()
+        .fit(Hypothesis::H0)
+        .unwrap();
     assert!(
         (dense.lnl - limited.lnl).abs() < 0.05,
         "dense {} vs l-bfgs {}",

@@ -20,12 +20,17 @@ fn engines_agree_on_every_dataset_shape() {
     // cover short & tall shapes.
     for id in [DatasetId::I, DatasetId::III, DatasetId::IV] {
         let ds = dataset(id);
-        let problem = LikelihoodProblem::new(&ds.tree, &ds.alignment, &code, FreqModel::F3x4).unwrap();
+        let problem =
+            LikelihoodProblem::new(&ds.tree, &ds.alignment, &code, FreqModel::F3x4).unwrap();
         let bl = ds.tree.branch_lengths();
         let base = log_likelihood(&problem, &EngineConfig::codeml_style(), &model, &bl).unwrap();
         let slim = log_likelihood(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
         let d = ((base - slim) / base).abs();
-        assert!(d < 5.5e-8, "dataset {}: D = {d} exceeds the paper's worst case", id.label());
+        assert!(
+            d < 5.5e-8,
+            "dataset {}: D = {d} exceeds the paper's worst case",
+            id.label()
+        );
     }
 }
 
@@ -74,7 +79,8 @@ fn eval_speedup_grows_with_species() {
 
     let measure = |n_species: usize| -> f64 {
         let ds = subsample_dataset(n_species);
-        let problem = LikelihoodProblem::new(&ds.tree, &ds.alignment, &code, FreqModel::F3x4).unwrap();
+        let problem =
+            LikelihoodProblem::new(&ds.tree, &ds.alignment, &code, FreqModel::F3x4).unwrap();
         let bl = ds.tree.branch_lengths();
         let time_engine = |cfg: &EngineConfig| {
             let _ = log_likelihood(&problem, cfg, &model, &bl).unwrap(); // warm
@@ -93,5 +99,8 @@ fn eval_speedup_grows_with_species() {
         large > small * 0.8,
         "speedup should not collapse with species count: 10sp {small:.2}x vs 60sp {large:.2}x"
     );
-    assert!(large > 1.2, "60-species evaluation speedup only {large:.2}x");
+    assert!(
+        large > 1.2,
+        "60-species evaluation speedup only {large:.2}x"
+    );
 }

@@ -18,9 +18,20 @@ fn pi_strategy() -> impl Strategy<Value = Vec<f64>> {
 
 /// Strategy: valid branch-site parameters.
 fn model_strategy() -> impl Strategy<Value = BranchSiteModel> {
-    (0.5f64..8.0, 0.01f64..0.95, 1.0f64..10.0, 0.1f64..0.7, 0.05f64..0.25).prop_map(
-        |(kappa, omega0, omega2, p0, p1)| BranchSiteModel { kappa, omega0, omega2, p0, p1 },
+    (
+        0.5f64..8.0,
+        0.01f64..0.95,
+        1.0f64..10.0,
+        0.1f64..0.7,
+        0.05f64..0.25,
     )
+        .prop_map(|(kappa, omega0, omega2, p0, p1)| BranchSiteModel {
+            kappa,
+            omega0,
+            omega2,
+            p0,
+            p1,
+        })
 }
 
 proptest! {
