@@ -1,0 +1,134 @@
+//! Intra-gene scaling of the `slim-par` likelihood engine: evaluate the
+//! branch-site likelihood of all four Table II dataset analogs at
+//! 1/2/4/8 threads and emit `BENCH_par.json` with wall time, per-phase
+//! breakdown, and speedup per thread count.
+//!
+//! The sweep also cross-checks the determinism contract: every thread
+//! count must produce the *bit-identical* log-likelihood (threads only
+//! move fixed pattern blocks between workers; the reduction is serial and
+//! compensated). The report records `available_cores` — on machines with
+//! fewer cores than threads the extra threads time-slice one core, so
+//! measured speedups above that count are meaningless and honest numbers
+//! require reading that field.
+//!
+//! ```text
+//! cargo run --release -p slim-bench --bin par_scaling [--quick]
+//! ```
+
+use slim_bio::FreqModel;
+use slim_lik::{site_class_log_likelihoods_timed, EngineConfig, LikelihoodProblem, PhaseTiming};
+use slim_sim::{dataset, DatasetId};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!(
+        "par scaling — slim-par engine, {reps} rep{}/point, {cores} core{} available{}",
+        if reps == 1 { "" } else { "s" },
+        if cores == 1 { "" } else { "s" },
+        if quick { ", quick" } else { "" }
+    );
+    println!(
+        "{:>8} {:>8} {:>12} {:>9}  {:>9} {:>9} {:>9} {:>9}",
+        "dataset", "threads", "wall (s)", "speedup", "eigen", "expm", "prune", "reduce"
+    );
+
+    let mut dataset_rows = Vec::new();
+    for id in DatasetId::ALL {
+        let d = dataset(id);
+        let problem = LikelihoodProblem::new(
+            &d.tree,
+            &d.alignment,
+            &slim_bio::GeneticCode::universal(),
+            FreqModel::F3x4,
+        )
+        .expect("preset dataset is well-formed");
+        let bl = d.tree.branch_lengths();
+        let model = d.true_model;
+        let (species, codons) = id.shape();
+
+        let mut rows = Vec::new();
+        let mut baseline_secs = 0.0f64;
+        let mut baseline_bits: Option<u64> = None;
+        for &threads in &THREAD_COUNTS {
+            let config = EngineConfig::slim().with_threads(threads);
+            // Warmup: touch every allocation and code path once.
+            let mut warm = PhaseTiming::default();
+            let value = site_class_log_likelihoods_timed(&problem, &config, &model, &bl, &mut warm)
+                .expect("likelihood evaluation");
+            match baseline_bits {
+                None => baseline_bits = Some(value.lnl.to_bits()),
+                Some(bits) => assert_eq!(
+                    bits,
+                    value.lnl.to_bits(),
+                    "determinism violated on dataset {}: {threads}-thread lnL differs from 1-thread",
+                    id.label()
+                ),
+            }
+
+            // Best-of-reps wall time with per-phase breakdown.
+            let mut best = f64::INFINITY;
+            let mut best_timing = PhaseTiming::default();
+            for _ in 0..reps {
+                let mut timing = PhaseTiming::default();
+                let started = Instant::now();
+                let v =
+                    site_class_log_likelihoods_timed(&problem, &config, &model, &bl, &mut timing)
+                        .expect("likelihood evaluation");
+                let wall = started.elapsed().as_secs_f64();
+                assert_eq!(
+                    v.lnl.to_bits(),
+                    baseline_bits.expect("baseline recorded"),
+                    "determinism violated within the timing loop"
+                );
+                if wall < best {
+                    best = wall;
+                    best_timing = timing;
+                }
+            }
+            if threads == 1 {
+                baseline_secs = best;
+            }
+            let speedup = baseline_secs / best;
+            println!(
+                "{:>8} {:>8} {:>12.4} {:>9.2}  {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+                id.label(),
+                threads,
+                best,
+                speedup,
+                best_timing.eigen.as_secs_f64(),
+                best_timing.expm.as_secs_f64(),
+                best_timing.pruning.as_secs_f64(),
+                best_timing.reduction.as_secs_f64(),
+            );
+            rows.push(format!(
+                r#"{{"threads":{threads},"wall_seconds":{best:.6},"speedup":{speedup:.4},"eigen_seconds":{:.6},"expm_seconds":{:.6},"pruning_seconds":{:.6},"reduction_seconds":{:.6}}}"#,
+                best_timing.eigen.as_secs_f64(),
+                best_timing.expm.as_secs_f64(),
+                best_timing.pruning.as_secs_f64(),
+                best_timing.reduction.as_secs_f64(),
+            ));
+        }
+        dataset_rows.push(format!(
+            r#"{{"dataset":"{}","species":{species},"codons":{codons},"patterns":{},"lnl_bits_identical":true,"runs":[{}]}}"#,
+            id.label(),
+            problem.n_patterns(),
+            rows.join(",")
+        ));
+    }
+
+    let json = format!(
+        r#"{{"bench":"par_scaling","engine":"slim-par","available_cores":{cores},"reps":{reps},"quick":{quick},"datasets":[{}]}}
+"#,
+        dataset_rows.join(",")
+    );
+    std::fs::write("BENCH_par.json", &json).expect("cannot write BENCH_par.json");
+    println!("\nwrote BENCH_par.json");
+}

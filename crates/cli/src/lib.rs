@@ -41,6 +41,9 @@ pub struct CliConfig {
     /// Which test to run (branch-site by default; `--sites` or a control
     /// file with `model = 0` selects M1a/M2a).
     pub mode: CtlMode,
+    /// Print a per-phase wall-clock breakdown (eigen / expm / pruning /
+    /// reduction) of one likelihood evaluation at the fitted optimum.
+    pub timing: bool,
 }
 
 /// Configuration of the `batch` subcommand.
@@ -88,6 +91,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut scan = false;
     let mut workers = 1usize;
     let mut mode = CtlMode::BranchSite;
+    let mut timing = false;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -129,6 +133,17 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     .filter(|&w: &usize| w >= 1)
                     .ok_or_else(|| "bad --workers value (need an integer ≥ 1)".to_string())?;
             }
+            "--threads" => {
+                // 0 = auto (available_parallelism); any value is
+                // bit-identical to serial by the slim-par determinism
+                // contract.
+                options.threads = Some(
+                    take_value("--threads")?
+                        .parse()
+                        .map_err(|_| "bad --threads value (need an integer, 0 = auto)")?,
+                );
+            }
+            "--timing" => timing = true,
             "--sites" => mode = CtlMode::Sites,
             "--ctl" => return Ok(Invocation::Ctl(take_value("--ctl")?)),
             "--help" | "-h" => return Err(usage()),
@@ -142,6 +157,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         scan,
         workers,
         mode,
+        timing,
     })))
 }
 
@@ -269,11 +285,51 @@ pub fn run_batch(config: &BatchCliConfig) -> Result<String, String> {
     Ok(out)
 }
 
+/// Render the per-phase wall-clock breakdown (`--timing`) of one
+/// likelihood evaluation at the fitted optimum.
+fn timing_report(
+    analysis: &Analysis,
+    model: &slim_core::BranchSiteModel,
+    branch_lengths: &[f64],
+) -> Result<String, String> {
+    let config = analysis.options().engine_config();
+    let mut timing = slim_lik::PhaseTiming::default();
+    slim_lik::site_class_log_likelihoods_timed(
+        analysis.problem(),
+        &config,
+        model,
+        branch_lengths,
+        &mut timing,
+    )
+    .map_err(|e| e.to_string())?;
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    Ok(format!(
+        "\ntiming (one evaluation at the H1 optimum, {} thread{}):\n  \
+         eigen      {:>9.3} ms\n  \
+         expm       {:>9.3} ms\n  \
+         pruning    {:>9.3} ms\n  \
+         reduction  {:>9.3} ms\n  \
+         total      {:>9.3} ms\n",
+        config.resolved_threads(),
+        if config.resolved_threads() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        ms(timing.eigen),
+        ms(timing.expm),
+        ms(timing.pruning),
+        ms(timing.reduction),
+        ms(timing.total()),
+    ))
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "usage: slimcodeml --seq <aln.fasta|aln.phy> --tree <tree.nwk> \
      [--backend codeml|slim|slim+|eq12|slim-par] [--freq equal|f1x4|f3x4|f61] \
-     [--seed N] [--max-iter N] [--forward-grad] [--scan] [--workers N] [--sites]\n\
+     [--seed N] [--max-iter N] [--forward-grad] [--threads N] [--timing] \
+     [--scan] [--workers N] [--sites]\n\
        or: slimcodeml --ctl <codeml.ctl>\n\
        or: slimcodeml batch <manifest.json> [--workers N] [--retries N] \
      [--resume] [--out PREFIX] [--timing]"
@@ -435,6 +491,13 @@ pub fn run(config: &CliConfig, seq_text: &str, tree_text: &str) -> Result<String
         result.h0.summary(),
         result.h1.summary()
     ));
+    if config.timing {
+        out.push_str(&timing_report(
+            &analysis,
+            &result.h1.model,
+            &result.h1.branch_lengths,
+        )?);
+    }
     out.push_str(&format!(
         "LRT: 2dlnL = {:.4}, p = {:.6} ({})\n",
         result.lrt.statistic,
@@ -619,6 +682,57 @@ mod tests {
             "{report}"
         );
         assert!(!report.contains("failed"), "{report}");
+    }
+
+    #[test]
+    fn threads_and_timing_flags() {
+        let c = direct(
+            parse_args(&args(&[
+                "--seq",
+                "a",
+                "--tree",
+                "t",
+                "--threads",
+                "4",
+                "--timing",
+            ]))
+            .unwrap(),
+        );
+        assert_eq!(c.options.threads, Some(4));
+        assert!(c.timing);
+        let auto =
+            direct(parse_args(&args(&["--seq", "a", "--tree", "t", "--threads", "0"])).unwrap());
+        assert_eq!(auto.options.threads, Some(0), "0 means auto");
+        assert!(parse_args(&args(&["--seq", "a", "--tree", "t", "--threads", "x"])).is_err());
+        assert!(parse_args(&args(&["--seq", "a", "--tree", "t", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_timing_report() {
+        let cfg = direct(
+            parse_args(&args(&[
+                "--seq",
+                "-",
+                "--tree",
+                "-",
+                "--max-iter",
+                "8",
+                "--threads",
+                "2",
+                "--timing",
+            ]))
+            .unwrap(),
+        );
+        let report = run(
+            &cfg,
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+            "((A:0.2,B:0.2)#1:0.1,C:0.3);",
+        )
+        .unwrap();
+        for phase in ["eigen", "expm", "pruning", "reduction", "total"] {
+            assert!(report.contains(phase), "missing {phase} in: {report}");
+        }
+        assert!(report.contains("2 threads"), "{report}");
     }
 
     #[test]

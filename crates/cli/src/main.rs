@@ -41,6 +41,7 @@ fn main() -> ExitCode {
                     scan: false,
                     workers: 1,
                     mode: ctl.mode,
+                    timing: false,
                 },
                 Err(msg) => {
                     eprintln!("control file error: {msg}");

@@ -47,6 +47,14 @@ pub struct AnalysisOptions {
     /// Genetic code (CodeML `icode`): universal by default; the
     /// vertebrate mitochondrial code is also supported (60 sense codons).
     pub genetic_code: GeneticCode,
+    /// Worker threads per likelihood evaluation (the `slim-par` intra-gene
+    /// engine). `None` keeps the backend's own default (serial for every
+    /// backend except [`Backend::SlimParallel`], which auto-sizes);
+    /// `Some(n)` overrides it, with `0` meaning auto. Results are
+    /// bit-identical for every setting. Defaults from the
+    /// `SLIMCODEML_THREADS` environment variable when set (how CI runs
+    /// the whole suite at 4 threads).
+    pub threads: Option<usize>,
 }
 
 impl Default for AnalysisOptions {
@@ -61,7 +69,28 @@ impl Default for AnalysisOptions {
             jitter: 0.05,
             optimizer: Optimizer::default(),
             genetic_code: GeneticCode::universal(),
+            threads: threads_from_env(),
         }
+    }
+}
+
+/// The `SLIMCODEML_THREADS` default: unset, empty, or unparsable means
+/// "no override".
+fn threads_from_env() -> Option<usize> {
+    std::env::var("SLIMCODEML_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+impl AnalysisOptions {
+    /// The engine configuration for this run: the backend's numerical
+    /// profile with the thread override applied.
+    pub fn engine_config(&self) -> slim_lik::EngineConfig {
+        let mut config = self.backend.config();
+        if let Some(threads) = self.threads {
+            config.threads = threads;
+        }
+        config
     }
 }
 
@@ -172,7 +201,7 @@ impl Analysis {
     ) -> Result<f64, CoreError> {
         Ok(log_likelihood(
             &self.problem,
-            &self.options.backend.config(),
+            &self.options.engine_config(),
             model,
             branch_lengths,
         )?)
@@ -191,7 +220,7 @@ impl Analysis {
     ) -> Result<Vec<f64>, CoreError> {
         let value = site_class_log_likelihoods(
             &self.problem,
-            &self.options.backend.config(),
+            &self.options.engine_config(),
             model,
             branch_lengths,
         )?;
@@ -270,7 +299,7 @@ impl Analysis {
     /// [`CoreError::Optimization`] if no finite starting likelihood can be
     /// found; numerical errors propagate as [`CoreError::Linalg`].
     pub fn fit(&self, hypothesis: Hypothesis) -> Result<Fit, CoreError> {
-        let config = self.options.backend.config();
+        let config = self.options.engine_config();
         let transform = self.transform(hypothesis);
         let x0 = self.start_vector(hypothesis);
         let z0 = transform.to_unconstrained(&x0);
@@ -332,7 +361,7 @@ impl Analysis {
 
         let value = site_class_log_likelihoods(
             &self.problem,
-            &self.options.backend.config(),
+            &self.options.engine_config(),
             &h1.model,
             &h1.branch_lengths,
         )?;

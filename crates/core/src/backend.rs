@@ -11,13 +11,16 @@ use slim_lik::EngineConfig;
 /// `slim-batch` parallelizes at the *job* level: each H0/H1 test runs on
 /// one worker thread. Backends are orthogonal to that and every backend
 /// is safe to use in a batch, but note the interplay for
-/// [`Backend::SlimParallel`]: it additionally threads the four site-class
-/// pruning passes *inside* a single likelihood evaluation, so a batch
-/// with `workers = N` can run up to `4N` compute threads. On a machine
-/// sized for `N` workers, prefer [`Backend::Slim`] or
-/// [`Backend::SlimPlus`] in manifests and let the batch pool own all
-/// cores; reserve `SlimParallel` for `workers` well below the core count.
-/// Results are identical either way — only the thread budget differs.
+/// [`Backend::SlimParallel`]: it additionally runs the `slim-par`
+/// intra-gene engine *inside* each likelihood evaluation, by default
+/// auto-sized to every available core — so a batch with `workers = N`
+/// can oversubscribe the machine N-fold. On a machine sized for `N`
+/// workers, prefer [`Backend::Slim`] or [`Backend::SlimPlus`] in
+/// manifests and let the batch pool own all cores; reserve
+/// `SlimParallel` for `workers` well below the core count (or cap it
+/// via `AnalysisOptions::threads`). Results are **bit-identical** either
+/// way — the engine's deterministic reduction guarantees it — only the
+/// thread budget differs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// CodeML v4.4c profile: Eq. 9 expm through naive kernels, per-site
@@ -32,9 +35,11 @@ pub enum Backend {
     SlimPlus,
     /// SlimCodeML with the Eq. 12 symmetric CPV application.
     SlimSymmetric,
-    /// SlimCodeML with the four site-class pruning passes on separate
-    /// threads — the first step of the paper's FastCodeML direction
-    /// (§V-B).
+    /// SlimCodeML on the `slim-par` intra-gene parallel engine — the
+    /// paper's FastCodeML direction (§V-B): eigendecompositions and
+    /// per-branch expm fanned across branches × ω-classes, pruning fanned
+    /// across site-class × pattern-block units, with a deterministic
+    /// fixed-order reduction. Auto-sizes to `available_parallelism`.
     SlimParallel,
 }
 

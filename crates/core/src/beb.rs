@@ -59,7 +59,7 @@ impl Analysis {
     /// # Errors
     /// Propagates likelihood-evaluation failures.
     pub fn beb_site_posteriors(&self, fit: &Fit, opts: &BebOptions) -> Result<Vec<f64>, CoreError> {
-        let config = self.options().backend.config();
+        let config = self.options().engine_config();
         let problem = self.problem();
         let n_pat = problem.n_patterns();
 

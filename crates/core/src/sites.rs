@@ -74,7 +74,7 @@ pub fn sites_test(
     // NEB site posteriors for the ω2 class at the M2a optimum.
     let value = site_model_log_likelihood(
         &problem,
-        &options.backend.config(),
+        &options.engine_config(),
         &m2a.model,
         SitesHypothesis::M2a,
         &m2a.branch_lengths,
@@ -130,7 +130,7 @@ fn fit_sites(
     hypothesis: SitesHypothesis,
     init_bl: &[f64],
 ) -> Result<SitesFit, CoreError> {
-    let config = options.backend.config();
+    let config = options.engine_config();
     let t = transform(hypothesis, problem.n_branches());
 
     let mut rng = StdRng::seed_from_u64(options.seed);

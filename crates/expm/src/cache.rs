@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 use slim_linalg::EigenMethod;
 use slim_model::RateMatrix;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Exact-bits cache key: (κ, ω, scale-policy-resolved Q) are captured by
@@ -29,8 +30,10 @@ struct Key {
 pub struct EigenCache {
     map: Mutex<HashMap<Key, Arc<EigenSystem>>>,
     capacity: usize,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    // Plain atomics: the parallel eigen phase probes the cache from
+    // several threads at once, and the counters must not serialize it.
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl EigenCache {
@@ -41,8 +44,8 @@ impl EigenCache {
         EigenCache {
             map: Mutex::new(HashMap::new()),
             capacity: capacity.max(1),
-            hits: Mutex::new(0),
-            misses: Mutex::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -64,10 +67,10 @@ impl EigenCache {
             scale_bits: rm.applied_factor.to_bits(),
         };
         if let Some(found) = self.map.lock().get(&key).cloned() {
-            *self.hits.lock() += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(found);
         }
-        *self.misses.lock() += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let es = Arc::new(EigenSystem::from_rate_matrix(rm, method)?);
         let mut map = self.map.lock();
         if map.len() >= self.capacity {
@@ -80,7 +83,10 @@ impl EigenCache {
     /// (hits, misses) counters — used by ablation benches to verify the
     /// cache is actually being exercised.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Drop all cached decompositions.

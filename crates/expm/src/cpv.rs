@@ -24,42 +24,83 @@ pub enum CpvStrategy {
     SymmetricSymv,
 }
 
+/// Reusable column/result buffers for the per-site strategies.
+///
+/// The pattern-blocked parallel engine calls [`apply_dense_with`] once per
+/// (branch, block) unit; keeping one scratch per worker thread makes those
+/// calls allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct CpvScratch {
+    col: Vec<f64>,
+    res: Vec<f64>,
+}
+
+impl CpvScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> CpvScratch {
+        CpvScratch::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.col.len() != n {
+            self.col.resize(n, 0.0);
+            self.res.resize(n, 0.0);
+        }
+    }
+}
+
 /// Apply `P` to every column of `w` (`w` is `n × sites`, column `s` is the
 /// CPV of site `s`), writing into `out`.
 ///
 /// # Panics
 /// Panics on shape mismatches.
 pub fn apply_dense(strategy: CpvStrategy, p: &Mat, w: &Mat, out: &mut Mat) {
+    apply_dense_with(strategy, p, w, out, &mut CpvScratch::new());
+}
+
+/// Like [`apply_dense`] but reusing caller-owned scratch buffers, so the
+/// hot path performs no per-call allocation. Results are bit-identical to
+/// [`apply_dense`]: every column is computed independently with the same
+/// kernel, so the output does not depend on how the site dimension is
+/// blocked.
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn apply_dense_with(
+    strategy: CpvStrategy,
+    p: &Mat,
+    w: &Mat,
+    out: &mut Mat,
+    scratch: &mut CpvScratch,
+) {
     let n = p.rows();
     assert_eq!(p.cols(), n);
     assert_eq!(w.rows(), n, "apply_dense: W rows mismatch");
     assert_eq!((out.rows(), out.cols()), (w.rows(), w.cols()));
     match strategy {
         CpvStrategy::NaivePerSite => {
+            scratch.ensure(n);
             let sites = w.cols();
-            let mut col = vec![0.0; n];
-            let mut res = vec![0.0; n];
             for s in 0..sites {
                 for i in 0..n {
-                    col[i] = w[(i, s)];
+                    scratch.col[i] = w[(i, s)];
                 }
-                naive::matvec(p, &col, &mut res);
+                naive::matvec(p, &scratch.col, &mut scratch.res);
                 for i in 0..n {
-                    out[(i, s)] = res[i];
+                    out[(i, s)] = scratch.res[i];
                 }
             }
         }
         CpvStrategy::PerSiteGemv => {
+            scratch.ensure(n);
             let sites = w.cols();
-            let mut col = vec![0.0; n];
-            let mut res = vec![0.0; n];
             for s in 0..sites {
                 for i in 0..n {
-                    col[i] = w[(i, s)];
+                    scratch.col[i] = w[(i, s)];
                 }
-                gemv(1.0, p, &col, 0.0, &mut res);
+                gemv(1.0, p, &scratch.col, 0.0, &mut scratch.res);
                 for i in 0..n {
-                    out[(i, s)] = res[i];
+                    out[(i, s)] = scratch.res[i];
                 }
             }
         }
@@ -113,19 +154,24 @@ impl SymTransition {
 
     /// Apply to every column of a dense `n × sites` CPV block.
     pub fn apply_dense(&self, w: &Mat, out: &mut Mat) {
+        self.apply_dense_with(w, out, &mut CpvScratch::new());
+    }
+
+    /// Like [`SymTransition::apply_dense`] with caller-owned scratch
+    /// buffers (no per-call allocation; bit-identical results).
+    pub fn apply_dense_with(&self, w: &Mat, out: &mut Mat, scratch: &mut CpvScratch) {
         let n = self.pi.len();
         assert_eq!(w.rows(), n);
         assert_eq!((out.rows(), out.cols()), (w.rows(), w.cols()));
+        scratch.ensure(n);
         let sites = w.cols();
-        let mut col = vec![0.0; n];
-        let mut res = vec![0.0; n];
         for s in 0..sites {
             for i in 0..n {
-                col[i] = w[(i, s)] * self.pi[i];
+                scratch.col[i] = w[(i, s)] * self.pi[i];
             }
-            symv(1.0, &self.m, &col, 0.0, &mut res);
+            symv(1.0, &self.m, &scratch.col, 0.0, &mut scratch.res);
             for i in 0..n {
-                out[(i, s)] = res[i];
+                out[(i, s)] = scratch.res[i];
             }
         }
     }
@@ -199,6 +245,36 @@ mod tests {
             let single = st.apply(&col);
             for i in 0..2 {
                 assert!((out[(i, s)] - single[i]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_application_is_bit_identical() {
+        // The determinism contract of the parallel engine: applying P to a
+        // column sub-block produces exactly the bits of the corresponding
+        // columns of the full-width application, for every strategy.
+        let p = toy_p();
+        let w = toy_w();
+        for strategy in [
+            CpvStrategy::NaivePerSite,
+            CpvStrategy::PerSiteGemv,
+            CpvStrategy::BundledGemm,
+        ] {
+            let mut full = Mat::zeros(3, 3);
+            apply_dense(strategy, &p, &w, &mut full);
+            let mut scratch = CpvScratch::new();
+            for s in 0..3 {
+                let wcol = Mat::from_fn(3, 1, |i, _| w[(i, s)]);
+                let mut out = Mat::zeros(3, 1);
+                apply_dense_with(strategy, &p, &wcol, &mut out, &mut scratch);
+                for i in 0..3 {
+                    assert_eq!(
+                        out[(i, 0)].to_bits(),
+                        full[(i, s)].to_bits(),
+                        "{strategy:?} col {s} row {i}"
+                    );
+                }
             }
         }
     }

@@ -32,6 +32,6 @@ mod eigensystem;
 mod taylor;
 
 pub use cache::EigenCache;
-pub use cpv::{CpvStrategy, SymTransition};
+pub use cpv::{CpvScratch, CpvStrategy, SymTransition};
 pub use eigensystem::EigenSystem;
 pub use taylor::expm_taylor;

@@ -31,14 +31,27 @@ pub struct EngineConfig {
     /// Scaling threshold: rescale a pattern column when its maximum
     /// conditional probability drops below this.
     pub scale_threshold: f64,
-    /// Run the four site-class pruning passes on separate threads
-    /// (crossbeam scoped threads). This is the first step of the paper's
-    /// §V-B "FastCodeML" future-work direction: the classes share all
-    /// transition operators read-only and are otherwise independent.
-    pub parallel_classes: bool,
+    /// Worker threads for one likelihood evaluation (the `slim-par`
+    /// intra-gene engine, §V-B's FastCodeML direction): eigendecompositions
+    /// and per-branch `exp(Qt)` reconstructions are fanned across
+    /// branches × ω-classes, and pruning is fanned across
+    /// site-class × pattern-block units. `1` = serial, `0` = auto
+    /// (`available_parallelism`). Any value produces **bit-identical**
+    /// results: block boundaries are fixed by [`EngineConfig::pattern_block`]
+    /// alone, every unit is computed independently, and the final reduction
+    /// runs in fixed pattern order with compensated summation.
+    pub threads: usize,
+    /// Site patterns per pruning block. Fixed boundaries (independent of
+    /// the thread count) are what make the thread-determinism guarantee
+    /// possible; 256 columns × 61 states ≈ 125 KiB per CPV block, sized to
+    /// keep a working set of a few blocks in L2.
+    pub pattern_block: usize,
     /// Human-readable label used by the experiment harness.
     pub label: &'static str,
 }
+
+/// Default pruning block width (site patterns per unit).
+pub const DEFAULT_PATTERN_BLOCK: usize = 256;
 
 impl EngineConfig {
     /// The CodeML v4.4c baseline profile: hand-rolled-loop numerics.
@@ -49,7 +62,8 @@ impl EngineConfig {
             eigen: EigenMethod::HouseholderQl,
             eigen_cache: None,
             scale_threshold: 1e-100,
-            parallel_classes: false,
+            threads: 1,
+            pattern_block: DEFAULT_PATTERN_BLOCK,
             label: "CodeML",
         }
     }
@@ -65,7 +79,8 @@ impl EngineConfig {
             eigen: EigenMethod::HouseholderQl,
             eigen_cache: None,
             scale_threshold: 1e-100,
-            parallel_classes: false,
+            threads: 1,
+            pattern_block: DEFAULT_PATTERN_BLOCK,
             label: "SlimCodeML",
         }
     }
@@ -80,7 +95,8 @@ impl EngineConfig {
             eigen: EigenMethod::HouseholderQl,
             eigen_cache: Some(Arc::new(EigenCache::new(64))),
             scale_threshold: 1e-100,
-            parallel_classes: false,
+            threads: 1,
+            pattern_block: DEFAULT_PATTERN_BLOCK,
             label: "SlimCodeML+",
         }
     }
@@ -94,16 +110,20 @@ impl EngineConfig {
             eigen: EigenMethod::HouseholderQl,
             eigen_cache: None,
             scale_threshold: 1e-100,
-            parallel_classes: false,
+            threads: 1,
+            pattern_block: DEFAULT_PATTERN_BLOCK,
             label: "SlimCodeML-eq12",
         }
     }
 
-    /// The FastCodeML direction (§V-B): the Slim profile with the four
-    /// site-class pruning passes fanned out across threads.
+    /// The FastCodeML direction (§V-B): the Slim profile on the `slim-par`
+    /// intra-gene parallel engine, auto-sized to the machine
+    /// (`threads = 0` → `available_parallelism`). Bit-identical to
+    /// [`EngineConfig::slim`] with `threads = 1` by the determinism
+    /// contract.
     pub fn slim_parallel() -> EngineConfig {
         EngineConfig {
-            parallel_classes: true,
+            threads: 0,
             label: "SlimCodeML-par",
             ..EngineConfig::slim()
         }
@@ -119,6 +139,28 @@ impl EngineConfig {
     pub fn with_cpv(mut self, cpv: CpvStrategy) -> EngineConfig {
         self.cpv = cpv;
         self
+    }
+
+    /// Set the worker-thread count (builder-style; `0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the pruning pattern-block width (builder-style; clamped to ≥ 1).
+    pub fn with_pattern_block(mut self, block: usize) -> EngineConfig {
+        self.pattern_block = block.max(1);
+        self
+    }
+
+    /// The thread count this configuration resolves to on this machine.
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
     }
 }
 

@@ -29,10 +29,14 @@ pub mod ancestral;
 pub mod branch_model;
 mod engine;
 pub mod m0;
+mod par;
 mod problem;
 mod pruning;
 pub mod site_models;
 
-pub use engine::{EngineConfig, ExpmPath};
+pub use engine::{EngineConfig, ExpmPath, DEFAULT_PATTERN_BLOCK};
+pub use par::PhaseTiming;
 pub use problem::LikelihoodProblem;
-pub use pruning::{log_likelihood, site_class_log_likelihoods, LikelihoodValue};
+pub use pruning::{
+    log_likelihood, site_class_log_likelihoods, site_class_log_likelihoods_timed, LikelihoodValue,
+};

@@ -1,0 +1,334 @@
+//! `slim-par`: the intra-gene parallel evaluation driver (§V-B's
+//! FastCodeML direction).
+//!
+//! One branch-site likelihood evaluation runs as four phases:
+//!
+//! 1. **eigen** — the three ω rate matrices are built and decomposed, each
+//!    independent, fanned one-per-thread;
+//! 2. **expm** — one transition operator per (branch, needed ω) pair, all
+//!    independent, chunked across threads;
+//! 3. **pruning** — units of (site class × pattern block) stream through a
+//!    crossbeam channel to workers that each own a
+//!    [`PruneWorkspace`](crate::pruning), so the steady state allocates
+//!    nothing (the slim-batch pool conventions, applied within a gene);
+//! 4. **reduction** — per-pattern class mixing and the weighted total, on
+//!    the calling thread, in fixed pattern order with Neumaier compensated
+//!    summation.
+//!
+//! ## Why every thread count gives the same bits
+//!
+//! Phases 1–2 compute each item identically regardless of which thread
+//! runs it. Phase 3's block boundaries depend only on
+//! [`EngineConfig::pattern_block`], never on the thread count, and each
+//! block's values are bit-identical to a full-width pass (see
+//! [`crate::pruning`]). Phase 4 is the only order-sensitive step — a sum
+//! over patterns — and it always runs serially in pattern order. Hence
+//! `threads = 1` and `threads = N` agree to the last bit, which the
+//! thread-determinism test layer locks down.
+
+use crate::engine::{EngineConfig, ExpmPath};
+use crate::problem::LikelihoodProblem;
+use crate::pruning::{prune_block, LikelihoodValue, PruneWorkspace, TransOp, N_OMEGA};
+use slim_expm::{CpvStrategy, EigenSystem};
+use slim_linalg::{LinalgError, NeumaierSum};
+use slim_model::{build_rate_matrix, BranchSiteModel, ScalePolicy, N_SITE_CLASSES};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each phase of one (or more, when accumulated)
+/// likelihood evaluations — the `--timing` breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTiming {
+    /// Rate-matrix construction + eigendecomposition (§III-A steps 1–2).
+    pub eigen: Duration,
+    /// Transition-operator reconstruction `P(t) = e^{Qt}` per branch × ω.
+    pub expm: Duration,
+    /// Felsenstein pruning over (site class × pattern block) units.
+    pub pruning: Duration,
+    /// Class mixing + fixed-order compensated total.
+    pub reduction: Duration,
+}
+
+impl PhaseTiming {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.eigen + self.expm + self.pruning + self.reduction
+    }
+
+    /// Accumulate another breakdown (e.g. across evaluations of a fit).
+    pub fn accumulate(&mut self, other: &PhaseTiming) {
+        self.eigen += other.eigen;
+        self.expm += other.expm;
+        self.pruning += other.pruning;
+        self.reduction += other.reduction;
+    }
+}
+
+/// One pruning work unit: a site class over a contiguous pattern block.
+struct Unit<'a> {
+    bg: usize,
+    fg: usize,
+    lo: usize,
+    out: &'a mut [f64],
+}
+
+/// Evaluate the branch-site likelihood on `config.threads` workers.
+///
+/// This is the engine behind
+/// [`site_class_log_likelihoods`](crate::site_class_log_likelihoods); see
+/// the module docs for the phase structure and determinism argument.
+pub(crate) fn evaluate(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    model: &BranchSiteModel,
+    branch_lengths: &[f64],
+    mut timing: Option<&mut PhaseTiming>,
+) -> Result<LikelihoodValue, LinalgError> {
+    assert_eq!(
+        branch_lengths.len(),
+        problem.n_branches(),
+        "branch length vector has wrong length"
+    );
+    let n_pat = problem.n_patterns();
+    let threads = config.resolved_threads().max(1);
+
+    // --- Phase 1: rate matrices + eigendecompositions, one per distinct
+    // ω. All classes share one rate scale (the background mixture
+    // average), so ω2 > 1 genuinely accelerates foreground evolution —
+    // see BranchSiteModel::shared_scale. The three decompositions are
+    // independent; with threads they run one-per-spawn.
+    let start = Instant::now();
+    let omegas = model.omegas();
+    let (syn_flux, nonsyn_flux) =
+        slim_model::codon_model::rate_components(&problem.code, model.kappa, &problem.pi);
+    let scale = model.shared_scale(syn_flux, nonsyn_flux);
+    let eigensystems: Vec<Arc<EigenSystem>> = if threads >= 2 {
+        let mut slots: Vec<Option<Result<Arc<EigenSystem>, LinalgError>>> =
+            (0..N_OMEGA).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (slot, &omega) in slots.iter_mut().zip(omegas.iter()) {
+                scope.spawn(move |_| {
+                    *slot = Some(eigen_for(problem, config, model.kappa, omega, scale));
+                });
+            }
+        })
+        .expect("eigen scope");
+        slots
+            .into_iter()
+            .map(|s| s.expect("eigen thread filled its slot"))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        omegas
+            .iter()
+            .map(|&omega| eigen_for(problem, config, model.kappa, omega, scale))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    if let Some(t) = timing.as_deref_mut() {
+        t.eigen += start.elapsed();
+    }
+
+    // --- Phase 2: transition operators per (branch, needed ω). ---
+    // Background branches need ω0 and ω1; the foreground branch also ω2.
+    // Each reconstruction is an independent dsyrk/gemm; threads take
+    // contiguous chunks of the item list (ownership via chunks_mut — no
+    // locks, no unsafe).
+    let start = Instant::now();
+    let n_nodes = problem.children.len();
+    let mut items: Vec<(usize, usize, f64)> = Vec::new();
+    for node in 0..n_nodes {
+        let Some(bi) = problem.branch_index[node] else {
+            continue;
+        };
+        let t = branch_lengths[bi];
+        let needed: &[usize] = if problem.is_foreground[node] {
+            &[0, 1, 2]
+        } else {
+            &[0, 1]
+        };
+        for &w in needed {
+            items.push((node, w, t));
+        }
+    }
+    let mut built: Vec<Option<TransOp>> = (0..items.len()).map(|_| None).collect();
+    let expm_threads = threads.min(items.len()).max(1);
+    if expm_threads >= 2 {
+        let per = items.len().div_ceil(expm_threads);
+        let eigensystems = &eigensystems;
+        crossbeam::thread::scope(|scope| {
+            for (chunk, out) in items.chunks(per).zip(built.chunks_mut(per)) {
+                scope.spawn(move |_| {
+                    for (&(_, w, t), slot) in chunk.iter().zip(out.iter_mut()) {
+                        *slot = Some(build_op(&eigensystems[w], config, t));
+                    }
+                });
+            }
+        })
+        .expect("expm scope");
+    } else {
+        for (&(_, w, t), slot) in items.iter().zip(built.iter_mut()) {
+            *slot = Some(build_op(&eigensystems[w], config, t));
+        }
+    }
+    let mut ops: Vec<[Option<TransOp>; N_OMEGA]> =
+        (0..n_nodes).map(|_| [None, None, None]).collect();
+    for (&(node, w, _), op) in items.iter().zip(built) {
+        ops[node][w] = op;
+    }
+    if let Some(t) = timing.as_deref_mut() {
+        t.expm += start.elapsed();
+    }
+
+    // --- Phase 3: pruning over (site class × pattern block) units. ---
+    // Block boundaries are fixed by config.pattern_block alone; which
+    // worker computes which block cannot affect any value (see crate
+    // module docs), so the channel's nondeterministic scheduling is
+    // harmless.
+    let start = Instant::now();
+    let classes = model.site_classes();
+    let block = config.pattern_block.max(1);
+    let mut per_class: Vec<Vec<f64>> = classes
+        .iter()
+        .map(|class| {
+            if class.proportion <= 0.0 {
+                vec![f64::NEG_INFINITY; n_pat]
+            } else {
+                vec![0.0f64; n_pat]
+            }
+        })
+        .collect();
+    let mut units: Vec<Unit> = Vec::new();
+    for (class, buf) in classes.iter().zip(per_class.iter_mut()) {
+        if class.proportion <= 0.0 {
+            continue; // already filled with −∞; no pruning pass needed
+        }
+        let mut lo = 0usize;
+        for chunk in buf.chunks_mut(block) {
+            let len = chunk.len();
+            units.push(Unit {
+                bg: class.background_omega,
+                fg: class.foreground_omega,
+                lo,
+                out: chunk,
+            });
+            lo += len;
+        }
+    }
+    let prune_threads = threads.min(units.len()).max(1);
+    if prune_threads >= 2 {
+        let (tx, rx) = crossbeam::channel::unbounded::<Unit>();
+        for unit in units {
+            // Unbounded channel with both endpoints alive: send cannot fail.
+            let _ = tx.send(unit);
+        }
+        drop(tx);
+        let ops = &ops;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..prune_threads {
+                let rx = rx.clone();
+                scope.spawn(move |_| {
+                    let mut ws = PruneWorkspace::new();
+                    while let Ok(unit) = rx.recv() {
+                        prune_block(
+                            problem, config, ops, unit.bg, unit.fg, unit.lo, unit.out, &mut ws,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("pruning scope");
+    } else {
+        let mut ws = PruneWorkspace::new();
+        for unit in units {
+            prune_block(
+                problem, config, &ops, unit.bg, unit.fg, unit.lo, unit.out, &mut ws,
+            );
+        }
+    }
+    if let Some(t) = timing.as_deref_mut() {
+        t.pruning += start.elapsed();
+    }
+
+    // --- Phase 4: mix classes per pattern (log-sum-exp), then the
+    // weighted total — serial, fixed pattern order, compensated. This is
+    // the only order-sensitive reduction in the evaluation, which is what
+    // makes the whole pipeline thread-count invariant. ---
+    let start = Instant::now();
+    let props = [
+        classes[0].proportion,
+        classes[1].proportion,
+        classes[2].proportion,
+        classes[3].proportion,
+    ];
+    let mut per_pattern = vec![0.0f64; n_pat];
+    let mut acc = NeumaierSum::new();
+    for p in 0..n_pat {
+        let mut max = f64::NEG_INFINITY;
+        for c in 0..N_SITE_CLASSES {
+            if props[c] > 0.0 {
+                let v = props[c].ln() + per_class[c][p];
+                if v > max {
+                    max = v;
+                }
+            }
+        }
+        let value = if max.is_finite() {
+            let mut sum = 0.0;
+            for c in 0..N_SITE_CLASSES {
+                if props[c] > 0.0 {
+                    sum += (props[c].ln() + per_class[c][p] - max).exp();
+                }
+            }
+            max + sum.ln()
+        } else {
+            f64::NEG_INFINITY
+        };
+        per_pattern[p] = value;
+        acc.add(problem.patterns.weight(p) * value);
+    }
+    let lnl = acc.total();
+    if let Some(t) = timing {
+        t.reduction += start.elapsed();
+    }
+
+    Ok(LikelihoodValue {
+        lnl,
+        per_pattern,
+        per_class,
+        proportions: props,
+    })
+}
+
+/// Build (or fetch from the cross-evaluation cache) the eigensystem for
+/// one ω.
+fn eigen_for(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    kappa: f64,
+    omega: f64,
+    scale: f64,
+) -> Result<Arc<EigenSystem>, LinalgError> {
+    let rm = build_rate_matrix(
+        &problem.code,
+        kappa,
+        omega,
+        &problem.pi,
+        ScalePolicy::External(scale),
+    );
+    match &config.eigen_cache {
+        Some(cache) => cache.get_or_compute(kappa, omega, &rm, config.eigen),
+        None => Ok(Arc::new(EigenSystem::from_rate_matrix(&rm, config.eigen)?)),
+    }
+}
+
+/// Reconstruct one branch's transition operator in the representation the
+/// engine's CPV strategy needs.
+fn build_op(es: &EigenSystem, config: &EngineConfig, t: f64) -> TransOp {
+    match config.cpv {
+        CpvStrategy::SymmetricSymv => TransOp::Sym(es.symmetric_transition(t)),
+        _ => TransOp::Dense(match config.expm {
+            ExpmPath::Eq9Naive => es.transition_matrix_eq9_naive(t),
+            ExpmPath::Eq9Tuned => es.transition_matrix_eq9(t),
+            ExpmPath::Eq10Syrk => es.transition_matrix_eq10(t),
+        }),
+    }
+}

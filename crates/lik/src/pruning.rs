@@ -1,14 +1,31 @@
 //! Felsenstein pruning over site patterns with branch-site classes.
+//!
+//! This module holds the *per-unit* pruning kernel: one site class over one
+//! contiguous block of site patterns, with caller-owned scratch so the hot
+//! path is allocation-free. The `slim-par` driver in [`crate::par`] fans
+//! these units across worker threads; `prune_one_class` is the full-width
+//! serial wrapper used by the auxiliary models (M0, M1a/M2a, branch model).
+//!
+//! ## Determinism contract
+//!
+//! Every per-pattern quantity computed here depends only on the pattern's
+//! own column: the CPV kernels apply `P` column-by-column (or, for the
+//! bundled `gemm`, accumulate each output element over `k` in an order
+//! independent of the number of columns present), rescaling is per column,
+//! and the root combination is a per-column dot with π. Therefore pruning
+//! a block `[lo, lo+b)` produces exactly the bits the same patterns get in
+//! a full-width pass — the partition into blocks, and which thread runs
+//! which block, cannot change any per-pattern value.
 
-use crate::engine::{EngineConfig, ExpmPath};
+use crate::engine::EngineConfig;
+use crate::par::PhaseTiming;
 use crate::problem::LikelihoodProblem;
-use slim_expm::{cpv, CpvStrategy, EigenSystem, SymTransition};
+use slim_expm::{cpv, CpvScratch, CpvStrategy, SymTransition};
 use slim_linalg::{LinalgError, Mat};
-use slim_model::{build_rate_matrix, BranchSiteModel, ScalePolicy, N_SITE_CLASSES};
-use std::sync::Arc;
+use slim_model::{BranchSiteModel, N_SITE_CLASSES};
 
 /// Number of distinct ω rate matrices per evaluation (ω0, ω1 = 1, ω2).
-const N_OMEGA: usize = 3;
+pub(crate) const N_OMEGA: usize = 3;
 
 /// A per-branch transition operator, in whichever representation the
 /// engine's CPV strategy needs.
@@ -41,11 +58,12 @@ impl TransOp {
         }
     }
 
-    /// Apply to a dense block of CPVs (one column per pattern).
-    fn apply_dense(&self, strategy: CpvStrategy, w: &Mat, out: &mut Mat) {
+    /// Apply to a dense block of CPVs (one column per pattern), reusing
+    /// caller-owned scratch so the hot path does not allocate.
+    fn apply_dense(&self, strategy: CpvStrategy, w: &Mat, out: &mut Mat, scratch: &mut CpvScratch) {
         match self {
-            TransOp::Dense(p) => cpv::apply_dense(strategy, p, w, out),
-            TransOp::Sym(st) => st.apply_dense(w, out),
+            TransOp::Dense(p) => cpv::apply_dense_with(strategy, p, w, out, scratch),
+            TransOp::Sym(st) => st.apply_dense_with(w, out, scratch),
         }
     }
 }
@@ -80,6 +98,8 @@ pub fn log_likelihood(
 /// Evaluate the branch-site likelihood, returning per-class detail.
 ///
 /// `branch_lengths` is indexed like [`LikelihoodProblem::branch_index`].
+/// Runs on [`EngineConfig::threads`] workers; results are bit-identical
+/// for every thread count (see the module docs).
 ///
 /// # Errors
 /// Propagates eigensolver failures.
@@ -92,174 +112,107 @@ pub fn site_class_log_likelihoods(
     model: &BranchSiteModel,
     branch_lengths: &[f64],
 ) -> Result<LikelihoodValue, LinalgError> {
-    assert_eq!(
-        branch_lengths.len(),
-        problem.n_branches(),
-        "branch length vector has wrong length"
-    );
-    let n = problem.pi.len();
-    let n_pat = problem.n_patterns();
-
-    // --- 1. Rate matrices + eigendecompositions, one per distinct ω. ---
-    // All classes share one rate scale (the background mixture average),
-    // so ω2 > 1 genuinely accelerates foreground evolution — see
-    // BranchSiteModel::shared_scale.
-    let omegas = model.omegas();
-    let (syn_flux, nonsyn_flux) =
-        slim_model::codon_model::rate_components(&problem.code, model.kappa, &problem.pi);
-    let scale = model.shared_scale(syn_flux, nonsyn_flux);
-    let mut eigensystems: Vec<Arc<EigenSystem>> = Vec::with_capacity(N_OMEGA);
-    for &omega in &omegas {
-        let rm = build_rate_matrix(
-            &problem.code,
-            model.kappa,
-            omega,
-            &problem.pi,
-            ScalePolicy::External(scale),
-        );
-        let es = match &config.eigen_cache {
-            Some(cache) => cache.get_or_compute(model.kappa, omega, &rm, config.eigen)?,
-            None => Arc::new(EigenSystem::from_rate_matrix(&rm, config.eigen)?),
-        };
-        eigensystems.push(es);
-    }
-
-    // --- 2. Transition operators per (branch, needed ω). ---
-    // Background branches need ω0 and ω1; the foreground branch also ω2.
-    let n_nodes = problem.children.len();
-    let mut ops: Vec<[Option<TransOp>; N_OMEGA]> =
-        (0..n_nodes).map(|_| [None, None, None]).collect();
-    for node in 0..n_nodes {
-        let Some(bi) = problem.branch_index[node] else {
-            continue;
-        };
-        let t = branch_lengths[bi];
-        let needed: &[usize] = if problem.is_foreground[node] {
-            &[0, 1, 2]
-        } else {
-            &[0, 1]
-        };
-        for &w in needed {
-            let es = &eigensystems[w];
-            let op = match config.cpv {
-                CpvStrategy::SymmetricSymv => TransOp::Sym(es.symmetric_transition(t)),
-                _ => TransOp::Dense(match config.expm {
-                    ExpmPath::Eq9Naive => es.transition_matrix_eq9_naive(t),
-                    ExpmPath::Eq9Tuned => es.transition_matrix_eq9(t),
-                    ExpmPath::Eq10Syrk => es.transition_matrix_eq10(t),
-                }),
-            };
-            ops[node][w] = Some(op);
-        }
-    }
-
-    // --- 3. Pruning per site class (optionally on separate threads —
-    // the classes only read shared data, §V-B's FastCodeML direction). ---
-    let classes = model.site_classes();
-    let per_class: Vec<Vec<f64>> = if config.parallel_classes {
-        let ops_ref = &ops;
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = classes
-                .iter()
-                .map(|class| {
-                    let (bg, fg, prop) = (
-                        class.background_omega,
-                        class.foreground_omega,
-                        class.proportion,
-                    );
-                    scope.spawn(move |_| {
-                        if prop <= 0.0 {
-                            vec![f64::NEG_INFINITY; n_pat]
-                        } else {
-                            prune_one_class(problem, config, ops_ref, bg, fg)
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("class pruning thread"))
-                .collect()
-        })
-        .expect("crossbeam scope")
-    } else {
-        classes
-            .iter()
-            .map(|class| {
-                if class.proportion <= 0.0 {
-                    vec![f64::NEG_INFINITY; n_pat]
-                } else {
-                    prune_one_class(
-                        problem,
-                        config,
-                        &ops,
-                        class.background_omega,
-                        class.foreground_omega,
-                    )
-                }
-            })
-            .collect()
-    };
-
-    // --- 4. Mix classes per pattern (log-sum-exp). ---
-    let mut per_pattern = vec![0.0f64; n_pat];
-    let mut lnl = 0.0f64;
-    let props = [
-        classes[0].proportion,
-        classes[1].proportion,
-        classes[2].proportion,
-        classes[3].proportion,
-    ];
-    for p in 0..n_pat {
-        let mut max = f64::NEG_INFINITY;
-        for c in 0..N_SITE_CLASSES {
-            if props[c] > 0.0 {
-                let v = props[c].ln() + per_class[c][p];
-                if v > max {
-                    max = v;
-                }
-            }
-        }
-        let value = if max.is_finite() {
-            let mut sum = 0.0;
-            for c in 0..N_SITE_CLASSES {
-                if props[c] > 0.0 {
-                    sum += (props[c].ln() + per_class[c][p] - max).exp();
-                }
-            }
-            max + sum.ln()
-        } else {
-            f64::NEG_INFINITY
-        };
-        per_pattern[p] = value;
-        lnl += problem.patterns.weight(p) * value;
-    }
-    let _ = n;
-
-    Ok(LikelihoodValue {
-        lnl,
-        per_pattern,
-        per_class,
-        proportions: props,
-    })
+    crate::par::evaluate(problem, config, model, branch_lengths, None)
 }
 
-/// Pruning pass for one site class: returns per-pattern log-likelihood.
-pub(crate) fn prune_one_class(
+/// Like [`site_class_log_likelihoods`], additionally accumulating
+/// wall-clock time per engine phase (eigen / expm / pruning / reduction)
+/// into `timing` — the `--timing` CLI breakdown and the scaling bench
+/// read these.
+///
+/// # Errors
+/// Propagates eigensolver failures.
+pub fn site_class_log_likelihoods_timed(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    model: &BranchSiteModel,
+    branch_lengths: &[f64],
+    timing: &mut PhaseTiming,
+) -> Result<LikelihoodValue, LinalgError> {
+    crate::par::evaluate(problem, config, model, branch_lengths, Some(timing))
+}
+
+/// Reusable buffers for pruning passes. One per worker thread: after the
+/// first block at a given (states × block-width) shape, subsequent blocks
+/// allocate nothing.
+pub(crate) struct PruneWorkspace {
+    /// Per-node CPV slots, `take`n by the parent as it consumes children.
+    slots: Vec<Option<Mat>>,
+    /// Retired CPV matrices awaiting reuse (all at `dims`).
+    pool: Vec<Mat>,
+    /// Staging block for non-first children.
+    tmp: Mat,
+    /// One gathered leaf column.
+    col: Vec<f64>,
+    /// Accumulated log of rescale factors, per block column.
+    scale_log: Vec<f64>,
+    /// Column/result scratch for the CPV kernels.
+    scratch: CpvScratch,
+    /// (states, block width) the pooled matrices currently have.
+    dims: (usize, usize),
+}
+
+impl PruneWorkspace {
+    /// Empty workspace; buffers are created on first use.
+    pub(crate) fn new() -> PruneWorkspace {
+        PruneWorkspace {
+            slots: Vec::new(),
+            pool: Vec::new(),
+            tmp: Mat::zeros(0, 0),
+            col: Vec::new(),
+            scale_log: Vec::new(),
+            scratch: CpvScratch::new(),
+            dims: (0, 0),
+        }
+    }
+
+    /// Size every buffer for a block of `bw` patterns over `n` states in a
+    /// tree of `n_nodes` nodes. No-op when already sized.
+    fn ensure(&mut self, n_nodes: usize, n: usize, bw: usize) {
+        if self.dims != (n, bw) {
+            self.pool.clear();
+            self.tmp = Mat::zeros(n, bw);
+            self.dims = (n, bw);
+        }
+        if self.slots.len() < n_nodes {
+            self.slots.resize_with(n_nodes, || None);
+        }
+        if self.col.len() != n {
+            self.col = vec![0.0; n];
+        }
+        self.scale_log.clear();
+        self.scale_log.resize(bw, 0.0);
+    }
+
+    /// A CPV matrix at the current dims, recycled when possible.
+    fn grab(&mut self) -> Mat {
+        self.pool
+            .pop()
+            .unwrap_or_else(|| Mat::zeros(self.dims.0, self.dims.1))
+    }
+}
+
+/// Pruning pass for one site class over the pattern block
+/// `[lo, lo + out.len())`, writing per-pattern log-likelihoods into `out`.
+///
+/// `ops[node][ω]` must hold operators for every ω this class selects on
+/// every branch. Bit-identical to the corresponding slice of a full-width
+/// pass (see module docs), so callers may partition patterns freely.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn prune_block(
     problem: &LikelihoodProblem,
     config: &EngineConfig,
     ops: &[[Option<TransOp>; N_OMEGA]],
     bg_omega: usize,
     fg_omega: usize,
-) -> Vec<f64> {
+    lo: usize,
+    out: &mut [f64],
+    ws: &mut PruneWorkspace,
+) {
     let n = problem.pi.len();
-    let n_pat = problem.n_patterns();
+    let bw = out.len();
     let n_nodes = problem.children.len();
-
-    // Per-node CPV blocks (n × patterns); leaves are handled implicitly.
-    let mut cpvs: Vec<Option<Mat>> = (0..n_nodes).map(|_| None).collect();
-    let mut scale_log = vec![0.0f64; n_pat];
-    let mut tmp = Mat::zeros(n, n_pat);
+    ws.ensure(n_nodes, n, bw);
 
     for &node in &problem.postorder {
         if problem.children[node].is_empty() {
@@ -276,46 +229,57 @@ pub(crate) fn prune_one_class(
                 .as_ref()
                 .expect("operator built for needed omega");
 
-            if let Some(taxon) = problem.leaf_taxon[child] {
-                // Leaf: P·e_c collapses to a column gather per pattern.
-                // Missing data integrates the state out: P·1 = 1 (rows of
-                // P sum to one), so the contribution is a ones column.
-                let mut col = vec![0.0f64; n];
-                for p in 0..n_pat {
-                    let codon = problem.patterns.pattern(p)[taxon];
-                    if codon == slim_bio::patterns::MISSING {
-                        for i in 0..n {
-                            tmp[(i, p)] = 1.0;
-                        }
-                        continue;
-                    }
-                    op.column(codon, &mut col);
-                    for i in 0..n {
-                        tmp[(i, p)] = col[i];
-                    }
-                }
-            } else {
-                let child_cpv = cpvs[child].take().expect("child CPV computed in postorder");
-                op.apply_dense(config.cpv, &child_cpv, &mut tmp);
+            // The first child is computed straight into the accumulator
+            // (same bits as computing into staging and copying); later
+            // children go through `tmp` and multiply in.
+            let first = combined.is_none();
+            if first {
+                combined = Some(ws.grab());
             }
-
-            combined = Some(match combined {
-                None => tmp.clone(),
-                Some(mut acc) => {
-                    for (a, t) in acc.as_mut_slice().iter_mut().zip(tmp.as_slice()) {
-                        *a *= t;
+            {
+                let dest: &mut Mat = if first {
+                    combined.as_mut().expect("just set")
+                } else {
+                    &mut ws.tmp
+                };
+                if let Some(taxon) = problem.leaf_taxon[child] {
+                    // Leaf: P·e_c collapses to a column gather per pattern.
+                    // Missing data integrates the state out: P·1 = 1 (rows
+                    // of P sum to one), so the contribution is a ones
+                    // column.
+                    for q in 0..bw {
+                        let codon = problem.patterns.pattern(lo + q)[taxon];
+                        if codon == slim_bio::patterns::MISSING {
+                            for i in 0..n {
+                                dest[(i, q)] = 1.0;
+                            }
+                            continue;
+                        }
+                        op.column(codon, &mut ws.col);
+                        for i in 0..n {
+                            dest[(i, q)] = ws.col[i];
+                        }
                     }
-                    acc
+                } else {
+                    let child_cpv = ws.slots[child].take().expect("child CPV in postorder");
+                    op.apply_dense(config.cpv, &child_cpv, dest, &mut ws.scratch);
+                    ws.pool.push(child_cpv);
                 }
-            });
+            }
+            if !first {
+                let acc = combined.as_mut().expect("combined set by first child");
+                for (a, t) in acc.as_mut_slice().iter_mut().zip(ws.tmp.as_slice()) {
+                    *a *= t;
+                }
+            }
         }
         let mut cpv = combined.expect("internal node has children");
 
         // Numerical rescaling per pattern column.
-        for p in 0..n_pat {
+        for q in 0..bw {
             let mut m = 0.0f64;
             for i in 0..n {
-                let v = cpv[(i, p)];
+                let v = cpv[(i, q)];
                 if v > m {
                     m = v;
                 }
@@ -323,28 +287,46 @@ pub(crate) fn prune_one_class(
             if m > 0.0 && m < config.scale_threshold {
                 let inv = 1.0 / m;
                 for i in 0..n {
-                    cpv[(i, p)] *= inv;
+                    cpv[(i, q)] *= inv;
                 }
-                scale_log[p] += m.ln();
+                ws.scale_log[q] += m.ln();
             }
         }
-        cpvs[node] = Some(cpv);
+        ws.slots[node] = Some(cpv);
     }
 
     // Root combination with π.
-    let root_cpv = cpvs[problem.root].take().expect("root CPV computed");
-    let mut out = vec![0.0f64; n_pat];
-    for p in 0..n_pat {
+    let root_cpv = ws.slots[problem.root].take().expect("root CPV computed");
+    for (q, o) in out.iter_mut().enumerate() {
         let mut s = 0.0;
         for i in 0..n {
-            s += problem.pi[i] * root_cpv[(i, p)];
+            s += problem.pi[i] * root_cpv[(i, q)];
         }
-        out[p] = if s > 0.0 {
-            s.ln() + scale_log[p]
+        *o = if s > 0.0 {
+            s.ln() + ws.scale_log[q]
         } else {
             f64::NEG_INFINITY
         };
     }
+    ws.pool.push(root_cpv);
+}
+
+/// Full-width serial pruning pass for one site class: returns per-pattern
+/// log-likelihood. Thin wrapper over [`prune_block`] used by the auxiliary
+/// models (M0, site models, branch model) and by the parallel driver when
+/// running single-threaded.
+pub(crate) fn prune_one_class(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    ops: &[[Option<TransOp>; N_OMEGA]],
+    bg_omega: usize,
+    fg_omega: usize,
+) -> Vec<f64> {
+    let mut out = vec![0.0f64; problem.n_patterns()];
+    let mut ws = PruneWorkspace::new();
+    prune_block(
+        problem, config, ops, bg_omega, fg_omega, 0, &mut out, &mut ws,
+    );
     out
 }
 
@@ -442,17 +424,75 @@ mod tests {
     }
 
     #[test]
-    fn parallel_classes_match_serial() {
+    fn thread_counts_are_bit_identical() {
+        // The slim-par determinism contract on the toy problem: every
+        // thread count (including auto) reproduces the serial bits of the
+        // total, the per-pattern mixture, and every per-class vector.
         let problem = toy_problem();
         let model = default_model();
         let bl = vec![0.1; problem.n_branches()];
-        let serial = log_likelihood(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
-        let parallel =
-            log_likelihood(&problem, &EngineConfig::slim_parallel(), &model, &bl).unwrap();
-        assert!(
-            (serial - parallel).abs() < 1e-12,
-            "parallel {parallel} vs serial {serial}"
-        );
+        let serial =
+            site_class_log_likelihoods(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
+        for threads in [2usize, 4, 8, 0] {
+            let config = EngineConfig::slim().with_threads(threads);
+            let par = site_class_log_likelihoods(&problem, &config, &model, &bl).unwrap();
+            assert_eq!(serial.lnl.to_bits(), par.lnl.to_bits(), "threads {threads}");
+            for (a, b) in serial.per_pattern.iter().zip(&par.per_pattern) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (ca, cb) in serial.per_class.iter().zip(&par.per_class) {
+                for (a, b) in ca.iter().zip(cb) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_is_bit_invariant() {
+        // Fixed block boundaries drive the work split; any width must
+        // reproduce the same bits, including widths that leave a ragged
+        // final block and the degenerate one-pattern-per-block case.
+        let problem = toy_problem();
+        let model = default_model();
+        let bl = vec![0.1; problem.n_branches()];
+        let reference =
+            site_class_log_likelihoods(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
+        for block in [1usize, 2, 3, 7, 4096] {
+            for threads in [1usize, 4] {
+                let config = EngineConfig::slim()
+                    .with_threads(threads)
+                    .with_pattern_block(block);
+                let v = site_class_log_likelihoods(&problem, &config, &model, &bl).unwrap();
+                assert_eq!(
+                    reference.lnl.to_bits(),
+                    v.lnl.to_bits(),
+                    "block {block} threads {threads}"
+                );
+                for (a, b) in reference.per_pattern.iter().zip(&v.per_pattern) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timed_evaluation_matches_and_fills_phases() {
+        let problem = toy_problem();
+        let model = default_model();
+        let bl = vec![0.1; problem.n_branches()];
+        let plain = log_likelihood(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
+        let mut timing = PhaseTiming::default();
+        let timed = site_class_log_likelihoods_timed(
+            &problem,
+            &EngineConfig::slim(),
+            &model,
+            &bl,
+            &mut timing,
+        )
+        .unwrap();
+        assert_eq!(plain.to_bits(), timed.lnl.to_bits());
+        assert!(timing.total() > std::time::Duration::ZERO);
     }
 
     #[test]
@@ -571,6 +611,41 @@ mod tests {
         let lnl = log_likelihood(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
         assert!(lnl.is_finite(), "scaling failed: {lnl}");
         assert!(lnl < 0.0);
+    }
+
+    #[test]
+    fn scaling_path_is_thread_and_block_invariant() {
+        // The rescaling branch fires on this deep caterpillar tree; the
+        // determinism contract must hold through it too.
+        let n_leaves = 40;
+        let mut newick = String::from("L0:0.5");
+        for i in 1..n_leaves {
+            newick = format!("({newick},L{i}:0.5):0.5");
+        }
+        let newick = format!("{newick};");
+        let tree = {
+            let mut t = parse_newick(&newick).unwrap();
+            let leaf = t.leaf_by_name("L0").unwrap();
+            t.set_foreground(leaf).unwrap();
+            t
+        };
+        let fasta: String = (0..n_leaves)
+            .map(|i| format!(">L{i}\nATGCCCAAA\n"))
+            .collect();
+        let aln = CodonAlignment::from_fasta(&fasta).unwrap();
+        let code = GeneticCode::universal();
+        let problem = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::Equal).unwrap();
+        let model = default_model();
+        let bl = vec![0.5; problem.n_branches()];
+        let serial = log_likelihood(&problem, &EngineConfig::slim(), &model, &bl).unwrap();
+        let par = log_likelihood(
+            &problem,
+            &EngineConfig::slim().with_threads(4).with_pattern_block(2),
+            &model,
+            &bl,
+        )
+        .unwrap();
+        assert_eq!(serial.to_bits(), par.to_bits());
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Property tests on the parallel likelihood engine's determinism contract.
+//!
+//! Two invariants, checked over *random* configurations rather than the
+//! hand-picked ones in the unit tests:
+//!
+//! 1. **Bit-determinism** — thread count and pattern-block size are pure
+//!    scheduling knobs. For arbitrary `(threads, block)` the engine must
+//!    return the same log-likelihood *bits* as the serial engine, because
+//!    every per-pattern value depends only on its own column and the final
+//!    weighted reduction always runs serially in fixed pattern order.
+//! 2. **Pattern-permutation invariance** — shuffling alignment columns
+//!    permutes the site patterns (and may change how columns compress into
+//!    patterns), so the reduction visits the same terms in a different
+//!    order. That changes rounding but not the mathematical value: the lnL
+//!    must agree to tight relative tolerance.
+
+use proptest::prelude::*;
+use slim_bio::{CodonAlignment, FreqModel, GeneticCode, Site};
+use slim_lik::{site_class_log_likelihoods, EngineConfig, LikelihoodProblem};
+use slim_model::BranchSiteModel;
+use slim_sim::{dataset, DatasetId, SimulatedDataset};
+use std::sync::OnceLock;
+
+/// Dataset III analog (25 species × 67 codons): the smallest preset with a
+/// non-trivial tree, cheap enough to evaluate many times under proptest.
+fn preset() -> &'static SimulatedDataset {
+    static DATA: OnceLock<SimulatedDataset> = OnceLock::new();
+    DATA.get_or_init(|| dataset(DatasetId::III))
+}
+
+fn model_strategy() -> impl Strategy<Value = BranchSiteModel> {
+    (
+        0.5f64..8.0,
+        0.01f64..0.95,
+        1.0f64..10.0,
+        0.1f64..0.7,
+        0.05f64..0.25,
+    )
+        .prop_map(|(kappa, omega0, omega2, p0, p1)| BranchSiteModel {
+            kappa,
+            omega0,
+            omega2,
+            p0,
+            p1,
+        })
+}
+
+/// Block sizes around every interesting boundary: single-pattern blocks,
+/// odd sizes that leave a ragged tail, and blocks larger than the whole
+/// pattern set.
+const BLOCKS: [usize; 7] = [1, 2, 3, 17, 64, 256, 4096];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Arbitrary (threads, block) schedules reproduce the serial engine
+    /// bit for bit: total lnL, per-pattern mixture values, and per-class
+    /// values.
+    #[test]
+    fn schedule_is_bit_invariant(
+        model in model_strategy(),
+        threads in 1usize..9,
+        block_ix in 0usize..BLOCKS.len(),
+    ) {
+        let d = preset();
+        let problem = LikelihoodProblem::new(
+            &d.tree,
+            &d.alignment,
+            &GeneticCode::universal(),
+            FreqModel::F3x4,
+        )
+        .expect("preset dataset is well-formed");
+        let bl = d.tree.branch_lengths();
+
+        let serial = site_class_log_likelihoods(
+            &problem,
+            &EngineConfig::slim().with_threads(1),
+            &model,
+            &bl,
+        )
+        .expect("serial evaluation");
+        let scheduled = site_class_log_likelihoods(
+            &problem,
+            &EngineConfig::slim()
+                .with_threads(threads)
+                .with_pattern_block(BLOCKS[block_ix]),
+            &model,
+            &bl,
+        )
+        .expect("scheduled evaluation");
+
+        prop_assert_eq!(serial.lnl.to_bits(), scheduled.lnl.to_bits(),
+            "threads={} block={}: {} vs {}",
+            threads, BLOCKS[block_ix], serial.lnl, scheduled.lnl);
+        for (p, (a, b)) in serial.per_pattern.iter().zip(&scheduled.per_pattern).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "per-pattern {} differs", p);
+        }
+        for (c, (a, b)) in serial.per_class.iter().zip(&scheduled.per_class).enumerate() {
+            for (p, (x, y)) in a.iter().zip(b).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "class {} pattern {} differs", c, p);
+            }
+        }
+    }
+
+    /// Permuting alignment columns must not change the log-likelihood
+    /// beyond reduction-order rounding.
+    #[test]
+    fn lnl_is_invariant_under_site_permutation(
+        model in model_strategy(),
+        seed in 0u64..1000,
+        threads in 1usize..5,
+    ) {
+        let d = preset();
+        let code = GeneticCode::universal();
+        let n_codons = d.alignment.n_codons();
+
+        // Seeded Fisher–Yates permutation of column indices.
+        let mut perm: Vec<usize> = (0..n_codons).collect();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in (1..n_codons).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+
+        let names = d.alignment.names().to_vec();
+        let seqs: Vec<Vec<Site>> = (0..d.alignment.n_sequences())
+            .map(|s| {
+                let row = d.alignment.sequence(s);
+                perm.iter().map(|&c| row[c]).collect()
+            })
+            .collect();
+        let shuffled = CodonAlignment::new(names, seqs).expect("permuted alignment is valid");
+
+        let config = EngineConfig::slim().with_threads(threads);
+        let bl = d.tree.branch_lengths();
+        let original = site_class_log_likelihoods(
+            &LikelihoodProblem::new(&d.tree, &d.alignment, &code, FreqModel::F3x4).unwrap(),
+            &config,
+            &model,
+            &bl,
+        )
+        .expect("original evaluation");
+        let permuted = site_class_log_likelihoods(
+            &LikelihoodProblem::new(&d.tree, &shuffled, &code, FreqModel::F3x4).unwrap(),
+            &config,
+            &model,
+            &bl,
+        )
+        .expect("permuted evaluation");
+
+        let rel = (original.lnl - permuted.lnl).abs() / original.lnl.abs().max(1.0);
+        prop_assert!(rel <= 1e-10,
+            "lnL changed under column permutation: {} vs {} (rel {})",
+            original.lnl, permuted.lnl, rel);
+    }
+}

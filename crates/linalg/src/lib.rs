@@ -60,6 +60,7 @@ pub use gemv::{gemv, ger, symv};
 pub use lu::Lu;
 pub use mat::Mat;
 pub use syrk::syrk;
+pub use vecops::{neumaier_sum, NeumaierSum};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -5,6 +5,56 @@
 //! products (combining child conditional probability vectors at internal
 //! tree nodes).
 
+/// Neumaier (improved Kahan–Babuška) compensated summation.
+///
+/// The parallel likelihood engine reduces per-pattern log-likelihoods in a
+/// *fixed* order with this accumulator, so the total is bit-identical for
+/// any thread count or pattern-block size — and carries an error bound
+/// independent of the number of terms, unlike the naive running sum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// A fresh accumulator at zero.
+    pub fn new() -> NeumaierSum {
+        NeumaierSum::default()
+    }
+
+    /// Add one term.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if t.is_finite() {
+            if self.sum.abs() >= value.abs() {
+                self.compensation += (self.sum - t) + value;
+            } else {
+                self.compensation += (value - t) + self.sum;
+            }
+        }
+        // An infinite term (e.g. a −∞ per-pattern log-likelihood) must
+        // propagate as ±∞, not poison the compensation with ∞−∞ = NaN.
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Compensated sum of a slice (fixed left-to-right order).
+pub fn neumaier_sum(values: &[f64]) -> f64 {
+    let mut acc = NeumaierSum::new();
+    for &v in values {
+        acc.add(v);
+    }
+    acc.total()
+}
+
 /// Dot product `xᵀy`, unrolled 4-way to expose instruction-level
 /// parallelism (separate accumulators break the FP dependency chain).
 ///
@@ -166,5 +216,35 @@ mod tests {
     fn reductions() {
         assert_eq!(asum_signed(&[1.0, -2.0, 4.0]), 3.0);
         assert_eq!(max_elem(&[1.0, 7.0, -3.0]), 7.0);
+    }
+
+    #[test]
+    fn neumaier_exact_on_classic_cancellation() {
+        // 1 + 1e100 + 1 - 1e100 = 2; a naive sum returns 0.
+        assert_eq!(neumaier_sum(&[1.0, 1e100, 1.0, -1e100]), 2.0);
+    }
+
+    #[test]
+    fn neumaier_matches_naive_on_benign_input() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = xs.iter().sum();
+        assert!((neumaier_sum(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neumaier_propagates_negative_infinity() {
+        // A −∞ term (zero-likelihood pattern) must yield −∞, not NaN.
+        assert_eq!(
+            neumaier_sum(&[-1.5, f64::NEG_INFINITY, -2.5]),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn neumaier_deterministic_across_restarts() {
+        let xs: Vec<f64> = (0..257).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let a = neumaier_sum(&xs);
+        let b = neumaier_sum(&xs);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -1,0 +1,214 @@
+//! Golden-value regression layer: snapshot log-likelihoods and fitted
+//! parameters against checked-in JSON, gated at the paper's agreement
+//! threshold.
+//!
+//! The SlimCodeML paper validates its optimized engine against CodeML by
+//! requiring the relative difference of the resulting log-likelihoods to
+//! stay below `D = 5.5e-8` (the largest discrepancy they observed across
+//! Table II). We reuse that bound as the regression gate for fixed-parameter
+//! likelihood evaluations on all four dataset analogs. Fitted *parameters*
+//! from a short MLE run get a looser documented gate (5e-4 relative):
+//! optimizer trajectories amplify last-bit rounding differences far more
+//! than a single likelihood evaluation does, and the paper's own Table III
+//! comparisons are at that coarser precision.
+//!
+//! Regenerate the snapshots after an *intentional* numerical change with:
+//!
+//! ```text
+//! SLIM_GOLDEN_WRITE=1 cargo test --test golden_values
+//! ```
+
+use slimcodeml::bio::{FreqModel, GeneticCode};
+use slimcodeml::core::{Analysis, AnalysisOptions, Hypothesis};
+use slimcodeml::lik::{log_likelihood, EngineConfig, LikelihoodProblem};
+use slimcodeml::model::BranchSiteModel;
+use slimcodeml::opt::GradMode;
+use slimcodeml::sim::{dataset, DatasetId};
+use std::path::PathBuf;
+
+/// The paper's lnL agreement bound (largest relative difference between
+/// SlimCodeML and CodeML across Table II).
+const LNL_GATE: f64 = 5.5e-8;
+
+/// Gate for fitted parameters from the short MLE snapshot.
+const PARAM_GATE: f64 = 5e-4;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn writing() -> bool {
+    std::env::var("SLIM_GOLDEN_WRITE").is_ok_and(|v| v == "1")
+}
+
+fn rel_diff(x: f64, golden: f64) -> f64 {
+    (x - golden).abs() / golden.abs().max(1.0)
+}
+
+/// Perturb the generating model away from the simulation truth so the
+/// snapshot also covers an off-optimum point of the likelihood surface.
+fn perturbed(m: &BranchSiteModel) -> BranchSiteModel {
+    BranchSiteModel {
+        kappa: m.kappa * 1.3,
+        omega0: m.omega0 * 0.8,
+        omega2: m.omega2 + 0.7,
+        p0: m.p0 - 0.10,
+        p1: m.p1 + 0.05,
+    }
+}
+
+/// The fixed-parameter cases: (dataset, model label, model).
+fn engine_cases() -> Vec<(DatasetId, &'static str, BranchSiteModel)> {
+    DatasetId::ALL
+        .into_iter()
+        .flat_map(|id| {
+            let truth = dataset(id).true_model;
+            [(id, "true", truth), (id, "perturbed", perturbed(&truth))]
+        })
+        .collect()
+}
+
+fn eval_lnl(id: DatasetId, model: &BranchSiteModel) -> f64 {
+    let d = dataset(id);
+    let problem = LikelihoodProblem::new(
+        &d.tree,
+        &d.alignment,
+        &GeneticCode::universal(),
+        FreqModel::F3x4,
+    )
+    .expect("preset dataset is well-formed");
+    let bl = d.tree.branch_lengths();
+    log_likelihood(&problem, &EngineConfig::slim().with_threads(1), model, &bl)
+        .expect("likelihood evaluation")
+}
+
+#[test]
+fn engine_lnl_matches_golden_snapshot() {
+    let path = golden_dir().join("engine_lnl.json");
+    let computed: Vec<(DatasetId, &str, f64)> = engine_cases()
+        .into_iter()
+        .map(|(id, label, model)| (id, label, eval_lnl(id, &model)))
+        .collect();
+
+    if writing() {
+        let rows: Vec<String> = computed
+            .iter()
+            .map(|(id, label, lnl)| {
+                format!(
+                    r#"    {{"dataset":"{}","model":"{label}","lnl":{lnl:.17e}}}"#,
+                    id.label()
+                )
+            })
+            .collect();
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"gate\":\"relative difference <= 5.5e-8\",\"cases\":[\n{}\n]}}\n",
+                rows.join(",\n")
+            ),
+        )
+        .unwrap();
+        eprintln!("wrote {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with SLIM_GOLDEN_WRITE=1",
+            path.display()
+        )
+    });
+    let golden: serde_json::Value = serde_json::from_str(&text).expect("golden JSON parses");
+    let cases = golden
+        .get("cases")
+        .and_then(|c| c.as_array())
+        .expect("golden file has a cases array");
+    assert_eq!(cases.len(), computed.len(), "golden case count drifted");
+
+    for (case, (id, label, lnl)) in cases.iter().zip(&computed) {
+        assert_eq!(
+            case.get("dataset").and_then(|v| v.as_str()),
+            Some(id.label())
+        );
+        assert_eq!(case.get("model").and_then(|v| v.as_str()), Some(*label));
+        let want = case
+            .get("lnl")
+            .and_then(|v| v.as_f64())
+            .expect("golden lnl is a number");
+        let d = rel_diff(*lnl, want);
+        assert!(
+            d <= LNL_GATE,
+            "dataset {} ({label}): lnL {lnl} vs golden {want}, relative difference {d:.3e} > {LNL_GATE:.1e}",
+            id.label()
+        );
+    }
+}
+
+#[test]
+fn mle_snapshot_matches_golden() {
+    let path = golden_dir().join("mle_dataset_i.json");
+    let d = dataset(DatasetId::I);
+    let options = AnalysisOptions {
+        max_iterations: 10,
+        seed: 7,
+        grad_mode: GradMode::Forward,
+        threads: Some(1),
+        ..AnalysisOptions::default()
+    };
+    let analysis = Analysis::new(&d.tree, &d.alignment, options).expect("analysis builds");
+    let fit = analysis.fit(Hypothesis::H1).expect("short H1 fit");
+    let m = &fit.model;
+
+    if writing() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"dataset\":\"i\",\"hypothesis\":\"H1\",\"max_iterations\":10,\"seed\":7,\
+                 \"lnl\":{:.17e},\"kappa\":{:.17e},\"omega0\":{:.17e},\"omega2\":{:.17e},\
+                 \"p0\":{:.17e},\"p1\":{:.17e}}}\n",
+                fit.lnl, m.kappa, m.omega0, m.omega2, m.p0, m.p1
+            ),
+        )
+        .unwrap();
+        eprintln!("wrote {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with SLIM_GOLDEN_WRITE=1",
+            path.display()
+        )
+    });
+    let golden: serde_json::Value = serde_json::from_str(&text).expect("golden JSON parses");
+    let field = |name: &str| -> f64 {
+        golden
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("golden field {name} missing"))
+    };
+
+    let d_lnl = rel_diff(fit.lnl, field("lnl"));
+    assert!(
+        d_lnl <= LNL_GATE,
+        "MLE lnL {} vs golden {}, relative difference {d_lnl:.3e} > {LNL_GATE:.1e}",
+        fit.lnl,
+        field("lnl")
+    );
+    for (name, got) in [
+        ("kappa", m.kappa),
+        ("omega0", m.omega0),
+        ("omega2", m.omega2),
+        ("p0", m.p0),
+        ("p1", m.p1),
+    ] {
+        let want = field(name);
+        let dp = rel_diff(got, want);
+        assert!(
+            dp <= PARAM_GATE,
+            "MLE {name} {got} vs golden {want}, relative difference {dp:.3e} > {PARAM_GATE:.1e}"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Thread-determinism layer: `--threads N` is a pure scheduling knob.
+//!
+//! The parallel engine partitions site patterns into fixed blocks and
+//! parallelizes eigen/expm/pruning, but the weighted reduction always runs
+//! serially in fixed pattern order with compensated summation — so every
+//! thread count must produce *bit-identical* results. These tests pin that
+//! contract at three levels: the raw likelihood engine on all four Table II
+//! dataset analogs, batch runs (intra-gene threads × worker pool), and
+//! whole-tree branch scans.
+
+use slimcodeml::batch::{run_batch, scan_branches, RunConfig, SchedulerConfig};
+use slimcodeml::bio::FreqModel;
+use slimcodeml::core::AnalysisOptions;
+use slimcodeml::lik::{site_class_log_likelihoods, EngineConfig, LikelihoodProblem};
+use slimcodeml::sim::{dataset, DatasetId};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// lnL at 1 thread vs {2, 4, 8} threads on every Table II analog:
+/// identical to the last bit, for the total and every per-pattern value.
+#[test]
+fn engine_lnl_is_bit_identical_across_thread_counts() {
+    for id in DatasetId::ALL {
+        let d = dataset(id);
+        let problem = LikelihoodProblem::new(
+            &d.tree,
+            &d.alignment,
+            &slimcodeml::bio::GeneticCode::universal(),
+            FreqModel::F3x4,
+        )
+        .expect("preset dataset is well-formed");
+        let bl = d.tree.branch_lengths();
+        let model = d.true_model;
+
+        let serial = site_class_log_likelihoods(
+            &problem,
+            &EngineConfig::slim().with_threads(1),
+            &model,
+            &bl,
+        )
+        .expect("serial evaluation");
+        assert!(serial.lnl.is_finite(), "dataset {}", id.label());
+
+        for threads in [2usize, 4, 8] {
+            let par = site_class_log_likelihoods(
+                &problem,
+                &EngineConfig::slim().with_threads(threads),
+                &model,
+                &bl,
+            )
+            .expect("parallel evaluation");
+            assert_eq!(
+                serial.lnl.to_bits(),
+                par.lnl.to_bits(),
+                "dataset {}: lnL at {threads} threads ({}) differs from serial ({})",
+                id.label(),
+                par.lnl,
+                serial.lnl
+            );
+            for (p, (a, b)) in serial.per_pattern.iter().zip(&par.per_pattern).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "dataset {}: per-pattern {p} differs at {threads} threads",
+                    id.label()
+                );
+            }
+            for (c, (a, b)) in serial.per_class.iter().zip(&par.per_class).enumerate() {
+                for (p, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "dataset {}: class {c} pattern {p} differs at {threads} threads",
+                        id.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn workspace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("slim_thread_det_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_manifest(dir: &Path) -> PathBuf {
+    std::fs::write(dir.join("tree.nwk"), "((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+    let variants = ["AAA", "AAC", "AAG"];
+    let mut genes = Vec::new();
+    for (i, v) in variants.iter().enumerate() {
+        std::fs::write(
+            dir.join(format!("g{i}.fasta")),
+            format!(">A\nATGCCCAAATGGTTT\n>B\nATGCCAAAATGGTTC\n>C\nATGCCC{v}TGGTTT\n"),
+        )
+        .unwrap();
+        genes.push(format!(
+            r#"{{"id":"g{i}","alignment":"g{i}.fasta","tree":"tree.nwk","branches":"all","backend":"slim","max_iterations":15,"seed":{}}}"#,
+            11 + i
+        ));
+    }
+    let path = dir.join("manifest.json");
+    std::fs::write(
+        &path,
+        format!(r#"{{"version":1,"genes":[{}]}}"#, genes.join(",")),
+    )
+    .unwrap();
+    path
+}
+
+/// Batch runs compose worker-pool parallelism with intra-gene threads
+/// (via `SLIMCODEML_THREADS`, the same path CI uses): serial 1-thread
+/// output and pooled multi-thread output must be byte-identical.
+#[test]
+fn batch_output_is_byte_identical_across_workers_and_threads() {
+    let dir = workspace("batch");
+    let manifest = write_manifest(&dir);
+    let saved = std::env::var("SLIMCODEML_THREADS").ok();
+
+    std::env::set_var("SLIMCODEML_THREADS", "1");
+    let serial = run_batch(
+        &manifest,
+        &RunConfig {
+            workers: 1,
+            journal_path: dir.join("serial.jsonl"),
+            backoff: Duration::from_millis(1),
+            ..RunConfig::default()
+        },
+    )
+    .expect("serial batch run");
+    assert_eq!(serial.summary.failed, 0);
+
+    std::env::set_var("SLIMCODEML_THREADS", "3");
+    let pooled = run_batch(
+        &manifest,
+        &RunConfig {
+            workers: 3,
+            journal_path: dir.join("pooled.jsonl"),
+            backoff: Duration::from_millis(1),
+            ..RunConfig::default()
+        },
+    )
+    .expect("pooled batch run");
+    match saved {
+        Some(v) => std::env::set_var("SLIMCODEML_THREADS", v),
+        None => std::env::remove_var("SLIMCODEML_THREADS"),
+    }
+
+    assert_eq!(
+        serial.to_tsv(),
+        pooled.to_tsv(),
+        "TSV must be byte-identical at (1 worker, 1 thread) vs (3 workers, 3 threads)"
+    );
+    assert_eq!(
+        serial.to_json(false),
+        pooled.to_json(false),
+        "timing-free JSON must be byte-identical across worker/thread counts"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Branch scans with explicit per-analysis thread overrides: every fitted
+/// quantity identical to the last bit across (workers, threads) schedules.
+#[test]
+fn scan_results_are_bit_identical_across_workers_and_threads() {
+    let tree = slimcodeml::bio::parse_newick("((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+    let aln = slimcodeml::bio::CodonAlignment::from_fasta(
+        ">A\nATGCCCAAATGGTTT\n>B\nATGCCAAAATGGTTC\n>C\nATGCCCAACTGGTTT\n",
+    )
+    .unwrap();
+    let options = |threads: usize| AnalysisOptions {
+        max_iterations: 15,
+        seed: 42,
+        threads: Some(threads),
+        ..AnalysisOptions::default()
+    };
+    let sched = |workers: usize| SchedulerConfig {
+        workers,
+        retries: 0,
+        backoff: Duration::from_millis(1),
+        ..SchedulerConfig::default()
+    };
+
+    let serial = scan_branches(&tree, &aln, &options(1), &sched(1));
+    let pooled = scan_branches(&tree, &aln, &options(2), &sched(2));
+    assert_eq!(serial.len(), pooled.len());
+    assert!(!serial.is_empty());
+
+    for (a, b) in serial.iter().zip(&pooled) {
+        assert_eq!(a.branch, b.branch, "entries must come back in branch order");
+        match (&a.outcome, &b.outcome) {
+            (Ok(x), Ok(y)) => {
+                for (label, u, v) in [
+                    ("lnl0", x.lnl0, y.lnl0),
+                    ("lnl1", x.lnl1, y.lnl1),
+                    ("stat", x.stat, y.stat),
+                    ("p_value", x.p_value, y.p_value),
+                    ("kappa", x.kappa, y.kappa),
+                    ("omega0", x.omega0, y.omega0),
+                    ("omega2", x.omega2, y.omega2),
+                    ("p0", x.p0, y.p0),
+                    ("p1", x.p1, y.p1),
+                ] {
+                    assert_eq!(
+                        u.to_bits(),
+                        v.to_bits(),
+                        "branch {:?}: {label} differs across schedules ({u} vs {v})",
+                        a.branch
+                    );
+                }
+                assert_eq!(x.n_pos_sites, y.n_pos_sites);
+                assert_eq!(x.iterations, y.iterations);
+            }
+            (Err(x), Err(y)) => assert_eq!(x.error, y.error),
+            _ => panic!(
+                "branch {:?}: outcome kind differs between schedules",
+                a.branch
+            ),
+        }
+    }
+}
