@@ -131,9 +131,23 @@ impl BatchReport {
     /// Render the per-job table as TSV. Contains no timing, so output is
     /// byte-identical across worker counts and resumes.
     pub fn to_tsv(&self) -> String {
+        self.to_tsv_with(false)
+    }
+
+    /// TSV with optional per-gene eigendecomposition-cache columns
+    /// (`cache_hits`, `cache_misses`, `cache_hit_rate`) — the data the
+    /// adaptive-cache-sizing work starts from. Opt-in because concurrent
+    /// cache probes can split a hit into two misses depending on thread
+    /// timing, so these columns are not byte-deterministic and live
+    /// behind the same flag as the other timing output.
+    pub fn to_tsv_with(&self, include_cache: bool) -> String {
         let mut out = String::from(
-            "job_id\tkey\tlabel\tstatus\tattempts\tlnl0\tlnl1\tstat\tp\tkappa\tomega0\tomega2\tp0\tp1\tpos_sites\terror\n",
+            "job_id\tkey\tlabel\tstatus\tattempts\tlnl0\tlnl1\tstat\tp\tkappa\tomega0\tomega2\tp0\tp1\tpos_sites\terror",
         );
+        if include_cache {
+            out.push_str("\tcache_hits\tcache_misses\tcache_hit_rate");
+        }
+        out.push('\n');
         for rec in &self.records {
             out.push_str(&format!(
                 "{}\t{}\t{}\t{}\t{}",
@@ -151,11 +165,21 @@ impl BatchReport {
                         out.push_str(&format!("\t{v:.6}"));
                     }
                     out.push_str(&format!("\t{}\t", o.n_pos_sites));
+                    if include_cache {
+                        out.push_str(&format!("\t{}\t{}", o.cache_hits, o.cache_misses));
+                        match o.cache_hit_rate() {
+                            Some(rate) => out.push_str(&format!("\t{rate:.4}")),
+                            None => out.push_str("\tNA"),
+                        }
+                    }
                 }
                 Err(f) => {
                     out.push_str(&"\tNA".repeat(10));
                     out.push('\t');
                     out.push_str(&sanitize(&f.error));
+                    if include_cache {
+                        out.push_str(&"\tNA".repeat(3));
+                    }
                 }
             }
             out.push('\n');
@@ -198,6 +222,14 @@ impl BatchReport {
                         .f64("p1", out.p1)
                         .u64("n_pos_sites", out.n_pos_sites as u64)
                         .u64("iterations", out.iterations as u64);
+                    if include_timing {
+                        r.u64("cache_hits", out.cache_hits)
+                            .u64("cache_misses", out.cache_misses);
+                        match out.cache_hit_rate() {
+                            Some(rate) => r.f64("cache_hit_rate", rate),
+                            None => r.raw("cache_hit_rate", "null"),
+                        };
+                    }
                     o.raw("result", r.finish());
                 }
                 Err(f) => {
@@ -264,6 +296,8 @@ mod tests {
                 p1: 0.2,
                 n_pos_sites: 2,
                 iterations: 40,
+                cache_hits: 30,
+                cache_misses: 10,
             }),
             from_journal: false,
         }
@@ -354,5 +388,37 @@ mod tests {
         );
         assert_eq!(jobs[1].get("status").unwrap().as_str().unwrap(), "failed");
         assert!(jobs[1].get("result").is_none());
+    }
+
+    #[test]
+    fn cache_columns_are_opt_in() {
+        let report = BatchReport::from_records(vec![ok_record(0), failed_record(1)], 2, 0.0);
+        let plain = report.to_tsv();
+        assert!(!plain.contains("cache_hits"), "default TSV is unchanged");
+        let with = report.to_tsv_with(true);
+        let lines: Vec<&str> = with.lines().collect();
+        assert!(lines[0].ends_with("cache_hits\tcache_misses\tcache_hit_rate"));
+        let header_cols = lines[0].split('\t').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split('\t').count(), header_cols, "{line}");
+        }
+        assert!(lines[1].ends_with("\t30\t10\t0.7500"), "{}", lines[1]);
+        assert!(lines[2].ends_with("\tNA\tNA\tNA"), "{}", lines[2]);
+
+        let timed: serde_json::Value = serde_json::from_str(&report.to_json(true)).unwrap();
+        let result = timed.get("jobs").unwrap().as_array().unwrap()[0]
+            .get("result")
+            .unwrap();
+        assert_eq!(result.get("cache_hits").unwrap().as_u64().unwrap(), 30);
+        assert_eq!(
+            result.get("cache_hit_rate").unwrap().as_f64().unwrap(),
+            0.75
+        );
+        let plain_json: serde_json::Value = serde_json::from_str(&report.to_json(false)).unwrap();
+        assert!(plain_json.get("jobs").unwrap().as_array().unwrap()[0]
+            .get("result")
+            .unwrap()
+            .get("cache_hits")
+            .is_none());
     }
 }

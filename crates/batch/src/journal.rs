@@ -105,7 +105,9 @@ fn encode_outcome(out: &JobOutcome) -> String {
         .f64("p0", out.p0)
         .f64("p1", out.p1)
         .u64("n_pos_sites", out.n_pos_sites as u64)
-        .u64("iterations", out.iterations as u64);
+        .u64("iterations", out.iterations as u64)
+        .u64("cache_hits", out.cache_hits)
+        .u64("cache_misses", out.cache_misses);
     o.finish()
 }
 
@@ -150,6 +152,10 @@ fn decode_record(v: &Value) -> Result<BatchRecord> {
                 p1: req_f64(out, "p1")?,
                 n_pos_sites: req_u64(out, "n_pos_sites")? as usize,
                 iterations: req_u64(out, "iterations")? as usize,
+                // Added in a later revision of journal v1: absent in
+                // journals written before cache accounting existed.
+                cache_hits: out.get("cache_hits").and_then(Value::as_u64).unwrap_or(0),
+                cache_misses: out.get("cache_misses").and_then(Value::as_u64).unwrap_or(0),
             })
         }
         "failed" => Err(JobFailure {
@@ -262,6 +268,8 @@ mod tests {
                     p1: 0.15,
                     n_pos_sites: 3,
                     iterations: 120,
+                    cache_hits: 55,
+                    cache_misses: 11,
                 })
             } else {
                 Err(JobFailure {
@@ -290,6 +298,7 @@ mod tests {
         let out = recs[0].outcome.as_ref().unwrap();
         assert_eq!(out.lnl0, -1234.567890123, "floats roundtrip exactly");
         assert_eq!(out.n_pos_sites, 3);
+        assert_eq!((out.cache_hits, out.cache_misses), (55, 11));
         let f = recs[1].outcome.as_ref().unwrap_err();
         assert!(f.error.contains("\"quotes\"\nand newline"));
         assert!(f.recoverable);
@@ -326,6 +335,28 @@ mod tests {
         let corrupted = lines.join("\n");
         std::fs::write(&path, corrupted).unwrap();
         assert!(read_journal(&path, 7).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_cache_journals_still_decode() {
+        // A record written before cache accounting existed (no
+        // cache_hits/cache_misses in "outcome") must decode with zeros.
+        let path = tmp("precache.jsonl");
+        let w = JournalWriter::create(&path, 3).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(
+            "{\"id\":0,\"key\":\"g:1\",\"label\":\"L0\",\"attempts\":1,\"seconds\":0.1,\
+             \"status\":\"done\",\"outcome\":{\"lnl0\":-10.0,\"lnl1\":-9.0,\"stat\":2.0,\
+             \"p_value\":0.1,\"kappa\":2.0,\"omega0\":0.1,\"omega2\":2.0,\"p0\":0.7,\
+             \"p1\":0.2,\"n_pos_sites\":0,\"iterations\":5}}\n",
+        );
+        std::fs::write(&path, &text).unwrap();
+        let recs = read_journal(&path, 3).unwrap();
+        let out = recs[0].outcome.as_ref().unwrap();
+        assert_eq!((out.cache_hits, out.cache_misses), (0, 0));
+        assert_eq!(out.cache_hit_rate(), None);
         std::fs::remove_file(&path).ok();
     }
 

@@ -26,12 +26,14 @@ pub mod aggregate;
 pub mod journal;
 pub mod jsonio;
 pub mod manifest;
+mod obsm;
 pub mod runner;
 pub mod scheduler;
 
 pub use aggregate::{BatchRecord, BatchReport, RecordStatus, RunSummary};
 pub use journal::{read_journal, JournalWriter};
 pub use manifest::{BatchManifest, BranchRef, BranchSpec, JobInput, JobPayload, ManifestEntry};
+pub use obsm::register_metrics;
 pub use runner::{run_analysis_job, scan_branches, JobOutcome, ScanEntry};
 pub use scheduler::{
     run_pool, CancelFlag, JobError, JobFailure, PoolJob, PoolRecord, SchedulerConfig,

@@ -45,10 +45,22 @@ pub struct JobOutcome {
     pub n_pos_sites: usize,
     /// Total optimizer iterations (H0 + H1).
     pub iterations: usize,
+    /// Eigendecomposition-cache hits across the whole analysis (0 when
+    /// the backend runs without a cache).
+    pub cache_hits: u64,
+    /// Eigendecomposition-cache misses across the whole analysis.
+    pub cache_misses: u64,
 }
 
 impl JobOutcome {
-    fn from_test(result: &TestResult) -> JobOutcome {
+    /// Hits / (hits + misses), or `None` when the job's backend ran
+    /// without a cache.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    fn from_test(result: &TestResult, cache: (u64, u64)) -> JobOutcome {
         let m = &result.h1.model;
         JobOutcome {
             lnl0: result.h0.lnl,
@@ -66,6 +78,8 @@ impl JobOutcome {
                 .filter(|&&p| p > POSITIVE_SITE_THRESHOLD)
                 .count(),
             iterations: result.h0.iterations + result.h1.iterations,
+            cache_hits: cache.0,
+            cache_misses: cache.1,
         }
     }
 }
@@ -118,7 +132,8 @@ fn fit_one(
             result.h0.lnl, result.h1.lnl
         )));
     }
-    Ok(JobOutcome::from_test(&result))
+    let cache = analysis.eigen_cache_stats().unwrap_or((0, 0));
+    Ok(JobOutcome::from_test(&result, cache))
 }
 
 /// One branch's result from [`scan_branches`].

@@ -14,7 +14,7 @@
 //! result vector is sorted by job id, so downstream aggregation is
 //! deterministic regardless of worker count or scheduling.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -169,6 +169,12 @@ where
 {
     let workers = config.workers.max(1);
     let n_jobs = jobs.len();
+    let obs = crate::obsm::metrics();
+    obs.workers.set(workers as f64);
+    let obs_on = slim_obs::enabled();
+    let pool_start = Instant::now();
+    // Summed busy nanoseconds across workers, for the utilization gauge.
+    let busy_total_ns = AtomicU64::new(0);
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<PoolJob<J>>();
     let (rec_tx, rec_rx) = crossbeam::channel::unbounded::<PoolRecord<O>>();
     for job in jobs {
@@ -178,6 +184,7 @@ where
     drop(job_tx);
 
     let runner = &runner;
+    let busy_total = &busy_total_ns;
     let mut records: Vec<PoolRecord<O>> = Vec::with_capacity(n_jobs);
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
@@ -185,15 +192,32 @@ where
             let rec_tx = rec_tx.clone();
             let config = config.clone();
             scope.spawn(move |_| {
+                let mut busy = Duration::ZERO;
                 for job in job_rx.iter() {
                     if config.cancel.is_cancelled() {
                         break;
                     }
+                    if obs_on {
+                        obs.queue_wait.observe(pool_start.elapsed());
+                    }
                     let record = run_one(&job, &config, runner);
+                    let spent = Duration::from_secs_f64(record.seconds.max(0.0));
+                    busy += spent;
+                    obs.job_seconds.observe(spent);
+                    match &record.outcome {
+                        Ok(_) => obs.completed.inc(),
+                        Err(_) => obs.failed.inc(),
+                    }
+                    obs.retries.add(record.attempts.saturating_sub(1) as u64);
                     if rec_tx.send(record).is_err() {
                         break;
                     }
                 }
+                obs.worker_busy.observe(busy);
+                busy_total.fetch_add(
+                    u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
             });
         }
         drop(rec_tx);
@@ -206,6 +230,12 @@ where
         }
     })
     .expect("batch worker panicked");
+    let wall = pool_start.elapsed().as_secs_f64();
+    if wall > 0.0 {
+        let busy = busy_total_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+        obs.utilization
+            .set((busy / (workers as f64 * wall)).clamp(0.0, 1.0));
+    }
     records.sort_by_key(|r| r.id);
     records
 }

@@ -1,7 +1,11 @@
 //! Intra-gene scaling of the `slim-par` likelihood engine: evaluate the
 //! branch-site likelihood of all four Table II dataset analogs at
 //! 1/2/4/8 threads and emit `BENCH_par.json` with wall time, per-phase
-//! breakdown, and speedup per thread count.
+//! breakdown, and speedup per thread count. Each dataset also gets a
+//! short cached H1 fit whose optimizer-iteration and eigen-cache
+//! counters (read back through the `slim-obs` registry) land in the
+//! JSON, and the final registry snapshot is written to
+//! `BENCH_metrics.json`.
 //!
 //! The sweep also cross-checks the determinism contract: every thread
 //! count must produce the *bit-identical* log-likelihood (threads only
@@ -16,15 +20,58 @@
 //! ```
 
 use slim_bio::FreqModel;
+use slim_core::{Analysis, AnalysisOptions, Backend, Hypothesis};
 use slim_lik::{site_class_log_likelihoods_timed, EngineConfig, LikelihoodProblem, PhaseTiming};
 use slim_sim::{dataset, DatasetId};
 use std::time::Instant;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// A short cached H1 fit; returns the JSON fragment with optimizer and
+/// eigen-cache counters, read back as `slim-obs` registry deltas (the
+/// bench is single-threaded, so deltas are exact).
+fn fit_counters(d: &slim_sim::SimulatedDataset, quick: bool) -> String {
+    let before = slim_obs::snapshot();
+    let started = Instant::now();
+    let options = AnalysisOptions {
+        backend: Backend::SlimPlus,
+        max_iterations: if quick { 2 } else { 6 },
+        seed: 11,
+        ..AnalysisOptions::default()
+    };
+    let analysis =
+        Analysis::new(&d.tree, &d.alignment, options).expect("preset dataset is well-formed");
+    let fit = analysis.fit(Hypothesis::H1).expect("H1 fit");
+    let wall = started.elapsed().as_secs_f64();
+    let after = slim_obs::snapshot();
+    let delta = |name: &str| {
+        after
+            .counter(name)
+            .unwrap_or(0)
+            .saturating_sub(before.counter(name).unwrap_or(0))
+    };
+    let (hits, misses) = analysis.eigen_cache_stats().unwrap_or((0, 0));
+    let rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    assert!(fit.lnl.is_finite(), "fit must produce a finite lnL");
+    format!(
+        r#"{{"backend":"slim+","wall_seconds":{wall:.6},"iterations":{},"f_evals":{},"grad_evals":{},"line_search_steps":{},"cache_hits":{hits},"cache_misses":{misses},"cache_hit_rate":{rate:.4}}}"#,
+        delta("opt.iterations"),
+        delta("opt.f_evals"),
+        delta("opt.grad_evals"),
+        delta("opt.line_search_steps"),
+    )
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let reps = if quick { 1 } else { 3 };
+    // Collect registry metrics for the whole sweep; handles register
+    // lazily at first recording, so no eager registration is needed.
+    slim_obs::set_enabled(true);
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -116,8 +163,9 @@ fn main() {
                 best_timing.reduction.as_secs_f64(),
             ));
         }
+        let fit = fit_counters(&d, quick);
         dataset_rows.push(format!(
-            r#"{{"dataset":"{}","species":{species},"codons":{codons},"patterns":{},"lnl_bits_identical":true,"runs":[{}]}}"#,
+            r#"{{"dataset":"{}","species":{species},"codons":{codons},"patterns":{},"lnl_bits_identical":true,"fit":{fit},"runs":[{}]}}"#,
             id.label(),
             problem.n_patterns(),
             rows.join(",")
@@ -130,5 +178,7 @@ fn main() {
         dataset_rows.join(",")
     );
     std::fs::write("BENCH_par.json", &json).expect("cannot write BENCH_par.json");
-    println!("\nwrote BENCH_par.json");
+    std::fs::write("BENCH_metrics.json", slim_obs::snapshot().to_json())
+        .expect("cannot write BENCH_metrics.json");
+    println!("\nwrote BENCH_par.json, BENCH_metrics.json");
 }

@@ -8,9 +8,17 @@
 //! ```text
 //! slimcodeml --seq aln.fasta --tree tree.nwk [--backend slim|codeml|slim+|eq12]
 //!            [--freq f3x4|f61|f1x4|equal] [--seed N] [--max-iter N] [--scan]
+//!            [--timing] [--metrics out.json] [--metrics-format json|prom]
 //! slimcodeml batch manifest.json [--workers N] [--retries N] [--resume]
-//!            [--out PREFIX] [--timing]
+//!            [--out PREFIX] [--timing] [--metrics out.json]
 //! ```
+//!
+//! Observability: `--timing` prints a per-phase wall-clock breakdown
+//! accumulated over the whole fit, and `--metrics <path>` writes a
+//! `slim-obs` registry snapshot (JSON by default, Prometheus text with
+//! `--metrics-format prom`) covering the optimizer, likelihood engine,
+//! expm cache, and batch runner. Setting `SLIMCODEML_METRICS` to a
+//! truthy value enables collection without any flag.
 //!
 //! The `batch` subcommand drives `slim-batch`: a manifest of gene
 //! families is expanded into jobs, fanned across a worker pool with
@@ -22,8 +30,30 @@ pub mod ctl;
 use ctl::CtlMode;
 use slim_bio::{parse_newick, CodonAlignment, FreqModel, Tree};
 use slim_core::{sites_test, Analysis, AnalysisOptions, Backend};
+use slim_obs::Snapshot;
 use slim_opt::GradMode;
 use std::path::PathBuf;
+
+/// Output format of the `--metrics <path>` snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// `slimcodeml.metrics.v1` JSON document (the default).
+    #[default]
+    Json,
+    /// Prometheus text exposition.
+    Prom,
+}
+
+impl MetricsFormat {
+    /// Parse a `--metrics-format` value (`json` or `prom`).
+    pub fn from_str_opt(s: &str) -> Option<MetricsFormat> {
+        match s.to_ascii_lowercase().as_str() {
+            "json" => Some(MetricsFormat::Json),
+            "prom" | "prometheus" => Some(MetricsFormat::Prom),
+            _ => None,
+        }
+    }
+}
 
 /// Parsed command-line configuration.
 #[derive(Debug, Clone)]
@@ -42,8 +72,13 @@ pub struct CliConfig {
     /// file with `model = 0` selects M1a/M2a).
     pub mode: CtlMode,
     /// Print a per-phase wall-clock breakdown (eigen / expm / pruning /
-    /// reduction) of one likelihood evaluation at the fitted optimum.
+    /// reduction) accumulated over every likelihood evaluation of the
+    /// whole H0 + H1 fit.
     pub timing: bool,
+    /// Write a metrics snapshot to this path after the run.
+    pub metrics_path: Option<String>,
+    /// Format of the `--metrics` snapshot.
+    pub metrics_format: MetricsFormat,
 }
 
 /// Configuration of the `batch` subcommand.
@@ -61,8 +96,13 @@ pub struct BatchCliConfig {
     /// journal `<prefix>.journal.jsonl`.
     pub out_prefix: String,
     /// Include wall-clock timing (and journal provenance) in the JSON
-    /// report; off by default so output is deterministic.
+    /// report plus eigen-cache hit/miss columns in the TSV; off by
+    /// default so output is deterministic.
     pub timing: bool,
+    /// Write a metrics snapshot to this path after the run.
+    pub metrics_path: Option<String>,
+    /// Format of the `--metrics` snapshot.
+    pub metrics_format: MetricsFormat,
 }
 
 /// How the program was invoked: direct flags, a CodeML control file, or
@@ -92,6 +132,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut workers = 1usize;
     let mut mode = CtlMode::BranchSite;
     let mut timing = false;
+    let mut metrics_path = None;
+    let mut metrics_format = MetricsFormat::default();
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -144,6 +186,12 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 );
             }
             "--timing" => timing = true,
+            "--metrics" => metrics_path = Some(take_value("--metrics")?),
+            "--metrics-format" => {
+                let v = take_value("--metrics-format")?;
+                metrics_format = MetricsFormat::from_str_opt(&v)
+                    .ok_or_else(|| format!("unknown metrics format {v:?} (json|prom)"))?;
+            }
             "--sites" => mode = CtlMode::Sites,
             "--ctl" => return Ok(Invocation::Ctl(take_value("--ctl")?)),
             "--help" | "-h" => return Err(usage()),
@@ -158,6 +206,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         workers,
         mode,
         timing,
+        metrics_path,
+        metrics_format,
     })))
 }
 
@@ -168,6 +218,8 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliConfig, String> {
     let mut resume = false;
     let mut out_prefix = None;
     let mut timing = false;
+    let mut metrics_path = None;
+    let mut metrics_format = MetricsFormat::default();
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -192,6 +244,12 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliConfig, String> {
             "--resume" => resume = true,
             "--out" | "-o" => out_prefix = Some(take_value("--out")?),
             "--timing" => timing = true,
+            "--metrics" => metrics_path = Some(take_value("--metrics")?),
+            "--metrics-format" => {
+                let v = take_value("--metrics-format")?;
+                metrics_format = MetricsFormat::from_str_opt(&v)
+                    .ok_or_else(|| format!("unknown metrics format {v:?} (json|prom)"))?;
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown batch flag {other:?}\n{}", usage()));
@@ -222,7 +280,44 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliConfig, String> {
         resume,
         out_prefix,
         timing,
+        metrics_path,
+        metrics_format,
     })
+}
+
+/// Eagerly register every metric of the four instrumented layers
+/// (optimizer, likelihood engine, expm cache, batch runner), so a
+/// `--metrics` snapshot always lists the full schema even for metrics
+/// that never fired during the run.
+pub fn register_all_metrics() {
+    slim_opt::register_metrics();
+    slim_lik::register_metrics();
+    slim_expm::register_metrics();
+    slim_batch::register_metrics();
+}
+
+/// Turn metric collection on when the invocation needs it (`--timing`,
+/// `--metrics`, or the `SLIMCODEML_METRICS` env var) and return a
+/// baseline snapshot for delta reporting, or `None` when collection
+/// stays off.
+fn metrics_setup(timing: bool, metrics_path: Option<&String>) -> Option<Snapshot> {
+    let collect = timing || metrics_path.is_some() || slim_obs::enabled();
+    if !collect {
+        return None;
+    }
+    slim_obs::set_enabled(true);
+    register_all_metrics();
+    Some(slim_obs::snapshot())
+}
+
+/// Write the global registry snapshot to `path` in the requested format.
+fn write_metrics_file(path: &str, format: MetricsFormat) -> Result<(), String> {
+    let snap = slim_obs::snapshot();
+    let text = match format {
+        MetricsFormat::Json => snap.to_json(),
+        MetricsFormat::Prom => snap.to_prometheus(),
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write metrics file {path}: {e}"))
 }
 
 /// Run the `batch` subcommand: execute the manifest, write
@@ -233,6 +328,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliConfig, String> {
 /// A human-readable message on manifest/journal/IO failure. Per-job
 /// failures do not error — they are quarantined in the reports.
 pub fn run_batch(config: &BatchCliConfig) -> Result<String, String> {
+    metrics_setup(config.timing, config.metrics_path.as_ref());
     let run_config = slim_batch::RunConfig {
         workers: config.workers,
         retries: config.retries,
@@ -251,10 +347,13 @@ pub fn run_batch(config: &BatchCliConfig) -> Result<String, String> {
             config.out_prefix, config.manifest_path
         ));
     }
-    std::fs::write(&tsv_path, report.to_tsv())
+    std::fs::write(&tsv_path, report.to_tsv_with(config.timing))
         .map_err(|e| format!("cannot write {tsv_path}: {e}"))?;
     std::fs::write(&json_path, report.to_json(config.timing))
         .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+    if let Some(path) = &config.metrics_path {
+        write_metrics_file(path, config.metrics_format)?;
+    }
 
     let s = &report.summary;
     let mut out = format!(
@@ -285,43 +384,63 @@ pub fn run_batch(config: &BatchCliConfig) -> Result<String, String> {
     Ok(out)
 }
 
-/// Render the per-phase wall-clock breakdown (`--timing`) of one
-/// likelihood evaluation at the fitted optimum.
-fn timing_report(
-    analysis: &Analysis,
-    model: &slim_core::BranchSiteModel,
-    branch_lengths: &[f64],
-) -> Result<String, String> {
-    let config = analysis.options().engine_config();
-    let mut timing = slim_lik::PhaseTiming::default();
-    slim_lik::site_class_log_likelihoods_timed(
-        analysis.problem(),
-        &config,
-        model,
-        branch_lengths,
-        &mut timing,
-    )
-    .map_err(|e| e.to_string())?;
-    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
-    Ok(format!(
-        "\ntiming (one evaluation at the H1 optimum, {} thread{}):\n  \
+/// Render the per-phase wall-clock breakdown (`--timing`): the delta
+/// between the pre-fit `baseline` registry snapshot and now, i.e. the
+/// time accumulated across *every* likelihood evaluation of the H0 and
+/// H1 fits (earlier versions timed a single extra evaluation at the H1
+/// optimum; the header names the new semantics).
+fn timing_report(analysis: &Analysis, baseline: &Snapshot) -> String {
+    let after = slim_obs::snapshot();
+    let sum = |name: &str| {
+        let at = |s: &Snapshot| s.histogram(name).map_or(0.0, |h| h.sum_seconds);
+        (at(&after) - at(baseline)).max(0.0)
+    };
+    let count = |name: &str| {
+        after
+            .counter(name)
+            .unwrap_or(0)
+            .saturating_sub(baseline.counter(name).unwrap_or(0))
+    };
+    let eigen = sum("lik.phase.eigen_seconds");
+    let expm = sum("lik.phase.expm_seconds");
+    let pruning = sum("lik.phase.pruning_seconds");
+    let reduction = sum("lik.phase.reduction_seconds");
+    let threads = analysis.engine_config().resolved_threads();
+    let mut out = format!(
+        "\ntiming (cumulative over the H0 + H1 fits, {} likelihood evaluations, \
+         {} thread{}):\n  \
          eigen      {:>9.3} ms\n  \
          expm       {:>9.3} ms\n  \
          pruning    {:>9.3} ms\n  \
          reduction  {:>9.3} ms\n  \
          total      {:>9.3} ms\n",
-        config.resolved_threads(),
-        if config.resolved_threads() == 1 {
-            ""
-        } else {
-            "s"
-        },
-        ms(timing.eigen),
-        ms(timing.expm),
-        ms(timing.pruning),
-        ms(timing.reduction),
-        ms(timing.total()),
-    ))
+        count("lik.evaluations"),
+        threads,
+        if threads == 1 { "" } else { "s" },
+        eigen * 1e3,
+        expm * 1e3,
+        pruning * 1e3,
+        reduction * 1e3,
+        (eigen + expm + pruning + reduction) * 1e3,
+    );
+    match analysis.eigen_cache_stats() {
+        Some((hits, misses)) => {
+            let total = hits + misses;
+            let rate = if total > 0 {
+                hits as f64 / total as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  eigen cache: {hits} hit{} / {misses} miss{} ({:.1}% hit rate)\n",
+                if hits == 1 { "" } else { "s" },
+                if misses == 1 { "" } else { "es" },
+                rate * 100.0,
+            ));
+        }
+        None => out.push_str("  eigen cache: off (backend runs without a cache)\n"),
+    }
+    out
 }
 
 /// Usage text.
@@ -329,10 +448,13 @@ pub fn usage() -> String {
     "usage: slimcodeml --seq <aln.fasta|aln.phy> --tree <tree.nwk> \
      [--backend codeml|slim|slim+|eq12|slim-par] [--freq equal|f1x4|f3x4|f61] \
      [--seed N] [--max-iter N] [--forward-grad] [--threads N] [--timing] \
+     [--metrics <path>] [--metrics-format json|prom] \
      [--scan] [--workers N] [--sites]\n\
        or: slimcodeml --ctl <codeml.ctl>\n\
        or: slimcodeml batch <manifest.json> [--workers N] [--retries N] \
-     [--resume] [--out PREFIX] [--timing]"
+     [--resume] [--out PREFIX] [--timing] [--metrics <path>] \
+     [--metrics-format json|prom]\n\
+     (SLIMCODEML_METRICS=1 enables metric collection without flags)"
         .to_string()
 }
 
@@ -387,6 +509,20 @@ pub fn load_tree(text: &str) -> Result<Tree, String> {
 /// # Errors
 /// A human-readable message on any failure.
 pub fn run(config: &CliConfig, seq_text: &str, tree_text: &str) -> Result<String, String> {
+    let baseline = metrics_setup(config.timing, config.metrics_path.as_ref());
+    let out = run_report(config, seq_text, tree_text, baseline.as_ref())?;
+    if let Some(path) = &config.metrics_path {
+        write_metrics_file(path, config.metrics_format)?;
+    }
+    Ok(out)
+}
+
+fn run_report(
+    config: &CliConfig,
+    seq_text: &str,
+    tree_text: &str,
+    baseline: Option<&Snapshot>,
+) -> Result<String, String> {
     let aln = load_alignment_with_code(seq_text, &config.options.genetic_code)?;
     let tree = load_tree(tree_text)?;
     let mut out = String::new();
@@ -492,11 +628,8 @@ pub fn run(config: &CliConfig, seq_text: &str, tree_text: &str) -> Result<String
         result.h1.summary()
     ));
     if config.timing {
-        out.push_str(&timing_report(
-            &analysis,
-            &result.h1.model,
-            &result.h1.branch_lengths,
-        )?);
+        let baseline = baseline.expect("--timing turns metric collection on");
+        out.push_str(&timing_report(&analysis, baseline));
     }
     out.push_str(&format!(
         "LRT: 2dlnL = {:.4}, p = {:.6} ({})\n",
@@ -652,6 +785,54 @@ mod tests {
     }
 
     #[test]
+    fn batch_timing_adds_cache_columns_and_metrics() {
+        let dir = std::env::temp_dir().join(format!("slim_cli_batch_obs_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("t.nwk"), "((A:0.1,B:0.2):0.05,C:0.3);").unwrap();
+        std::fs::write(
+            dir.join("g.fasta"),
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+        )
+        .unwrap();
+        let manifest = dir.join("m.json");
+        std::fs::write(
+            &manifest,
+            r#"{"version":1,"genes":[
+                {"id":"g","alignment":"g.fasta","tree":"t.nwk","branches":["A"],"max_iterations":15}
+            ]}"#,
+        )
+        .unwrap();
+        let metrics_path = dir.join("batch.metrics.json");
+        let config = match parse_args(&args(&[
+            "batch",
+            manifest.to_str().unwrap(),
+            "--timing",
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ]))
+        .unwrap()
+        {
+            Invocation::Batch(b) => b,
+            other => panic!("{other:?}"),
+        };
+        run_batch(&config).unwrap();
+        let prefix = dir.join("m.batch");
+        let tsv = std::fs::read_to_string(format!("{}.tsv", prefix.display())).unwrap();
+        let header = tsv.lines().next().unwrap();
+        assert!(
+            header.ends_with("\tcache_hits\tcache_misses\tcache_hit_rate"),
+            "{header}"
+        );
+        let json = std::fs::read_to_string(format!("{}.json", prefix.display())).unwrap();
+        assert!(json.contains("\"cache_hit_rate\""), "{json}");
+        let snap = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(snap.contains("\"batch.jobs.completed\""), "{snap}");
+        assert!(snap.contains("\"batch.job_seconds\""), "{snap}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn scan_report_via_worker_pool() {
         let cfg = direct(
             parse_args(&args(&[
@@ -733,6 +914,117 @@ mod tests {
             assert!(report.contains(phase), "missing {phase} in: {report}");
         }
         assert!(report.contains("2 threads"), "{report}");
+        assert!(
+            report.contains("cumulative over the H0 + H1 fits"),
+            "timing header must state the cumulative semantics: {report}"
+        );
+        assert!(report.contains("likelihood evaluations"), "{report}");
+        assert!(report.contains("eigen cache:"), "{report}");
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        let c = direct(
+            parse_args(&args(&[
+                "--seq",
+                "a",
+                "--tree",
+                "t",
+                "--metrics",
+                "m.json",
+                "--metrics-format",
+                "prom",
+            ]))
+            .unwrap(),
+        );
+        assert_eq!(c.metrics_path.as_deref(), Some("m.json"));
+        assert_eq!(c.metrics_format, MetricsFormat::Prom);
+        let plain = direct(parse_args(&args(&["--seq", "a", "--tree", "t"])).unwrap());
+        assert_eq!(plain.metrics_path, None);
+        assert_eq!(plain.metrics_format, MetricsFormat::Json);
+        assert!(parse_args(&args(&[
+            "--seq",
+            "a",
+            "--tree",
+            "t",
+            "--metrics-format",
+            "xml"
+        ]))
+        .is_err());
+        match parse_args(&args(&["batch", "m.json", "--metrics", "b.prom"])).unwrap() {
+            Invocation::Batch(b) => assert_eq!(b.metrics_path.as_deref(), Some("b.prom")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_all_layers() {
+        let dir = std::env::temp_dir().join(format!("slim_cli_metrics_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.metrics.json");
+        let cfg = CliConfig {
+            metrics_path: Some(path.to_string_lossy().into_owned()),
+            ..direct(parse_args(&args(&["--seq", "-", "--tree", "-", "--max-iter", "8"])).unwrap())
+        };
+        run(
+            &cfg,
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+            "((A:0.2,B:0.2)#1:0.1,C:0.3);",
+        )
+        .unwrap();
+        let snap = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            snap.starts_with("{\"schema\":\"slimcodeml.metrics.v1\""),
+            "{snap}"
+        );
+        // One representative metric per instrumented layer; eager
+        // registration guarantees batch.* appears even in a single-gene
+        // run.
+        for key in [
+            "opt.iterations",
+            "lik.evaluations",
+            "lik.phase.eigen_seconds",
+            "expm.cache.hits",
+            "batch.jobs.completed",
+        ] {
+            assert!(
+                snap.contains(&format!("\"{key}\"")),
+                "missing {key} in {snap}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_prometheus_format() {
+        let dir = std::env::temp_dir().join(format!("slim_cli_prom_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.metrics.prom");
+        let cfg = CliConfig {
+            metrics_path: Some(path.to_string_lossy().into_owned()),
+            metrics_format: MetricsFormat::Prom,
+            ..direct(parse_args(&args(&["--seq", "-", "--tree", "-", "--max-iter", "8"])).unwrap())
+        };
+        run(
+            &cfg,
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+            "((A:0.2,B:0.2)#1:0.1,C:0.3);",
+        )
+        .unwrap();
+        let snap = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            snap.contains("# TYPE slimcodeml_opt_iterations counter"),
+            "{snap}"
+        );
+        assert!(
+            snap.contains("# TYPE slimcodeml_lik_phase_pruning_seconds histogram"),
+            "{snap}"
+        );
+        assert!(
+            snap.contains("slimcodeml_lik_phase_pruning_seconds_bucket{le=\"+Inf\"}"),
+            "{snap}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

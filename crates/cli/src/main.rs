@@ -42,6 +42,8 @@ fn main() -> ExitCode {
                     workers: 1,
                     mode: ctl.mode,
                     timing: false,
+                    metrics_path: None,
+                    metrics_format: slim_cli::MetricsFormat::Json,
                 },
                 Err(msg) => {
                     eprintln!("control file error: {msg}");

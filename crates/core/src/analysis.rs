@@ -114,6 +114,11 @@ pub struct TestResult {
 pub struct Analysis {
     problem: LikelihoodProblem,
     options: AnalysisOptions,
+    // Built once, so one eigendecomposition cache spans H0, H1 and the
+    // posterior evaluation (cache keys are exact parameter bits — sharing
+    // cannot change any value) and its hit/miss statistics describe the
+    // whole analysis.
+    engine_config: slim_lik::EngineConfig,
     init_branch_lengths: Vec<f64>,
 }
 
@@ -173,11 +178,24 @@ impl Analysis {
         for v in &mut init {
             *v = v.clamp(BL_LO * 10.0, BL_HI / 10.0);
         }
+        let engine_config = options.engine_config();
         Analysis {
             problem,
             options,
+            engine_config,
             init_branch_lengths: init,
         }
+    }
+
+    /// The engine configuration this analysis evaluates with.
+    pub fn engine_config(&self) -> &slim_lik::EngineConfig {
+        &self.engine_config
+    }
+
+    /// Cumulative (hits, misses) of the analysis's eigendecomposition
+    /// cache, or `None` for backends that run without one.
+    pub fn eigen_cache_stats(&self) -> Option<(u64, u64)> {
+        self.engine_config.eigen_cache.as_ref().map(|c| c.stats())
     }
 
     /// The underlying likelihood problem (for advanced use/benches).
@@ -201,7 +219,7 @@ impl Analysis {
     ) -> Result<f64, CoreError> {
         Ok(log_likelihood(
             &self.problem,
-            &self.options.engine_config(),
+            &self.engine_config,
             model,
             branch_lengths,
         )?)
@@ -218,12 +236,8 @@ impl Analysis {
         model: &BranchSiteModel,
         branch_lengths: &[f64],
     ) -> Result<Vec<f64>, CoreError> {
-        let value = site_class_log_likelihoods(
-            &self.problem,
-            &self.options.engine_config(),
-            model,
-            branch_lengths,
-        )?;
+        let value =
+            site_class_log_likelihoods(&self.problem, &self.engine_config, model, branch_lengths)?;
         Ok((0..self.problem.n_sites())
             .map(|s| value.per_pattern[self.problem.patterns.pattern_of_site(s)])
             .collect())
@@ -299,7 +313,7 @@ impl Analysis {
     /// [`CoreError::Optimization`] if no finite starting likelihood can be
     /// found; numerical errors propagate as [`CoreError::Linalg`].
     pub fn fit(&self, hypothesis: Hypothesis) -> Result<Fit, CoreError> {
-        let config = self.options.engine_config();
+        let config = &self.engine_config;
         let transform = self.transform(hypothesis);
         let x0 = self.start_vector(hypothesis);
         let z0 = transform.to_unconstrained(&x0);
@@ -308,7 +322,7 @@ impl Analysis {
         let objective = |z: &[f64]| -> f64 {
             let x = transform.to_constrained(z);
             let (model, bl) = self.unpack(&x);
-            match log_likelihood(problem, &config, &model, &bl) {
+            match log_likelihood(problem, config, &model, &bl) {
                 Ok(lnl) if lnl.is_finite() => -lnl,
                 _ => f64::INFINITY,
             }
@@ -361,7 +375,7 @@ impl Analysis {
 
         let value = site_class_log_likelihoods(
             &self.problem,
-            &self.options.engine_config(),
+            &self.engine_config,
             &h1.model,
             &h1.branch_lengths,
         )?;

@@ -34,6 +34,7 @@ pub struct EigenCache {
     // several threads at once, and the counters must not serialize it.
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl EigenCache {
@@ -41,11 +42,13 @@ impl EigenCache {
     /// cleared wholesale when full — parameter trajectories revisit few
     /// distinct values, so LRU machinery is not worth its overhead).
     pub fn new(capacity: usize) -> EigenCache {
+        crate::obsm::metrics().capacity.set(capacity.max(1) as f64);
         EigenCache {
             map: Mutex::new(HashMap::new()),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -68,15 +71,21 @@ impl EigenCache {
         };
         if let Some(found) = self.map.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            crate::obsm::metrics().hits.inc();
             return Ok(found);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::obsm::metrics().misses.inc();
         let es = Arc::new(EigenSystem::from_rate_matrix(rm, method)?);
         let mut map = self.map.lock();
         if map.len() >= self.capacity {
+            self.evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
+            crate::obsm::metrics().evictions.add(map.len() as u64);
             map.clear();
         }
         map.insert(key, es.clone());
+        crate::obsm::metrics().occupancy.set(map.len() as f64);
         Ok(es)
     }
 
@@ -87,6 +96,18 @@ impl EigenCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Entries evicted so far by wholesale capacity clears.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hits / (hits + misses), or `None` before any access.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let (hits, misses) = self.stats();
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
     }
 
     /// Drop all cached decompositions.
@@ -161,6 +182,21 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(hits, 0);
         assert_eq!(misses, 3);
+        // Each of the two wholesale clears dropped one resident entry.
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn hit_rate_reflects_stats() {
+        let cache = EigenCache::new(16);
+        assert_eq!(cache.hit_rate(), None);
+        let m = rm(0.5);
+        for _ in 0..4 {
+            let _ = cache
+                .get_or_compute(2.0, 0.5, &m, EigenMethod::HouseholderQl)
+                .unwrap();
+        }
+        assert_eq!(cache.hit_rate(), Some(0.75));
     }
 
     #[test]

@@ -29,9 +29,11 @@
 mod cache;
 pub mod cpv;
 mod eigensystem;
+mod obsm;
 mod taylor;
 
 pub use cache::EigenCache;
 pub use cpv::{CpvScratch, CpvStrategy, SymTransition};
 pub use eigensystem::EigenSystem;
+pub use obsm::register_metrics;
 pub use taylor::expm_taylor;

@@ -1,0 +1,39 @@
+//! slim-obs handles for the expm layer.
+//!
+//! Handles are resolved once per process; `EigenCache` hot paths then
+//! touch only the cached `Arc`s (relaxed atomics, no registry lock).
+
+use slim_obs::{Counter, Gauge};
+use std::sync::{Arc, OnceLock};
+
+#[derive(Debug)]
+pub(crate) struct ExpmMetrics {
+    /// `expm.cache.hits` — eigendecomposition cache hits.
+    pub hits: Arc<Counter>,
+    /// `expm.cache.misses` — cache misses (fresh decompositions).
+    pub misses: Arc<Counter>,
+    /// `expm.cache.evictions` — entries dropped by wholesale clears.
+    pub evictions: Arc<Counter>,
+    /// `expm.cache.occupancy` — entries resident after the last insert.
+    pub occupancy: Arc<Gauge>,
+    /// `expm.cache.capacity` — configured capacity of the last cache built.
+    pub capacity: Arc<Gauge>,
+}
+
+static M: OnceLock<ExpmMetrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static ExpmMetrics {
+    M.get_or_init(|| ExpmMetrics {
+        hits: slim_obs::counter("expm.cache.hits"),
+        misses: slim_obs::counter("expm.cache.misses"),
+        evictions: slim_obs::counter("expm.cache.evictions"),
+        occupancy: slim_obs::gauge("expm.cache.occupancy"),
+        capacity: slim_obs::gauge("expm.cache.capacity"),
+    })
+}
+
+/// Eagerly register every expm metric name so snapshots are
+/// schema-stable even before the first cache access.
+pub fn register_metrics() {
+    let _ = metrics();
+}

@@ -29,12 +29,14 @@ pub mod ancestral;
 pub mod branch_model;
 mod engine;
 pub mod m0;
+mod obsm;
 mod par;
 mod problem;
 mod pruning;
 pub mod site_models;
 
 pub use engine::{EngineConfig, ExpmPath, DEFAULT_PATTERN_BLOCK};
+pub use obsm::register_metrics;
 pub use par::PhaseTiming;
 pub use problem::LikelihoodProblem;
 pub use pruning::{

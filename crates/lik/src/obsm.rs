@@ -1,0 +1,50 @@
+//! slim-obs handles for the likelihood engine.
+//!
+//! One `OnceLock`-cached struct of `Arc` handles: the evaluation hot path
+//! records through relaxed atomics and never touches the registry lock.
+
+use slim_obs::{Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+#[derive(Debug)]
+pub(crate) struct LikMetrics {
+    /// `lik.evaluations` — full likelihood evaluations run.
+    pub evaluations: Arc<Counter>,
+    /// `lik.pruning.units` — (site class × pattern block) units pruned.
+    pub units: Arc<Counter>,
+    /// `lik.phase.eigen_seconds` — §III-A steps 1–2 per evaluation.
+    pub eigen: Arc<Histogram>,
+    /// `lik.phase.expm_seconds` — transition-operator reconstruction.
+    pub expm: Arc<Histogram>,
+    /// `lik.phase.pruning_seconds` — Felsenstein pruning (wall clock).
+    pub pruning: Arc<Histogram>,
+    /// `lik.phase.reduction_seconds` — serial class mixing + total.
+    pub reduction: Arc<Histogram>,
+    /// `lik.pruning.worker_busy_seconds` — per-worker time inside
+    /// `prune_block` (one observation per worker per evaluation), so the
+    /// spread shows pruning load balance.
+    pub worker_busy: Arc<Histogram>,
+    /// `lik.threads` — resolved thread count of the last evaluation.
+    pub threads: Arc<Gauge>,
+}
+
+static M: OnceLock<LikMetrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static LikMetrics {
+    M.get_or_init(|| LikMetrics {
+        evaluations: slim_obs::counter("lik.evaluations"),
+        units: slim_obs::counter("lik.pruning.units"),
+        eigen: slim_obs::histogram("lik.phase.eigen_seconds"),
+        expm: slim_obs::histogram("lik.phase.expm_seconds"),
+        pruning: slim_obs::histogram("lik.phase.pruning_seconds"),
+        reduction: slim_obs::histogram("lik.phase.reduction_seconds"),
+        worker_busy: slim_obs::histogram("lik.pruning.worker_busy_seconds"),
+        threads: slim_obs::gauge("lik.threads"),
+    })
+}
+
+/// Eagerly register every likelihood-engine metric name so snapshots are
+/// schema-stable even before the first evaluation.
+pub fn register_metrics() {
+    let _ = metrics();
+}

@@ -91,6 +91,9 @@ pub(crate) fn evaluate(
     );
     let n_pat = problem.n_patterns();
     let threads = config.resolved_threads().max(1);
+    let obs = crate::obsm::metrics();
+    obs.evaluations.inc();
+    obs.threads.set(threads as f64);
 
     // --- Phase 1: rate matrices + eigendecompositions, one per distinct
     // ω. All classes share one rate scale (the background mixture
@@ -123,8 +126,10 @@ pub(crate) fn evaluate(
             .map(|&omega| eigen_for(problem, config, model.kappa, omega, scale))
             .collect::<Result<Vec<_>, _>>()?
     };
+    let elapsed = start.elapsed();
+    obs.eigen.observe(elapsed);
     if let Some(t) = timing.as_deref_mut() {
-        t.eigen += start.elapsed();
+        t.eigen += elapsed;
     }
 
     // --- Phase 2: transition operators per (branch, needed ω). ---
@@ -174,8 +179,10 @@ pub(crate) fn evaluate(
     for (&(node, w, _), op) in items.iter().zip(built) {
         ops[node][w] = op;
     }
+    let elapsed = start.elapsed();
+    obs.expm.observe(elapsed);
     if let Some(t) = timing.as_deref_mut() {
-        t.expm += start.elapsed();
+        t.expm += elapsed;
     }
 
     // --- Phase 3: pruning over (site class × pattern block) units. ---
@@ -213,7 +220,11 @@ pub(crate) fn evaluate(
             lo += len;
         }
     }
+    obs.units.add(units.len() as u64);
     let prune_threads = threads.min(units.len()).max(1);
+    // Per-worker busy time is only clocked while collection is on, so the
+    // disabled path takes no Instant reads per unit.
+    let obs_on = slim_obs::enabled();
     if prune_threads >= 2 {
         let (tx, rx) = crossbeam::channel::unbounded::<Unit>();
         for unit in units {
@@ -227,25 +238,37 @@ pub(crate) fn evaluate(
                 let rx = rx.clone();
                 scope.spawn(move |_| {
                     let mut ws = PruneWorkspace::new();
+                    let mut busy = Duration::ZERO;
                     while let Ok(unit) = rx.recv() {
+                        let t0 = obs_on.then(Instant::now);
                         prune_block(
                             problem, config, ops, unit.bg, unit.fg, unit.lo, unit.out, &mut ws,
                         );
+                        if let Some(t0) = t0 {
+                            busy += t0.elapsed();
+                        }
                     }
+                    obs.worker_busy.observe(busy);
                 });
             }
         })
         .expect("pruning scope");
     } else {
         let mut ws = PruneWorkspace::new();
+        let t0 = obs_on.then(Instant::now);
         for unit in units {
             prune_block(
                 problem, config, &ops, unit.bg, unit.fg, unit.lo, unit.out, &mut ws,
             );
         }
+        if let Some(t0) = t0 {
+            obs.worker_busy.observe(t0.elapsed());
+        }
     }
+    let elapsed = start.elapsed();
+    obs.pruning.observe(elapsed);
     if let Some(t) = timing.as_deref_mut() {
-        t.pruning += start.elapsed();
+        t.pruning += elapsed;
     }
 
     // --- Phase 4: mix classes per pattern (log-sum-exp), then the
@@ -286,8 +309,10 @@ pub(crate) fn evaluate(
         acc.add(problem.patterns.weight(p) * value);
     }
     let lnl = acc.total();
+    let elapsed = start.elapsed();
+    obs.reduction.observe(elapsed);
     if let Some(t) = timing {
-        t.reduction += start.elapsed();
+        t.reduction += elapsed;
     }
 
     Ok(LikelihoodValue {

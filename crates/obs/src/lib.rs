@@ -1,0 +1,80 @@
+//! # slim-obs
+//!
+//! A unified observability substrate for the SlimCodeML reproduction —
+//! the measurement layer the paper itself started from (its entire
+//! optimization story begins with a gprof profile of CodeML, §II,
+//! Table I). The optimizer, the likelihood engine, the
+//! eigendecomposition cache and the batch runner all record into one
+//! process-wide registry; the CLI renders it as the `--timing` report, a
+//! `--metrics out.json` snapshot, or Prometheus text exposition.
+//!
+//! ## Design constraints
+//!
+//! * **Dependency-free.** Only `std`; safe to pull into any crate in the
+//!   workspace, including the otherwise dependency-free `slim-opt`.
+//! * **Near-zero cost when disabled.** Every record operation checks one
+//!   static [`enabled`] flag (a relaxed atomic load) and returns. No
+//!   allocation happens on any hot path: metric handles are registered
+//!   once (cold, behind a mutex) and then touched only through relaxed
+//!   atomics.
+//! * **Never perturbs numerics.** Instrumentation only *observes* —
+//!   log-likelihoods are bit-identical with metrics on and off, which
+//!   the `metrics_identity` test layer locks down.
+//!
+//! ## Naming and hierarchy
+//!
+//! Metric names are dotted paths (`lik.phase.eigen_seconds`,
+//! `expm.cache.hits`): the dots express the span/metric hierarchy, so a
+//! sorted snapshot groups each subsystem's metrics together and a
+//! Prometheus scrape maps them to `slimcodeml_lik_phase_eigen_seconds`
+//! etc. Span guards ([`Histogram::span`]) nest freely — a `lik.phase.*`
+//! span running inside an `opt.fit_seconds` span is the intended shape.
+//!
+//! ## Enabling collection
+//!
+//! Collection is off by default. It turns on when
+//! * the `SLIMCODEML_METRICS` environment variable is set to anything
+//!   but `0` / `false` / empty (read once, at first use), or
+//! * a front end calls [`set_enabled`]`(true)` — the CLI does this for
+//!   `--timing` and `--metrics`.
+
+mod metrics;
+mod registry;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, SpanGuard, HIST_BUCKETS};
+pub use registry::{counter, gauge, global, histogram, reset, snapshot, Registry, Snapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+/// Fold the `SLIMCODEML_METRICS` environment variable into the flag,
+/// exactly once per process; later [`set_enabled`] calls override it.
+fn sync_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("SLIMCODEML_METRICS") {
+            let v = v.trim();
+            if !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false") {
+                ENABLED.store(true, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Is collection on? One relaxed load — the gate every record operation
+/// takes first.
+#[inline]
+pub fn enabled() -> bool {
+    sync_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off for the whole process (the library-API
+/// mirror of the CLI's `--metrics`/`--timing` flags and the
+/// `SLIMCODEML_METRICS` environment variable).
+pub fn set_enabled(on: bool) {
+    sync_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}

@@ -87,9 +87,12 @@ fn inf_norm(a: &[f64]) -> f64 {
 /// `x0` (callers use [`crate::transform`] to keep model parameters in
 /// their domains); non-finite values are treated as +∞ by the line search.
 pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) -> BfgsResult {
+    let fit_start = std::time::Instant::now();
     let n = x0.len();
     let f_cell = std::cell::RefCell::new(f);
     let evals_cell = std::cell::Cell::new(0usize);
+    let grads_cell = std::cell::Cell::new(0usize);
+    let ls_cell = std::cell::Cell::new(0usize);
     let eval = |x: &[f64]| -> f64 {
         evals_cell.set(evals_cell.get() + 1);
         let v = (f_cell.borrow_mut())(x);
@@ -100,6 +103,7 @@ pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) ->
         }
     };
     let gradient = |x: &[f64], fx: f64| -> Vec<f64> {
+        grads_cell.set(grads_cell.get() + 1);
         match opts.grad_mode {
             GradMode::Central => central_gradient(&eval, x),
             GradMode::Forward => forward_gradient(&eval, x, fx),
@@ -160,6 +164,7 @@ pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) ->
         let mut accepted = false;
         let mut f_new = fx;
         for _ in 0..opts.max_backtracks {
+            ls_cell.set(ls_cell.get() + 1);
             for i in 0..n {
                 trial[i] = x[i] + alpha * d[i];
             }
@@ -215,6 +220,14 @@ pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) ->
             break;
         }
     }
+
+    let m = crate::obsm::metrics();
+    m.fits.inc();
+    m.iterations.add(iterations as u64);
+    m.f_evals.add(evals_cell.get() as u64);
+    m.grad_evals.add(grads_cell.get() as u64);
+    m.line_search_steps.add(ls_cell.get() as u64);
+    m.fit_seconds.observe(fit_start.elapsed());
 
     BfgsResult {
         x,

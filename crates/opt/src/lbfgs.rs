@@ -26,9 +26,12 @@ fn inf_norm(a: &[f64]) -> f64 {
 /// Minimize `f` from `x0` with L-BFGS, reusing [`BfgsOptions`] (the
 /// `max_backtracks`, tolerance and gradient-mode knobs mean the same).
 pub fn minimize_lbfgs(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) -> BfgsResult {
+    let fit_start = std::time::Instant::now();
     let n = x0.len();
     let f_cell = std::cell::RefCell::new(f);
     let evals_cell = std::cell::Cell::new(0usize);
+    let grads_cell = std::cell::Cell::new(0usize);
+    let ls_cell = std::cell::Cell::new(0usize);
     let eval = |x: &[f64]| -> f64 {
         evals_cell.set(evals_cell.get() + 1);
         let v = (f_cell.borrow_mut())(x);
@@ -39,6 +42,7 @@ pub fn minimize_lbfgs(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptio
         }
     };
     let gradient = |x: &[f64], fx: f64| -> Vec<f64> {
+        grads_cell.set(grads_cell.get() + 1);
         match opts.grad_mode {
             GradMode::Central => central_gradient(&eval, x),
             GradMode::Forward => forward_gradient(&eval, x, fx),
@@ -107,6 +111,7 @@ pub fn minimize_lbfgs(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptio
         let mut accepted = false;
         let mut f_new = fx;
         for _ in 0..opts.max_backtracks {
+            ls_cell.set(ls_cell.get() + 1);
             for i in 0..n {
                 trial[i] = x[i] + alpha * d[i];
             }
@@ -149,6 +154,14 @@ pub fn minimize_lbfgs(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptio
             break;
         }
     }
+
+    let m = crate::obsm::metrics();
+    m.fits.inc();
+    m.iterations.add(iterations as u64);
+    m.f_evals.add(evals_cell.get() as u64);
+    m.grad_evals.add(grads_cell.get() as u64);
+    m.line_search_steps.add(ls_cell.get() as u64);
+    m.fit_seconds.observe(fit_start.elapsed());
 
     BfgsResult {
         x,

@@ -17,10 +17,12 @@ pub mod bfgs;
 pub mod brent;
 pub mod lbfgs;
 pub mod numgrad;
+mod obsm;
 pub mod transform;
 
 pub use bfgs::{minimize, BfgsOptions, BfgsResult, TerminationReason};
 pub use brent::brent_min;
 pub use lbfgs::minimize_lbfgs;
 pub use numgrad::{central_gradient, forward_gradient, GradMode};
+pub use obsm::register_metrics;
 pub use transform::{Block, BlockTransform};

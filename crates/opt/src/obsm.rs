@@ -1,0 +1,44 @@
+//! slim-obs handles for the optimizers.
+//!
+//! Both [`crate::minimize`] and [`crate::minimize_lbfgs`] record into the
+//! same `opt.*` family — the paper's Table III currency (iterations,
+//! evaluations) plus per-fit wall time.
+
+use slim_obs::{Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+#[derive(Debug)]
+pub(crate) struct OptMetrics {
+    /// `opt.fits` — minimization runs completed.
+    pub fits: Arc<Counter>,
+    /// `opt.iterations` — quasi-Newton iterations across all fits.
+    pub iterations: Arc<Counter>,
+    /// `opt.f_evals` — objective evaluations, incl. finite differences.
+    pub f_evals: Arc<Counter>,
+    /// `opt.grad_evals` — gradient evaluations (each costs n or 2n
+    /// objective calls depending on the finite-difference mode).
+    pub grad_evals: Arc<Counter>,
+    /// `opt.line_search_steps` — Armijo backtracking trials.
+    pub line_search_steps: Arc<Counter>,
+    /// `opt.fit_seconds` — wall time per minimization run.
+    pub fit_seconds: Arc<Histogram>,
+}
+
+static M: OnceLock<OptMetrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static OptMetrics {
+    M.get_or_init(|| OptMetrics {
+        fits: slim_obs::counter("opt.fits"),
+        iterations: slim_obs::counter("opt.iterations"),
+        f_evals: slim_obs::counter("opt.f_evals"),
+        grad_evals: slim_obs::counter("opt.grad_evals"),
+        line_search_steps: slim_obs::counter("opt.line_search_steps"),
+        fit_seconds: slim_obs::histogram("opt.fit_seconds"),
+    })
+}
+
+/// Eagerly register every optimizer metric name so snapshots are
+/// schema-stable even before the first fit.
+pub fn register_metrics() {
+    let _ = metrics();
+}

@@ -20,6 +20,7 @@
 //! | [`sim`] | `slim-sim` | Yule trees, BSM sequence simulation, Table II presets |
 //! | [`core`] | `slim-core` | the public `Analysis` API |
 //! | [`batch`] | `slim-batch` | multi-gene batch runs: manifest, worker pool, checkpoint/resume |
+//! | [`obs`] | `slim-obs` | metrics registry: counters, gauges, histograms, span timers |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@ pub use slim_expm as expm;
 pub use slim_lik as lik;
 pub use slim_linalg as linalg;
 pub use slim_model as model;
+pub use slim_obs as obs;
 pub use slim_opt as opt;
 pub use slim_sim as sim;
 pub use slim_stat as stat;
