@@ -148,7 +148,10 @@ where
         // Re-key against the current expansion: ids are reassigned from
         // the manifest (same fingerprint ⇒ same expansion), stray keys
         // are dropped.
-        let id_of: std::collections::HashMap<&str, usize> =
+        // BTreeMap, not HashMap: nothing here iterates, but keeping the
+        // journal/aggregation paths hash-free makes the determinism
+        // contract auditable at a glance (slim-check det-hash-iter).
+        let id_of: std::collections::BTreeMap<&str, usize> =
             jobs.iter().map(|j| (j.key.as_str(), j.id)).collect();
         for mut rec in loaded {
             if let Some(&id) = id_of.get(rec.key.as_str()) {
@@ -164,7 +167,8 @@ where
         JournalWriter::create(&config.journal_path, fingerprint)?
     };
 
-    let done_keys: std::collections::HashSet<&str> = prior.iter().map(|r| r.key.as_str()).collect();
+    let done_keys: std::collections::BTreeSet<&str> =
+        prior.iter().map(|r| r.key.as_str()).collect();
     let to_run: Vec<PoolJob<JobPayload>> = jobs
         .into_iter()
         .filter(|j| !done_keys.contains(j.key.as_str()))

@@ -198,7 +198,7 @@ impl BatchManifest {
 
         let defaults = AnalysisOptions::default();
         let mut entries = Vec::with_capacity(genes.len());
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (i, g) in genes.iter().enumerate() {
             let ctx = format!("genes[{i}]");
             check_keys(g, &ENTRY_KEYS, &ctx)?;

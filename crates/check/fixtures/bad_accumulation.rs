@@ -1,0 +1,41 @@
+//@ path: crates/linalg/src/fixture.rs
+// Known-bad float-accumulation snippets for the lik/linalg scope.
+
+fn naive_total(xs: &[f64]) -> f64 {
+    xs.iter().sum() //~ det-float-accum
+}
+
+fn naive_loop(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x; //~ det-float-accum
+    }
+    acc
+}
+
+fn turbofish(xs: &[f64]) -> f64 {
+    xs.iter().copied().sum::<f64>() //~ det-float-accum
+}
+
+fn product_too(xs: &[f64]) -> f64 {
+    xs.iter().product() //~ det-float-accum
+}
+
+fn integer_counters_are_fine(xs: &[f64]) -> usize {
+    let mut n = 0;
+    for x in xs {
+        if *x > 0.0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn waived_ordered(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        // check: allow(det-float-accum) fixed-order loop, order is part of the contract
+        acc += x;
+    }
+    acc
+}

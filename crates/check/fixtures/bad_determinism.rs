@@ -1,0 +1,29 @@
+//@ path: crates/batch/src/fixture.rs
+// Known-bad determinism snippets for the output-path rules.
+
+use std::collections::HashMap; //~ det-hash-iter
+
+fn aggregate(records: &[(String, f64)]) -> HashMap<String, f64> { //~ det-hash-iter
+    let mut out = HashMap::new(); //~ det-hash-iter
+    for (k, v) in records {
+        out.insert(k.clone(), *v);
+    }
+    out
+}
+
+fn compare(total: f64) -> bool {
+    total == 0.0 //~ det-float-cmp
+}
+
+fn compare_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() // bitwise comparison is the sanctioned form
+}
+
+fn threshold(x: f64) -> bool {
+    x <= 1e-100 // ordered comparisons are fine
+}
+
+// check: allow(det-hash-iter) lookup-only set, never iterated for output
+fn waived_lookup(done: &std::collections::HashSet<u32>, k: u32) -> bool {
+    done.contains(&k)
+}

@@ -1,0 +1,50 @@
+//@ path: crates/lik/src/fixture.rs
+// Known-bad robustness snippets. A tilde marker naming a rule flags the
+// line's expected diagnostic; the fixture harness cross-checks markers
+// against the scanner's output in both directions.
+
+fn lookup(map: &std::collections::BTreeMap<u32, f64>, k: u32) -> f64 {
+    *map.get(&k).unwrap() //~ rob-unwrap
+}
+
+fn demand(opt: Option<f64>) -> f64 {
+    opt.expect("value must be present") //~ rob-unwrap
+}
+
+fn bail() {
+    panic!("cannot continue"); //~ rob-unwrap
+}
+
+fn later() {
+    todo!() //~ rob-unwrap
+}
+
+fn reinterpret(bits: u64) -> f64 {
+    unsafe { std::mem::transmute(bits) } //~ rob-safety
+}
+
+// SAFETY: same-width plain-old-data transmute, no invalid bit patterns.
+fn reinterpret_documented(bits: u64) -> f64 {
+    unsafe { std::mem::transmute(bits) }
+}
+
+fn waived(opt: Option<f64>) -> f64 {
+    // check: allow(rob-unwrap) fixture demonstrates a waiver with a reason
+    opt.unwrap()
+}
+
+fn waived_inline(opt: Option<f64>) -> f64 {
+    opt.unwrap() // check: allow(rob-unwrap) trailing-comment waiver form
+}
+
+fn fallback(opt: Option<bool>) -> bool {
+    opt.unwrap_or(false) // unwrap_or is fine: no panic path
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_anything_goes() {
+        None::<f64>.unwrap();
+        panic!("test-only");
+    }
+}

@@ -1,0 +1,242 @@
+//! The ratchet baseline: committed per-(rule, file) violation counts.
+//!
+//! The driver compares the current scan against `check_baseline.json`.
+//! A file whose count for a rule *exceeds* its baseline fails the run;
+//! a file that *improved* is reported so the baseline can be tightened
+//! with `--update-baseline`. Debt can only go down.
+//!
+//! The format is deliberately tiny so it can be parsed without a JSON
+//! dependency:
+//!
+//! ```json
+//! {
+//!   "slim_check_baseline": 1,
+//!   "counts": {
+//!     "det-float-accum": { "crates/linalg/src/ql.rs": 12 }
+//!   }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::rules::Diagnostic;
+
+/// `rule name -> path -> allowed violation count`.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Collapse diagnostics to per-(rule, file) counts.
+pub fn tally(diags: &[Diagnostic]) -> Counts {
+    let mut counts: Counts = BTreeMap::new();
+    for d in diags {
+        *counts
+            .entry(d.rule.name().to_string())
+            .or_default()
+            .entry(d.path.clone())
+            .or_default() += 1;
+    }
+    counts
+}
+
+/// Serialize counts in the committed baseline format (sorted, stable).
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from("{\n  \"slim_check_baseline\": 1,\n  \"counts\": {");
+    let mut first_rule = true;
+    for (rule, files) in counts {
+        if files.is_empty() {
+            continue;
+        }
+        if !first_rule {
+            out.push(',');
+        }
+        first_rule = false;
+        out.push_str(&format!("\n    \"{rule}\": {{"));
+        let mut first_file = true;
+        for (path, n) in files {
+            if !first_file {
+                out.push(',');
+            }
+            first_file = false;
+            out.push_str(&format!("\n      \"{path}\": {n}"));
+        }
+        out.push_str("\n    }");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Parse the baseline format. Returns an error string on malformed
+/// input; an empty or missing file is an empty baseline.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts: Counts = BTreeMap::new();
+    if text.trim().is_empty() {
+        return Ok(counts);
+    }
+    if !text.contains("\"slim_check_baseline\"") {
+        return Err("missing \"slim_check_baseline\" version key".to_string());
+    }
+    // Walk `"key": value` pairs; a pair whose value opens `{` starts a
+    // rule section, a numeric pair inside a section is a file count.
+    let mut current_rule: Option<String> = None;
+    let mut rest = text;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let Some(close) = after.find('"') else {
+            return Err("unterminated string in baseline".to_string());
+        };
+        let key = &after[..close];
+        let tail = after[close + 1..].trim_start();
+        let Some(tail) = tail.strip_prefix(':') else {
+            rest = &after[close + 1..];
+            continue;
+        };
+        let tail = tail.trim_start();
+        if tail.starts_with('{') {
+            if key != "counts" {
+                current_rule = Some(key.to_string());
+                counts.entry(key.to_string()).or_default();
+            }
+        } else if tail.starts_with(|c: char| c.is_ascii_digit()) {
+            let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+            let n: usize = digits.parse().map_err(|_| format!("bad count for {key}"))?;
+            if key == "slim_check_baseline" {
+                if n != 1 {
+                    return Err(format!("unsupported baseline version {n}"));
+                }
+            } else if let Some(rule) = &current_rule {
+                counts
+                    .entry(rule.clone())
+                    .or_default()
+                    .insert(key.to_string(), n);
+            } else {
+                return Err(format!("file count `{key}` outside a rule section"));
+            }
+        }
+        rest = &after[close + 1..];
+    }
+    counts.retain(|_, files| !files.is_empty());
+    Ok(counts)
+}
+
+/// One line of the ratchet comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delta {
+    /// More violations than the baseline allows — fails the run.
+    Regression {
+        rule: String,
+        path: String,
+        baseline: usize,
+        current: usize,
+    },
+    /// Fewer violations than the baseline records — tighten it.
+    Improvement {
+        rule: String,
+        path: String,
+        baseline: usize,
+        current: usize,
+    },
+}
+
+/// Compare a scan against the baseline.
+pub fn compare(baseline: &Counts, current: &Counts) -> Vec<Delta> {
+    let mut out = Vec::new();
+    let empty = BTreeMap::new();
+    let mut rules: Vec<&String> = baseline.keys().chain(current.keys()).collect();
+    rules.sort();
+    rules.dedup();
+    for rule in rules {
+        let base_files = baseline.get(rule).unwrap_or(&empty);
+        let cur_files = current.get(rule).unwrap_or(&empty);
+        let mut paths: Vec<&String> = base_files.keys().chain(cur_files.keys()).collect();
+        paths.sort();
+        paths.dedup();
+        for path in paths {
+            let b = base_files.get(path).copied().unwrap_or(0);
+            let c = cur_files.get(path).copied().unwrap_or(0);
+            if c > b {
+                out.push(Delta::Regression {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    baseline: b,
+                    current: c,
+                });
+            } else if c < b {
+                out.push(Delta::Improvement {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    baseline: b,
+                    current: c,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, usize)]) -> Counts {
+        let mut c = Counts::new();
+        for (rule, path, n) in entries {
+            c.entry(rule.to_string())
+                .or_default()
+                .insert(path.to_string(), *n);
+        }
+        c
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let c = counts(&[
+            ("det-float-accum", "crates/linalg/src/ql.rs", 12),
+            ("det-float-accum", "crates/lik/src/par.rs", 1),
+            ("rob-unwrap", "crates/lik/src/pruning.rs", 3),
+        ]);
+        let text = render(&c);
+        assert_eq!(parse(&text).unwrap(), c);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert!(parse("").unwrap().is_empty());
+        let rendered = render(&Counts::new());
+        assert!(parse(&rendered).unwrap().is_empty());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let text = "{\n  \"slim_check_baseline\": 2,\n  \"counts\": {}\n}\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn compare_finds_regressions_and_improvements() {
+        let base = counts(&[("rob-unwrap", "a.rs", 2), ("rob-unwrap", "b.rs", 1)]);
+        let cur = counts(&[("rob-unwrap", "a.rs", 3)]);
+        let deltas = compare(&base, &cur);
+        assert_eq!(
+            deltas,
+            vec![
+                Delta::Regression {
+                    rule: "rob-unwrap".into(),
+                    path: "a.rs".into(),
+                    baseline: 2,
+                    current: 3,
+                },
+                Delta::Improvement {
+                    rule: "rob-unwrap".into(),
+                    path: "b.rs".into(),
+                    baseline: 1,
+                    current: 0,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn new_file_is_a_regression() {
+        let deltas = compare(&Counts::new(), &counts(&[("det-float-cmp", "new.rs", 1)]));
+        assert!(matches!(deltas[0], Delta::Regression { .. }));
+    }
+}

@@ -1,0 +1,336 @@
+//! Source preparation: blank out comments and literal contents, track
+//! `#[cfg(test)]` regions.
+//!
+//! The rule matchers work on *blanked* lines — comments replaced by
+//! spaces and string/char literal contents replaced by spaces (the
+//! delimiting quotes survive) — so `// no unwrap() here` or
+//! `"HashMap"` in a message can never trip a lint. Waiver comments are
+//! read from the *raw* lines, because waivers live in comments.
+
+/// One source line, prepared for rule matching.
+#[derive(Debug, Clone)]
+pub struct PreparedLine {
+    /// The line with comments and literal contents blanked to spaces.
+    pub code: String,
+    /// The original line, used for waiver-comment detection and excerpts.
+    pub raw: String,
+    /// True when the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Lexer mode while walking the file character by character.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string `r##"…"##`; the payload is the number of `#`s.
+    RawStr(u32),
+    Char,
+}
+
+/// Blank comments and literal contents, preserving line structure.
+fn blank(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    let (hashes, consumed) = raw_string_open(&chars, i);
+                    mode = Mode::RawStr(hashes);
+                    for _ in 0..consumed {
+                        out.push(' ');
+                    }
+                    out.pop();
+                    out.push('"');
+                    i += consumed;
+                }
+                '\'' => {
+                    // Distinguish a char literal from a lifetime: a char
+                    // literal closes with `'` within a few characters; a
+                    // lifetime (`'a`, `'static`) never closes.
+                    if is_char_literal(&chars, i) {
+                        mode = Mode::Char;
+                        out.push('\'');
+                        i += 1;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            Mode::LineComment => {
+                if c == '\n' {
+                    mode = Mode::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    mode = Mode::Code;
+                    out.push('"');
+                    i += 1;
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    mode = Mode::Code;
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            Mode::Char => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '\'' => {
+                    mode = Mode::Code;
+                    out.push('\'');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    out
+}
+
+/// Does a raw (byte) string literal start at `i`? Accepts `r"`, `r#"`,
+/// `br"`, `br#"` with any number of `#`s.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    // Identifiers like `raw` or `br` must not match: the char before `i`
+    // must not be part of an identifier.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Length of the raw-string opener at `i` and its `#` count.
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j + 1 - i) // including the opening quote
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` trailing `#`s?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Is the `'` at `i` a char literal (vs a lifetime)?
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,                         // '\n', '\''
+        Some(_) => chars.get(i + 2) == Some(&'\''), // 'x'
+        None => false,
+    }
+}
+
+/// Prepare a source file: blank literals/comments and mark test regions.
+pub fn prepare(source: &str) -> Vec<PreparedLine> {
+    let blanked = blank(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code_lines: Vec<&str> = blanked.lines().collect();
+
+    let mut out = Vec::with_capacity(raw_lines.len());
+    let mut depth: i64 = 0;
+    // Brace depths at which `#[cfg(test)]` regions opened.
+    let mut test_regions: Vec<i64> = Vec::new();
+    // A `#[cfg(test)]` attribute seen, waiting for the item's `{`.
+    let mut pending_cfg_test = false;
+
+    for (idx, code) in code_lines.iter().enumerate() {
+        let mut in_test = !test_regions.is_empty();
+        if code.contains("cfg(test)") || code.contains("cfg(all(test") {
+            pending_cfg_test = true;
+            in_test = true; // the attribute line itself is test-only
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_cfg_test {
+                        test_regions.push(depth);
+                        pending_cfg_test = false;
+                        in_test = true;
+                    }
+                }
+                '}' => {
+                    if let Some(&top) = test_regions.last() {
+                        if depth == top {
+                            test_regions.pop();
+                        }
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] use …;` — a braceless item ends the
+                // attribute's scope at the `;`.
+                ';' if pending_cfg_test && !code.contains('{') => {
+                    pending_cfg_test = false;
+                }
+                _ => {}
+            }
+        }
+        out.push(PreparedLine {
+            code: (*code).to_string(),
+            raw: raw_lines.get(idx).copied().unwrap_or("").to_string(),
+            in_test,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let lines = prepare("let x = \"unwrap()\"; // unwrap()\nlet y = 1;\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].raw.contains("// unwrap()"));
+        assert_eq!(lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let lines = prepare("/* outer /* inner */ still */ let a = 1;");
+        assert!(lines[0].code.contains("let a = 1;"));
+        assert!(!lines[0].code.contains("outer"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = prepare("let s = r#\"panic!(\"x\")\"#; let t = 2;");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let lines = prepare("fn f<'a>(x: &'a str) -> &'a str { x } // ok\nlet c = 'x';\n");
+        assert!(lines[0].code.contains("fn f<'a>"));
+        assert!(!lines[0].code.contains("ok"));
+        assert!(lines[1].code.contains("let c = '"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let lines = prepare(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "attribute line");
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test, "closing brace");
+        assert!(!lines[5].in_test, "code after the test module");
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn real() { body(); }\n";
+        let lines = prepare(src);
+        assert!(!lines[2].in_test, "fn after a cfg(test) use must be live");
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let lines = prepare("let s = \"a\\\"unwrap()\\\"b\"; let u = 3;");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("let u = 3;"));
+    }
+}

@@ -1,0 +1,103 @@
+//! `slim-check`: the repo-specific lint driver.
+//!
+//! Walks the workspace source and enforces determinism and robustness
+//! rules that generic tooling cannot express (see [`rules::RuleId`]),
+//! comparing the result against a committed ratchet baseline
+//! ([`baseline`]) so existing debt burns down while new violations
+//! fail CI.
+//!
+//! The crate is dependency-free on purpose: the lint driver must build
+//! instantly in any environment (including offline CI) and can never be
+//! broken by the code it checks.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::Diagnostic;
+
+/// Scan one source string as if it lived at `path` (workspace-relative,
+/// forward slashes). This is the entry point the fixture tests use.
+pub fn scan_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    rules::check_file(path, &lexer::prepare(source))
+}
+
+/// Directories never scanned, wherever they appear.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", "fixtures"];
+
+/// Collect every `.rs` file under `root` worth checking, as
+/// workspace-relative forward-slash paths, sorted.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scan the whole workspace rooted at `root`. Tests under a crate's
+/// `tests/` directory are exercised only by the test-code-aware rules
+/// (everything in a `tests/` tree counts as test code).
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = relative_name(root, &path);
+        // Integration tests, benches, and examples are test-grade code:
+        // the robustness rules do not apply there, and the determinism
+        // rules are path-scoped to src/ trees anyway.
+        if rel.contains("/tests/") || rel.starts_with("tests/") || rel.contains("/benches/") {
+            continue;
+        }
+        let source = fs::read_to_string(&path)?;
+        diags.extend(scan_source(&rel, &source));
+    }
+    Ok(diags)
+}
+
+/// Workspace-relative path with forward slashes (stable across OSes so
+/// the committed baseline is portable).
+pub fn relative_name(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_source_is_the_fixture_entry_point() {
+        let d = scan_source("crates/lik/src/x.rs", "fn f() { y.unwrap(); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::RuleId::RobUnwrap);
+    }
+
+    #[test]
+    fn relative_names_use_forward_slashes() {
+        let root = Path::new("/w");
+        let p = Path::new("/w/crates/lik/src/par.rs");
+        assert_eq!(relative_name(root, p), "crates/lik/src/par.rs");
+    }
+}

@@ -1,0 +1,209 @@
+//! `slim-check` CLI: scan the workspace, compare against the ratchet
+//! baseline, exit nonzero on regressions.
+//!
+//! ```text
+//! slim-check [--root <dir>] [--baseline <file>] [--update-baseline] [--list]
+//! ```
+//!
+//! Exit codes: 0 = clean (or baseline updated), 1 = regressions vs the
+//! baseline, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use slim_check::baseline::{self, Delta};
+use slim_check::{rules, scan_workspace};
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    update: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update = false;
+    let mut list = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--update-baseline" => update = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    // Running under `cargo run -p slim-check` puts the cwd at the
+    // workspace root already; under `cargo test` the manifest dir is the
+    // crate — prefer an explicit workspace root when the default cwd has
+    // no crates/ directory.
+    if !root.join("crates").is_dir() {
+        if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+            let candidate = PathBuf::from(manifest).join("../..");
+            if candidate.join("crates").is_dir() {
+                root = candidate;
+            }
+        }
+    }
+    let baseline = baseline_path.unwrap_or_else(|| root.join("check_baseline.json"));
+    Ok(Args {
+        root,
+        baseline,
+        update,
+        list,
+    })
+}
+
+fn usage() -> &'static str {
+    "slim-check: repo-specific determinism/robustness lints with a ratchet baseline\n\
+     \n\
+     usage: slim-check [--root <dir>] [--baseline <file>] [--update-baseline] [--list]\n\
+     \n\
+     --root <dir>        workspace root to scan (default: .)\n\
+     --baseline <file>   ratchet baseline (default: <root>/check_baseline.json)\n\
+     --update-baseline   rewrite the baseline to match the current scan\n\
+     --list              print every current violation, not just deltas\n\
+     \n\
+     rules:\n\
+     \x20 det-hash-iter    no HashMap/HashSet in report/journal/aggregation paths\n\
+     \x20 det-float-accum  no raw f64 accumulation in lik/linalg outside blessed kernels\n\
+     \x20 det-float-cmp    no ==/!= against float literals in non-test code\n\
+     \x20 rob-unwrap       no unwrap/expect/panic in library non-test code\n\
+     \x20 rob-safety       every `unsafe` needs a // SAFETY: comment\n\
+     \n\
+     waive a violation with `// check: allow(<rule>) <reason>` on the line\n\
+     or the comment line above it; the reason is mandatory."
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("slim-check: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = match scan_workspace(&args.root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("slim-check: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = baseline::tally(&diags);
+
+    if args.list {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        println!(
+            "{} violation(s) across {} rule(s)",
+            diags.len(),
+            current.len()
+        );
+    }
+
+    if args.update {
+        let text = baseline::render(&current);
+        if let Err(e) = std::fs::write(&args.baseline, text) {
+            eprintln!("slim-check: cannot write {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "slim-check: baseline updated ({} violation(s)) -> {}",
+            diags.len(),
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let base = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "slim-check: malformed baseline {}: {e}",
+                    args.baseline.display()
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+        Err(e) => {
+            eprintln!("slim-check: cannot read {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let deltas = baseline::compare(&base, &current);
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    for delta in &deltas {
+        match delta {
+            Delta::Regression {
+                rule,
+                path,
+                baseline,
+                current,
+            } => {
+                regressions += 1;
+                eprintln!(
+                    "REGRESSION {rule}: {path}: {current} violation(s), baseline allows {baseline}"
+                );
+                // Show the offending lines for the regressed (rule, file)
+                // so CI output is actionable without a local rerun.
+                for d in diags
+                    .iter()
+                    .filter(|d| d.rule.name() == rule && &d.path == path)
+                {
+                    eprintln!("  {}", d.render());
+                }
+            }
+            Delta::Improvement {
+                rule,
+                path,
+                baseline,
+                current,
+            } => {
+                improvements += 1;
+                println!(
+                    "improved {rule}: {path}: {current} violation(s), baseline allowed {baseline} \
+                     (run with --update-baseline to lock in)"
+                );
+            }
+        }
+    }
+
+    let total: usize = current.values().map(|f| f.values().sum::<usize>()).sum();
+    println!(
+        "slim-check: {} file-rule regression(s), {} improvement(s); {} total violation(s) on record ({} rules active)",
+        regressions,
+        improvements,
+        total,
+        rules::ALL_RULES.len()
+    );
+    if regressions > 0 {
+        eprintln!(
+            "slim-check: fix the regressions, waive with `// check: allow(<rule>) <reason>`, \
+             or (for deliberate debt) rerun with --update-baseline"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

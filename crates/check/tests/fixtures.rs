@@ -1,0 +1,90 @@
+//! Fixture-based lint regression suite: each file under `fixtures/`
+//! carries `//~ <rule>` markers on the lines expected to trip a rule,
+//! plus an `//@ path:` header giving the virtual workspace path the
+//! snippet is scanned as. The harness checks markers against the
+//! scanner's diagnostics in both directions, so a lint that stops
+//! firing (or starts over-firing) breaks this test.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use slim_check::scan_source;
+
+/// (line, rule-name) pairs expected from the `//~` markers.
+fn expected_from(source: &str) -> BTreeSet<(usize, String)> {
+    let mut out = BTreeSet::new();
+    for (i, line) in source.lines().enumerate() {
+        let mut rest = line;
+        while let Some(at) = rest.find("//~") {
+            let marker = rest[at + 3..].trim();
+            let rule: String = marker
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(!rule.is_empty(), "empty //~ marker on line {}", i + 1);
+            out.insert((i + 1, rule));
+            rest = &rest[at + 3..];
+        }
+    }
+    out
+}
+
+/// The `//@ path:` header naming the virtual scan path.
+fn virtual_path(source: &str) -> String {
+    source
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("//@ path:"))
+        .map(|p| p.trim().to_string())
+        .unwrap_or_else(|| panic!("fixture missing `//@ path:` header"))
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("fixtures directory")
+        .map(|e| e.expect("fixture entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no fixtures found in {}",
+        dir.display()
+    );
+
+    for path in entries {
+        let source = fs::read_to_string(&path).expect("read fixture");
+        let vpath = virtual_path(&source);
+        let expected = expected_from(&source);
+        let got: BTreeSet<(usize, String)> = scan_source(&vpath, &source)
+            .into_iter()
+            .map(|d| (d.line, d.rule.name().to_string()))
+            .collect();
+
+        let missing: Vec<_> = expected.difference(&got).collect();
+        let surplus: Vec<_> = got.difference(&expected).collect();
+        assert!(
+            missing.is_empty() && surplus.is_empty(),
+            "{}: expected-but-missing {:?}; fired-but-unexpected {:?}",
+            path.display(),
+            missing,
+            surplus
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 fixtures, saw {checked}");
+}
+
+#[test]
+fn fixture_markers_do_not_fool_the_scanner() {
+    // The `//~` marker is itself a comment; make sure markers never leak
+    // into blanked code and trip rules on their own.
+    let clean =
+        "//@ path: crates/lik/src/x.rs\nfn ok() -> u32 { 1 } //~ marker-with-no-rule-mentions\n";
+    // No rule named in the marker -> scanning must yield nothing even
+    // though the comment mentions nothing lint-worthy.
+    assert!(scan_source("crates/lik/src/x.rs", clean).is_empty());
+}

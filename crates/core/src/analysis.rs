@@ -351,6 +351,13 @@ impl Analysis {
 
         let x = transform.to_constrained(&result.x);
         let (model, branch_lengths) = self.unpack(&x);
+        #[cfg(feature = "sanitize")]
+        slim_linalg::sanitize::check_finite("fitted lnL", -result.f, || {
+            format!(
+                "fit({hypothesis:?}) after {} iterations ({} evaluations)",
+                result.iterations, result.f_evals
+            )
+        });
         Ok(Fit {
             hypothesis,
             lnl: -result.f,

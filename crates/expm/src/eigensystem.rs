@@ -32,6 +32,15 @@ impl EigenSystem {
         method: EigenMethod,
     ) -> Result<EigenSystem, slim_linalg::LinalgError> {
         let eigen = sym_eigen(&rm.a, method)?;
+        #[cfg(feature = "sanitize")]
+        slim_linalg::sanitize::check_generator_spectrum(&eigen.values, 1e-11, || {
+            format!(
+                "eigendecomposition of A = Π^1/2 S Π^1/2 (order {}, method {method:?}, \
+                 applied_factor {})",
+                rm.a.rows(),
+                rm.applied_factor
+            )
+        });
         Ok(EigenSystem {
             eigen,
             sqrt_pi: rm.sqrt_pi.clone(),
@@ -57,7 +66,7 @@ impl EigenSystem {
     pub fn transition_matrix_eq9_naive(&self, t: f64) -> Mat {
         let y_tilde = self.eigen.vectors.mul_diag_right(&self.exp_lambda(t));
         let z = naive::matmul_bt(&y_tilde, &self.eigen.vectors);
-        self.back_transform(z)
+        self.back_transform(z, t)
     }
 
     /// **Eq. 9, tuned kernels** — same algorithm as
@@ -66,7 +75,7 @@ impl EigenSystem {
     pub fn transition_matrix_eq9(&self, t: f64) -> Mat {
         let y_tilde = self.eigen.vectors.mul_diag_right(&self.exp_lambda(t));
         let z = matmul(&y_tilde, Transpose::No, &self.eigen.vectors, Transpose::Yes);
-        self.back_transform(z)
+        self.back_transform(z, t)
     }
 
     /// **Eq. 10 — the SlimCodeML path.**
@@ -84,12 +93,13 @@ impl EigenSystem {
         let y = self.eigen.vectors.mul_diag_right(&half);
         let mut z = Mat::zeros(self.order(), self.order());
         syrk(1.0, &y, 0.0, &mut z);
-        self.back_transform(z)
+        self.back_transform(z, t)
     }
 
     /// `P = Π^{-1/2} · Z · Π^{1/2}` with negative rounding noise clamped to
-    /// zero (probabilities), as CodeML does.
-    fn back_transform(&self, z: Mat) -> Mat {
+    /// zero (probabilities), as CodeML does. `t` is the branch length the
+    /// caller reconstructed at, carried for sanitize-failure context.
+    fn back_transform(&self, z: Mat, t: f64) -> Mat {
         let mut p = z
             .mul_diag_left(&self.inv_sqrt_pi)
             .mul_diag_right(&self.sqrt_pi);
@@ -98,6 +108,12 @@ impl EigenSystem {
                 *v = 0.0;
             }
         }
+        #[cfg(feature = "sanitize")]
+        slim_linalg::sanitize::check_row_stochastic(&p, 1e-7, 1e-7, || {
+            format!("P(t) reconstruction at branch length t={t}")
+        });
+        #[cfg(not(feature = "sanitize"))]
+        let _ = t;
         p
     }
 
@@ -122,6 +138,38 @@ impl EigenSystem {
             .mul_diag_right(&half);
         let mut m = Mat::zeros(self.order(), self.order());
         syrk(1.0, &y_hat, 0.0, &mut m);
+        #[cfg(feature = "sanitize")]
+        {
+            // The implied transition matrix is P = M·Π, so row i of P sums
+            // to Σ_j M_ij·π_j — that must be 1 even though M itself is not
+            // stochastic.
+            use slim_linalg::NeumaierSum;
+            for i in 0..self.order() {
+                let mut sum = NeumaierSum::new();
+                let mut max_abs = 0.0f64;
+                for (j, &pij) in self.pi.iter().enumerate() {
+                    let term = m[(i, j)] * pij;
+                    sum.add(term);
+                    max_abs = max_abs.max(term.abs());
+                }
+                let s = sum.total();
+                slim_linalg::sanitize::check_finite("implied P row sum", s, || {
+                    format!("SymTransition row {i} at branch length t={t}")
+                });
+                // An all-zero implied row is tolerated for the same reason
+                // `check_row_stochastic` tolerates one: extreme line-search
+                // scales can underflow e^{Λt} entirely, collapsing M to
+                // zero — a rejected trial point, not broken algebra.
+                let zero_row = s.abs() <= 1e-7 && max_abs <= 1e-7;
+                if (s - 1.0).abs() > 1e-7 && !zero_row {
+                    // check: allow(rob-unwrap) sanitize tripwire: a detected invariant violation must abort
+                    panic!(
+                        "sanitize: SymTransition implied row {i} sums to {s} \
+                         (want 1 within 1e-7) at branch length t={t}"
+                    );
+                }
+            }
+        }
         crate::cpv::SymTransition::new(m, self.pi.clone())
     }
 }

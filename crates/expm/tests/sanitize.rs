@@ -1,0 +1,178 @@
+//! Sanitizer coverage (runs only with `--features sanitize`):
+//!
+//! 1. Property test — random valid (κ, ω, π, t) across both genetic
+//!    codes flow through rate-matrix construction, eigendecomposition,
+//!    and every P(t) reconstruction path without tripping an invariant.
+//! 2. Deliberate corruption — an injected NaN in a CPV and a
+//!    de-normalized Q row (and friends) must each fire the matching
+//!    tripwire, and the panic must carry the caller's context.
+#![cfg(feature = "sanitize")]
+
+use proptest::prelude::*;
+use slim_bio::GeneticCode;
+use slim_expm::EigenSystem;
+use slim_linalg::{sanitize, EigenMethod};
+use slim_model::{build_rate_matrix, ScalePolicy};
+
+fn pi_for(n: usize, raw: &[f64]) -> Vec<f64> {
+    let mut pi: Vec<f64> = (0..n).map(|i| 0.2 + raw[i % raw.len()]).collect();
+    let s: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= s;
+    }
+    pi
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_valid_inputs_trip_no_invariant(
+        kappa in 0.5f64..15.0,
+        omega in 0.01f64..10.0,
+        t in 1e-4f64..20.0,
+        raw in proptest::collection::vec(0.0f64..4.0, 16),
+        mito in 0..2usize,
+    ) {
+        let code = if mito == 1 {
+            GeneticCode::vertebrate_mitochondrial()
+        } else {
+            GeneticCode::universal()
+        };
+        // build_rate_matrix runs check_generator_rows internally.
+        let rm = build_rate_matrix(&code, kappa, omega, &pi_for(code.n_sense(), &raw), ScalePolicy::PerClass);
+        // from_rate_matrix runs check_generator_spectrum internally.
+        let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+        // Every reconstruction path runs its row-stochasticity tripwire.
+        let _ = es.transition_matrix_eq9_naive(t);
+        let _ = es.transition_matrix_eq9(t);
+        let _ = es.transition_matrix_eq10(t);
+        let _ = es.symmetric_transition(t);
+    }
+}
+
+/// The panic message of a tripwire, or None if `f` did not panic.
+fn trip_message(f: impl FnOnce() + std::panic::UnwindSafe) -> Option<String> {
+    // The panic hook is process-global; serialize the swap so the
+    // corruption tests can run on parallel test threads.
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = std::panic::take_hook();
+    // Silence the expected panic's default stderr backtrace chatter.
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(f);
+    std::panic::set_hook(prev);
+    drop(guard);
+    match result {
+        Ok(()) => None,
+        Err(e) => Some(
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".to_string()),
+        ),
+    }
+}
+
+fn valid_system() -> slim_model::RateMatrix {
+    let code = GeneticCode::universal();
+    let raw: Vec<f64> = (0..16).map(|i| (i % 7) as f64 * 0.3).collect();
+    build_rate_matrix(
+        &code,
+        2.0,
+        0.5,
+        &pi_for(code.n_sense(), &raw),
+        ScalePolicy::PerClass,
+    )
+}
+
+#[test]
+fn denormalized_q_row_fires_with_context() {
+    let mut rm = valid_system();
+    rm.q[(3, 3)] += 0.25; // row 3 no longer sums to zero
+    let msg = trip_message(move || {
+        sanitize::check_generator_rows(&rm.q, 1e-9, || "corruption test (ω class fg=2)".into())
+    })
+    .expect("tripwire must fire");
+    assert!(msg.contains("generator row 3"), "{msg}");
+    assert!(msg.contains("corruption test (ω class fg=2)"), "{msg}");
+}
+
+#[test]
+fn nan_cpv_fires_with_context() {
+    let mut cpv = vec![0.25f64; 61];
+    cpv[17] = f64::NAN;
+    let msg = trip_message(move || {
+        sanitize::check_finite_nonneg("CPV", &cpv, || {
+            "pruning node 5 (ω classes bg=0 fg=2), pattern block [8, 16)".into()
+        })
+    })
+    .expect("tripwire must fire");
+    assert!(msg.contains("CPV[17]"), "{msg}");
+    assert!(msg.contains("node 5"), "{msg}");
+    assert!(msg.contains("pattern block [8, 16)"), "{msg}");
+}
+
+#[test]
+fn negative_cpv_fires() {
+    let mut cpv = vec![0.25f64; 61];
+    cpv[2] = -1e-3;
+    let msg = trip_message(move || sanitize::check_finite_nonneg("CPV", &cpv, || "node 1".into()))
+        .expect("tripwire must fire");
+    assert!(msg.contains("CPV[2]"), "{msg}");
+}
+
+#[test]
+fn missing_zero_eigenvalue_fires() {
+    let rm = valid_system();
+    let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+    let mut values = es.eigen.values.clone();
+    // Eigenvalues are ascending, so the stationary ~0 mode is last;
+    // losing it means the decomposition no longer spans π.
+    let last = values.len() - 1;
+    values[last] = -0.1;
+    let msg = trip_message(move || {
+        sanitize::check_generator_spectrum(&values, 1e-11, || "branch fg, ω2=4.0".into())
+    })
+    .expect("tripwire must fire");
+    assert!(msg.contains("stationary mode is missing"), "{msg}");
+    assert!(msg.contains("branch fg"), "{msg}");
+}
+
+#[test]
+fn positive_eigenvalue_fires() {
+    let rm = valid_system();
+    let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+    let mut values = es.eigen.values.clone();
+    values[0] = 0.5;
+    let msg = trip_message(move || {
+        sanitize::check_generator_spectrum(&values, 1e-11, || "branch bg".into())
+    })
+    .expect("tripwire must fire");
+    assert!(msg.contains("negative semidefinite"), "{msg}");
+}
+
+#[test]
+fn super_stochastic_transition_fires() {
+    let rm = valid_system();
+    let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+    let mut p = es.transition_matrix_eq10(0.3);
+    p[(7, 9)] = 1.5;
+    let msg = trip_message(move || {
+        sanitize::check_row_stochastic(&p, 1e-7, 1e-7, || "branch t=0.3".into())
+    })
+    .expect("tripwire must fire");
+    assert!(msg.contains("P[7,9]"), "{msg}");
+    assert!(msg.contains("t=0.3"), "{msg}");
+}
+
+#[test]
+fn nonfinite_lnl_fires_and_neg_inf_does_not() {
+    assert!(
+        trip_message(|| sanitize::check_log_value("lnL", f64::NEG_INFINITY, || "x".into()))
+            .is_none()
+    );
+    let msg = trip_message(|| sanitize::check_log_value("lnL", f64::NAN, || "pattern 12".into()))
+        .expect("NaN lnL must fire");
+    assert!(msg.contains("pattern 12"), "{msg}");
+}

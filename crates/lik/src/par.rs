@@ -309,6 +309,13 @@ pub(crate) fn evaluate(
         acc.add(problem.patterns.weight(p) * value);
     }
     let lnl = acc.total();
+    #[cfg(feature = "sanitize")]
+    slim_linalg::sanitize::check_log_value("total lnL", lnl, || {
+        format!(
+            "fixed-order reduction over {n_pat} patterns (threads {threads}, \
+             proportions {props:?})"
+        )
+    });
     let elapsed = start.elapsed();
     obs.reduction.observe(elapsed);
     if let Some(t) = timing {

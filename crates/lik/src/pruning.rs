@@ -215,65 +215,47 @@ pub(crate) fn prune_block(
     ws.ensure(n_nodes, n, bw);
 
     for &node in &problem.postorder {
-        if problem.children[node].is_empty() {
-            continue; // leaves contribute through their parent
-        }
-        let mut combined: Option<Mat> = None;
-        for &child in &problem.children[node] {
-            let w = if problem.is_foreground[child] {
-                fg_omega
-            } else {
-                bg_omega
-            };
-            let op = ops[child][w]
-                .as_ref()
-                .expect("operator built for needed omega");
-
-            // The first child is computed straight into the accumulator
-            // (same bits as computing into staging and copying); later
-            // children go through `tmp` and multiply in.
-            let first = combined.is_none();
-            if first {
-                combined = Some(ws.grab());
-            }
-            {
-                let dest: &mut Mat = if first {
-                    combined.as_mut().expect("just set")
-                } else {
-                    &mut ws.tmp
-                };
-                if let Some(taxon) = problem.leaf_taxon[child] {
-                    // Leaf: P·e_c collapses to a column gather per pattern.
-                    // Missing data integrates the state out: P·1 = 1 (rows
-                    // of P sum to one), so the contribution is a ones
-                    // column.
-                    for q in 0..bw {
-                        let codon = problem.patterns.pattern(lo + q)[taxon];
-                        if codon == slim_bio::patterns::MISSING {
-                            for i in 0..n {
-                                dest[(i, q)] = 1.0;
-                            }
-                            continue;
-                        }
-                        op.column(codon, &mut ws.col);
-                        for i in 0..n {
-                            dest[(i, q)] = ws.col[i];
-                        }
-                    }
-                } else {
-                    let child_cpv = ws.slots[child].take().expect("child CPV in postorder");
-                    op.apply_dense(config.cpv, &child_cpv, dest, &mut ws.scratch);
-                    ws.pool.push(child_cpv);
-                }
-            }
-            if !first {
-                let acc = combined.as_mut().expect("combined set by first child");
-                for (a, t) in acc.as_mut_slice().iter_mut().zip(ws.tmp.as_slice()) {
-                    *a *= t;
-                }
+        // Leaves contribute through their parent; internal nodes combine
+        // their first child straight into the accumulator (same bits as
+        // computing into staging and copying), later children through
+        // `tmp` with an elementwise multiply.
+        let Some((&first, rest)) = problem.children[node].split_first() else {
+            continue;
+        };
+        let mut cpv = ws.grab();
+        child_block_into(
+            problem,
+            config,
+            ops,
+            bg_omega,
+            fg_omega,
+            lo,
+            first,
+            &mut cpv,
+            &mut ws.col,
+            &mut ws.slots,
+            &mut ws.pool,
+            &mut ws.scratch,
+        );
+        for &child in rest {
+            child_block_into(
+                problem,
+                config,
+                ops,
+                bg_omega,
+                fg_omega,
+                lo,
+                child,
+                &mut ws.tmp,
+                &mut ws.col,
+                &mut ws.slots,
+                &mut ws.pool,
+                &mut ws.scratch,
+            );
+            for (a, t) in cpv.as_mut_slice().iter_mut().zip(ws.tmp.as_slice()) {
+                *a *= t;
             }
         }
-        let mut cpv = combined.expect("internal node has children");
 
         // Numerical rescaling per pattern column.
         for q in 0..bw {
@@ -289,17 +271,22 @@ pub(crate) fn prune_block(
                 for i in 0..n {
                     cpv[(i, q)] *= inv;
                 }
+                // check: allow(det-float-accum) one rescale term per visited node, fixed postorder
                 ws.scale_log[q] += m.ln();
             }
         }
+        #[cfg(feature = "sanitize")]
+        sanitize_hooks::node_cpv(&cpv, &ws.scale_log, node, bg_omega, fg_omega, lo);
         ws.slots[node] = Some(cpv);
     }
 
     // Root combination with π.
+    // check: allow(rob-unwrap) the root is internal, so the node loop above always fills its slot
     let root_cpv = ws.slots[problem.root].take().expect("root CPV computed");
     for (q, o) in out.iter_mut().enumerate() {
         let mut s = 0.0;
         for i in 0..n {
+            // check: allow(det-float-accum) 61-term per-pattern dot with π; fixed order is the determinism contract
             s += problem.pi[i] * root_cpv[(i, q)];
         }
         *o = if s > 0.0 {
@@ -308,7 +295,111 @@ pub(crate) fn prune_block(
             f64::NEG_INFINITY
         };
     }
+    #[cfg(feature = "sanitize")]
+    sanitize_hooks::root_outputs(out, problem.root, bg_omega, fg_omega, lo);
     ws.pool.push(root_cpv);
+}
+
+/// Compute one child's contribution to its parent's CPV block into
+/// `dest` (the accumulator for the first child, staging for the rest).
+/// Leaf children gather operator columns per pattern; internal children
+/// consume the CPV their own pruning pass left in `slots`.
+#[allow(clippy::too_many_arguments)]
+fn child_block_into(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    ops: &[[Option<TransOp>; N_OMEGA]],
+    bg_omega: usize,
+    fg_omega: usize,
+    lo: usize,
+    child: usize,
+    dest: &mut Mat,
+    col: &mut [f64],
+    slots: &mut [Option<Mat>],
+    pool: &mut Vec<Mat>,
+    scratch: &mut CpvScratch,
+) {
+    let (n, bw) = (dest.rows(), dest.cols());
+    let w = if problem.is_foreground[child] {
+        fg_omega
+    } else {
+        bg_omega
+    };
+    let op = ops[child][w]
+        .as_ref()
+        // check: allow(rob-unwrap) the expm phase builds an operator for every ω a class selects before pruning starts
+        .expect("operator built for needed omega");
+    if let Some(taxon) = problem.leaf_taxon[child] {
+        // Leaf: P·e_c collapses to a column gather per pattern. Missing
+        // data integrates the state out: P·1 = 1 (rows of P sum to one),
+        // so the contribution is a ones column.
+        for q in 0..bw {
+            let codon = problem.patterns.pattern(lo + q)[taxon];
+            if codon == slim_bio::patterns::MISSING {
+                for i in 0..n {
+                    dest[(i, q)] = 1.0;
+                }
+                continue;
+            }
+            op.column(codon, col);
+            for i in 0..n {
+                dest[(i, q)] = col[i];
+            }
+        }
+    } else {
+        // check: allow(rob-unwrap) postorder visits children before their parent, so the child slot is always filled
+        let child_cpv = slots[child].take().expect("child CPV in postorder");
+        op.apply_dense(config.cpv, &child_cpv, dest, scratch);
+        pool.push(child_cpv);
+    }
+}
+
+/// Pruning-phase tripwires (the `sanitize` feature): CPVs and rescale
+/// logs stay finite/non-negative at every internal node, and the root
+/// per-pattern log-likelihoods are never NaN/+∞ — each failure names the
+/// node, the ω classes, and the pattern block it happened in.
+#[cfg(feature = "sanitize")]
+mod sanitize_hooks {
+    use slim_linalg::Mat;
+
+    pub(super) fn node_cpv(
+        cpv: &Mat,
+        scale_log: &[f64],
+        node: usize,
+        bg: usize,
+        fg: usize,
+        lo: usize,
+    ) {
+        let bw = cpv.cols();
+        let ctx = || {
+            format!(
+                "pruning node {node} (ω classes bg={bg} fg={fg}), pattern block [{lo}, {})",
+                lo + bw
+            )
+        };
+        slim_linalg::sanitize::check_finite_nonneg("CPV", cpv.as_slice(), ctx);
+        for (q, &sl) in scale_log.iter().enumerate() {
+            if !sl.is_finite() || sl > 0.0 {
+                // check: allow(rob-unwrap) sanitize tripwire: a detected invariant violation must abort
+                panic!(
+                    "sanitize: scale_log[{q}] = {sl} (want finite, <= 0: rescale factors are \
+                     logs of sub-threshold maxima) in {}",
+                    ctx()
+                );
+            }
+        }
+    }
+
+    pub(super) fn root_outputs(out: &[f64], root: usize, bg: usize, fg: usize, lo: usize) {
+        for (q, &v) in out.iter().enumerate() {
+            slim_linalg::sanitize::check_log_value("per-pattern lnL", v, || {
+                format!(
+                    "root {root} combination (ω classes bg={bg} fg={fg}), pattern {}",
+                    lo + q
+                )
+            });
+        }
+    }
 }
 
 /// Full-width serial pruning pass for one site class: returns per-pattern

@@ -48,6 +48,8 @@ mod mat;
 pub mod naive;
 pub mod norms;
 pub mod ql;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod syrk;
 pub mod tridiag;
 pub mod vecops;

@@ -1,0 +1,249 @@
+//! Numeric invariant tripwires — the `sanitize` cargo feature.
+//!
+//! Each function asserts one algebraic contract the SlimCodeML pipeline
+//! relies on (Woodhams et al. show how silently codon-model matrix
+//! algebra can drift out of its valid class) and panics with a
+//! `sanitize:`-prefixed message carrying the caller's context (branch,
+//! ω class, pattern block). Every caller gates the call behind
+//! `#[cfg(feature = "sanitize")]`, and this whole module only exists
+//! under the feature, so a default build compiles to nothing — the
+//! facade's `sanitize_identity` bit test pins that lnL bits are
+//! identical with the feature on and off.
+//!
+//! Context is passed as a closure so the formatting cost is only paid on
+//! failure... except that the checks themselves scan their inputs, which
+//! is the point: `sanitize` trades throughput for early, located
+//! detection of NaN/negativity/stochasticity violations.
+
+use crate::vecops::NeumaierSum;
+use crate::Mat;
+
+/// Panic unless `x` is finite.
+pub fn check_finite(what: &str, x: f64, ctx: impl FnOnce() -> String) {
+    if !x.is_finite() {
+        panic!("sanitize: {what} is {x} (not finite) in {}", ctx());
+    }
+}
+
+/// Panic if `x` is NaN or +∞ (−∞ is tolerated: the log of a zero
+/// likelihood is a well-defined degenerate value the optimizer rejects).
+pub fn check_log_value(what: &str, x: f64, ctx: impl FnOnce() -> String) {
+    if x.is_nan() || x == f64::INFINITY {
+        panic!("sanitize: {what} is {x} in {}", ctx());
+    }
+}
+
+/// Panic unless every entry is finite and `>= 0` (CPVs, scale factors,
+/// frequencies).
+pub fn check_finite_nonneg(what: &str, xs: &[f64], ctx: impl FnOnce() -> String) {
+    for (i, &v) in xs.iter().enumerate() {
+        if !v.is_finite() || v < 0.0 {
+            panic!(
+                "sanitize: {what}[{i}] = {v} (want finite, >= 0) in {}",
+                ctx()
+            );
+        }
+    }
+}
+
+/// Panic unless `q` is a valid CTMC generator: finite entries,
+/// non-negative off-diagonal rates, and each row summing to ~0
+/// (relative to the largest magnitude in the row).
+pub fn check_generator_rows(q: &Mat, tol: f64, ctx: impl FnOnce() -> String) {
+    let n = q.rows();
+    for i in 0..n {
+        let row = q.row(i);
+        let mut sum = NeumaierSum::new();
+        let mut scale = 1.0f64;
+        for (j, &v) in row.iter().enumerate() {
+            if !v.is_finite() {
+                panic!("sanitize: Q[{i},{j}] = {v} (not finite) in {}", ctx());
+            }
+            if i != j && v < 0.0 {
+                panic!(
+                    "sanitize: off-diagonal rate Q[{i},{j}] = {v} < 0 in {}",
+                    ctx()
+                );
+            }
+            sum.add(v);
+            scale = scale.max(v.abs());
+        }
+        let s = sum.total();
+        if s.abs() > tol * scale {
+            panic!(
+                "sanitize: generator row {i} sums to {s:e} (tol {:e}) in {}",
+                tol * scale,
+                ctx()
+            );
+        }
+    }
+}
+
+/// Panic unless `p` is row-stochastic: entries in `[-eps, 1 + eps]` and
+/// rows summing to 1 within `row_tol`. An **all-zero row** is tolerated:
+/// at extreme line-search parameters the spectral radius of `Q` explodes,
+/// the numerically-computed stationary eigenvalue inherits an absolute
+/// error proportional to that radius, and `e^{λt}` then underflows for
+/// *every* mode — collapsing `P(t)` to exactly zero. The result is a
+/// zero likelihood (lnL = −∞) that the optimizer rejects: a degenerate
+/// trial point, not broken algebra.
+pub fn check_row_stochastic(p: &Mat, eps: f64, row_tol: f64, ctx: impl FnOnce() -> String) {
+    let n = p.rows();
+    for i in 0..n {
+        let mut sum = NeumaierSum::new();
+        let mut max_abs = 0.0f64;
+        for (j, &v) in p.row(i).iter().enumerate() {
+            if !(-eps..=1.0 + eps).contains(&v) {
+                panic!(
+                    "sanitize: P[{i},{j}] = {v} outside [-{eps}, 1+{eps}] in {}",
+                    ctx()
+                );
+            }
+            sum.add(v);
+            max_abs = max_abs.max(v.abs());
+        }
+        let s = sum.total();
+        let zero_row = s.abs() <= row_tol && max_abs <= eps;
+        if (s - 1.0).abs() > row_tol && !zero_row {
+            panic!(
+                "sanitize: P row {i} sums to {s} (|Δ| > {row_tol}) in {}",
+                ctx()
+            );
+        }
+    }
+}
+
+/// Panic unless `values` is a valid spectrum for a reversible
+/// generator's symmetrization: all finite, none above `zero_tol`
+/// (relative to the spectral radius), and **at least one** within
+/// `zero_tol · max|λ|` of zero — the stationary mode; a spectrum with no
+/// zero mode means the decomposition is broken.
+///
+/// The tolerance is *relative*: shared branch-site scaling can shrink a
+/// whole class's Q by many orders of magnitude during an optimizer line
+/// search, which compresses every eigenvalue toward zero without making
+/// the chain any less valid. An all-zero spectrum (the scale underflowed
+/// entirely; P(t) = I) is tolerated for the same reason.
+///
+/// Zero-mode *multiplicity* is deliberately not policed: at the ω → 0
+/// boundary — which `build_rate_matrix` documents as well-defined — only
+/// synonymous moves survive and the chain legitimately splits into ~21
+/// amino-acid classes, each contributing a stationary mode. Reducibility
+/// there is a property of degenerate parameters, not broken algebra.
+pub fn check_generator_spectrum(values: &[f64], zero_tol: f64, ctx: impl FnOnce() -> String) {
+    let mut scale = 0.0f64;
+    for (i, &l) in values.iter().enumerate() {
+        if !l.is_finite() {
+            panic!(
+                "sanitize: eigenvalue λ[{i}] = {l} (not finite) in {}",
+                ctx()
+            );
+        }
+        scale = scale.max(l.abs());
+    }
+    // check: allow(det-float-cmp) exact sentinel: a spectrum whose scale underflowed to literal zero means P(t) = I
+    if scale == 0.0 {
+        return;
+    }
+    let near = zero_tol * scale;
+    let mut near_zero = 0usize;
+    for (i, &l) in values.iter().enumerate() {
+        if l > near {
+            panic!(
+                "sanitize: eigenvalue λ[{i}] = {l} > 0 (generator must be negative semidefinite) in {}",
+                ctx()
+            );
+        }
+        if l.abs() <= near {
+            near_zero += 1;
+        }
+    }
+    if near_zero == 0 {
+        panic!(
+            "sanitize: no eigenvalue within {near:e} of zero (the stationary mode is \
+             missing: broken decomposition) in {}",
+            ctx()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator_2x2() -> Mat {
+        Mat::from_rows(&[&[-1.0, 1.0], &[2.0, -2.0]])
+    }
+
+    #[test]
+    fn valid_inputs_pass() {
+        check_finite("x", -1234.5, || unreachable!());
+        check_log_value("lnL", f64::NEG_INFINITY, || unreachable!());
+        check_finite_nonneg("cpv", &[0.0, 1.0, 0.5], || unreachable!());
+        check_generator_rows(&generator_2x2(), 1e-12, || unreachable!());
+        let p = Mat::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]);
+        check_row_stochastic(&p, 1e-12, 1e-12, || unreachable!());
+        check_generator_spectrum(&[-3.0, 0.0], 1e-10, || unreachable!());
+    }
+
+    #[test]
+    fn nan_trips_with_context() {
+        let err = std::panic::catch_unwind(|| {
+            check_finite_nonneg("cpv", &[0.1, f64::NAN], || "node 3, block [0, 8)".into())
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("cpv[1]"), "{msg}");
+        assert!(msg.contains("node 3, block [0, 8)"), "{msg}");
+    }
+
+    #[test]
+    fn denormalized_generator_row_trips() {
+        let mut q = generator_2x2();
+        q[(0, 0)] = -0.5; // row 0 now sums to 0.5
+        let err = std::panic::catch_unwind(|| check_generator_rows(&q, 1e-12, || "ctx".into()))
+            .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("generator row 0"), "{msg}");
+    }
+
+    #[test]
+    fn super_stochastic_entry_trips() {
+        let p = Mat::from_rows(&[&[1.2, -0.2], &[0.0, 1.0]]);
+        let err =
+            std::panic::catch_unwind(|| check_row_stochastic(&p, 1e-9, 1e-9, || "ctx".into()))
+                .unwrap_err();
+        assert!(err.downcast_ref::<String>().unwrap().contains("P[0,0]"));
+    }
+
+    #[test]
+    fn underflowed_zero_row_tolerated() {
+        // e^{Λt} underflowed entirely: P collapsed to zero. Degenerate
+        // (lnL = −∞, optimizer rejects) but not a sanitize failure.
+        let p = Mat::from_rows(&[&[0.0, 0.0], &[0.2, 0.8]]);
+        check_row_stochastic(&p, 1e-9, 1e-9, || unreachable!());
+    }
+
+    #[test]
+    fn degenerate_spectrum_trips() {
+        // No near-zero mode: the stationary eigenvector was lost.
+        let err = std::panic::catch_unwind(|| {
+            check_generator_spectrum(&[-3.0, -1.0], 1e-10, || "ctx".into())
+        })
+        .unwrap_err();
+        assert!(err
+            .downcast_ref::<String>()
+            .unwrap()
+            .contains("stationary mode is missing"));
+        // A positive eigenvalue: not a generator at all.
+        let err = std::panic::catch_unwind(|| {
+            check_generator_spectrum(&[0.5, 0.0], 1e-10, || "ctx".into())
+        })
+        .unwrap_err();
+        assert!(err.downcast_ref::<String>().unwrap().contains("λ[0]"));
+        // Reducible limits (several zero modes, e.g. ω → 0) are legal.
+        check_generator_spectrum(&[-1.0, -1e-14, 0.0], 1e-10, || unreachable!());
+        // So is a fully underflowed scale (P(t) = I).
+        check_generator_spectrum(&[0.0, 0.0], 1e-10, || unreachable!());
+    }
+}

@@ -148,6 +148,16 @@ pub fn build_rate_matrix(
     // matrix.
     a.symmetrize();
 
+    #[cfg(feature = "sanitize")]
+    {
+        slim_linalg::sanitize::check_finite_nonneg("pi", pi, || {
+            format!("build_rate_matrix(kappa={kappa}, omega={omega})")
+        });
+        slim_linalg::sanitize::check_generator_rows(&q, 1e-9, || {
+            format!("build_rate_matrix(kappa={kappa}, omega={omega}, applied_factor={factor})")
+        });
+    }
+
     RateMatrix {
         q,
         a,
@@ -319,6 +329,11 @@ pub fn build_rate_matrix_mg94(
     let inv_sqrt_pi: Vec<f64> = sqrt_pi.iter().map(|&s| 1.0 / s).collect();
     let mut a = q.mul_diag_left(&sqrt_pi).mul_diag_right(&inv_sqrt_pi);
     a.symmetrize();
+
+    #[cfg(feature = "sanitize")]
+    slim_linalg::sanitize::check_generator_rows(&q, 1e-9, || {
+        format!("build_rate_matrix_mg94(kappa={kappa}, omega={omega}, applied_factor={factor})")
+    });
 
     RateMatrix {
         q,

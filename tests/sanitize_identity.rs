@@ -1,0 +1,107 @@
+//! The `sanitize` feature must never perturb numerics.
+//!
+//! The tripwires added behind `--features sanitize` only *read* values —
+//! they assert invariants and abort on violation, but touch no arithmetic.
+//! This test pins that contract the same way `metrics_identity` pins the
+//! observability layer: exact lnL bit patterns on every Table II dataset
+//! analog are snapshotted to a checked-in golden file, and the test
+//! passes only on bit-for-bit equality. Running it under the default
+//! feature set *and* under `--features sanitize` against the same golden
+//! file proves both directions at once:
+//!
+//! * feature off — the tripwires compile to nothing (bits match the
+//!   snapshot taken before they existed);
+//! * feature on — every invariant check passes on valid inputs and the
+//!   checked computation still produces the identical bits.
+//!
+//! Regenerate (only after an intentional numerical change, with the
+//! default feature set) via:
+//!
+//! ```text
+//! SLIM_GOLDEN_WRITE=1 cargo test --test sanitize_identity
+//! ```
+
+use slimcodeml::bio::{FreqModel, GeneticCode};
+use slimcodeml::lik::{log_likelihood, EngineConfig, LikelihoodProblem};
+use slimcodeml::model::BranchSiteModel;
+use slimcodeml::sim::{dataset, DatasetId};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sanitize_lnl_bits.txt")
+}
+
+fn writing() -> bool {
+    std::env::var("SLIM_GOLDEN_WRITE").is_ok_and(|v| v == "1")
+}
+
+/// Same off-optimum perturbation the golden-value layer uses, so the
+/// snapshot covers more of the likelihood surface than the optimum.
+fn perturbed(m: &BranchSiteModel) -> BranchSiteModel {
+    BranchSiteModel {
+        kappa: m.kappa * 1.3,
+        omega0: m.omega0 * 0.8,
+        omega2: m.omega2 + 0.7,
+        p0: m.p0 - 0.10,
+        p1: m.p1 + 0.05,
+    }
+}
+
+fn eval_bits(id: DatasetId, model: &BranchSiteModel, threads: usize) -> u64 {
+    let d = dataset(id);
+    let problem = LikelihoodProblem::new(
+        &d.tree,
+        &d.alignment,
+        &GeneticCode::universal(),
+        FreqModel::F3x4,
+    )
+    .expect("preset dataset is well-formed");
+    let bl = d.tree.branch_lengths();
+    let config = EngineConfig::slim().with_threads(threads);
+    log_likelihood(&problem, &config, model, &bl)
+        .expect("likelihood evaluation")
+        .to_bits()
+}
+
+/// One line per case: `<dataset> <model> <threads> <lnl bits as hex>`.
+fn compute_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for id in DatasetId::ALL {
+        let truth = dataset(id).true_model;
+        for (label, model) in [("true", truth), ("perturbed", perturbed(&truth))] {
+            for threads in [1usize, 2] {
+                let bits = eval_bits(id, &model, threads);
+                lines.push(format!("{} {label} {threads} {bits:016x}", id.label()));
+            }
+        }
+    }
+    lines
+}
+
+#[test]
+fn lnl_bits_match_golden_regardless_of_sanitize_feature() {
+    let path = golden_path();
+    let lines = compute_lines();
+
+    if writing() {
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        eprintln!("wrote {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with SLIM_GOLDEN_WRITE=1",
+            path.display()
+        )
+    });
+    let golden: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(golden.len(), lines.len(), "golden case count drifted");
+    for (want, got) in golden.iter().zip(&lines) {
+        assert_eq!(
+            *want, got,
+            "lnL bits drifted (golden `{want}` vs computed `{got}`); if the \
+             sanitize feature is on, it has perturbed the numerics"
+        );
+    }
+}
