@@ -90,5 +90,61 @@ fn bench_kernels(c: &mut Criterion) {
     gv.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// The same kernels under forced SIMD dispatch: scalar vs the best backend
+/// the host resolves (results are bit-identical by the dispatch contract;
+/// only the throughput differs). Complements the `simd_kernels` bin, which
+/// emits the machine-readable `BENCH_simd.json` for CI.
+fn bench_simd_dispatch(c: &mut Criterion) {
+    use slim_linalg::simd::{self, SimdMode};
+    let n = 61;
+    let a = rng_mat(n, 1);
+    let b = rng_mat(n, 2);
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+
+    let mut group = c.benchmark_group("simd_dispatch_61");
+    group.sample_size(60);
+    for (label, mode) in [
+        ("scalar", SimdMode::ForceScalar),
+        ("simd", SimdMode::ForceAvx2),
+    ] {
+        group.bench_function(format!("gemm/{label}"), |bench| {
+            let mut c_out = Mat::zeros_padded(n, n);
+            bench.iter(|| {
+                simd::with_forced(mode, || {
+                    slim_linalg::gemm(
+                        1.0,
+                        black_box(&a),
+                        Transpose::No,
+                        black_box(&b),
+                        Transpose::No,
+                        0.0,
+                        &mut c_out,
+                    );
+                });
+                black_box(&c_out);
+            })
+        });
+        group.bench_function(format!("syrk/{label}"), |bench| {
+            let mut c_out = Mat::zeros_padded(n, n);
+            bench.iter(|| {
+                simd::with_forced(mode, || {
+                    syrk(1.0, black_box(&a), 0.0, &mut c_out);
+                });
+                black_box(&c_out);
+            })
+        });
+        group.bench_function(format!("gemv/{label}"), |bench| {
+            let mut y = vec![0.0; n];
+            bench.iter(|| {
+                simd::with_forced(mode, || {
+                    slim_linalg::gemv(1.0, black_box(&a), black_box(&x), 0.0, &mut y);
+                });
+                black_box(&y);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_simd_dispatch);
 criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Scalar vs SIMD throughput of the linalg hot-path kernels at the codon
+//! order (n = 61), emitted as `BENCH_simd.json`.
+//!
+//! Each kernel runs twice under forced dispatch — `SLIMCODEML_SIMD=scalar`
+//! semantics vs the best backend the host resolves (AVX2 where available,
+//! otherwise scalar, making the comparison a no-op that still validates
+//! the fallback). The harness cross-checks the determinism contract on
+//! the way: both runs must produce **bit-identical** outputs.
+//!
+//! ```text
+//! cargo run --release -p slim-bench --bin simd_kernels [--quick]
+//! ```
+
+use slim_linalg::simd::{self, SimdMode};
+use slim_linalg::{gemm, gemv, symv, syrk, vecops, Mat, Transpose};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 61;
+
+fn rng_mat(n: usize, seed: u64) -> Mat {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    Mat::from_fn(n, n, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    })
+}
+
+/// Best-of-3 throughput of `f` in calls/second, each trial at least
+/// `min_time` seconds of accumulated work.
+fn calls_per_second(min_time: f64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f(); // warm caches and the dispatch OnceLocks
+    }
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut iters = 0u64;
+        let started = Instant::now();
+        loop {
+            f();
+            iters += 1;
+            let elapsed = started.elapsed().as_secs_f64();
+            if elapsed >= min_time {
+                best = best.max(iters as f64 / elapsed);
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// One kernel measured under both dispatch modes.
+struct Row {
+    name: &'static str,
+    flops_per_call: f64,
+    scalar_gflops: f64,
+    simd_gflops: f64,
+    bit_identical: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.scalar_gflops > 0.0 {
+            self.simd_gflops / self.scalar_gflops
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measure `f` (which writes its result's bits into the returned vector)
+/// under forced scalar and the host's best backend.
+fn measure(
+    name: &'static str,
+    flops_per_call: f64,
+    min_time: f64,
+    mut run: impl FnMut() -> Vec<u64>,
+) -> Row {
+    let scalar_bits = simd::with_forced(SimdMode::ForceScalar, &mut run);
+    let simd_bits = simd::with_forced(SimdMode::ForceAvx2, &mut run);
+    let bit_identical = scalar_bits == simd_bits;
+    let scalar = simd::with_forced(SimdMode::ForceScalar, || {
+        calls_per_second(min_time, || {
+            black_box(run());
+        })
+    });
+    let fast = simd::with_forced(SimdMode::ForceAvx2, || {
+        calls_per_second(min_time, || {
+            black_box(run());
+        })
+    });
+    Row {
+        name,
+        flops_per_call,
+        scalar_gflops: scalar * flops_per_call / 1e9,
+        simd_gflops: fast * flops_per_call / 1e9,
+        bit_identical,
+    }
+}
+
+fn mat_bits(m: &Mat) -> Vec<u64> {
+    (0..m.rows())
+        .flat_map(|i| m.row(i).iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let min_time = if quick { 0.01 } else { 0.15 };
+    let n = N;
+    let nf = n as f64;
+    let a = rng_mat(n, 1);
+    let b = rng_mat(n, 2);
+    let mut sym = rng_mat(n, 3);
+    sym.symmetrize();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    let host = simd::resolve(SimdMode::ForceAvx2);
+
+    println!(
+        "simd kernels — n = {n}, scalar vs {} ({} lanes), min {min_time}s/trial",
+        host.name(),
+        host.lanes()
+    );
+
+    let rows = vec![
+        measure("gemm", 2.0 * nf * nf * nf, min_time, || {
+            let mut c = Mat::zeros_padded(n, n);
+            gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+            mat_bits(&c)
+        }),
+        measure("syrk", nf * nf * (nf + 1.0), min_time, || {
+            let mut c = Mat::zeros_padded(n, n);
+            syrk(1.0, &a, 0.0, &mut c);
+            mat_bits(&c)
+        }),
+        measure("gemv", 2.0 * nf * nf, min_time, || {
+            let mut out = y.clone();
+            gemv(1.0, &a, &x, 0.0, &mut out);
+            out.iter().map(|v| v.to_bits()).collect()
+        }),
+        measure("symv", 2.0 * nf * nf, min_time, || {
+            let mut out = y.clone();
+            symv(1.0, &sym, &x, 0.0, &mut out);
+            out.iter().map(|v| v.to_bits()).collect()
+        }),
+        measure("dot", 2.0 * nf, min_time, || {
+            vec![vecops::dot(&x, &y).to_bits()]
+        }),
+        measure("hadamard", nf, min_time, || {
+            let mut out = y.clone();
+            vecops::hadamard_in_place(&x, &mut out);
+            out.iter().map(|v| v.to_bits()).collect()
+        }),
+    ];
+
+    let mut all_identical = true;
+    for r in &rows {
+        println!(
+            "  {:<10} scalar {:>7.3} GF/s   simd {:>7.3} GF/s   speedup {:>5.2}x   bits {}",
+            r.name,
+            r.scalar_gflops,
+            r.simd_gflops,
+            r.speedup(),
+            if r.bit_identical {
+                "identical"
+            } else {
+                "DIFFER"
+            },
+        );
+        all_identical &= r.bit_identical;
+    }
+    assert!(
+        all_identical,
+        "determinism contract violated: scalar and SIMD outputs differ"
+    );
+
+    let kernels: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"name":"{}","flops_per_call":{},"scalar_gflops":{:.4},"simd_gflops":{:.4},"speedup":{:.4},"bit_identical":{}}}"#,
+                r.name,
+                r.flops_per_call,
+                r.scalar_gflops,
+                r.simd_gflops,
+                r.speedup(),
+                r.bit_identical,
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{"schema":"slimcodeml.bench.simd.v1","n":{n},"host_backend":"{}","host_lanes":{},"quick":{quick},"kernels":[{}]}}"#,
+        host.name(),
+        host.lanes(),
+        kernels.join(","),
+    );
+    std::fs::write("BENCH_simd.json", format!("{json}\n")).expect("write BENCH_simd.json");
+    println!("wrote BENCH_simd.json");
+}

@@ -82,7 +82,9 @@ impl RuleId {
             }
             // The crates whose sums feed lnL. The blessed kernel modules
             // (vecops holds the Neumaier reducer; gemm/gemv/syrk/naive
-            // ARE the accumulation kernels it is built from) are exempt.
+            // ARE the accumulation kernels it is built from, and simd/
+            // holds the dispatched microkernels those loops lower to) are
+            // exempt.
             RuleId::DetFloatAccum => {
                 const BLESSED: [&str; 5] = [
                     "crates/linalg/src/vecops.rs",
@@ -93,6 +95,7 @@ impl RuleId {
                 ];
                 (path.starts_with("crates/lik/src/") || path.starts_with("crates/linalg/src/"))
                     && !BLESSED.contains(&path)
+                    && !path.starts_with("crates/linalg/src/simd/")
             }
             RuleId::DetFloatCmp => true,
             // Library code only: binaries (main.rs, src/bin), examples,
@@ -482,6 +485,9 @@ mod tests {
         assert_eq!(diags("crates/linalg/src/ql.rs", plus).len(), 1);
         let counter = "fn h() { n += 1; }\n";
         assert!(diags("crates/linalg/src/ql.rs", counter).is_empty());
+        // The dispatched microkernels are accumulation kernels too.
+        assert!(diags("crates/linalg/src/simd/avx2.rs", src).is_empty());
+        assert!(diags("crates/linalg/src/simd/mod.rs", src).is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod ctl;
 use ctl::CtlMode;
 use slim_bio::{parse_newick, CodonAlignment, FreqModel, Tree};
 use slim_core::{sites_test, Analysis, AnalysisOptions, Backend};
+use slim_lik::SimdMode;
 use slim_obs::Snapshot;
 use slim_opt::GradMode;
 use std::path::PathBuf;
@@ -184,6 +185,15 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                         .parse()
                         .map_err(|_| "bad --threads value (need an integer, 0 = auto)")?,
                 );
+            }
+            "--simd" => {
+                // Forcing any mode is safe: every backend computes
+                // bit-identical likelihoods (the kernels vectorize across
+                // independent outputs only), and an unsupported force
+                // falls back to scalar.
+                let v = take_value("--simd")?;
+                options.simd = SimdMode::parse(&v)
+                    .ok_or_else(|| format!("unknown simd mode {v:?} (auto|scalar|avx2|neon)"))?;
             }
             "--timing" => timing = true,
             "--metrics" => metrics_path = Some(take_value("--metrics")?),
@@ -406,6 +416,7 @@ fn timing_report(analysis: &Analysis, baseline: &Snapshot) -> String {
     let pruning = sum("lik.phase.pruning_seconds");
     let reduction = sum("lik.phase.reduction_seconds");
     let threads = analysis.engine_config().resolved_threads();
+    let simd = slim_lik::simd::resolve(analysis.engine_config().simd);
     let mut out = format!(
         "\ntiming (cumulative over the H0 + H1 fits, {} likelihood evaluations, \
          {} thread{}):\n  \
@@ -440,6 +451,12 @@ fn timing_report(analysis: &Analysis, baseline: &Snapshot) -> String {
         }
         None => out.push_str("  eigen cache: off (backend runs without a cache)\n"),
     }
+    out.push_str(&format!(
+        "  simd: {} ({} lane{})\n",
+        simd.name(),
+        simd.lanes(),
+        if simd.lanes() == 1 { "" } else { "s" },
+    ));
     out
 }
 
@@ -447,7 +464,8 @@ fn timing_report(analysis: &Analysis, baseline: &Snapshot) -> String {
 pub fn usage() -> String {
     "usage: slimcodeml --seq <aln.fasta|aln.phy> --tree <tree.nwk> \
      [--backend codeml|slim|slim+|eq12|slim-par] [--freq equal|f1x4|f3x4|f61] \
-     [--seed N] [--max-iter N] [--forward-grad] [--threads N] [--timing] \
+     [--seed N] [--max-iter N] [--forward-grad] [--threads N] \
+     [--simd auto|scalar|avx2|neon] [--timing] \
      [--metrics <path>] [--metrics-format json|prom] \
      [--scan] [--workers N] [--sites]\n\
        or: slimcodeml --ctl <codeml.ctl>\n\
@@ -886,6 +904,20 @@ mod tests {
         assert_eq!(auto.options.threads, Some(0), "0 means auto");
         assert!(parse_args(&args(&["--seq", "a", "--tree", "t", "--threads", "x"])).is_err());
         assert!(parse_args(&args(&["--seq", "a", "--tree", "t", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn simd_flag() {
+        let forced =
+            direct(parse_args(&args(&["--seq", "a", "--tree", "t", "--simd", "scalar"])).unwrap());
+        assert_eq!(forced.options.simd, SimdMode::ForceScalar);
+        let auto =
+            direct(parse_args(&args(&["--seq", "a", "--tree", "t", "--simd", "auto"])).unwrap());
+        assert_eq!(auto.options.simd, SimdMode::Auto);
+        let default = direct(parse_args(&args(&["--seq", "a", "--tree", "t"])).unwrap());
+        assert_eq!(default.options.simd, SimdMode::Auto);
+        assert!(parse_args(&args(&["--seq", "a", "--tree", "t", "--simd", "sse9"])).is_err());
+        assert!(parse_args(&args(&["--seq", "a", "--tree", "t", "--simd"])).is_err());
     }
 
     #[test]

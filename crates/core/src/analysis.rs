@@ -5,7 +5,8 @@ use crate::{Backend, CoreError, Fit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use slim_bio::{CodonAlignment, FreqModel, GeneticCode, Tree};
-use slim_lik::{log_likelihood, site_class_log_likelihoods, LikelihoodProblem};
+use slim_expm::EigenCache;
+use slim_lik::{log_likelihood, site_class_log_likelihoods, LikelihoodProblem, SimdMode};
 use slim_model::{BranchSiteModel, Hypothesis};
 use slim_opt::{minimize, minimize_lbfgs, BfgsOptions, Block, BlockTransform, GradMode};
 use slim_stat::{lrt_pvalue, positive_selection_posteriors, LrtResult};
@@ -55,6 +56,9 @@ pub struct AnalysisOptions {
     /// `SLIMCODEML_THREADS` environment variable when set (how CI runs
     /// the whole suite at 4 threads).
     pub threads: Option<usize>,
+    /// SIMD kernel dispatch ([`SimdMode::Auto`] honors `SLIMCODEML_SIMD`,
+    /// else CPU detection). Every mode computes bit-identical likelihoods.
+    pub simd: SimdMode,
 }
 
 impl Default for AnalysisOptions {
@@ -70,6 +74,7 @@ impl Default for AnalysisOptions {
             optimizer: Optimizer::default(),
             genetic_code: GeneticCode::universal(),
             threads: threads_from_env(),
+            simd: SimdMode::Auto,
         }
     }
 }
@@ -90,6 +95,7 @@ impl AnalysisOptions {
         if let Some(threads) = self.threads {
             config.threads = threads;
         }
+        config.simd = self.simd;
         config
     }
 }
@@ -178,7 +184,16 @@ impl Analysis {
         for v in &mut init {
             *v = v.clamp(BL_LO * 10.0, BL_HI / 10.0);
         }
-        let engine_config = options.engine_config();
+        let mut engine_config = options.engine_config();
+        // Backends that cache eigendecompositions get a capacity sized to
+        // *this* problem: branches × 3 ω-classes covers one full evaluation
+        // sweep (see EigenCache::adaptive_capacity) instead of the
+        // one-size-fits-all default.
+        if engine_config.eigen_cache.is_some() {
+            engine_config.eigen_cache = Some(std::sync::Arc::new(EigenCache::new(
+                EigenCache::adaptive_capacity(problem.n_branches(), 3),
+            )));
+        }
         Analysis {
             problem,
             options,
@@ -516,6 +531,30 @@ mod tests {
         let f2 = cloned.fit(Hypothesis::H0).unwrap();
         assert_eq!(f1.lnl, f2.lnl);
         assert_eq!(f1.branch_lengths, f2.branch_lengths);
+    }
+
+    #[test]
+    fn cache_capacity_adapts_to_problem_and_simd_propagates() {
+        let a = small_analysis(Backend::SlimPlus);
+        let cache = a.engine_config().eigen_cache.as_ref().unwrap();
+        assert_eq!(
+            cache.capacity(),
+            EigenCache::adaptive_capacity(a.problem().n_branches(), 3)
+        );
+
+        // The AnalysisOptions knob lands in the engine config.
+        let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,C:0.3);").unwrap();
+        let aln = CodonAlignment::from_fasta(">A\nATGCCC\n>B\nATGCCA\n>C\nATGCCC\n").unwrap();
+        let forced = Analysis::new(
+            &tree,
+            &aln,
+            AnalysisOptions {
+                simd: SimdMode::ForceScalar,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(forced.engine_config().simd, SimdMode::ForceScalar);
     }
 
     #[test]

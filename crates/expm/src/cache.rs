@@ -38,6 +38,31 @@ pub struct EigenCache {
 }
 
 impl EigenCache {
+    /// Fallback capacity when nothing is known about the problem shape.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Smallest capacity [`EigenCache::adaptive_capacity`] will pick.
+    pub const MIN_ADAPTIVE_CAPACITY: usize = 16;
+
+    /// Largest capacity [`EigenCache::adaptive_capacity`] will pick.
+    pub const MAX_ADAPTIVE_CAPACITY: usize = 1024;
+
+    /// Capacity sized to the problem: `branches × ω-classes`, clamped to
+    /// `[MIN_ADAPTIVE_CAPACITY, MAX_ADAPTIVE_CAPACITY]`.
+    ///
+    /// One optimizer iteration touches at most one eigensystem per
+    /// (branch-site ω class) per distinct scale factor, and line searches
+    /// along a single branch revisit the same keys; `branches ×
+    /// ω-classes` therefore covers a full evaluation sweep without a
+    /// wholesale clear, while the clamp keeps tiny trees from thrashing
+    /// and huge trees from hoarding (an `EigenSystem` is ~60 KiB at
+    /// codon order 61).
+    pub fn adaptive_capacity(branches: usize, omega_classes: usize) -> usize {
+        branches
+            .saturating_mul(omega_classes)
+            .clamp(Self::MIN_ADAPTIVE_CAPACITY, Self::MAX_ADAPTIVE_CAPACITY)
+    }
+
     /// Create a cache holding at most `capacity` decompositions (it is
     /// cleared wholesale when full — parameter trajectories revisit few
     /// distinct values, so LRU machinery is not worth its overhead).
@@ -96,6 +121,11 @@ impl EigenCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// The maximum number of resident decompositions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Entries evicted so far by wholesale capacity clears.
@@ -210,6 +240,24 @@ mod tests {
             .get_or_compute(2.0, 0.5, &rm(0.5), EigenMethod::HouseholderQl)
             .unwrap();
         assert_eq!(cache.stats().1, 2);
+    }
+
+    #[test]
+    fn adaptive_capacity_clamps() {
+        // Tiny problem: floor wins.
+        assert_eq!(
+            EigenCache::adaptive_capacity(3, 3),
+            EigenCache::MIN_ADAPTIVE_CAPACITY
+        );
+        // Mid-size problem: exact product.
+        assert_eq!(EigenCache::adaptive_capacity(18, 3), 54);
+        // Huge problem: ceiling wins.
+        assert_eq!(
+            EigenCache::adaptive_capacity(5000, 3),
+            EigenCache::MAX_ADAPTIVE_CAPACITY
+        );
+        let cache = EigenCache::new(EigenCache::adaptive_capacity(18, 3));
+        assert_eq!(cache.capacity(), 54);
     }
 
     #[test]

@@ -41,8 +41,11 @@ impl CpvScratch {
         CpvScratch::default()
     }
 
+    /// Grow-only: a scratch that has already served a dimension `>= n`
+    /// keeps its allocation (callers slice to `n`), so alternating unit
+    /// sizes in the parallel engine never thrash reallocations.
     fn ensure(&mut self, n: usize) {
-        if self.col.len() != n {
+        if self.col.len() < n {
             self.col.resize(n, 0.0);
             self.res.resize(n, 0.0);
         }
@@ -85,7 +88,7 @@ pub fn apply_dense_with(
                 for i in 0..n {
                     scratch.col[i] = w[(i, s)];
                 }
-                naive::matvec(p, &scratch.col, &mut scratch.res);
+                naive::matvec(p, &scratch.col[..n], &mut scratch.res[..n]);
                 for i in 0..n {
                     out[(i, s)] = scratch.res[i];
                 }
@@ -98,7 +101,7 @@ pub fn apply_dense_with(
                 for i in 0..n {
                     scratch.col[i] = w[(i, s)];
                 }
-                gemv(1.0, p, &scratch.col, 0.0, &mut scratch.res);
+                gemv(1.0, p, &scratch.col[..n], 0.0, &mut scratch.res[..n]);
                 for i in 0..n {
                     out[(i, s)] = scratch.res[i];
                 }
@@ -169,7 +172,7 @@ impl SymTransition {
             for i in 0..n {
                 scratch.col[i] = w[(i, s)] * self.pi[i];
             }
-            symv(1.0, &self.m, &scratch.col, 0.0, &mut scratch.res);
+            symv(1.0, &self.m, &scratch.col[..n], 0.0, &mut scratch.res[..n]);
             for i in 0..n {
                 out[(i, s)] = scratch.res[i];
             }
@@ -275,6 +278,31 @@ mod tests {
                         "{strategy:?} col {s} row {i}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_grow_only_and_reusable_across_dims() {
+        let mut scratch = CpvScratch::new();
+        scratch.ensure(61);
+        let cap = scratch.col.capacity();
+        scratch.ensure(3);
+        assert_eq!(scratch.col.len(), 61, "ensure must not shrink");
+        scratch.ensure(61);
+        assert_eq!(scratch.col.capacity(), cap, "regrowth would thrash");
+
+        // A scratch that served a larger dimension still computes correct
+        // results for a smaller one (call sites slice to n).
+        let p = toy_p();
+        let w = toy_w();
+        let mut fresh = Mat::zeros(3, 3);
+        apply_dense(CpvStrategy::PerSiteGemv, &p, &w, &mut fresh);
+        let mut reused = Mat::zeros(3, 3);
+        apply_dense_with(CpvStrategy::PerSiteGemv, &p, &w, &mut reused, &mut scratch);
+        for i in 0..3 {
+            for s in 0..3 {
+                assert_eq!(reused[(i, s)].to_bits(), fresh[(i, s)].to_bits());
             }
         }
     }

@@ -91,7 +91,10 @@ impl EigenSystem {
             .map(|&l| (l * t * 0.5).exp())
             .collect();
         let y = self.eigen.vectors.mul_diag_right(&half);
-        let mut z = Mat::zeros(self.order(), self.order());
+        // Lane-padded output: P(t) feeds the CPV kernels, whose column
+        // loops run tail-free over the padded width (61 → 64). The
+        // logical values are identical to a dense layout.
+        let mut z = Mat::zeros_padded(self.order(), self.order());
         syrk(1.0, &y, 0.0, &mut z);
         self.back_transform(z, t)
     }
@@ -136,7 +139,9 @@ impl EigenSystem {
             .vectors
             .mul_diag_left(&self.inv_sqrt_pi)
             .mul_diag_right(&half);
-        let mut m = Mat::zeros(self.order(), self.order());
+        // Lane-padded for the same reason as the Eq. 10 path: `symv` row
+        // slices stay logical-width, so values are unchanged.
+        let mut m = Mat::zeros_padded(self.order(), self.order());
         syrk(1.0, &y_hat, 0.0, &mut m);
         #[cfg(feature = "sanitize")]
         {

@@ -1,0 +1,107 @@
+//! Forced-dispatch bit-identity for every CPV strategy.
+//!
+//! The engine's determinism contract says the SIMD backend is invisible:
+//! `SLIMCODEML_SIMD=scalar` and `=avx2` (or auto) must produce the same
+//! bits through every strategy of [`slim_expm::cpv`]. Dimensions straddle
+//! the 4-lane boundary; 61 is the codon order.
+
+use proptest::prelude::*;
+use slim_expm::{cpv, CpvScratch, CpvStrategy, EigenSystem, SymTransition};
+use slim_linalg::simd::{self, SimdMode};
+use slim_linalg::{EigenMethod, Mat};
+
+const LANE_DIMS: [usize; 5] = [1, 60, 61, 64, 65];
+
+fn dim_strategy() -> impl Strategy<Value = usize> {
+    (0usize..LANE_DIMS.len()).prop_map(|i| LANE_DIMS[i])
+}
+
+fn rng_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    })
+}
+
+fn mat_bits(m: &Mat) -> Vec<u64> {
+    (0..m.rows())
+        .flat_map(|i| m.row(i).iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// The three dense strategies: forced-scalar vs forced-AVX2 bits.
+    #[test]
+    fn dense_strategies_bit_identical_across_backends(
+        n in dim_strategy(),
+        sites in 1usize..9,
+        seed in 0u64..500,
+    ) {
+        let p = rng_mat(n, n, seed);
+        let w = rng_mat(n, sites, seed ^ 0xACE5);
+        for strategy in [
+            CpvStrategy::NaivePerSite,
+            CpvStrategy::PerSiteGemv,
+            CpvStrategy::BundledGemm,
+        ] {
+            let run = |mode: SimdMode| {
+                simd::with_forced(mode, || {
+                    let mut out = Mat::zeros(n, sites);
+                    cpv::apply_dense_with(strategy, &p, &w, &mut out, &mut CpvScratch::new());
+                    mat_bits(&out)
+                })
+            };
+            prop_assert_eq!(run(SimdMode::ForceScalar), run(SimdMode::ForceAvx2));
+        }
+    }
+
+    /// Eq. 12: `symv` on a synthetic symmetric factor, both backends.
+    #[test]
+    fn symmetric_strategy_bit_identical_across_backends(
+        n in dim_strategy(),
+        sites in 1usize..9,
+        seed in 0u64..500,
+    ) {
+        let mut m = rng_mat(n, n, seed);
+        m.symmetrize();
+        let pi: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 7) % 5) as f64 / 5.0).collect();
+        let st = SymTransition::new(m, pi);
+        let w = rng_mat(n, sites, seed ^ 0xE125);
+        let run = |mode: SimdMode| {
+            simd::with_forced(mode, || {
+                let mut out = Mat::zeros(n, sites);
+                st.apply_dense_with(&w, &mut out, &mut CpvScratch::new());
+                mat_bits(&out)
+            })
+        };
+        prop_assert_eq!(run(SimdMode::ForceScalar), run(SimdMode::ForceAvx2));
+    }
+}
+
+/// End to end at the codon order: reconstructing `P(t)` (syrk + diagonal
+/// scalings) from one decomposition gives the same bits under forced
+/// scalar and forced AVX2 dispatch.
+#[test]
+fn transition_reconstruction_bit_identical_across_backends() {
+    let code = slim_bio::GeneticCode::universal();
+    let mut pi: Vec<f64> = (0..61).map(|i| 1.0 + ((i * 5) % 11) as f64).collect();
+    let s: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= s;
+    }
+    let rm = slim_model::build_rate_matrix(&code, 2.3, 0.7, &pi, slim_model::ScalePolicy::PerClass);
+    let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
+    for t in [0.01, 0.4, 2.0] {
+        let scalar = simd::with_forced(SimdMode::ForceScalar, || es.transition_matrix_eq10(t));
+        let fast = simd::with_forced(SimdMode::ForceAvx2, || es.transition_matrix_eq10(t));
+        assert_eq!(mat_bits(&scalar), mat_bits(&fast), "t={t}");
+        let sym_s = simd::with_forced(SimdMode::ForceScalar, || es.symmetric_transition(t));
+        let sym_f = simd::with_forced(SimdMode::ForceAvx2, || es.symmetric_transition(t));
+        assert_eq!(mat_bits(sym_s.matrix()), mat_bits(sym_f.matrix()), "t={t}");
+    }
+}

@@ -1,7 +1,7 @@
 //! Engine configurations: which numerics compute the same likelihood.
 
 use slim_expm::{CpvStrategy, EigenCache};
-use slim_linalg::EigenMethod;
+use slim_linalg::{EigenMethod, SimdMode};
 use std::sync::Arc;
 
 /// Which reconstruction of `P(t)` from the eigendecomposition to use.
@@ -46,6 +46,13 @@ pub struct EngineConfig {
     /// possible; 256 columns × 61 states ≈ 125 KiB per CPV block, sized to
     /// keep a working set of a few blocks in L2.
     pub pattern_block: usize,
+    /// SIMD kernel dispatch for this evaluation (default
+    /// [`SimdMode::Auto`]: honor `SLIMCODEML_SIMD`, else CPU detection).
+    /// Every mode produces **bit-identical** likelihoods — the kernels
+    /// vectorize across independent outputs only, never across a
+    /// reduction — so this knob exists for benchmarking and for proving
+    /// exactly that property.
+    pub simd: SimdMode,
     /// Human-readable label used by the experiment harness.
     pub label: &'static str,
 }
@@ -64,6 +71,7 @@ impl EngineConfig {
             scale_threshold: 1e-100,
             threads: 1,
             pattern_block: DEFAULT_PATTERN_BLOCK,
+            simd: SimdMode::Auto,
             label: "CodeML",
         }
     }
@@ -81,6 +89,7 @@ impl EngineConfig {
             scale_threshold: 1e-100,
             threads: 1,
             pattern_block: DEFAULT_PATTERN_BLOCK,
+            simd: SimdMode::Auto,
             label: "SlimCodeML",
         }
     }
@@ -93,10 +102,11 @@ impl EngineConfig {
             expm: ExpmPath::Eq10Syrk,
             cpv: CpvStrategy::BundledGemm,
             eigen: EigenMethod::HouseholderQl,
-            eigen_cache: Some(Arc::new(EigenCache::new(64))),
+            eigen_cache: Some(Arc::new(EigenCache::new(EigenCache::DEFAULT_CAPACITY))),
             scale_threshold: 1e-100,
             threads: 1,
             pattern_block: DEFAULT_PATTERN_BLOCK,
+            simd: SimdMode::Auto,
             label: "SlimCodeML+",
         }
     }
@@ -112,6 +122,7 @@ impl EngineConfig {
             scale_threshold: 1e-100,
             threads: 1,
             pattern_block: DEFAULT_PATTERN_BLOCK,
+            simd: SimdMode::Auto,
             label: "SlimCodeML-eq12",
         }
     }
@@ -144,6 +155,13 @@ impl EngineConfig {
     /// Set the worker-thread count (builder-style; `0` = auto).
     pub fn with_threads(mut self, threads: usize) -> EngineConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Set the SIMD dispatch mode (builder-style). Results are
+    /// bit-identical for every mode; see [`EngineConfig::simd`].
+    pub fn with_simd(mut self, simd: SimdMode) -> EngineConfig {
+        self.simd = simd;
         self
     }
 

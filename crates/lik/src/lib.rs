@@ -42,3 +42,5 @@ pub use problem::LikelihoodProblem;
 pub use pruning::{
     log_likelihood, site_class_log_likelihoods, site_class_log_likelihoods_timed, LikelihoodValue,
 };
+pub use slim_linalg::simd;
+pub use slim_linalg::{SimdBackend, SimdMode};

@@ -26,6 +26,9 @@ pub(crate) struct LikMetrics {
     pub worker_busy: Arc<Histogram>,
     /// `lik.threads` — resolved thread count of the last evaluation.
     pub threads: Arc<Gauge>,
+    /// `lik.simd.lanes` — vector lanes of the SIMD backend the last
+    /// evaluation resolved to (1 = scalar, 4 = AVX2, 2 = NEON).
+    pub simd_lanes: Arc<Gauge>,
 }
 
 static M: OnceLock<LikMetrics> = OnceLock::new();
@@ -40,6 +43,7 @@ pub(crate) fn metrics() -> &'static LikMetrics {
         reduction: slim_obs::histogram("lik.phase.reduction_seconds"),
         worker_busy: slim_obs::histogram("lik.pruning.worker_busy_seconds"),
         threads: slim_obs::gauge("lik.threads"),
+        simd_lanes: slim_obs::gauge("lik.simd.lanes"),
     })
 }
 

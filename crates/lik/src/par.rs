@@ -30,7 +30,7 @@ use crate::engine::{EngineConfig, ExpmPath};
 use crate::problem::LikelihoodProblem;
 use crate::pruning::{prune_block, LikelihoodValue, PruneWorkspace, TransOp, N_OMEGA};
 use slim_expm::{CpvStrategy, EigenSystem};
-use slim_linalg::{LinalgError, NeumaierSum};
+use slim_linalg::{simd, LinalgError, NeumaierSum};
 use slim_model::{build_rate_matrix, BranchSiteModel, ScalePolicy, N_SITE_CLASSES};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -82,6 +82,20 @@ pub(crate) fn evaluate(
     config: &EngineConfig,
     model: &BranchSiteModel,
     branch_lengths: &[f64],
+    timing: Option<&mut PhaseTiming>,
+) -> Result<LikelihoodValue, LinalgError> {
+    // The SIMD dispatch override is thread-local; this call covers the
+    // calling thread, and each spawned worker below re-installs it.
+    simd::with_forced(config.simd, || {
+        evaluate_inner(problem, config, model, branch_lengths, timing)
+    })
+}
+
+fn evaluate_inner(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    model: &BranchSiteModel,
+    branch_lengths: &[f64],
     mut timing: Option<&mut PhaseTiming>,
 ) -> Result<LikelihoodValue, LinalgError> {
     assert_eq!(
@@ -94,6 +108,8 @@ pub(crate) fn evaluate(
     let obs = crate::obsm::metrics();
     obs.evaluations.inc();
     obs.threads.set(threads as f64);
+    let simd_mode = config.simd;
+    obs.simd_lanes.set(simd::resolve(simd_mode).lanes() as f64);
 
     // --- Phase 1: rate matrices + eigendecompositions, one per distinct
     // ω. All classes share one rate scale (the background mixture
@@ -111,7 +127,9 @@ pub(crate) fn evaluate(
         crossbeam::thread::scope(|scope| {
             for (slot, &omega) in slots.iter_mut().zip(omegas.iter()) {
                 scope.spawn(move |_| {
-                    *slot = Some(eigen_for(problem, config, model.kappa, omega, scale));
+                    simd::with_forced(simd_mode, || {
+                        *slot = Some(eigen_for(problem, config, model.kappa, omega, scale));
+                    });
                 });
             }
         })
@@ -162,9 +180,11 @@ pub(crate) fn evaluate(
         crossbeam::thread::scope(|scope| {
             for (chunk, out) in items.chunks(per).zip(built.chunks_mut(per)) {
                 scope.spawn(move |_| {
-                    for (&(_, w, t), slot) in chunk.iter().zip(out.iter_mut()) {
-                        *slot = Some(build_op(&eigensystems[w], config, t));
-                    }
+                    simd::with_forced(simd_mode, || {
+                        for (&(_, w, t), slot) in chunk.iter().zip(out.iter_mut()) {
+                            *slot = Some(build_op(&eigensystems[w], config, t));
+                        }
+                    });
                 });
             }
         })
@@ -237,18 +257,20 @@ pub(crate) fn evaluate(
             for _ in 0..prune_threads {
                 let rx = rx.clone();
                 scope.spawn(move |_| {
-                    let mut ws = PruneWorkspace::new();
-                    let mut busy = Duration::ZERO;
-                    while let Ok(unit) = rx.recv() {
-                        let t0 = obs_on.then(Instant::now);
-                        prune_block(
-                            problem, config, ops, unit.bg, unit.fg, unit.lo, unit.out, &mut ws,
-                        );
-                        if let Some(t0) = t0 {
-                            busy += t0.elapsed();
+                    simd::with_forced(simd_mode, || {
+                        let mut ws = PruneWorkspace::new();
+                        let mut busy = Duration::ZERO;
+                        while let Ok(unit) = rx.recv() {
+                            let t0 = obs_on.then(Instant::now);
+                            prune_block(
+                                problem, config, ops, unit.bg, unit.fg, unit.lo, unit.out, &mut ws,
+                            );
+                            if let Some(t0) = t0 {
+                                busy += t0.elapsed();
+                            }
                         }
-                    }
-                    obs.worker_busy.observe(busy);
+                        obs.worker_busy.observe(busy);
+                    });
                 });
             }
         })

@@ -171,7 +171,10 @@ impl PruneWorkspace {
     fn ensure(&mut self, n_nodes: usize, n: usize, bw: usize) {
         if self.dims != (n, bw) {
             self.pool.clear();
-            self.tmp = Mat::zeros(n, bw);
+            // Lane-padded blocks (61 → 64 columns): the CPV kernels and the
+            // elementwise combine run tail-free, and the pad columns stay
+            // zero so whole-storage ops cannot leak them into results.
+            self.tmp = Mat::zeros_padded(n, bw);
             self.dims = (n, bw);
         }
         if self.slots.len() < n_nodes {
@@ -188,7 +191,7 @@ impl PruneWorkspace {
     fn grab(&mut self) -> Mat {
         self.pool
             .pop()
-            .unwrap_or_else(|| Mat::zeros(self.dims.0, self.dims.1))
+            .unwrap_or_else(|| Mat::zeros_padded(self.dims.0, self.dims.1))
     }
 }
 
@@ -252,9 +255,10 @@ pub(crate) fn prune_block(
                 &mut ws.pool,
                 &mut ws.scratch,
             );
-            for (a, t) in cpv.as_mut_slice().iter_mut().zip(ws.tmp.as_slice()) {
-                *a *= t;
-            }
+            // Whole-storage elementwise combine (dispatched kernel): `cpv`
+            // and `tmp` share the same padded layout, and pad columns are
+            // 0·0 = 0, so logical values match the per-element loop.
+            slim_linalg::vecops::hadamard_in_place(ws.tmp.as_slice(), cpv.as_mut_slice());
         }
 
         // Numerical rescaling per pattern column.

@@ -26,8 +26,10 @@ const MC: usize = 64;
 ///
 /// `op(X)` is `X` or `Xᵀ` per the corresponding [`Transpose`] flag. The
 /// kernel is a cache-blocked `i-k-j` loop: the innermost loop runs over
-/// contiguous rows of (possibly pre-transposed) `B` and `C`, which
-/// auto-vectorizes and streams memory in row-major order.
+/// contiguous rows of (possibly pre-transposed) `B` and `C` through the
+/// dispatched SIMD row kernels (`j` indexes independent outputs, so
+/// vector lanes never change the per-element operation order), streaming
+/// memory in row-major order.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
@@ -74,9 +76,16 @@ fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
         return;
     }
 
+    let (lda, ldb, ldc) = (a.stride(), b.stride(), c.stride());
+    // When B and C share a row stride the inner j-loop runs over the full
+    // (possibly lane-padded) width: no scalar tail, and pad columns stay
+    // zero because their B inputs are zero. Logical outputs see the
+    // identical per-element operation sequence either way.
+    let jw = if ldb == ldc { ldc } else { n };
     let a_s = a.as_slice();
     let b_s = b.as_slice();
     let c_s = c.as_mut_slice();
+    let be = crate::simd::active();
 
     let mut kk = 0;
     while kk < k {
@@ -85,27 +94,23 @@ fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
         while ii < m {
             let i_end = (ii + MC).min(m);
             for i in ii..i_end {
-                let c_row = &mut c_s[i * n..(i + 1) * n];
-                let a_row = &a_s[i * k..(i + 1) * k];
-                // Two-way unroll over p lets the compiler keep two B-row
-                // streams live and halves loop overhead.
+                let c_row = &mut c_s[i * ldc..i * ldc + jw];
+                let a_row = &a_s[i * lda..i * lda + k];
+                // Two-way unroll over p keeps two B-row streams live and
+                // halves loop overhead.
                 let mut p = kk;
                 while p + 1 < k_end {
                     let aip0 = alpha * a_row[p];
                     let aip1 = alpha * a_row[p + 1];
-                    let b_row0 = &b_s[p * n..(p + 1) * n];
-                    let b_row1 = &b_s[(p + 1) * n..(p + 2) * n];
-                    for j in 0..n {
-                        c_row[j] += aip0 * b_row0[j] + aip1 * b_row1[j];
-                    }
+                    let b_row0 = &b_s[p * ldb..p * ldb + jw];
+                    let b_row1 = &b_s[(p + 1) * ldb..(p + 1) * ldb + jw];
+                    crate::simd::fma_row2_with(be, c_row, aip0, b_row0, aip1, b_row1);
                     p += 2;
                 }
                 if p < k_end {
                     let aip = alpha * a_row[p];
-                    let b_row = &b_s[p * n..(p + 1) * n];
-                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += aip * bj;
-                    }
+                    let b_row = &b_s[p * ldb..p * ldb + jw];
+                    crate::simd::fma_row_with(be, c_row, aip, b_row);
                 }
             }
             ii = i_end;

@@ -50,6 +50,7 @@ pub mod norms;
 pub mod ql;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
+pub mod simd;
 pub mod syrk;
 pub mod tridiag;
 pub mod vecops;
@@ -61,6 +62,7 @@ pub use gemm::{gemm, Transpose};
 pub use gemv::{gemv, ger, symv};
 pub use lu::Lu;
 pub use mat::Mat;
+pub use simd::{SimdBackend, SimdMode};
 pub use syrk::syrk;
 pub use vecops::{neumaier_sum, NeumaierSum};
 

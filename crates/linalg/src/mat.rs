@@ -7,20 +7,73 @@ use std::ops::{Index, IndexMut};
 /// "rules of thumb" (§V-C) call out as something an implementation must
 /// respect for performance: all kernels in this crate walk memory in
 /// row-major order.
-#[derive(Clone, PartialEq)]
+///
+/// ## Lane-aligned storage
+///
+/// Rows are `stride` elements apart, where `stride >= cols`. Plain
+/// constructors produce `stride == cols` (dense, the historical layout);
+/// [`Mat::zeros_padded`] rounds the stride up to the SIMD lane width
+/// ([`crate::simd::LANE`]), so a 61-wide codon row occupies 64 slots and
+/// the output-parallel kernel loops run without a scalar tail. Padding is
+/// invisible to the logical API: indexing, [`Mat::row`], equality, and
+/// every shape query speak `rows × cols`. Pad elements are kept at zero
+/// by construction and never contribute to logical results (reductions
+/// always run over the logical width).
 pub struct Mat {
     rows: usize,
     cols: usize,
+    /// Distance in elements between consecutive rows (`>= cols`).
+    stride: usize,
     data: Vec<f64>,
 }
 
+impl Clone for Mat {
+    fn clone(&self) -> Self {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            data: self.data.clone(),
+        }
+    }
+}
+
+/// Logical equality: shapes and the `rows × cols` elements, ignoring any
+/// difference in row stride / padding.
+impl PartialEq for Mat {
+    fn eq(&self, other: &Mat) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && (0..self.rows).all(|i| self.row(i) == other.row(i))
+    }
+}
+
 impl Mat {
-    /// Create a `rows × cols` matrix of zeros.
+    /// Create a `rows × cols` matrix of zeros (dense, `stride == cols`).
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Mat {
             rows,
             cols,
+            stride: cols,
             data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a `rows × cols` zero matrix whose row stride is rounded up
+    /// to the SIMD lane width (61 → 64), so the column dimension of the
+    /// level-3 kernels is tail-free. Logically identical to
+    /// [`Mat::zeros`]; only the memory layout differs.
+    pub fn zeros_padded(rows: usize, cols: usize) -> Self {
+        let stride = if cols == 0 {
+            0
+        } else {
+            cols.div_ceil(crate::simd::LANE) * crate::simd::LANE
+        };
+        Mat {
+            rows,
+            cols,
+            stride,
+            data: vec![0.0; rows * stride],
         }
     }
 
@@ -29,6 +82,7 @@ impl Mat {
         Mat {
             rows,
             cols,
+            stride: cols,
             data: vec![v; rows * cols],
         }
     }
@@ -52,7 +106,12 @@ impl Mat {
             rows * cols,
             "Mat::from_vec: data length mismatch"
         );
-        Mat { rows, cols, data }
+        Mat {
+            rows,
+            cols,
+            stride: cols,
+            data,
+        }
     }
 
     /// Build from explicit rows.
@@ -70,6 +129,7 @@ impl Mat {
         Mat {
             rows: r,
             cols: c,
+            stride: c,
             data,
         }
     }
@@ -107,51 +167,70 @@ impl Mat {
         self.cols
     }
 
+    /// Distance in elements between consecutive rows (`>= cols`; equal for
+    /// dense matrices, a multiple of the lane width for padded ones).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// True if rows carry lane padding (`stride > cols`).
+    #[inline]
+    pub fn is_padded(&self) -> bool {
+        self.stride > self.cols
+    }
+
     /// True if the matrix is square.
     #[inline]
     pub fn is_square(&self) -> bool {
         self.rows == self.cols
     }
 
-    /// Borrow the underlying row-major storage.
+    /// Borrow the underlying row-major storage **including any lane
+    /// padding** (pad elements are zero). Whole-storage elementwise
+    /// operations (zeroing, clamping, finiteness checks, Frobenius-style
+    /// accumulations) remain correct because the pads are zero; positional
+    /// interpretation must use [`Mat::stride`], or [`Mat::row`] instead.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
 
-    /// Mutably borrow the underlying row-major storage.
+    /// Mutably borrow the underlying row-major storage (see
+    /// [`Mat::as_slice`] for the padding caveat).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
 
-    /// Borrow row `i` as a slice.
+    /// Borrow row `i` as a slice (logical width — excludes padding).
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
         debug_assert!(i < self.rows);
-        &self.data[i * self.cols..(i + 1) * self.cols]
+        &self.data[i * self.stride..i * self.stride + self.cols]
     }
 
-    /// Mutably borrow row `i` as a slice.
+    /// Mutably borrow row `i` as a slice (logical width).
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
         debug_assert!(i < self.rows);
-        &mut self.data[i * self.cols..(i + 1) * self.cols]
+        let s = self.stride;
+        &mut self.data[i * s..i * s + self.cols]
     }
 
-    /// Mutably borrow two distinct rows at once.
+    /// Mutably borrow two distinct rows at once (logical width).
     ///
     /// # Panics
     /// Panics if `i == j` or either index is out of bounds.
     pub fn two_rows_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
         assert!(i != j && i < self.rows && j < self.rows);
-        let c = self.cols;
+        let (s, c) = (self.stride, self.cols);
         if i < j {
-            let (a, b) = self.data.split_at_mut(j * c);
-            (&mut a[i * c..(i + 1) * c], &mut b[..c])
+            let (a, b) = self.data.split_at_mut(j * s);
+            (&mut a[i * s..i * s + c], &mut b[..c])
         } else {
-            let (a, b) = self.data.split_at_mut(i * c);
-            let (rj, ri) = (&mut a[j * c..(j + 1) * c], &mut b[..c]);
+            let (a, b) = self.data.split_at_mut(i * s);
+            let (rj, ri) = (&mut a[j * s..j * s + c], &mut b[..c]);
             (ri, rj)
         }
     }
@@ -160,35 +239,36 @@ impl Mat {
     pub fn col(&self, j: usize) -> Vec<f64> {
         debug_assert!(j < self.cols);
         (0..self.rows)
-            .map(|i| self.data[i * self.cols + j])
+            .map(|i| self.data[i * self.stride + j])
             .collect()
     }
 
     /// Extract the diagonal (of a square or rectangular matrix).
     pub fn diag(&self) -> Vec<f64> {
         let n = self.rows.min(self.cols);
-        (0..n).map(|i| self.data[i * self.cols + i]).collect()
+        (0..n).map(|i| self.data[i * self.stride + i]).collect()
     }
 
-    /// Return the transpose as a new matrix.
+    /// Return the transpose as a new (dense) matrix.
     pub fn transpose(&self) -> Mat {
         let mut t = Mat::zeros(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
-                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+                t.data[j * self.rows + i] = self.data[i * self.stride + j];
             }
         }
         t
     }
 
-    /// Elementwise in-place scaling.
+    /// Elementwise in-place scaling. (Applied to the whole storage; pads
+    /// stay at ±0, which never reaches a logical result.)
     pub fn scale(&mut self, alpha: f64) {
         for v in &mut self.data {
             *v *= alpha;
         }
     }
 
-    /// Fill with zeros, keeping the allocation.
+    /// Fill with zeros, keeping the allocation (and layout).
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
     }
@@ -238,28 +318,33 @@ impl Mat {
         out
     }
 
-    /// `true` if `|self - other|` is elementwise within `tol`.
+    /// `true` if `|self - other|` is elementwise within `tol` (logical
+    /// elements only).
     pub fn approx_eq(&self, other: &Mat, tol: f64) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && (0..self.rows).all(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(other.row(i))
+                    .all(|(a, b)| (a - b).abs() <= tol)
+            })
     }
 
-    /// Maximum absolute elementwise difference to `other`.
+    /// Maximum absolute elementwise difference to `other` (logical
+    /// elements only).
     ///
     /// # Panics
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for (a, b) in self.row(i).iter().zip(other.row(i)) {
+                worst = worst.max((a - b).abs());
+            }
+        }
+        worst
     }
 
     /// Symmetrize in place: `self = (self + selfᵀ) / 2`. Useful to clean up
@@ -267,11 +352,12 @@ impl Mat {
     pub fn symmetrize(&mut self) {
         assert!(self.is_square(), "symmetrize: square matrix required");
         let n = self.rows;
+        let s = self.stride;
         for i in 0..n {
             for j in (i + 1)..n {
-                let avg = 0.5 * (self.data[i * n + j] + self.data[j * n + i]);
-                self.data[i * n + j] = avg;
-                self.data[j * n + i] = avg;
+                let avg = 0.5 * (self.data[i * s + j] + self.data[j * s + i]);
+                self.data[i * s + j] = avg;
+                self.data[j * s + i] = avg;
             }
         }
     }
@@ -280,10 +366,11 @@ impl Mat {
     pub fn asymmetry(&self) -> f64 {
         assert!(self.is_square());
         let n = self.rows;
+        let s = self.stride;
         let mut worst = 0.0f64;
         for i in 0..n {
             for j in (i + 1)..n {
-                worst = worst.max((self.data[i * n + j] - self.data[j * n + i]).abs());
+                worst = worst.max((self.data[i * s + j] - self.data[j * s + i]).abs());
             }
         }
         worst
@@ -295,7 +382,7 @@ impl Index<(usize, usize)> for Mat {
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        &self.data[i * self.cols + j]
+        &self.data[i * self.stride + j]
     }
 }
 
@@ -303,7 +390,7 @@ impl IndexMut<(usize, usize)> for Mat {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        &mut self.data[i * self.cols + j]
+        &mut self.data[i * self.stride + j]
     }
 }
 
@@ -423,5 +510,62 @@ mod tests {
         assert!(a.approx_eq(&b, 1e-10));
         assert!(!a.approx_eq(&b, 1e-14));
         assert!((a.max_abs_diff(&b) - 1e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn padded_layout_is_logically_invisible() {
+        let mut p = Mat::zeros_padded(5, 61);
+        assert_eq!(p.stride(), 64);
+        assert!(p.is_padded());
+        assert_eq!(p.row(0).len(), 61);
+        for i in 0..5 {
+            for j in 0..61 {
+                p[(i, j)] = (i * 61 + j) as f64;
+            }
+        }
+        let d = Mat::from_fn(5, 61, |i, j| (i * 61 + j) as f64);
+        assert_eq!(p, d);
+        assert_eq!(d, p);
+        assert!(p.approx_eq(&d, 0.0));
+        assert_eq!(p.max_abs_diff(&d), 0.0);
+        assert_eq!(p.col(60), d.col(60));
+        assert_eq!(p.transpose(), d.transpose());
+        // pads stay zero
+        assert!(p.as_slice().chunks(64).all(|r| r[61..] == [0.0; 3]));
+    }
+
+    #[test]
+    fn padded_row_ops_and_two_rows() {
+        let mut p = Mat::zeros_padded(4, 6);
+        assert_eq!(p.stride(), 8);
+        for i in 0..4 {
+            for (j, v) in p.row_mut(i).iter_mut().enumerate() {
+                *v = (10 * i + j) as f64;
+            }
+        }
+        let (a, b) = p.two_rows_mut(3, 1);
+        assert_eq!(a, &[30.0, 31.0, 32.0, 33.0, 34.0, 35.0]);
+        assert_eq!(b, &[10.0, 11.0, 12.0, 13.0, 14.0, 15.0]);
+
+        let mut q = Mat::zeros_padded(6, 6);
+        for i in 0..6 {
+            for j in 0..6 {
+                q[(i, j)] = (i * 7 + j * 3) as f64;
+            }
+        }
+        q.symmetrize();
+        assert_eq!(q.asymmetry(), 0.0);
+        let d = q.diag();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d[2], (2 * 7 + 2 * 3) as f64);
+    }
+
+    #[test]
+    fn lane_exact_width_gets_no_padding() {
+        let p = Mat::zeros_padded(3, 64);
+        assert_eq!(p.stride(), 64);
+        assert!(!p.is_padded());
+        let e = Mat::zeros_padded(0, 0);
+        assert_eq!(e.stride(), 0);
     }
 }

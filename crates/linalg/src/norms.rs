@@ -34,9 +34,12 @@ pub fn max_abs(a: &Mat) -> f64 {
 /// Relative Frobenius distance `‖A − B‖_F / max(‖A‖_F, ε)`.
 pub fn rel_frobenius_diff(a: &Mat, b: &Mat) -> f64 {
     assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
-    let mut diff = a.clone();
-    for (d, bv) in diff.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *d -= bv;
+    // Subtract row-by-row: `a` and `b` may carry different lane padding.
+    let mut diff = Mat::zeros(a.rows(), a.cols());
+    for i in 0..a.rows() {
+        for ((d, av), bv) in diff.row_mut(i).iter_mut().zip(a.row(i)).zip(b.row(i)) {
+            *d = av - bv;
+        }
     }
     frobenius(&diff) / frobenius(a).max(f64::MIN_POSITIVE)
 }

@@ -5,7 +5,7 @@
 //! "saving about half of the flops" when reconstructing the matrix
 //! exponential from the symmetric eigendecomposition.
 
-use crate::vecops::dot;
+use crate::simd;
 use crate::Mat;
 
 /// Symmetric rank-k update `C ← α·A·Aᵀ + β·C` (`dsyrk` equivalent,
@@ -14,23 +14,37 @@ use crate::Mat;
 /// Only the lower triangle (including diagonal) is computed — ~n·k·(n+1)/2
 /// multiply-adds — and the strict upper triangle is mirrored afterwards, so
 /// arithmetic cost is half of a general product. In row-major storage each
-/// dot product runs over two contiguous rows of `A`, which streams perfectly.
+/// dot product runs over two contiguous rows of `A`, which streams
+/// perfectly. Within a row of `C`, the `j` outputs are computed in pairs
+/// through the dispatched two-output dot kernel: each dot still
+/// accumulates in the canonical scalar order (bit-identical on every
+/// backend); pairing only doubles the number of independent FP chains.
 ///
 /// # Panics
 /// Panics if `C` is not square of order `A.rows()`.
 pub fn syrk(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
     let n = a.rows();
-    let k = a.cols();
     assert!(
         c.is_square() && c.rows() == n,
         "syrk: C must be n×n with n = A.rows()"
     );
 
+    let be = simd::active();
     for i in 0..n {
-        let a_i = &a.as_slice()[i * k..(i + 1) * k];
-        for j in 0..=i {
-            let a_j = &a.as_slice()[j * k..(j + 1) * k];
-            let s = alpha * dot(a_i, a_j);
+        let a_i = a.row(i);
+        let mut j = 0;
+        while j < i {
+            let (d0, d1) = simd::dot2_with(be, a.row(j), a.row(j + 1), a_i);
+            let s0 = alpha * d0;
+            let cij = &mut c[(i, j)];
+            *cij = s0 + beta * *cij;
+            let s1 = alpha * d1;
+            let cij = &mut c[(i, j + 1)];
+            *cij = s1 + beta * *cij;
+            j += 2;
+        }
+        if j <= i {
+            let s = alpha * simd::dot_with(be, a_i, a.row(j));
             let cij = &mut c[(i, j)];
             *cij = s + beta * *cij;
         }

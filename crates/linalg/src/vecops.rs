@@ -55,46 +55,31 @@ pub fn neumaier_sum(values: &[f64]) -> f64 {
     acc.total()
 }
 
-/// Dot product `xᵀy`, unrolled 4-way to expose instruction-level
-/// parallelism (separate accumulators break the FP dependency chain).
+/// Dot product `xᵀy` in the canonical 4-accumulator order, dispatched to
+/// the active SIMD backend. All backends reproduce the scalar reference
+/// order — four interleaved partial sums combined as `(s0+s1)+(s2+s3)`
+/// plus a running-sum tail — so the result is bit-identical regardless of
+/// dispatch (see [`crate::simd`]).
 ///
 /// # Panics
-/// Panics if lengths differ (debug builds only; release relies on zip).
+/// Panics if lengths differ (debug builds only; release relies on `min`).
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    debug_assert_eq!(x.len(), y.len());
-    let n = x.len().min(y.len());
-    let chunks = n / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for k in 0..chunks {
-        let i = 4 * k;
-        s0 += x[i] * y[i];
-        s1 += x[i + 1] * y[i + 1];
-        s2 += x[i + 2] * y[i + 2];
-        s3 += x[i + 3] * y[i + 3];
-    }
-    let mut s = (s0 + s1) + (s2 + s3);
-    for i in 4 * chunks..n {
-        s += x[i] * y[i];
-    }
-    s
+    crate::simd::dot(x, y)
 }
 
-/// `y ← αx + y`.
+/// `y ← αx + y` (dispatched; independent outputs, bit-identical across
+/// backends).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::simd::fma_row_with(crate::simd::active(), y, alpha, x);
 }
 
-/// `x ← αx`.
+/// `x ← αx` (dispatched).
 #[inline]
 pub fn scal(alpha: f64, x: &mut [f64]) {
-    for v in x {
-        *v *= alpha;
-    }
+    crate::simd::scale_row_with(crate::simd::active(), x, alpha);
 }
 
 /// Euclidean norm with scaling to avoid overflow/underflow (like `dnrm2`).
@@ -125,23 +110,20 @@ pub fn iamax(x: &[f64]) -> Option<usize> {
 }
 
 /// Elementwise product `z_i = x_i · y_i` — the internal-node combine step of
-/// Felsenstein pruning (Fig. 2 of the paper).
+/// Felsenstein pruning (Fig. 2 of the paper). Dispatched; independent
+/// outputs, bit-identical across backends.
 #[inline]
 pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
     debug_assert_eq!(x.len(), z.len());
-    for ((zi, xi), yi) in z.iter_mut().zip(x).zip(y) {
-        *zi = xi * yi;
-    }
+    crate::simd::mul_into_with(crate::simd::active(), x, y, z);
 }
 
-/// In-place elementwise product `y_i ← y_i · x_i`.
+/// In-place elementwise product `y_i ← y_i · x_i` (dispatched).
 #[inline]
 pub fn hadamard_in_place(x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi *= xi;
-    }
+    crate::simd::mul_row_with(crate::simd::active(), y, x);
 }
 
 /// Sum of all elements.
