@@ -314,6 +314,7 @@ mod tests {
                 error: "optimizer\tblew\nup".into(),
                 recoverable: true,
                 timed_out: false,
+                trace_tail: Vec::new(),
             }),
             from_journal: true,
         }

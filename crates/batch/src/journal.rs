@@ -86,6 +86,12 @@ fn encode_record(rec: &BatchRecord) -> String {
             o.str("error", &f.error);
             o.bool("recoverable", f.recoverable);
             o.bool("timed_out", f.timed_out);
+            if !f.trace_tail.is_empty() {
+                // Flight-recorder dump (omitted when empty so journals
+                // written with tracing off match the pre-trace format).
+                let items: Vec<String> = f.trace_tail.iter().map(|l| esc(l)).collect();
+                o.raw("trace_tail", format!("[{}]", items.join(",")));
+            }
         }
     }
     let mut line = o.finish();
@@ -165,6 +171,17 @@ fn decode_record(v: &Value) -> Result<BatchRecord> {
                 .and_then(Value::as_bool)
                 .unwrap_or(false),
             timed_out: v.get("timed_out").and_then(Value::as_bool).unwrap_or(false),
+            // Added with the flight recorder: absent in older journals.
+            trace_tail: v
+                .get("trace_tail")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default(),
         }),
         other => {
             return Err(BatchError::Journal(format!(
@@ -276,6 +293,10 @@ mod tests {
                     error: "boom with \"quotes\"\nand newline".into(),
                     recoverable: true,
                     timed_out: false,
+                    trace_tail: vec![
+                        "+12us t3 i batch.retry id=1".into(),
+                        "+40us t3 i batch.quarantine id=1".into(),
+                    ],
                 })
             },
             from_journal: false,
@@ -302,6 +323,8 @@ mod tests {
         let f = recs[1].outcome.as_ref().unwrap_err();
         assert!(f.error.contains("\"quotes\"\nand newline"));
         assert!(f.recoverable);
+        assert_eq!(f.trace_tail.len(), 2, "flight-recorder dump roundtrips");
+        assert_eq!(f.trace_tail[1], "+40us t3 i batch.quarantine id=1");
         assert!(recs.iter().all(|r| r.from_journal));
         std::fs::remove_file(&path).ok();
     }

@@ -82,6 +82,10 @@ impl JobError {
     }
 }
 
+/// Flight-recorder events attached to a quarantine record (see
+/// [`JobFailure::trace_tail`]).
+pub const TRACE_TAIL_EVENTS: usize = 64;
+
 /// Terminal failure after all attempts: the quarantine record.
 #[derive(Debug, Clone)]
 pub struct JobFailure {
@@ -92,6 +96,10 @@ pub struct JobFailure {
     pub recoverable: bool,
     /// Whether the advisory per-job time budget was exceeded.
     pub timed_out: bool,
+    /// Flight-recorder dump: the last [`TRACE_TAIL_EVENTS`] trace events
+    /// preceding quarantine, rendered as human-readable lines. Empty when
+    /// tracing is disabled.
+    pub trace_tail: Vec<String>,
 }
 
 /// One job's outcome as it leaves the pool.
@@ -172,6 +180,7 @@ where
     let obs = crate::obsm::metrics();
     obs.workers.set(workers as f64);
     let obs_on = slim_obs::enabled();
+    // check: allow(det-wallclock) feeds the pool utilization gauge only
     let pool_start = Instant::now();
     // Summed busy nanoseconds across workers, for the utilization gauge.
     let busy_total_ns = AtomicU64::new(0);
@@ -197,10 +206,28 @@ where
                     if config.cancel.is_cancelled() {
                         break;
                     }
+                    let queue_wait = pool_start.elapsed();
                     if obs_on {
-                        obs.queue_wait.observe(pool_start.elapsed());
+                        obs.queue_wait.observe(queue_wait);
                     }
+                    let mut job_span = slim_trace::span("batch.job", "batch");
+                    job_span.arg_u64("id", job.id as u64);
+                    job_span.arg_str("key", &job.key);
+                    job_span.arg_u64(
+                        "queue_wait_us",
+                        u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX),
+                    );
                     let record = run_one(&job, &config, runner);
+                    job_span.arg_u64("attempts", record.attempts as u64);
+                    job_span.arg_str(
+                        "status",
+                        if record.outcome.is_ok() {
+                            "ok"
+                        } else {
+                            "quarantined"
+                        },
+                    );
+                    drop(job_span);
                     let spent = Duration::from_secs_f64(record.seconds.max(0.0));
                     busy += spent;
                     obs.job_seconds.observe(spent);
@@ -218,6 +245,11 @@ where
                     u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX),
                     Ordering::Relaxed,
                 );
+                // Scoped threads must drain their event buffer before the
+                // scope unblocks (TLS destructors may run too late).
+                if slim_trace::enabled() {
+                    slim_trace::flush_thread();
+                }
             });
         }
         drop(rec_tx);
@@ -254,6 +286,7 @@ fn run_one<J, O, R>(job: &PoolJob<J>, config: &SchedulerConfig, runner: &R) -> P
 where
     R: Fn(&PoolJob<J>, usize) -> Result<O, JobError>,
 {
+    // check: allow(det-wallclock) feeds the per-job timeout + obs histogram only
     let started = Instant::now();
     let mut attempts = 0usize;
     let outcome = loop {
@@ -277,12 +310,35 @@ where
                     .is_some_and(|budget| started.elapsed() >= budget);
                 let out_of_attempts = attempts > config.retries;
                 if !e.recoverable || out_of_attempts || timed_out {
+                    slim_trace::instant_with("batch.quarantine", "batch", || {
+                        vec![
+                            ("id", slim_trace::Value::U64(job.id as u64)),
+                            ("attempts", slim_trace::Value::U64(attempts as u64)),
+                            ("recoverable", slim_trace::Value::Bool(e.recoverable)),
+                            ("timed_out", slim_trace::Value::Bool(timed_out)),
+                        ]
+                    });
+                    // Flight-recorder dump: flush this worker's buffer so
+                    // the tail includes the events leading up to failure.
+                    let trace_tail = if slim_trace::enabled() {
+                        slim_trace::flush_thread();
+                        slim_trace::dump_lines(TRACE_TAIL_EVENTS)
+                    } else {
+                        Vec::new()
+                    };
                     break Err(JobFailure {
                         error: e.message,
                         recoverable: e.recoverable,
                         timed_out,
+                        trace_tail,
                     });
                 }
+                slim_trace::instant_with("batch.retry", "batch", || {
+                    vec![
+                        ("id", slim_trace::Value::U64(job.id as u64)),
+                        ("attempt", slim_trace::Value::U64(attempts as u64)),
+                    ]
+                });
                 if !config.backoff.is_zero() {
                     // Exponential backoff, capped to avoid overflow.
                     let factor = 1u32 << (attempt.min(10) as u32);
@@ -464,6 +520,35 @@ mod tests {
         let f = recs[0].outcome.as_ref().unwrap_err();
         assert_eq!(recs[0].attempts, 1);
         assert!(f.timed_out);
+    }
+
+    #[test]
+    fn quarantined_jobs_carry_flight_recorder_dump() {
+        // With tracing enabled, a terminal failure must attach the last
+        // flight-recorder events to its quarantine record.
+        slim_trace::set_enabled(true);
+        slim_trace::clear();
+        let recs = run_pool(
+            jobs(2),
+            &quick(1, 1),
+            |j, _| {
+                if j.payload == 1 {
+                    Err(JobError::recoverable("always fails"))
+                } else {
+                    Ok(j.payload)
+                }
+            },
+            |_| {},
+        );
+        slim_trace::set_enabled(false);
+        let f = recs[1].outcome.as_ref().unwrap_err();
+        assert!(!f.trace_tail.is_empty(), "dump must not be empty");
+        assert!(
+            f.trace_tail.iter().any(|l| l.contains("batch.quarantine")),
+            "dump should include the quarantine instant: {:?}",
+            f.trace_tail
+        );
+        assert!(recs[0].outcome.is_ok(), "sibling job unaffected");
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn record(id: usize, from_journal: bool) -> BatchRecord {
             error: format!("fit diverged on job {id}\nwith a second line"),
             recoverable: true,
             timed_out: id % 8 == 7,
+            trace_tail: Vec::new(),
         })
     } else {
         Ok(outcome(id as u64))

@@ -10,18 +10,43 @@
 //! cargo run --release -p slim-bench --bin figure3 [--quick] [--fresh]
 //! ```
 
-use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use slim_bench::runs::StoredRun;
 use slim_bench::{run_engine, RunBudget};
 use slim_core::Backend;
 use slim_opt::GradMode;
 use slim_sim::subsample_dataset;
 
-#[derive(Serialize, Deserialize)]
 struct Point {
     species: usize,
     base: StoredRun,
     slim: StoredRun,
+}
+
+impl Point {
+    fn to_json_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("species".into(), Value::Number(self.species as f64));
+        m.insert("base".into(), self.base.to_json_value());
+        m.insert("slim".into(), self.slim.to_json_value());
+        Value::Object(m)
+    }
+
+    fn from_json_value(v: &Value) -> Option<Point> {
+        Some(Point {
+            species: v.get("species")?.as_u64()? as usize,
+            base: StoredRun::from_json_value(v.get("base")?)?,
+            slim: StoredRun::from_json_value(v.get("slim")?)?,
+        })
+    }
+}
+
+fn points_from_json(text: &str) -> Option<Vec<Point>> {
+    let root: Value = serde_json::from_str(text).ok()?;
+    root.as_array()?
+        .iter()
+        .map(Point::from_json_value)
+        .collect()
 }
 
 fn main() {
@@ -39,9 +64,16 @@ fn main() {
     );
 
     let fresh = std::env::args().any(|a| a == "--fresh");
-    let points: Vec<Point> = if !fresh && std::path::Path::new(&path).exists() {
+    let cached: Option<Vec<Point>> = if fresh {
+        None
+    } else {
+        std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| points_from_json(&text))
+    };
+    let points: Vec<Point> = if let Some(points) = cached {
         eprintln!("[bench] using cached sweep from {path} (pass --fresh to recompute)");
-        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap()
+        points
     } else {
         let mut points = Vec::new();
         for &n in &species {
@@ -69,7 +101,8 @@ fn main() {
                 },
             });
         }
-        std::fs::write(&path, serde_json::to_string_pretty(&points).unwrap()).unwrap();
+        let arr = Value::Array(points.iter().map(Point::to_json_value).collect());
+        std::fs::write(&path, serde_json::to_string_pretty(&arr).unwrap()).unwrap();
         points
     };
 

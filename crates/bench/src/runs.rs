@@ -6,14 +6,14 @@
 //! without repeating hours of fitting. Pass `--fresh` to recompute.
 
 use crate::{run_engine, EngineRun, RunBudget};
-use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use slim_core::{Backend, Fit};
 use slim_opt::GradMode;
 use slim_sim::{dataset, DatasetId};
 use std::path::PathBuf;
 
 /// Serializable summary of one hypothesis fit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StoredFit {
     /// Maximized log-likelihood.
     pub lnl: f64,
@@ -41,10 +41,31 @@ impl StoredFit {
     pub fn seconds_per_iteration(&self) -> f64 {
         self.seconds / self.iterations.max(1) as f64
     }
+
+    /// JSON tree for the `target/` cache files.
+    pub fn to_json_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("lnl".into(), Value::Number(self.lnl));
+        m.insert("iterations".into(), Value::Number(self.iterations as f64));
+        m.insert("f_evals".into(), Value::Number(self.f_evals as f64));
+        m.insert("seconds".into(), Value::Number(self.seconds));
+        Value::Object(m)
+    }
+
+    /// Parse back from a cache file; `None` on shape mismatch (treated
+    /// as a stale cache and recomputed).
+    pub fn from_json_value(v: &Value) -> Option<StoredFit> {
+        Some(StoredFit {
+            lnl: v.get("lnl")?.as_f64()?,
+            iterations: v.get("iterations")?.as_u64()? as usize,
+            f_evals: v.get("f_evals")?.as_u64()? as usize,
+            seconds: v.get("seconds")?.as_f64()?,
+        })
+    }
 }
 
 /// Serializable summary of one engine's H0+H1 on one dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StoredRun {
     /// Dataset label ("i".."iv").
     pub dataset: String,
@@ -75,6 +96,42 @@ impl StoredRun {
     pub fn total_iterations(&self) -> usize {
         self.h0.iterations + self.h1.iterations
     }
+
+    /// JSON tree for the `target/` cache files.
+    pub fn to_json_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("dataset".into(), Value::String(self.dataset.clone()));
+        m.insert("backend".into(), Value::String(self.backend.clone()));
+        m.insert("h0".into(), self.h0.to_json_value());
+        m.insert("h1".into(), self.h1.to_json_value());
+        Value::Object(m)
+    }
+
+    /// Parse back from a cache file; `None` on shape mismatch.
+    pub fn from_json_value(v: &Value) -> Option<StoredRun> {
+        Some(StoredRun {
+            dataset: v.get("dataset")?.as_str()?.to_string(),
+            backend: v.get("backend")?.as_str()?.to_string(),
+            h0: StoredFit::from_json_value(v.get("h0")?)?,
+            h1: StoredFit::from_json_value(v.get("h1")?)?,
+        })
+    }
+}
+
+/// Parse a cached run grid; `None` if the file is not a JSON array of
+/// well-formed runs.
+pub fn runs_from_json(text: &str) -> Option<Vec<StoredRun>> {
+    let root: Value = serde_json::from_str(text).ok()?;
+    root.as_array()?
+        .iter()
+        .map(StoredRun::from_json_value)
+        .collect()
+}
+
+/// Pretty-printed JSON array for a run grid.
+pub fn runs_to_json(runs: &[StoredRun]) -> String {
+    let arr = Value::Array(runs.iter().map(StoredRun::to_json_value).collect());
+    serde_json::to_string_pretty(&arr).expect("JSON tree printing is infallible")
 }
 
 /// Per-dataset iteration caps. Dataset iv's full CodeML run took the
@@ -115,7 +172,7 @@ pub fn load_or_run_all(budget: &RunBudget) -> Vec<StoredRun> {
     let fresh = std::env::args().any(|a| a == "--fresh");
     if !fresh {
         if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Ok(runs) = serde_json::from_str::<Vec<StoredRun>>(&text) {
+            if let Some(runs) = runs_from_json(&text) {
                 eprintln!(
                     "[bench] using cached runs from {} (pass --fresh to recompute)",
                     path.display()
@@ -155,11 +212,7 @@ pub fn load_or_run_all(budget: &RunBudget) -> Vec<StoredRun> {
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&out).expect("serialize"),
-    )
-    .expect("write bench cache");
+    std::fs::write(&path, runs_to_json(&out)).expect("write bench cache");
     out
 }
 
@@ -227,9 +280,13 @@ mod tests {
     #[test]
     fn stored_fit_roundtrips_through_json() {
         let runs = vec![stored("iv", "CodeML", 1.5, 3)];
-        let text = serde_json::to_string(&runs).unwrap();
-        let back: Vec<StoredRun> = serde_json::from_str(&text).unwrap();
+        let text = runs_to_json(&runs);
+        let back = runs_from_json(&text).unwrap();
         assert_eq!(back[0].dataset, "iv");
         assert_eq!(back[0].h1.iterations, 3);
+        assert!((back[0].h0.seconds - 1.5).abs() < 1e-15);
+        // Malformed caches are rejected, not half-parsed.
+        assert!(runs_from_json("[{\"dataset\": 3}]").is_none());
+        assert!(runs_from_json("not json").is_none());
     }
 }

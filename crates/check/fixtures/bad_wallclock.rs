@@ -1,0 +1,22 @@
+//@ path: crates/core/src/fixture.rs
+// Known-bad wall-clock snippets for det-wallclock.
+
+use std::time::{Instant, SystemTime}; //~ det-wallclock
+
+fn stamp() -> u64 {
+    let t = Instant::now(); //~ det-wallclock
+    t.elapsed().as_micros() as u64
+}
+
+fn epoch() -> u64 {
+    let now = SystemTime::now(); //~ det-wallclock
+    now.duration_since(SystemTime::UNIX_EPOCH) //~ det-wallclock
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn waived_timing() -> u64 {
+    // check: allow(det-wallclock) feeds the obs timing histogram only
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

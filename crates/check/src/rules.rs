@@ -13,6 +13,9 @@ pub enum RuleId {
     DetFloatAccum,
     /// `==`/`!=` against a float literal in non-test code.
     DetFloatCmp,
+    /// `Instant::now`/`SystemTime` wall-clock reads outside the
+    /// observability crates.
+    DetWallclock,
     /// `unwrap`/`expect`/`panic!` family in library non-test code.
     RobUnwrap,
     /// `unsafe` without an adjacent `// SAFETY:` comment.
@@ -20,10 +23,11 @@ pub enum RuleId {
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [RuleId; 5] = [
+pub const ALL_RULES: [RuleId; 6] = [
     RuleId::DetHashIter,
     RuleId::DetFloatAccum,
     RuleId::DetFloatCmp,
+    RuleId::DetWallclock,
     RuleId::RobUnwrap,
     RuleId::RobSafety,
 ];
@@ -35,6 +39,7 @@ impl RuleId {
             RuleId::DetHashIter => "det-hash-iter",
             RuleId::DetFloatAccum => "det-float-accum",
             RuleId::DetFloatCmp => "det-float-cmp",
+            RuleId::DetWallclock => "det-wallclock",
             RuleId::RobUnwrap => "rob-unwrap",
             RuleId::RobSafety => "rob-safety",
         }
@@ -60,6 +65,11 @@ impl RuleId {
             RuleId::DetFloatCmp => {
                 "exact float comparison against a literal; compare .to_bits(), use a \
                  tolerance, or waive with the reason the exact compare is intended"
+            }
+            RuleId::DetWallclock => {
+                "wall-clock read (Instant::now / SystemTime) outside the obs/trace/bench \
+                 crates; timestamps must never feed deterministic outputs — route timing \
+                 through slim-obs/slim-trace, or waive with where the value goes"
             }
             RuleId::RobUnwrap => {
                 "unwrap/expect/panic in library non-test code; return a typed error, \
@@ -98,6 +108,15 @@ impl RuleId {
                     && !path.starts_with("crates/linalg/src/simd/")
             }
             RuleId::DetFloatCmp => true,
+            // The observability crates' whole job is wall-clock time; the
+            // bench harness measures it by definition; vendored stand-in
+            // dependencies are not first-party code.
+            RuleId::DetWallclock => {
+                !(path.starts_with("crates/obs/")
+                    || path.starts_with("crates/trace/")
+                    || path.starts_with("crates/bench/")
+                    || path.starts_with("vendor/"))
+            }
             // Library code only: binaries (main.rs, src/bin), examples,
             // and the bench harness may panic at the top level. The
             // sanitizer module is exempt wholesale — its entire job is to
@@ -302,6 +321,17 @@ fn match_rule(rule: RuleId, code: &str, lines: &[PreparedLine], i: usize) -> Opt
             None
         }
         RuleId::DetFloatCmp => float_cmp_match(code),
+        RuleId::DetWallclock => {
+            // `Instant::now` is a path, not a bare word (`now` alone is
+            // too common); `SystemTime` is a type name.
+            if code.contains("Instant::now") {
+                return Some("`Instant::now` wall-clock read".to_string());
+            }
+            if contains_word(code, "SystemTime") {
+                return Some("`SystemTime` wall-clock read".to_string());
+            }
+            None
+        }
         RuleId::RobUnwrap => {
             for token in [
                 ".unwrap()",
@@ -508,6 +538,23 @@ mod tests {
         .is_empty());
         assert_eq!(diags("crates/model/src/a.rs", "if x == 0.0 {}\n").len(), 1);
         assert!(diags("crates/model/src/a.rs", "if x <= 0.0 {}\n").is_empty());
+    }
+
+    #[test]
+    fn wallclock_scoped_to_non_observability_crates() {
+        let src = "fn f() { let t = Instant::now(); work(t); }\n";
+        assert_eq!(diags("crates/lik/src/par.rs", src).len(), 1);
+        assert_eq!(diags("crates/opt/src/bfgs.rs", src).len(), 1);
+        // The observability crates' whole job is wall-clock time.
+        assert!(diags("crates/obs/src/timing.rs", src).is_empty());
+        assert!(diags("crates/trace/src/lib.rs", src).is_empty());
+        assert!(diags("crates/bench/src/bin/tool.rs", src).is_empty());
+        let sys = "fn g() { let t = SystemTime::now(); stamp(t); }\n";
+        assert_eq!(diags("crates/batch/src/journal.rs", sys).len(), 1);
+        // Waivers work like any other rule.
+        let waived = "// check: allow(det-wallclock) feeds the report footer only\n\
+                      fn f() { let t = Instant::now(); work(t); }\n";
+        assert!(diags("crates/lik/src/par.rs", waived).is_empty());
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! slimcodeml --seq aln.fasta --tree tree.nwk [--backend slim|codeml|slim+|eq12]
 //!            [--freq f3x4|f61|f1x4|equal] [--seed N] [--max-iter N] [--scan]
 //!            [--timing] [--metrics out.json] [--metrics-format json|prom]
+//!            [--trace out.trace.json]
 //! slimcodeml batch manifest.json [--workers N] [--retries N] [--resume]
-//!            [--out PREFIX] [--timing] [--metrics out.json]
+//!            [--out PREFIX] [--timing] [--metrics out.json] [--trace out.trace.json]
+//! slimcodeml trace-report out.trace.json
 //! ```
 //!
 //! Observability: `--timing` prints a per-phase wall-clock breakdown
@@ -19,6 +21,13 @@
 //! `--metrics-format prom`) covering the optimizer, likelihood engine,
 //! expm cache, and batch runner. Setting `SLIMCODEML_METRICS` to a
 //! truthy value enables collection without any flag.
+//!
+//! Tracing: `--trace <path>` records ordered `slim-trace` events through
+//! the whole pipeline and writes a Chrome Trace Event Format JSON
+//! document for Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`; `trace-report <file>` summarizes such a file
+//! into a per-iteration convergence table and a critical-path
+//! breakdown. Both `--metrics` and `--trace` accept `-` for stdout.
 //!
 //! The `batch` subcommand drives `slim-batch`: a manifest of gene
 //! families is expanded into jobs, fanned across a worker pool with
@@ -80,6 +89,9 @@ pub struct CliConfig {
     pub metrics_path: Option<String>,
     /// Format of the `--metrics` snapshot.
     pub metrics_format: MetricsFormat,
+    /// Write a Chrome Trace Event Format JSON trace to this path after
+    /// the run (`-` = stdout).
+    pub trace_path: Option<String>,
 }
 
 /// Configuration of the `batch` subcommand.
@@ -104,10 +116,13 @@ pub struct BatchCliConfig {
     pub metrics_path: Option<String>,
     /// Format of the `--metrics` snapshot.
     pub metrics_format: MetricsFormat,
+    /// Write a Chrome Trace Event Format JSON trace to this path after
+    /// the run (`-` = stdout).
+    pub trace_path: Option<String>,
 }
 
-/// How the program was invoked: direct flags, a CodeML control file, or
-/// the `batch` subcommand.
+/// How the program was invoked: direct flags, a CodeML control file, the
+/// `batch` subcommand, or the `trace-report` summarizer.
 #[derive(Debug, Clone)]
 pub enum Invocation {
     /// All inputs given as flags.
@@ -116,6 +131,8 @@ pub enum Invocation {
     Ctl(String),
     /// `batch <manifest.json> ...`.
     Batch(BatchCliConfig),
+    /// `trace-report <trace.json>`: summarize an emitted trace.
+    TraceReport(String),
 }
 
 /// Parse argv-style arguments (excluding the program name).
@@ -126,6 +143,16 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     if args.first().map(String::as_str) == Some("batch") {
         return parse_batch_args(&args[1..]).map(Invocation::Batch);
     }
+    if args.first().map(String::as_str) == Some("trace-report") {
+        return match args.get(1) {
+            Some(path) if args.len() == 2 => Ok(Invocation::TraceReport(path.clone())),
+            Some(_) => Err(format!("trace-report takes exactly one path\n{}", usage())),
+            None => Err(format!(
+                "trace-report requires a trace file path\n{}",
+                usage()
+            )),
+        };
+    }
     let mut seq_path = None;
     let mut tree_path = None;
     let mut options = AnalysisOptions::default();
@@ -135,6 +162,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut timing = false;
     let mut metrics_path = None;
     let mut metrics_format = MetricsFormat::default();
+    let mut trace_path = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -202,6 +230,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 metrics_format = MetricsFormat::from_str_opt(&v)
                     .ok_or_else(|| format!("unknown metrics format {v:?} (json|prom)"))?;
             }
+            "--trace" => trace_path = Some(take_value("--trace")?),
             "--sites" => mode = CtlMode::Sites,
             "--ctl" => return Ok(Invocation::Ctl(take_value("--ctl")?)),
             "--help" | "-h" => return Err(usage()),
@@ -218,6 +247,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         timing,
         metrics_path,
         metrics_format,
+        trace_path,
     })))
 }
 
@@ -230,6 +260,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliConfig, String> {
     let mut timing = false;
     let mut metrics_path = None;
     let mut metrics_format = MetricsFormat::default();
+    let mut trace_path = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -260,6 +291,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliConfig, String> {
                 metrics_format = MetricsFormat::from_str_opt(&v)
                     .ok_or_else(|| format!("unknown metrics format {v:?} (json|prom)"))?;
             }
+            "--trace" => trace_path = Some(take_value("--trace")?),
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown batch flag {other:?}\n{}", usage()));
@@ -292,6 +324,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliConfig, String> {
         timing,
         metrics_path,
         metrics_format,
+        trace_path,
     })
 }
 
@@ -320,14 +353,48 @@ fn metrics_setup(timing: bool, metrics_path: Option<&String>) -> Option<Snapshot
     Some(slim_obs::snapshot())
 }
 
-/// Write the global registry snapshot to `path` in the requested format.
+/// Write `text` to `path`, where `-` means stdout.
+fn write_output(path: &str, text: &str, what: &str) -> Result<(), String> {
+    if path == "-" {
+        use std::io::Write;
+        let mut out = std::io::stdout().lock();
+        out.write_all(text.as_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("cannot write {what} to stdout: {e}"))
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("cannot write {what} file {path}: {e}"))
+    }
+}
+
+/// Write the global registry snapshot to `path` (`-` = stdout) in the
+/// requested format.
 fn write_metrics_file(path: &str, format: MetricsFormat) -> Result<(), String> {
     let snap = slim_obs::snapshot();
     let text = match format {
         MetricsFormat::Json => snap.to_json(),
         MetricsFormat::Prom => snap.to_prometheus(),
     };
-    std::fs::write(path, text).map_err(|e| format!("cannot write metrics file {path}: {e}"))
+    write_output(path, &text, "metrics")
+}
+
+/// Turn event tracing on when `--trace` was given (the
+/// `SLIMCODEML_TRACE` env var enables the flight recorder without any
+/// flag, but only `--trace` exports a file). Clears the ring so the
+/// trace covers exactly this run.
+fn trace_setup(trace_path: Option<&String>) {
+    if trace_path.is_some() {
+        slim_trace::set_enabled(true);
+        slim_trace::clear();
+    }
+}
+
+/// Drain the flight recorder and write a Chrome Trace Event Format JSON
+/// document to `path` (`-` = stdout). Load it in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+fn write_trace_file(path: &str) -> Result<(), String> {
+    let (events, dropped) = slim_trace::take_events();
+    let json = slim_trace::chrome_trace_json(&events, dropped);
+    write_output(path, &json, "trace")
 }
 
 /// Run the `batch` subcommand: execute the manifest, write
@@ -339,6 +406,7 @@ fn write_metrics_file(path: &str, format: MetricsFormat) -> Result<(), String> {
 /// failures do not error — they are quarantined in the reports.
 pub fn run_batch(config: &BatchCliConfig) -> Result<String, String> {
     metrics_setup(config.timing, config.metrics_path.as_ref());
+    trace_setup(config.trace_path.as_ref());
     let run_config = slim_batch::RunConfig {
         workers: config.workers,
         retries: config.retries,
@@ -363,6 +431,9 @@ pub fn run_batch(config: &BatchCliConfig) -> Result<String, String> {
         .map_err(|e| format!("cannot write {json_path}: {e}"))?;
     if let Some(path) = &config.metrics_path {
         write_metrics_file(path, config.metrics_format)?;
+    }
+    if let Some(path) = &config.trace_path {
+        write_trace_file(path)?;
     }
 
     let s = &report.summary;
@@ -392,6 +463,75 @@ pub fn run_batch(config: &BatchCliConfig) -> Result<String, String> {
     }
     out.push_str(&format!("reports: {tsv_path}, {json_path}\n"));
     Ok(out)
+}
+
+/// Run the `trace-report` subcommand: parse a `--trace` JSON file back
+/// into events and render the convergence table plus the critical-path
+/// breakdown.
+///
+/// # Errors
+/// A human-readable message on IO failure or a file that is not a
+/// slimcodeml Chrome Trace Event Format document.
+pub fn run_trace_report(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace file {path}: {e}"))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| format!("{path} has no \"traceEvents\" array (not a --trace output?)"))?;
+    let mut recorded = Vec::with_capacity(events.len());
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("");
+        // Metadata ("M") and any foreign phases are skipped: the report
+        // only consumes B/E spans and instants.
+        if !matches!(ph, "B" | "E" | "i") {
+            continue;
+        }
+        let mut rec = slim_trace::report::RecordedEvent {
+            name: ev
+                .get("name")
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            cat: ev
+                .get("cat")
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            ph: ph.chars().next().unwrap_or('i'),
+            ts_us: ev
+                .get("ts")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0),
+            tid: ev
+                .get("tid")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0),
+            num_args: Vec::new(),
+            str_args: Vec::new(),
+        };
+        if let Some(args) = ev.get("args").and_then(serde_json::Value::as_object) {
+            for (k, v) in args {
+                if let Some(x) = v.as_f64() {
+                    rec.num_args.push((k.clone(), x));
+                } else if let Some(b) = v.as_bool() {
+                    rec.num_args.push((k.clone(), if b { 1.0 } else { 0.0 }));
+                } else if let Some(s) = v.as_str() {
+                    rec.str_args.push((k.clone(), s.to_string()));
+                }
+            }
+        }
+        recorded.push(rec);
+    }
+    if recorded.is_empty() {
+        return Err(format!("{path}: trace contains no events"));
+    }
+    Ok(slim_trace::report::render_report(&recorded))
 }
 
 /// Render the per-phase wall-clock breakdown (`--timing`): the delta
@@ -466,13 +606,17 @@ pub fn usage() -> String {
      [--backend codeml|slim|slim+|eq12|slim-par] [--freq equal|f1x4|f3x4|f61] \
      [--seed N] [--max-iter N] [--forward-grad] [--threads N] \
      [--simd auto|scalar|avx2|neon] [--timing] \
-     [--metrics <path>] [--metrics-format json|prom] \
+     [--metrics <path>] [--metrics-format json|prom] [--trace <path>] \
      [--scan] [--workers N] [--sites]\n\
        or: slimcodeml --ctl <codeml.ctl>\n\
        or: slimcodeml batch <manifest.json> [--workers N] [--retries N] \
      [--resume] [--out PREFIX] [--timing] [--metrics <path>] \
-     [--metrics-format json|prom]\n\
-     (SLIMCODEML_METRICS=1 enables metric collection without flags)"
+     [--metrics-format json|prom] [--trace <path>]\n\
+       or: slimcodeml trace-report <trace.json>\n\
+     (--metrics/--trace accept \"-\" for stdout; --trace writes Chrome \
+     Trace Event Format JSON for Perfetto / chrome://tracing; \
+     SLIMCODEML_METRICS=1 / SLIMCODEML_TRACE=1 enable collection \
+     without flags)"
         .to_string()
 }
 
@@ -528,9 +672,13 @@ pub fn load_tree(text: &str) -> Result<Tree, String> {
 /// A human-readable message on any failure.
 pub fn run(config: &CliConfig, seq_text: &str, tree_text: &str) -> Result<String, String> {
     let baseline = metrics_setup(config.timing, config.metrics_path.as_ref());
+    trace_setup(config.trace_path.as_ref());
     let out = run_report(config, seq_text, tree_text, baseline.as_ref())?;
     if let Some(path) = &config.metrics_path {
         write_metrics_file(path, config.metrics_format)?;
+    }
+    if let Some(path) = &config.trace_path {
+        write_trace_file(path)?;
     }
     Ok(out)
 }
@@ -690,6 +838,9 @@ mod tests {
             Invocation::Direct(c) => *c,
             Invocation::Ctl(p) => panic!("expected direct invocation, got ctl {p:?}"),
             Invocation::Batch(b) => panic!("expected direct invocation, got batch {b:?}"),
+            Invocation::TraceReport(p) => {
+                panic!("expected direct invocation, got trace-report {p:?}")
+            }
         }
     }
 
@@ -1056,6 +1207,73 @@ mod tests {
             snap.contains("slimcodeml_lik_phase_pruning_seconds_bucket{le=\"+Inf\"}"),
             "{snap}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let c = direct(
+            parse_args(&args(&["--seq", "a", "--tree", "t", "--trace", "out.json"])).unwrap(),
+        );
+        assert_eq!(c.trace_path.as_deref(), Some("out.json"));
+        let stdout =
+            direct(parse_args(&args(&["--seq", "a", "--tree", "t", "--trace", "-"])).unwrap());
+        assert_eq!(stdout.trace_path.as_deref(), Some("-"));
+        let plain = direct(parse_args(&args(&["--seq", "a", "--tree", "t"])).unwrap());
+        assert_eq!(plain.trace_path, None);
+        match parse_args(&args(&["batch", "m.json", "--trace", "b.trace.json"])).unwrap() {
+            Invocation::Batch(b) => assert_eq!(b.trace_path.as_deref(), Some("b.trace.json")),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args(&["trace-report", "t.json"])).unwrap() {
+            Invocation::TraceReport(p) => assert_eq!(p, "t.json"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args(&["trace-report"])).is_err());
+        assert!(parse_args(&args(&["trace-report", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_trace_export_and_report() {
+        let dir = std::env::temp_dir().join(format!("slim_cli_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.trace.json");
+        let cfg = CliConfig {
+            trace_path: Some(path.to_string_lossy().into_owned()),
+            ..direct(parse_args(&args(&["--seq", "-", "--tree", "-", "--max-iter", "8"])).unwrap())
+        };
+        run(
+            &cfg,
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+            "((A:0.2,B:0.2)#1:0.1,C:0.3);",
+        )
+        .unwrap();
+        slim_trace::set_enabled(false);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Structurally valid Trace Event Format: the document parses and
+        // every event carries the required fields.
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        for ev in events {
+            for key in ["name", "ph", "pid", "tid"] {
+                assert!(ev.get(key).is_some(), "event missing {key}: {ev:?}");
+            }
+        }
+        // The trace covers optimizer and likelihood layers.
+        for name in ["opt.fit", "opt.iteration", "lik.evaluate"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.get("name").and_then(serde_json::Value::as_str) == Some(name)),
+                "no {name} event in trace"
+            );
+        }
+        // And trace-report summarizes it.
+        let report = run_trace_report(path.to_str().unwrap()).unwrap();
+        assert!(report.contains("Convergence trace"), "{report}");
+        assert!(report.contains("lnL"), "{report}");
+        assert!(report.contains("Critical path"), "{report}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -25,6 +25,18 @@ fn main() -> ExitCode {
                 }
             };
         }
+        slim_cli::Invocation::TraceReport(path) => {
+            return match slim_cli::run_trace_report(&path) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         slim_cli::Invocation::Ctl(path) => {
             let text = match std::fs::read_to_string(&path) {
                 Ok(t) => t,
@@ -44,6 +56,7 @@ fn main() -> ExitCode {
                     timing: false,
                     metrics_path: None,
                     metrics_format: slim_cli::MetricsFormat::Json,
+                    trace_path: None,
                 },
                 Err(msg) => {
                     eprintln!("control file error: {msg}");

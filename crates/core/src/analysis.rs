@@ -328,9 +328,15 @@ impl Analysis {
     /// [`CoreError::Optimization`] if no finite starting likelihood can be
     /// found; numerical errors propagate as [`CoreError::Linalg`].
     pub fn fit(&self, hypothesis: Hypothesis) -> Result<Fit, CoreError> {
+        self.fit_from(hypothesis, self.start_vector(hypothesis))
+    }
+
+    /// Maximize one hypothesis from an explicit starting vector (same
+    /// layout as [`Analysis::start_vector`]); every coordinate must be
+    /// strictly inside the hypothesis' feasible region.
+    fn fit_from(&self, hypothesis: Hypothesis, x0: Vec<f64>) -> Result<Fit, CoreError> {
         let config = &self.engine_config;
         let transform = self.transform(hypothesis);
-        let x0 = self.start_vector(hypothesis);
         let z0 = transform.to_unconstrained(&x0);
 
         let problem = &self.problem;
@@ -357,6 +363,7 @@ impl Analysis {
             f_tol: 1e-10,
             ..Default::default()
         };
+        // check: allow(det-wallclock) feeds the report wall_time field only
         let started = Instant::now();
         let result = match self.options.optimizer {
             Optimizer::DenseBfgs => minimize(objective, &z0, &opts),
@@ -392,7 +399,27 @@ impl Analysis {
     /// Propagates fit errors.
     pub fn test_positive_selection(&self) -> Result<TestResult, CoreError> {
         let h0 = self.fit(Hypothesis::H0)?;
-        let h1 = self.fit(Hypothesis::H1)?;
+        let mut h1 = self.fit(Hypothesis::H1)?;
+        if h1.lnl < h0.lnl {
+            // H0 is a boundary point of H1 (ω2 = 1), so lnL1 ≥ lnL0 at
+            // the true optima; landing below means the jittered H1 start
+            // found a worse local optimum. Re-polish from the H0
+            // solution, with ω2 nudged off the bound so the
+            // log-transform stays finite.
+            let mut warm = Vec::with_capacity(5 + h0.branch_lengths.len());
+            warm.extend([
+                h0.model.kappa,
+                h0.model.omega0,
+                1.0 + 1e-3,
+                h0.model.p0,
+                h0.model.p1,
+            ]);
+            warm.extend(h0.branch_lengths.iter().copied());
+            let polished = self.fit_from(Hypothesis::H1, warm)?;
+            if polished.lnl > h1.lnl {
+                h1 = polished;
+            }
+        }
         let lrt = lrt_pvalue(h0.lnl, h1.lnl);
 
         let value = site_class_log_likelihoods(

@@ -193,6 +193,7 @@ fn fit_sites(
         f_tol: 1e-10,
         ..Default::default()
     };
+    // check: allow(det-wallclock) feeds the report wall_time field only
     let started = Instant::now();
     let result = minimize(objective, &z0, &opts);
     let wall_time = started.elapsed();

@@ -97,16 +97,31 @@ impl EigenCache {
         if let Some(found) = self.map.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             crate::obsm::metrics().hits.inc();
+            slim_trace::instant_with("expm.cache.hit", "expm", || {
+                vec![
+                    ("kappa", slim_trace::Value::F64(kappa)),
+                    ("omega", slim_trace::Value::F64(omega)),
+                ]
+            });
             return Ok(found);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         crate::obsm::metrics().misses.inc();
+        slim_trace::instant_with("expm.cache.miss", "expm", || {
+            vec![
+                ("kappa", slim_trace::Value::F64(kappa)),
+                ("omega", slim_trace::Value::F64(omega)),
+            ]
+        });
         let es = Arc::new(EigenSystem::from_rate_matrix(rm, method)?);
         let mut map = self.map.lock();
         if map.len() >= self.capacity {
             self.evictions
                 .fetch_add(map.len() as u64, Ordering::Relaxed);
             crate::obsm::metrics().evictions.add(map.len() as u64);
+            slim_trace::instant_with("expm.cache.evict", "expm", || {
+                vec![("entries", slim_trace::Value::U64(map.len() as u64))]
+            });
             map.clear();
         }
         map.insert(key, es.clone());

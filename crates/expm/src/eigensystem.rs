@@ -31,7 +31,16 @@ impl EigenSystem {
         rm: &RateMatrix,
         method: EigenMethod,
     ) -> Result<EigenSystem, slim_linalg::LinalgError> {
-        let eigen = sym_eigen(&rm.a, method)?;
+        let mut eigen = sym_eigen(&rm.a, method)?;
+        // A is similar to the generator Q, whose spectrum is provably in
+        // (-∞, 0]; a computed positive eigenvalue is rounding noise from
+        // the symmetric solve (absolute accuracy ~ n·ε·‖A‖, reaching
+        // ~1e-5 when bound-corner parameters push ‖A‖ toward 1e10).
+        // Unclamped it escapes through e^{λt} as a uniform row-sum
+        // inflation on long branches; clamped, e^{λt} ≤ 1 always.
+        for v in &mut eigen.values {
+            *v = v.min(0.0);
+        }
         #[cfg(feature = "sanitize")]
         slim_linalg::sanitize::check_generator_spectrum(&eigen.values, 1e-11, || {
             format!(
@@ -113,7 +122,19 @@ impl EigenSystem {
         }
         #[cfg(feature = "sanitize")]
         slim_linalg::sanitize::check_row_stochastic(&p, 1e-7, 1e-7, || {
-            format!("P(t) reconstruction at branch length t={t}")
+            let lo = self
+                .eigen
+                .values
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            let hi = self
+                .eigen
+                .values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            format!("P(t) reconstruction at branch length t={t} (spectrum [{lo:.6e}, {hi:.6e}])")
         });
         #[cfg(not(feature = "sanitize"))]
         let _ = t;

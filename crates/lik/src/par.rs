@@ -110,13 +110,18 @@ fn evaluate_inner(
     obs.threads.set(threads as f64);
     let simd_mode = config.simd;
     obs.simd_lanes.set(simd::resolve(simd_mode).lanes() as f64);
+    let mut eval_span = slim_trace::span("lik.evaluate", "lik");
+    eval_span.arg_u64("threads", threads as u64);
+    eval_span.arg_u64("patterns", n_pat as u64);
 
     // --- Phase 1: rate matrices + eigendecompositions, one per distinct
     // ω. All classes share one rate scale (the background mixture
     // average), so ω2 > 1 genuinely accelerates foreground evolution —
     // see BranchSiteModel::shared_scale. The three decompositions are
     // independent; with threads they run one-per-spawn.
+    // check: allow(det-wallclock) feeds the obs phase-timing histogram only
     let start = Instant::now();
+    let phase_span = slim_trace::span("lik.eigen", "lik");
     let omegas = model.omegas();
     let (syn_flux, nonsyn_flux) =
         slim_model::codon_model::rate_components(&problem.code, model.kappa, &problem.pi);
@@ -130,6 +135,11 @@ fn evaluate_inner(
                     simd::with_forced(simd_mode, || {
                         *slot = Some(eigen_for(problem, config, model.kappa, omega, scale));
                     });
+                    // Scoped thread: flush cache-probe instants before
+                    // the scope unblocks (see slim_trace::flush_thread).
+                    if slim_trace::enabled() {
+                        slim_trace::flush_thread();
+                    }
                 });
             }
         })
@@ -144,6 +154,7 @@ fn evaluate_inner(
             .map(|&omega| eigen_for(problem, config, model.kappa, omega, scale))
             .collect::<Result<Vec<_>, _>>()?
     };
+    drop(phase_span);
     let elapsed = start.elapsed();
     obs.eigen.observe(elapsed);
     if let Some(t) = timing.as_deref_mut() {
@@ -155,7 +166,9 @@ fn evaluate_inner(
     // Each reconstruction is an independent dsyrk/gemm; threads take
     // contiguous chunks of the item list (ownership via chunks_mut — no
     // locks, no unsafe).
+    // check: allow(det-wallclock) feeds the obs phase-timing histogram only
     let start = Instant::now();
+    let phase_span = slim_trace::span("lik.expm", "lik");
     let n_nodes = problem.children.len();
     let mut items: Vec<(usize, usize, f64)> = Vec::new();
     for node in 0..n_nodes {
@@ -199,6 +212,7 @@ fn evaluate_inner(
     for (&(node, w, _), op) in items.iter().zip(built) {
         ops[node][w] = op;
     }
+    drop(phase_span);
     let elapsed = start.elapsed();
     obs.expm.observe(elapsed);
     if let Some(t) = timing.as_deref_mut() {
@@ -210,7 +224,9 @@ fn evaluate_inner(
     // worker computes which block cannot affect any value (see crate
     // module docs), so the channel's nondeterministic scheduling is
     // harmless.
+    // check: allow(det-wallclock) feeds the obs phase-timing histogram only
     let start = Instant::now();
+    let phase_span = slim_trace::span("lik.pruning", "lik");
     let classes = model.site_classes();
     let block = config.pattern_block.max(1);
     let mut per_class: Vec<Vec<f64>> = classes
@@ -258,25 +274,40 @@ fn evaluate_inner(
                 let rx = rx.clone();
                 scope.spawn(move |_| {
                     simd::with_forced(simd_mode, || {
+                        let worker_span = slim_trace::span("lik.worker", "lik");
                         let mut ws = PruneWorkspace::new();
                         let mut busy = Duration::ZERO;
                         while let Ok(unit) = rx.recv() {
+                            // check: allow(det-wallclock) feeds the obs worker-busy gauge only
                             let t0 = obs_on.then(Instant::now);
+                            // Per-unit block span: which (class ω-pair ×
+                            // pattern block) this worker ran, and when.
+                            let mut block_span = slim_trace::span("lik.block", "lik");
+                            block_span.arg_u64("bg", unit.bg as u64);
+                            block_span.arg_u64("fg", unit.fg as u64);
+                            block_span.arg_u64("lo", unit.lo as u64);
                             prune_block(
                                 problem, config, ops, unit.bg, unit.fg, unit.lo, unit.out, &mut ws,
                             );
+                            drop(block_span);
                             if let Some(t0) = t0 {
                                 busy += t0.elapsed();
                             }
                         }
                         obs.worker_busy.observe(busy);
+                        drop(worker_span);
                     });
+                    // Scoped thread: flush before the scope unblocks.
+                    if slim_trace::enabled() {
+                        slim_trace::flush_thread();
+                    }
                 });
             }
         })
         .expect("pruning scope");
     } else {
         let mut ws = PruneWorkspace::new();
+        // check: allow(det-wallclock) feeds the obs worker-busy gauge only
         let t0 = obs_on.then(Instant::now);
         for unit in units {
             prune_block(
@@ -287,6 +318,7 @@ fn evaluate_inner(
             obs.worker_busy.observe(t0.elapsed());
         }
     }
+    drop(phase_span);
     let elapsed = start.elapsed();
     obs.pruning.observe(elapsed);
     if let Some(t) = timing.as_deref_mut() {
@@ -297,7 +329,9 @@ fn evaluate_inner(
     // weighted total — serial, fixed pattern order, compensated. This is
     // the only order-sensitive reduction in the evaluation, which is what
     // makes the whole pipeline thread-count invariant. ---
+    // check: allow(det-wallclock) feeds the obs phase-timing histogram only
     let start = Instant::now();
+    let phase_span = slim_trace::span("lik.reduction", "lik");
     let props = [
         classes[0].proportion,
         classes[1].proportion,
@@ -338,6 +372,7 @@ fn evaluate_inner(
              proportions {props:?})"
         )
     });
+    drop(phase_span);
     let elapsed = start.elapsed();
     obs.reduction.observe(elapsed);
     if let Some(t) = timing {

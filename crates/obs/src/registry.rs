@@ -51,23 +51,28 @@ impl Registry {
             .clone()
     }
 
-    /// Freeze every registered metric, sorted by name.
+    /// Freeze every registered metric, sorted by name. Derived gauges
+    /// (see [`add_derived_gauges`]) are computed here, so they appear in
+    /// both the JSON and Prometheus renderings without a recording site.
     pub fn snapshot(&self) -> Snapshot {
+        let counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .expect("obs counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .lock()
+            .expect("obs gauge map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        add_derived_gauges(&counters, &mut gauges);
         Snapshot {
-            counters: self
-                .counters
-                .lock()
-                .expect("obs counter map poisoned")
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
-            gauges: self
-                .gauges
-                .lock()
-                .expect("obs gauge map poisoned")
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
+            counters,
+            gauges,
             histograms: self
                 .histograms
                 .lock()
@@ -99,6 +104,28 @@ impl Registry {
             .values()
         {
             h.reset();
+        }
+    }
+}
+
+/// Compute gauges derived from raw counters at snapshot time, inserting
+/// them at their name-sorted position so the schema-stability contract
+/// holds. Currently: `expm.cache.hit_rate` = hits / (hits + misses)
+/// (0 before any access), present whenever the cache counters are
+/// registered.
+fn add_derived_gauges(counters: &[(String, u64)], gauges: &mut Vec<(String, f64)>) {
+    let get = |name: &str| counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+    if let (Some(hits), Some(misses)) = (get("expm.cache.hits"), get("expm.cache.misses")) {
+        let total = hits + misses;
+        let rate = if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        };
+        let name = "expm.cache.hit_rate";
+        match gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => gauges[i].1 = rate,
+            Err(i) => gauges.insert(i, (name.to_string(), rate)),
         }
     }
 }
@@ -481,6 +508,38 @@ mod tests {
         assert!(text.contains("slimcodeml_lik_phase_eigen_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("slimcodeml_lik_phase_eigen_seconds_count 1"));
         assert!(text.contains("slimcodeml_lik_phase_eigen_seconds_sum "));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn derived_cache_hit_rate_in_both_sinks() {
+        let _g = locked_enabled();
+        let r = Registry::new();
+        r.counter("expm.cache.hits").add(3);
+        r.counter("expm.cache.misses").add(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("expm.cache.hit_rate"), Some(0.75));
+        let names: Vec<&str> = snap.gauges.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "derived gauge keeps name order");
+        assert!(
+            snap.to_json().contains("\"expm.cache.hit_rate\":0.75"),
+            "{}",
+            snap.to_json()
+        );
+        assert!(
+            snap.to_prometheus()
+                .contains("# TYPE slimcodeml_expm_cache_hit_rate gauge"),
+            "{}",
+            snap.to_prometheus()
+        );
+        // Before any access: defined as 0, not NaN.
+        r.reset();
+        assert_eq!(r.snapshot().gauge("expm.cache.hit_rate"), Some(0.0));
+        // Registries without the cache counters don't grow the gauge.
+        let bare = Registry::new();
+        assert_eq!(bare.snapshot().gauge("expm.cache.hit_rate"), None);
         crate::set_enabled(false);
     }
 

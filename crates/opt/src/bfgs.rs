@@ -87,7 +87,10 @@ fn inf_norm(a: &[f64]) -> f64 {
 /// `x0` (callers use [`crate::transform`] to keep model parameters in
 /// their domains); non-finite values are treated as +∞ by the line search.
 pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) -> BfgsResult {
+    // check: allow(det-wallclock) feeds the obs fit-duration histogram only
     let fit_start = std::time::Instant::now();
+    let mut fit_span = slim_trace::span("opt.fit", "opt");
+    fit_span.arg_str("algo", "bfgs");
     let n = x0.len();
     let f_cell = std::cell::RefCell::new(f);
     let evals_cell = std::cell::Cell::new(0usize);
@@ -131,6 +134,12 @@ pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) ->
             break;
         }
         iterations += 1;
+        // One span per iteration: the machine-readable convergence
+        // trace (lnL, gradient norm, step size, line-search evals ride
+        // on the end event).
+        let mut it_span = slim_trace::span("opt.iteration", "opt");
+        it_span.arg_u64("iter", iterations as u64);
+        let ls_before = ls_cell.get();
 
         // Search direction d = -H g.
         let mut d = vec![0.0f64; n];
@@ -214,6 +223,12 @@ pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) ->
         x = trial.clone();
         fx = f_new;
         g = g_new;
+
+        // Callers minimize the negative log-likelihood, so -fx is lnL.
+        it_span.arg_f64("lnl", -fx);
+        it_span.arg_f64("grad_norm", inf_norm(&g));
+        it_span.arg_f64("step", alpha);
+        it_span.arg_u64("ls_evals", (ls_cell.get() - ls_before) as u64);
 
         if f_change <= opts.f_tol * (1.0 + fx.abs()) {
             reason = TerminationReason::FunctionConverged;

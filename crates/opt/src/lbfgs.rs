@@ -26,7 +26,10 @@ fn inf_norm(a: &[f64]) -> f64 {
 /// Minimize `f` from `x0` with L-BFGS, reusing [`BfgsOptions`] (the
 /// `max_backtracks`, tolerance and gradient-mode knobs mean the same).
 pub fn minimize_lbfgs(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptions) -> BfgsResult {
+    // check: allow(det-wallclock) feeds the obs fit-duration histogram only
     let fit_start = std::time::Instant::now();
+    let mut fit_span = slim_trace::span("opt.fit", "opt");
+    fit_span.arg_str("algo", "lbfgs");
     let n = x0.len();
     let f_cell = std::cell::RefCell::new(f);
     let evals_cell = std::cell::Cell::new(0usize);
@@ -66,6 +69,10 @@ pub fn minimize_lbfgs(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptio
             break;
         }
         iterations += 1;
+        // Convergence-trace span, same shape as dense BFGS.
+        let mut it_span = slim_trace::span("opt.iteration", "opt");
+        it_span.arg_u64("iter", iterations as u64);
+        let ls_before = ls_cell.get();
 
         // Two-loop recursion: d = -H·g from the stored pairs.
         let mut q = g.clone();
@@ -148,6 +155,12 @@ pub fn minimize_lbfgs(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &BfgsOptio
         x = trial.clone();
         fx = f_new;
         g = g_new;
+
+        // Callers minimize the negative log-likelihood, so -fx is lnL.
+        it_span.arg_f64("lnl", -fx);
+        it_span.arg_f64("grad_norm", inf_norm(&g));
+        it_span.arg_f64("step", alpha);
+        it_span.arg_u64("ls_evals", (ls_cell.get() - ls_before) as u64);
 
         if f_change <= opts.f_tol * (1.0 + fx.abs()) {
             reason = TerminationReason::FunctionConverged;

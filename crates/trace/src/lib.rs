@@ -1,0 +1,293 @@
+//! # slim-trace
+//!
+//! Structured event tracing for the SlimCodeML reproduction — the
+//! *when/in-what-order* companion to `slim-obs`'s *how-much*
+//! aggregates. Instrumented layers emit hierarchical spans (optimizer
+//! iterations carrying the convergence trace, likelihood phases,
+//! per-worker pruning blocks, batch jobs) and instant events (expm
+//! cache hits/misses/evictions, retries, quarantines) into per-thread
+//! buffers that drain into one bounded global ring — the **flight
+//! recorder**. The ring serves two consumers:
+//!
+//! * `--trace <path>` drains everything into a Chrome Trace Event
+//!   Format JSON document that Perfetto / chrome://tracing load
+//!   directly ([`chrome_trace_json`]), summarized offline by
+//!   `slimcodeml trace-report` ([`report`]);
+//! * on worker panic or job quarantine, the batch layer attaches the
+//!   last N events ([`dump_lines`]) to the journal record, so failures
+//!   arrive with their history.
+//!
+//! ## Design constraints (shared with `slim-obs`)
+//!
+//! * **Dependency-free.** Only `std`.
+//! * **One relaxed load when disabled.** [`enabled`] is the only cost
+//!   at a disabled instrumentation site; no clock is read, nothing
+//!   allocates ([`Span`] is inert, [`instant`] returns immediately).
+//! * **Never perturbs numerics.** Tracing observes strictly outside
+//!   the arithmetic; `tests/trace_identity.rs` pins lnL bits identical
+//!   trace-on vs trace-off. Wall-clock timestamps exist only in trace
+//!   output — the `det-wallclock` lint keeps clock reads out of the
+//!   numeric crates.
+//!
+//! ## Enabling
+//!
+//! Off by default. Turns on when `SLIMCODEML_TRACE` is set to anything
+//! but `0` / `false` / empty (read once, at first use), or when a
+//! front end calls [`set_enabled`]`(true)` — the CLI does this for
+//! `--trace`.
+
+mod chrome;
+mod event;
+mod recorder;
+pub mod report;
+
+pub use chrome::chrome_trace_json;
+pub use event::{Event, Phase, Value};
+pub use recorder::{
+    clear, dump_lines, flush_thread, last_events, set_capacity, stats, take_events, RecorderStats,
+    DEFAULT_CAPACITY,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+/// Fold the `SLIMCODEML_TRACE` environment variable into the flag,
+/// exactly once per process; later [`set_enabled`] calls override it.
+fn sync_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("SLIMCODEML_TRACE") {
+            let v = v.trim();
+            if !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false") {
+                ENABLED.store(true, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Is tracing on? One relaxed load — the gate every instrumentation
+/// site takes first.
+#[inline]
+pub fn enabled() -> bool {
+    sync_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn tracing on or off for the whole process (the library-API
+/// mirror of the CLI's `--trace` flag and the `SLIMCODEML_TRACE`
+/// environment variable).
+pub fn set_enabled(on: bool) {
+    sync_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// An RAII span: emits a begin event at creation and an end event —
+/// carrying every attribute attached in between — when dropped. When
+/// tracing is disabled at creation the span is inert: no clock read,
+/// no allocation, and the attribute methods are no-ops.
+#[derive(Debug)]
+#[must_use = "a span traces until it is dropped"]
+pub struct Span {
+    live: bool,
+    name: &'static str,
+    cat: &'static str,
+    args: Vec<(&'static str, Value)>,
+}
+
+/// Open a span. The matching end event is emitted when the returned
+/// guard drops, with any attributes attached via the `arg_*` methods.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Span {
+    let live = enabled();
+    if live {
+        recorder::record(Phase::Begin, name, cat, Vec::new());
+    }
+    Span {
+        live,
+        name,
+        cat,
+        args: Vec::new(),
+    }
+}
+
+impl Span {
+    /// Attach an unsigned-integer attribute to the end event.
+    #[inline]
+    pub fn arg_u64(&mut self, key: &'static str, value: u64) {
+        if self.live {
+            self.args.push((key, Value::U64(value)));
+        }
+    }
+
+    /// Attach a floating-point attribute to the end event.
+    #[inline]
+    pub fn arg_f64(&mut self, key: &'static str, value: f64) {
+        if self.live {
+            self.args.push((key, Value::F64(value)));
+        }
+    }
+
+    /// Attach a string attribute to the end event.
+    #[inline]
+    pub fn arg_str(&mut self, key: &'static str, value: &str) {
+        if self.live {
+            self.args.push((key, Value::Str(value.to_string())));
+        }
+    }
+
+    /// Whether this span is recording (tracing was enabled when it
+    /// opened). Lets call sites skip building expensive attributes.
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.live {
+            recorder::record(
+                Phase::End,
+                self.name,
+                self.cat,
+                std::mem::take(&mut self.args),
+            );
+        }
+    }
+}
+
+/// Emit an instant event with no attributes. One relaxed load when
+/// tracing is disabled.
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str) {
+    if enabled() {
+        recorder::record(Phase::Instant, name, cat, Vec::new());
+    }
+}
+
+/// Emit an instant event with attributes built lazily: the closure
+/// runs only when tracing is enabled, so a disabled site pays exactly
+/// the [`enabled`] load.
+#[inline]
+pub fn instant_with<F>(name: &'static str, cat: &'static str, args: F)
+where
+    F: FnOnce() -> Vec<(&'static str, Value)>,
+{
+    if enabled() {
+        recorder::record(Phase::Instant, name, cat, args());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Tests toggle the process-global flag and drain the global ring;
+    // serialize them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        clear();
+        {
+            let mut s = span("quiet", "test");
+            s.arg_u64("k", 1);
+            instant("tick", "test");
+            instant_with("tock", "test", || vec![("v", Value::F64(1.0))]);
+            assert!(!s.is_live());
+        }
+        let (events, dropped) = take_events();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn span_begin_end_pair_with_args_on_end() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        clear();
+        {
+            let mut s = span("work", "test");
+            s.arg_f64("lnl", -1.5);
+            instant("mid", "test");
+        }
+        set_enabled(false);
+        let (events, _) = take_events();
+        let phases: Vec<(Phase, &str)> = events.iter().map(|e| (e.phase, e.name)).collect();
+        assert_eq!(
+            phases,
+            vec![
+                (Phase::Begin, "work"),
+                (Phase::Instant, "mid"),
+                (Phase::End, "work")
+            ]
+        );
+        assert!(events[0].args.is_empty());
+        assert_eq!(events[2].args, vec![("lnl", Value::F64(-1.5))]);
+        assert!(events[0].ts_us <= events[2].ts_us);
+        assert!(events[0].seq < events[1].seq && events[1].seq < events[2].seq);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        clear();
+        set_capacity(4);
+        for _ in 0..6 {
+            instant("tick", "test");
+        }
+        flush_thread();
+        let st = stats();
+        assert_eq!(st.len, 4);
+        assert_eq!(st.dropped, 2);
+        let last = last_events(2);
+        assert_eq!(last.len(), 2);
+        set_enabled(false);
+        set_capacity(DEFAULT_CAPACITY);
+        clear();
+    }
+
+    #[test]
+    fn dump_lines_render_latest_events() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        clear();
+        instant_with("boom", "test", || vec![("attempt", Value::U64(2))]);
+        set_enabled(false);
+        let lines = dump_lines(8);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("i boom attempt=2"), "line: {}", lines[0]);
+        clear();
+    }
+
+    #[test]
+    fn spans_survive_cross_thread_flush() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        clear();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    {
+                        let _sp = span("worker", "test");
+                    }
+                    // Scoped threads flush explicitly: the scope
+                    // unblocks before TLS destructors run.
+                    flush_thread();
+                });
+            }
+        });
+        set_enabled(false);
+        let (events, _) = take_events();
+        // Each worker thread flushed on exit: two begin/end pairs.
+        assert_eq!(events.len(), 4);
+        let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 2, "each thread gets its own tid");
+    }
+}

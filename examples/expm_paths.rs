@@ -28,6 +28,7 @@ fn main() {
         rm.stationary_rate()
     );
 
+    // check: allow(det-wallclock) timing demo; printed, never fed back
     let started = Instant::now();
     let es = EigenSystem::from_rate_matrix(&rm, EigenMethod::HouseholderQl).unwrap();
     println!(
@@ -39,6 +40,7 @@ fn main() {
     let reps = 2000;
 
     let time = |label: &str, f: &dyn Fn() -> slimcodeml::linalg::Mat| {
+        // check: allow(det-wallclock) timing demo; printed, never fed back
         let start = Instant::now();
         let mut last = None;
         for _ in 0..reps {

@@ -21,6 +21,7 @@
 //! | [`core`] | `slim-core` | the public `Analysis` API |
 //! | [`batch`] | `slim-batch` | multi-gene batch runs: manifest, worker pool, checkpoint/resume |
 //! | [`obs`] | `slim-obs` | metrics registry: counters, gauges, histograms, span timers |
+//! | [`trace`] | `slim-trace` | structured event tracing: flight recorder, Chrome trace export |
 //!
 //! ## Quickstart
 //!
@@ -47,3 +48,4 @@ pub use slim_obs as obs;
 pub use slim_opt as opt;
 pub use slim_sim as sim;
 pub use slim_stat as stat;
+pub use slim_trace as trace;

@@ -219,9 +219,9 @@ fn lbfgs_and_dense_bfgs_agree_through_api() {
     let tree = yule_tree(5, 0.2, 7);
     let truth = BranchSiteModel::default_start(Hypothesis::H0);
     let pi = vec![1.0 / 61.0; 61];
-    let aln = simulate_alignment(&tree, &truth, &pi, 100, 4);
+    let aln = simulate_alignment(&tree, &truth, &pi, 100, 8);
     let mut opts = quick(Backend::SlimPlus);
-    opts.max_iterations = 40;
+    opts.max_iterations = 100;
     let dense = Analysis::new(&tree, &aln, opts.clone())
         .unwrap()
         .fit(Hypothesis::H0)

@@ -1,0 +1,170 @@
+//! Vendored minimal stand-in for the `criterion` crate (see
+//! `vendor/README.md`): enough of the API for the workspace's
+//! `harness = false` bench targets — `criterion_group!`/
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::{sample_size, bench_function, finish}`] and
+//! [`Bencher::iter`].
+//!
+//! Measurement is a plain best-of-samples wall-clock loop (median and
+//! minimum reported); there is no statistical regression machinery.
+//! Numbers are indicative — the serious measurements in this repository
+//! come from the `src/bin/` bench binaries, which have their own
+//! calibrated timing loops.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value wrapper (std's, re-exported for source
+/// compatibility with `use criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Entry point handed to each registered bench function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <substring>` filters benchmark names, matching
+        // criterion's CLI behavior well enough for interactive use
+        // (cargo itself passes only flag-style args like `--bench`).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            filter: self.filter.clone(),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group; benchmarks run as `bench_function` is called.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    filter: Option<String>,
+    _criterion: std::marker::PhantomData<&'c ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Measure one closure; prints median/min per-iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed_ns: 0.0,
+        };
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ≳ 2 ms, so short kernels are not all timer noise.
+        loop {
+            b.elapsed_ns = 0.0;
+            f(&mut b);
+            if b.elapsed_ns >= 2e6 || b.iters >= (1 << 20) {
+                break;
+            }
+            b.iters *= 4;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed_ns = 0.0;
+            f(&mut b);
+            per_iter.push(b.elapsed_ns / b.iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        println!("{full:<60} median {} min {}", fmt_ns(median), fmt_ns(min));
+        self
+    }
+
+    /// End the group (printing is incremental; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.2} s ", ns / 1e9)
+    }
+}
+
+/// Timing handle: run the closure `iters` times inside one measured span.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, called `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Register bench functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_times_something() {
+        let mut c = crate::Criterion { filter: None };
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(3)
+            .bench_function("noop", |b| b.iter(|| crate::black_box(1 + 1)));
+        group.finish();
+    }
+}

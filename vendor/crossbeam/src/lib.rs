@@ -1,0 +1,296 @@
+//! Vendored minimal stand-in for the `crossbeam` crate.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the external dependencies are replaced by small local
+//! crates exposing exactly the API surface the workspace uses (see
+//! `vendor/README.md`). For `crossbeam` that is:
+//!
+//! * [`thread::scope`] with spawn closures receiving the scope handle,
+//! * [`channel::unbounded`] — a multi-producer **multi-consumer** FIFO
+//!   channel (std's `mpsc` receiver cannot be cloned, so this one is
+//!   built on a mutex-guarded queue and a condvar).
+//!
+//! Semantics relied upon by the workspace and preserved here:
+//! `scope` joins every spawned thread before returning (worker slot
+//! writes are visible afterwards); `recv` blocks until an item arrives
+//! or every sender is dropped; dropping all receivers makes `send` fail
+//! so producers can bail out.
+
+pub mod thread {
+    //! Scoped threads over [`std::thread::scope`], with the crossbeam
+    //! call shape (`scope(|s| ...)` returning `Result`, spawn closures
+    //! taking `&Scope`).
+
+    use std::any::Any;
+
+    /// Handle passed to the scope closure and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to this scope. The closure receives the
+        /// scope handle (crossbeam's shape) so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; every spawned thread is joined before this
+    /// returns. A panic in a child propagates out of the join (the
+    /// std behavior), so the `Ok` wrapper is unconditional — callers'
+    /// `.expect(...)` never fires spuriously.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! An unbounded MPMC FIFO channel (mutex-guarded `VecDeque` +
+    //! condvar). Performance is adequate for the workspace's use — a few
+    //! hundred coarse work units per evaluation, not a hot loop.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent value like crossbeam's.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The producing endpoint; clone freely.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The consuming endpoint; clone freely (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a value; fails only when every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = match self.shared.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut st = match self.shared.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            st.senders += 1;
+            drop(st);
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = match self.shared.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            st.senders -= 1;
+            let none_left = st.senders == 0;
+            drop(st);
+            if none_left {
+                // Wake blocked receivers so they observe disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue the next value, blocking while the channel is empty
+        /// and at least one sender is alive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = match self.shared.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.shared.ready.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        /// Blocking iterator over received values; ends at disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut st = match self.shared.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            st.receivers += 1;
+            drop(st);
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = match self.shared.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            st.receivers -= 1;
+        }
+    }
+
+    /// See [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_slots_are_visible() {
+        let mut slots = vec![0usize; 4];
+        crate::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i + 1;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mpmc_channel_delivers_every_item_once() {
+        let (tx, rx) = crate::channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let total = &total;
+                scope.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(v + 1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Σ (i+1) for 0..100 = 5050.
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = crate::channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn iter_drains_then_ends() {
+        let (tx, rx) = crate::channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        tx.send(9).unwrap();
+        drop(tx);
+        let got: Vec<u8> = rx.iter().collect();
+        assert_eq!(got, vec![7, 9]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Vendored minimal stand-in for the `parking_lot` crate (see
+//! `vendor/README.md`): a [`Mutex`] whose `lock()` returns the guard
+//! directly — parking_lot's poison-free shape — implemented over
+//! `std::sync::Mutex` by unwrapping poisoned locks into their inner
+//! guard (the data is still consistent for the workspace's uses: caches
+//! that are rebuilt on miss).
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock with parking_lot's poison-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking; never returns a poison error.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+}

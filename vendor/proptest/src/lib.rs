@@ -1,0 +1,617 @@
+//! Vendored minimal stand-in for the `proptest` crate (see
+//! `vendor/README.md`): the subset of the API this workspace's property
+//! tests use — `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`/
+//! `prop_recursive`, [`collection::vec`], range and tuple strategies,
+//! and [`strategy::LazyJust`].
+//!
+//! Differences from upstream, deliberate for a hermetic build:
+//! - **No shrinking.** A failing case panics with its case index; rerun
+//!   is deterministic (see below), so the failing input is reproducible
+//!   but not minimized.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's module path and name, so every run samples the same cases —
+//!   property tests behave like a fixed battery of regression cases.
+//! - Sampling is plain uniform draws; there is no size-biasing or
+//!   probability ramp in `prop_recursive`.
+
+/// Assert a condition inside a `proptest!` body (early-`Err` return, so
+/// it also works in helper functions returning
+/// `Result<(), TestCaseError>`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Float conditions are common here; the negated form is the
+        // macro's contract, not a refactoring hazard.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test running `cases` sampled inputs. Attributes (including
+/// `#[test]`) are written at the call site and passed through.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                    let outcome = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        // check: allow(rob-unwrap) panicking is how a property test reports failure
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+pub mod test_runner {
+    //! Test configuration, failure type, and the deterministic RNG.
+
+    use std::fmt;
+
+    /// Per-block configuration (`cases` is the only knob implemented).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled inputs per test.
+        pub cases: u32,
+        /// Accepted for upstream signature compatibility; this stand-in
+        /// never shrinks, so the value is unused.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold; the message explains why.
+        Fail(String),
+        /// The input was rejected (treated as a failure here — there is
+        /// no resampling machinery).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Build a rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    /// Deterministic splitmix64 stream, seeded from the test's name so
+    /// every run of a given test samples identical cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test identifier (FNV-1a hash of the name).
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits (splitmix64 step).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias < bound/2^64 — immaterial at test-input scale.
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A recipe for producing values of `Self::Value` from random bits.
+    ///
+    /// Unlike upstream there is no value-tree/shrinking layer: a
+    /// strategy is just a sampler.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Derive a second strategy from each produced value and sample
+        /// from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Recursive strategy: `self` is the leaf case; `recurse` builds
+        /// a composite from a strategy for the nested level. `depth`
+        /// bounds nesting; the other two parameters (upstream's size
+        /// controls) are accepted and ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                recurse: Arc::new(move |inner| recurse(inner).boxed()),
+                depth,
+            }
+        }
+
+        /// Type-erase into a clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe sampling facade behind [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A clonable, type-erased strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Always produce a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Produce values by calling a closure (fresh value each draw).
+    #[derive(Debug, Clone)]
+    pub struct LazyJust<F> {
+        f: F,
+    }
+
+    impl<T, F: Fn() -> T> LazyJust<F> {
+        /// Wrap the generator closure.
+        pub fn new(f: F) -> LazyJust<F> {
+            LazyJust { f }
+        }
+    }
+
+    impl<T, F: Fn() -> T> Strategy for LazyJust<F> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            (self.f)()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`]. At each level: stop at the
+    /// leaf with probability ½ (always at `depth` 0), else expand one
+    /// nesting level.
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Recursive<T> {
+            Recursive {
+                base: self.base.clone(),
+                recurse: Arc::clone(&self.recurse),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            if self.depth == 0 || rng.next_u64().is_multiple_of(2) {
+                self.base.sample(rng)
+            } else {
+                let inner = Recursive {
+                    base: self.base.clone(),
+                    recurse: Arc::clone(&self.recurse),
+                    depth: self.depth - 1,
+                }
+                .boxed();
+                (self.recurse)(inner).sample(rng)
+            }
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, i64, i32);
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    // Left-to-right draw order, part of the deterministic
+                    // sampling contract.
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Inclusive length bounds for [`vec`]; build from a `usize` (exact
+    /// length) or a half-open `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x::y");
+        let mut b = TestRng::from_name("x::y");
+        let s = (0usize..10, 0.0f64..1.0);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        let mut c = TestRng::from_name("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn vec_and_ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        let s = crate::collection::vec(1usize..5, 2usize..9);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| (1..5).contains(&x)));
+        }
+        let exact = crate::collection::vec(0.0f64..1.0, 7usize);
+        assert_eq!(exact.sample(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn recursive_strategy_bottoms_out() {
+        let leaf = crate::strategy::LazyJust::new(|| "L".to_string());
+        let tree = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a},{b})"))
+        });
+        let mut rng = TestRng::from_name("rec");
+        let mut saw_composite = false;
+        for _ in 0..50 {
+            let t = tree.sample(&mut rng);
+            // Depth 3 with binary branching caps leaves at 2^3.
+            assert!(t.matches('L').count() <= 8, "{t}");
+            saw_composite |= t.contains('(');
+        }
+        assert!(saw_composite);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_and_asserts(x in 0usize..100, (a, b) in (0.0f64..1.0, 1.0f64..2.0)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < b, "{a} vs {b}");
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn prop_assert_failure_reports() {
+        fn helper(v: usize) -> Result<(), TestCaseError> {
+            prop_assert!(v < 3, "too big: {v}");
+            Ok(())
+        }
+        assert!(helper(1).is_ok());
+        let err = helper(9).unwrap_err();
+        assert!(format!("{err}").contains("too big: 9"));
+    }
+}

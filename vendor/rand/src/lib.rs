@@ -1,0 +1,172 @@
+//! Vendored minimal stand-in for the `rand` crate (see
+//! `vendor/README.md`), exposing the surface the workspace uses:
+//! `rngs::StdRng`, [`SeedableRng::seed_from_u64`], and
+//! [`Rng::{gen, gen_range}`] for `f64` and integer ranges.
+//!
+//! The generator is **not** stream-compatible with upstream rand's
+//! `StdRng` (ChaCha12); it is xoshiro256++ seeded through splitmix64 —
+//! deterministic, well-distributed, and stable across platforms, which
+//! is the property the simulated datasets and golden snapshots rely on.
+//! All golden fixtures in this repository were generated with this
+//! generator.
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling surface: `gen()` for types with a standard distribution
+/// and `gen_range(lo..hi)` for half-open ranges.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value with the standard distribution for `T` (`f64` in
+    /// `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Sample uniformly from a half-open range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut || self.next_u64())
+    }
+}
+
+/// Types `gen()` can produce.
+pub trait Standard {
+    /// Map 64 random bits to a sample.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+/// Ranges `gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Sample uniformly using the supplied bit source.
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let u = f64::sample(bits());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is < span/2^64 — immaterial for the small
+                // spans (tens of leaves / sequences) used here.
+                self.start + (bits() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (seeded via splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 expansion — the reference method for seeding
+            // xoshiro state (never all-zero).
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_samples_lie_in_unit_interval_and_vary() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.gen::<f64>()).collect();
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u = rng.gen_range(1e-12..1.0f64);
+            assert!((1e-12..1.0).contains(&u));
+            let i = rng.gen_range(2usize..7);
+            assert!((2..7).contains(&i));
+        }
+    }
+}
