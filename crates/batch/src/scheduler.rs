@@ -29,14 +29,16 @@ impl CancelFlag {
         CancelFlag::default()
     }
 
-    /// Request cancellation; idempotent.
+    /// Request cancellation; idempotent. Release pairs with the Acquire
+    /// in [`CancelFlag::is_cancelled`]: a worker that observes the flag
+    /// also observes everything the canceller wrote before setting it.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::SeqCst);
+        self.0.store(true, Ordering::Release);
     }
 
     /// Has cancellation been requested?
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::SeqCst)
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -241,10 +243,9 @@ where
                     }
                 }
                 obs.worker_busy.observe(busy);
-                busy_total.fetch_add(
-                    u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX),
-                    Ordering::Relaxed,
-                );
+                let busy_ns = u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX);
+                // check: allow(atomic-ordering) monotonic busy-time tally, only read after scope join
+                busy_total.fetch_add(busy_ns, Ordering::Relaxed);
                 // Scoped threads must drain their event buffer before the
                 // scope unblocks (TLS destructors may run too late).
                 if slim_trace::enabled() {
@@ -264,6 +265,7 @@ where
     .expect("batch worker panicked");
     let wall = pool_start.elapsed().as_secs_f64();
     if wall > 0.0 {
+        // check: allow(atomic-ordering) scope join above synchronizes; counter is metrics-only
         let busy = busy_total_ns.load(Ordering::Relaxed) as f64 * 1e-9;
         obs.utilization
             .set((busy / (workers as f64 * wall)).clamp(0.0, 1.0));

@@ -130,6 +130,7 @@ impl CodonAlignment {
     }
 
     /// One alignment column: the cell of every species at site `site`.
+    // check: allow(panic-free-hot-path) reached via name-match with pruning column(); site < n_codons at every caller
     pub fn column(&self, site: usize) -> Vec<Site> {
         self.seqs.iter().map(|s| s[site]).collect()
     }

@@ -82,6 +82,7 @@ impl Codon {
 
     /// Return a copy with position `p` replaced by `n`.
     #[inline]
+    // check: allow(panic-free-hot-path) reached via name-match only; position is a literal 0..3 at every caller
     pub fn with(self, p: usize, n: Nuc) -> Codon {
         let mut c = self;
         match p {

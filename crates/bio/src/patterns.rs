@@ -91,6 +91,7 @@ impl SitePatterns {
     }
 
     /// The sense-codon indices of pattern `p`, one per taxon.
+    // check: allow(panic-free-hot-path) p < n_patterns by caller loop bound; rows are n_taxa wide by construction
     pub fn pattern(&self, p: usize) -> &[usize] {
         &self.patterns[p]
     }

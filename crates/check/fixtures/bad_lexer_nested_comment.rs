@@ -1,0 +1,16 @@
+//@ path: crates/model/src/nested.rs
+// Lexer regression: block comments nest in Rust. A depth-unaware lexer
+// resurfaces at the FIRST `*/` and then "sees" the tail of the outer
+// comment as code, firing phantom diagnostics (or missing real ones by
+// desynced line numbers).
+
+/* outer /* inner mentions y.unwrap() */ still inside the outer comment,
+   spanning lines, and mentions SystemTime::now() too */
+pub fn real(x: Option<u32>) -> u32 {
+    x.unwrap() //~ rob-unwrap
+}
+
+/* a /* doubly /* nested */ comment */ with an unsafe block inside */
+pub fn after_deep_nesting(x: Option<u32>) -> u32 {
+    x.unwrap() //~ rob-unwrap
+}

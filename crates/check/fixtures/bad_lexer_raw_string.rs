@@ -1,0 +1,18 @@
+//@ path: crates/model/src/rawstr.rs
+// Lexer regression: raw strings must be blanked without desyncing line
+// tracking. A historical bug consumed the rest of the line after `r#"`,
+// so multi-line raw strings shifted every diagnostic below them.
+
+pub fn doc() -> &'static str {
+    r#"this mentions x.unwrap() and // a fake comment
+and spans lines with "plain quotes" and a stray r" opener
+"#
+}
+
+pub fn nested_hashes() -> &'static str {
+    r##"an inner "# does not close this literal: y.unwrap()"##
+}
+
+pub fn real(x: Option<u32>) -> u32 {
+    x.unwrap() //~ rob-unwrap
+}

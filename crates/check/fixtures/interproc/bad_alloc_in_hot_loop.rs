@@ -1,0 +1,14 @@
+//@ path: crates/model/src/alloc_hot.rs
+// Bad: allocation inside the loop of a hot-path fn. The Vec::new
+// before the loop is fine; the push and format! inside it are not.
+
+// check: hot per-site loop
+pub fn kernel(n: usize) -> usize {
+    let mut v = Vec::new();
+    for i in 0..n {
+        v.push(i); //~ alloc-in-hot-loop
+        let label = format!("site {i}"); //~ alloc-in-hot-loop
+        let _ = label;
+    }
+    v.len()
+}

@@ -1,0 +1,15 @@
+//@ path: crates/model/src/hot_panic.rs
+// Bad: a hot entry reaches panic sites through a helper. The line rule
+// (rob-unwrap) and the interprocedural rule both fire on the unwrap;
+// the assert and the indexing are interprocedural-only.
+
+// check: hot branch-site inner loop
+pub fn kernel(xs: &[f64], sel: Option<usize>) -> f64 {
+    combine(xs, sel)
+}
+
+fn combine(xs: &[f64], sel: Option<usize>) -> f64 {
+    let i = sel.unwrap(); //~ rob-unwrap //~ panic-free-hot-path
+    assert!(i < xs.len()); //~ panic-free-hot-path
+    xs[i] //~ panic-free-hot-path
+}

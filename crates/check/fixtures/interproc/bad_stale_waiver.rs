@@ -1,0 +1,9 @@
+//@ path: crates/model/src/stale.rs
+// Bad: a waiver that suppresses nothing. Under --stale-waivers it is
+// itself a finding — dead waivers hide real regressions when the code
+// under them changes.
+
+// check: allow(rob-unwrap) nothing here unwraps any more //~ stale-waiver
+pub fn tidy(x: u32) -> u32 {
+    x + 1
+}

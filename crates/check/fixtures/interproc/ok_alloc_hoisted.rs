@@ -1,0 +1,12 @@
+//@ path: crates/model/src/alloc_ok.rs
+// OK: the allocation is hoisted out of the loop; the loop body only
+// writes through pre-sized storage.
+
+// check: hot per-site loop
+pub fn kernel(n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for v in out.iter_mut() {
+        *v = 1.0;
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//@ path: crates/batch/src/flag_ok.rs
+// OK: a Release store paired with an Acquire load in the same file is
+// the blessed hand-off shape — no findings.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn set(f: &AtomicBool) {
+    f.store(true, Ordering::Release);
+}
+
+pub fn get(f: &AtomicBool) -> bool {
+    f.load(Ordering::Acquire)
+}

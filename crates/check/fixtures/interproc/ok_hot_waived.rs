@@ -1,0 +1,14 @@
+//@ path: crates/model/src/hot_ok.rs
+// OK: the helper's indexing is covered by a fn-level waiver in the
+// comment block above its declaration, and the waiver is counted as
+// used (no stale-waiver finding under --stale-waivers).
+
+// check: hot kernel entry
+pub fn kernel(xs: &[f64]) -> f64 {
+    pick(xs)
+}
+
+// check: allow(panic-free-hot-path) index bounded by caller contract, xs never empty
+fn pick(xs: &[f64]) -> f64 {
+    xs[0]
+}

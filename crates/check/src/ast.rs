@@ -1,0 +1,168 @@
+//! The syntax tree the rules walk.
+//!
+//! This is deliberately not a full Rust AST: it keeps exactly the
+//! structure the interprocedural rules need — items with their
+//! `cfg`-gates, function bodies as nested expression trees with call
+//! sites, loops, closures, indexing and macro invocations — and folds
+//! everything else into generic [`Expr::Group`] nesting. Fidelity
+//! trade-offs are documented in DESIGN.md ("deliberate
+//! over-approximations").
+
+/// Conditional-compilation gate on an item or statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cfg {
+    /// No `#[cfg]`, or one that does not change analysis scope.
+    None,
+    /// Definitely compiled only under `cfg(test)` (`test` or
+    /// `all(test, …)`). Out of scope for every hot-path rule.
+    Test,
+    /// Definitely compiled only with `feature = "sanitize"`. The
+    /// panic-free contract covers *non*-sanitize builds, so these
+    /// regions are out of scope (their entire job is to panic).
+    Sanitize,
+    /// Some other gate (`target_arch`, `any(…)`, `not(…)`). Stays in
+    /// scope: the conservative direction for reachability.
+    Other,
+}
+
+impl Cfg {
+    /// Is code under this gate part of the non-test, non-sanitize build
+    /// the hot-path rules reason about?
+    pub fn in_scope(self) -> bool {
+        !matches!(self, Cfg::Test | Cfg::Sanitize)
+    }
+
+    /// Combine a parent gate with a nested one (test/sanitize are
+    /// sticky: once out of scope, always out of scope).
+    pub fn and(self, inner: Cfg) -> Cfg {
+        match (self, inner) {
+            (Cfg::Test, _) | (_, Cfg::Test) => Cfg::Test,
+            (Cfg::Sanitize, _) | (_, Cfg::Sanitize) => Cfg::Sanitize,
+            (Cfg::Other, _) | (_, Cfg::Other) => Cfg::Other,
+            (Cfg::None, Cfg::None) => Cfg::None,
+        }
+    }
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// One item, with the gate from its own attributes.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// 1-based line of the item keyword (`fn`, `mod`, `impl`, …).
+    pub line: usize,
+    pub cfg: Cfg,
+}
+
+/// One `use` import: `path` as `alias` (`alias` is the last segment
+/// unless renamed; `glob` marks `use path::*`).
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    pub path: Vec<String>,
+    pub alias: String,
+    pub glob: bool,
+}
+
+#[derive(Debug, Clone)]
+pub enum ItemKind {
+    Fn(FnItem),
+    Mod {
+        name: String,
+        /// `None` for `mod x;` (out-of-line; the resolver joins the
+        /// files), `Some` for an inline `mod x { … }`.
+        items: Option<Vec<Item>>,
+    },
+    Impl {
+        /// The self-type's final identifier (generics stripped).
+        type_name: String,
+        /// `Some` for `impl Trait for Type`.
+        trait_name: Option<String>,
+        items: Vec<Item>,
+    },
+    Trait {
+        name: String,
+        items: Vec<Item>,
+    },
+    Use {
+        imports: Vec<UseImport>,
+    },
+    /// Everything else (`struct`, `enum`, `const`, `static`, `type`,
+    /// `macro_rules!`, …). Initializer expressions are not analyzed —
+    /// a deliberate under-approximation (const contexts cannot be on
+    /// the runtime hot path).
+    Other {
+        keyword: String,
+        name: Option<String>,
+    },
+}
+
+/// A function (free, impl method, or trait method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// `None` for bodiless signatures (trait methods, extern fns).
+    pub body: Option<Vec<Expr>>,
+    /// Carries `#[test]` (the item-level `cfg` covers `#[cfg(test)]`).
+    pub has_test_attr: bool,
+}
+
+/// Expression-tree node. `Group` is the generic nesting fallback, so a
+/// traversal that matches on the specific variants and recurses into
+/// every child sees all interesting sites exactly once.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// `path::to::f(args…)` — also `Type::assoc(args…)`.
+    Call {
+        path: Vec<String>,
+        line: usize,
+        args: Vec<Expr>,
+    },
+    /// `.name(args…)`.
+    MethodCall {
+        name: String,
+        line: usize,
+        args: Vec<Expr>,
+    },
+    /// `name!(…)` / `path::name!(…)`; `name` is the final segment.
+    MacroCall {
+        name: String,
+        line: usize,
+        args: Vec<Expr>,
+    },
+    /// `base[index]` — a potential panic site.
+    Index { line: usize, children: Vec<Expr> },
+    /// `for`/`while`/`loop` body.
+    Loop { line: usize, body: Vec<Expr> },
+    /// `|…| body` — body is attributed to the enclosing fn by the call
+    /// graph (conservative over-approximation).
+    Closure { line: usize, body: Vec<Expr> },
+    /// A statement run behind a `#[cfg(…)]` attribute.
+    Gated { cfg: Cfg, body: Vec<Expr> },
+    /// A bare path in expression position (`Ordering::Relaxed`, a fn
+    /// passed as a value, an enum variant, …).
+    PathRef { path: Vec<String>, line: usize },
+    /// Any other nesting: blocks, parenthesized expressions, match
+    /// bodies, struct literals, array literals.
+    Group { children: Vec<Expr> },
+}
+
+impl Expr {
+    /// The node's children, for uniform traversal.
+    pub fn children(&self) -> &[Expr] {
+        match self {
+            Expr::Call { args, .. }
+            | Expr::MethodCall { args, .. }
+            | Expr::MacroCall { args, .. } => args,
+            Expr::Index { children, .. } | Expr::Group { children } => children,
+            Expr::Loop { body, .. } | Expr::Closure { body, .. } | Expr::Gated { body, .. } => body,
+            Expr::PathRef { .. } => &[],
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Conservative workspace call graph and hot-path reachability.
+//!
+//! Edges over-approximate: a method call `.name(…)` edges to *every*
+//! workspace method named `name` (so trait-object and generic dispatch
+//! can never escape the analysis), closure bodies belong to the
+//! enclosing function, and a bare path that happens to name a function
+//! counts as a potential call (fn-as-value). Code under `cfg(test)` /
+//! `feature = "sanitize"` gates is out of scope — the panic-free
+//! contract covers the production build.
+
+use std::collections::VecDeque;
+
+use crate::ast::Expr;
+use crate::resolve::Workspace;
+
+/// One call site inside a function.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// Candidate callee indices into `Workspace::fns`.
+    pub targets: Vec<usize>,
+}
+
+/// Adjacency: `calls[f]` are the call sites inside `fns[f]`.
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub calls: Vec<Vec<CallSite>>,
+}
+
+/// Build the graph. Out-of-scope functions get no outgoing edges (they
+/// can still be *targets*, but reachability skips them).
+pub fn build(ws: &Workspace) -> Graph {
+    let mut calls = Vec::with_capacity(ws.fns.len());
+    for f in &ws.fns {
+        let mut sites = Vec::new();
+        if f.in_scope() {
+            collect_calls(ws, f, &f.body, &mut sites);
+        }
+        calls.push(sites);
+    }
+    Graph { calls }
+}
+
+fn collect_calls(
+    ws: &Workspace,
+    from: &crate::resolve::FnDef,
+    exprs: &[Expr],
+    out: &mut Vec<CallSite>,
+) {
+    for e in exprs {
+        match e {
+            Expr::Gated { cfg, body } => {
+                if cfg.in_scope() {
+                    collect_calls(ws, from, body, out);
+                }
+                continue;
+            }
+            Expr::Call { path, line, .. } => {
+                let targets = ws.resolve_call(from, path);
+                if !targets.is_empty() {
+                    out.push(CallSite {
+                        line: *line,
+                        targets,
+                    });
+                }
+            }
+            Expr::MethodCall { name, line, .. } => {
+                let targets = ws.resolve_method(name).to_vec();
+                if !targets.is_empty() {
+                    out.push(CallSite {
+                        line: *line,
+                        targets,
+                    });
+                }
+            }
+            Expr::PathRef { path, line } => {
+                // A function mentioned as a value (passed to a combinator,
+                // stored in a table) may be called anywhere: conservative
+                // edge from the mention site.
+                let targets = ws.resolve_call(from, path);
+                if !targets.is_empty() {
+                    out.push(CallSite {
+                        line: *line,
+                        targets,
+                    });
+                }
+            }
+            _ => {}
+        }
+        collect_calls(ws, from, e.children(), out);
+    }
+}
+
+/// Breadth-first reachability from `roots`. Returns, per function, the
+/// root that first reached it (roots map to themselves); `None` means
+/// unreachable. `cut_edge(from_idx, site_line)` lets the caller sever
+/// waived call edges (and record the waiver as used).
+pub fn reachable(
+    ws: &Workspace,
+    graph: &Graph,
+    roots: &[usize],
+    mut cut_edge: impl FnMut(usize, usize) -> bool,
+) -> Vec<Option<usize>> {
+    let mut entry: Vec<Option<usize>> = vec![None; ws.fns.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &r in roots {
+        if entry[r].is_none() {
+            entry[r] = Some(r);
+            queue.push_back(r);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        let Some(root) = entry[f] else { continue };
+        for site in &graph.calls[f] {
+            if cut_edge(f, site.line) {
+                continue;
+            }
+            for &t in &site.targets {
+                // Out-of-scope targets terminate the walk: their bodies
+                // are not part of the production build.
+                if entry[t].is_none() && ws.fns[t].in_scope() {
+                    entry[t] = Some(root);
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::resolve::{build as build_ws, ParsedFile};
+    use std::collections::BTreeMap;
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(p, s)| ParsedFile {
+                path: p.to_string(),
+                ast: parse_file(s).expect("parse"),
+            })
+            .collect();
+        build_ws(&parsed, &BTreeMap::new())
+    }
+
+    fn idx(ws: &Workspace, qual: &str) -> usize {
+        ws.fns
+            .iter()
+            .position(|f| f.qual == qual)
+            .unwrap_or_else(|| panic!("no {qual}"))
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let w = ws_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn hot() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}",
+        )]);
+        let g = build(&w);
+        let reach = reachable(&w, &g, &[idx(&w, "slim_a::hot")], |_, _| false);
+        assert!(reach[idx(&w, "slim_a::leaf")].is_some());
+        assert!(reach[idx(&w, "slim_a::island")].is_none());
+    }
+
+    /// Trait-object dispatch: `.run()` through `dyn Task` must reach
+    /// every workspace impl of `run` — the documented
+    /// over-approximation.
+    #[test]
+    fn trait_object_calls_reach_all_impls() {
+        let w = ws_of(&[(
+            "crates/a/src/lib.rs",
+            "pub trait Task { fn run(&self); }\n\
+             pub struct A;\nimpl Task for A { fn run(&self) { a_work(); } }\n\
+             pub struct B;\nimpl Task for B { fn run(&self) { b_work(); } }\n\
+             fn a_work() {}\nfn b_work() {}\n\
+             pub fn hot(t: &dyn Task) { t.run(); }",
+        )]);
+        let g = build(&w);
+        let reach = reachable(&w, &g, &[idx(&w, "slim_a::hot")], |_, _| false);
+        assert!(reach[idx(&w, "slim_a::a_work")].is_some());
+        assert!(reach[idx(&w, "slim_a::b_work")].is_some());
+    }
+
+    /// Closure bodies belong to the enclosing fn: calls inside a
+    /// closure passed to a combinator still produce edges from `hot`.
+    #[test]
+    fn closure_bodies_attributed_to_enclosing_fn() {
+        let w = ws_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn hot(xs: &[u32]) -> u32 { xs.iter().map(|x| helper(*x)).sum() }\n\
+             fn helper(x: u32) -> u32 { deep(x) }\nfn deep(x: u32) -> u32 { x }",
+        )]);
+        let g = build(&w);
+        let reach = reachable(&w, &g, &[idx(&w, "slim_a::hot")], |_, _| false);
+        assert!(reach[idx(&w, "slim_a::helper")].is_some());
+        assert!(reach[idx(&w, "slim_a::deep")].is_some());
+    }
+
+    /// Functions passed as values (`map(helper)`) are conservatively
+    /// treated as called.
+    #[test]
+    fn fn_as_value_produces_an_edge() {
+        let w = ws_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn hot(xs: &[u32]) -> Vec<u32> { xs.iter().copied().map(helper).collect() }\n\
+             fn helper(x: u32) -> u32 { x }",
+        )]);
+        let g = build(&w);
+        let reach = reachable(&w, &g, &[idx(&w, "slim_a::hot")], |_, _| false);
+        assert!(reach[idx(&w, "slim_a::helper")].is_some());
+    }
+
+    #[test]
+    fn test_gated_calls_do_not_leak_into_scope() {
+        let w = ws_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn hot() { #[cfg(test)] test_only(); real(); }\n\
+             fn test_only() {}\nfn real() {}\n\
+             #[cfg(test)]\nmod tests { pub fn t() { crate::hot(); } }",
+        )]);
+        let g = build(&w);
+        let reach = reachable(&w, &g, &[idx(&w, "slim_a::hot")], |_, _| false);
+        assert!(reach[idx(&w, "slim_a::test_only")].is_none());
+        assert!(reach[idx(&w, "slim_a::real")].is_some());
+    }
+
+    #[test]
+    fn cut_edges_stop_propagation() {
+        let w = ws_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn hot() { waived_call(); }\nfn waived_call() { deep(); }\nfn deep() {}",
+        )]);
+        let g = build(&w);
+        let hot = idx(&w, "slim_a::hot");
+        let reach = reachable(&w, &g, &[hot], |from, _| from == hot);
+        assert!(reach[idx(&w, "slim_a::waived_call")].is_none());
+        assert!(reach[idx(&w, "slim_a::deep")].is_none());
+    }
+}

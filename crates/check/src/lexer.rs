@@ -33,6 +33,14 @@ enum Mode {
 
 /// Blank comments and literal contents, preserving line structure.
 fn blank(source: &str) -> String {
+    blank_with(source, false)
+}
+
+/// Blank comments, preserving line structure. With `keep_literals` the
+/// string/char literal *contents* survive (the tokenizer needs them to
+/// read `cfg(feature = "...")` values); without it they are blanked to
+/// spaces exactly as [`prepare`] has always done.
+pub fn blank_with(source: &str, keep_literals: bool) -> String {
     let chars: Vec<char> = source.chars().collect();
     let mut out = String::with_capacity(source.len());
     let mut mode = Mode::Code;
@@ -60,11 +68,16 @@ fn blank(source: &str) -> String {
                 'r' | 'b' if is_raw_string_start(&chars, i) => {
                     let (hashes, consumed) = raw_string_open(&chars, i);
                     mode = Mode::RawStr(hashes);
-                    for _ in 0..consumed {
-                        out.push(' ');
+                    if keep_literals {
+                        for k in 0..consumed {
+                            out.push(chars[i + k]);
+                        }
+                    } else {
+                        for _ in 1..consumed {
+                            out.push(' ');
+                        }
+                        out.push('"');
                     }
-                    out.pop();
-                    out.push('"');
                     i += consumed;
                 }
                 '\'' => {
@@ -114,7 +127,20 @@ fn blank(source: &str) -> String {
             }
             Mode::Str => match c {
                 '\\' => {
-                    out.push_str("  ");
+                    // An escape consumes the backslash and the next char.
+                    // A string-continuation escape (`\` at end of line)
+                    // consumes a *newline*: blank the backslash but keep
+                    // the newline, or every later line number desyncs.
+                    out.push(if keep_literals { '\\' } else { ' ' });
+                    if let Some(e) = next {
+                        out.push(if e == '\n' {
+                            '\n'
+                        } else if keep_literals {
+                            e
+                        } else {
+                            ' '
+                        });
+                    }
                     i += 2;
                 }
                 '"' => {
@@ -127,7 +153,7 @@ fn blank(source: &str) -> String {
                     i += 1;
                 }
                 _ => {
-                    out.push(' ');
+                    out.push(if keep_literals { c } else { ' ' });
                     i += 1;
                 }
             },
@@ -135,10 +161,13 @@ fn blank(source: &str) -> String {
                 if c == '"' && closes_raw(&chars, i, hashes) {
                     mode = Mode::Code;
                     out.push('"');
-                    for _ in 0..hashes {
-                        out.push(' ');
+                    for k in 0..hashes as usize {
+                        out.push(if keep_literals { chars[i + 1 + k] } else { ' ' });
                     }
                     i += 1 + hashes as usize;
+                } else if keep_literals {
+                    out.push(c);
+                    i += 1;
                 } else {
                     out.push(if c == '\n' { '\n' } else { ' ' });
                     i += 1;
@@ -146,7 +175,18 @@ fn blank(source: &str) -> String {
             }
             Mode::Char => match c {
                 '\\' => {
-                    out.push_str("  ");
+                    // Same newline preservation as in `Mode::Str`: an
+                    // escape must never swallow a line break.
+                    out.push(if keep_literals { '\\' } else { ' ' });
+                    if let Some(e) = next {
+                        out.push(if e == '\n' {
+                            '\n'
+                        } else if keep_literals {
+                            e
+                        } else {
+                            ' '
+                        });
+                    }
                     i += 2;
                 }
                 '\'' => {
@@ -155,7 +195,7 @@ fn blank(source: &str) -> String {
                     i += 1;
                 }
                 _ => {
-                    out.push(' ');
+                    out.push(if keep_literals { c } else { ' ' });
                     i += 1;
                 }
             },
@@ -166,7 +206,7 @@ fn blank(source: &str) -> String {
 
 /// Does a raw (byte) string literal start at `i`? Accepts `r"`, `r#"`,
 /// `br"`, `br#"` with any number of `#`s.
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+pub(crate) fn is_raw_string_start(chars: &[char], i: usize) -> bool {
     let mut j = i;
     if chars[j] == 'b' {
         j += 1;
@@ -190,7 +230,7 @@ fn is_raw_string_start(chars: &[char], i: usize) -> bool {
 }
 
 /// Length of the raw-string opener at `i` and its `#` count.
-fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+pub(crate) fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
     let mut j = i;
     if chars[j] == 'b' {
         j += 1;
@@ -205,12 +245,12 @@ fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
 }
 
 /// Does the `"` at `i` close a raw string with `hashes` trailing `#`s?
-fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+pub(crate) fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
     (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
 }
 
 /// Is the `'` at `i` a char literal (vs a lifetime)?
-fn is_char_literal(chars: &[char], i: usize) -> bool {
+pub(crate) fn is_char_literal(chars: &[char], i: usize) -> bool {
     match chars.get(i + 1) {
         Some('\\') => true,                         // '\n', '\''
         Some(_) => chars.get(i + 2) == Some(&'\''), // 'x'
@@ -325,6 +365,63 @@ mod tests {
         let src = "#[cfg(test)]\nuse std::fmt;\nfn real() { body(); }\n";
         let lines = prepare(src);
         assert!(!lines[2].in_test, "fn after a cfg(test) use must be live");
+    }
+
+    #[test]
+    fn string_continuation_keeps_line_count() {
+        // `\` at end of line is a string-continuation escape; the lexer
+        // used to swallow the newline, desyncing every later line number.
+        let src = "let s = \"a\\\nb\";\nlet x = y.unwrap();\n";
+        let lines = prepare(src);
+        assert_eq!(lines.len(), 3, "continuation must not eat the newline");
+        assert!(lines[2].code.contains("unwrap"), "line 3 stays line 3");
+        // Same bug class in char position (invalid Rust, but the lexer
+        // must stay line-stable on anything it is handed).
+        let ch = "let c = '\\\n';\nlet t = 1;\n";
+        assert_eq!(prepare(ch).len(), 3);
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_count() {
+        let src =
+            "let s = r#\"one\ntwo \"quoted\" //not-a-comment\nthree\"#;\nlet k = m.unwrap();\n";
+        let lines = prepare(src);
+        assert_eq!(lines.len(), 4);
+        assert!(!lines[1].code.contains("quoted"));
+        assert!(
+            lines[3].code.contains("unwrap"),
+            "post-raw-string line intact"
+        );
+        // A `"` with too few `#`s does not close; `"#` inside `r##"…"##`
+        // is content.
+        let tricky = "let s = r##\"a\"# still\nin\"##; let z = 9;\n";
+        let t = prepare(tricky);
+        assert_eq!(t.len(), 2);
+        assert!(!t[0].code.contains("still"));
+        assert!(t[1].code.contains("let z = 9;"));
+    }
+
+    #[test]
+    fn nested_block_comments_keep_line_count() {
+        let src = "/* a\n/* b */\nstill comment */\nlet w = v.unwrap();\n";
+        let lines = prepare(src);
+        assert_eq!(lines.len(), 4);
+        assert!(!lines[2].code.contains("still"));
+        assert!(lines[3].code.contains("unwrap"));
+        // Overlapping open/close runs: `/*/**/*/` is two balanced levels.
+        let overlap = "/*/**/*/\nlet p = n.unwrap();\n";
+        let o = prepare(overlap);
+        assert_eq!(o.len(), 2);
+        assert!(o[0].code.trim().is_empty());
+        assert!(o[1].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn keep_literals_preserves_contents_and_blanks_comments() {
+        let out = blank_with("let f = \"sanitize\"; // gone\nlet r = r#\"raw\"#;\n", true);
+        assert!(out.contains("\"sanitize\""));
+        assert!(out.contains("r#\"raw\"#"));
+        assert!(!out.contains("gone"));
     }
 
     #[test]

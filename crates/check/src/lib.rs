@@ -10,20 +10,67 @@
 //! instantly in any environment (including offline CI) and can never be
 //! broken by the code it checks.
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
+pub mod interproc;
 pub mod lexer;
+pub mod parser;
+pub mod resolve;
 pub mod rules;
+pub mod tokens;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use rules::Diagnostic;
+use rules::{Diagnostic, FileWaivers};
 
 /// Scan one source string as if it lived at `path` (workspace-relative,
 /// forward slashes). This is the entry point the fixture tests use.
+/// Line rules only — see [`scan_virtual`] for the interprocedural set.
 pub fn scan_source(path: &str, source: &str) -> Vec<Diagnostic> {
     rules::check_file(path, &lexer::prepare(source))
+}
+
+/// Scan options for the full (line + interprocedural) pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanOptions {
+    /// Report `stale-waiver` findings for waivers that suppressed
+    /// nothing.
+    pub stale_waivers: bool,
+}
+
+/// Scan a *virtual* workspace: `(path, source)` pairs run through the
+/// whole pipeline — line rules, parser, call graph, interprocedural
+/// rules, and (optionally) stale-waiver accounting. This is the entry
+/// point for the interprocedural fixture suite.
+pub fn scan_virtual(files: &[(String, String)], opts: ScanOptions) -> Vec<Diagnostic> {
+    let mut waivers: BTreeMap<String, FileWaivers> = BTreeMap::new();
+    let mut diags = Vec::new();
+    let mut analyzed = Vec::new();
+    for (path, source) in files {
+        let lines = lexer::prepare(source);
+        let mut fw = FileWaivers::parse(&lines);
+        diags.extend(rules::check_file_tracked(path, &lines, &mut fw));
+        waivers.insert(path.clone(), fw);
+        if let Ok(ast) = parser::parse_file(source) {
+            analyzed.push(interproc::AnalyzedFile {
+                path: path.clone(),
+                lines,
+                ast,
+            });
+        }
+    }
+    diags.extend(interproc::run(&analyzed, &BTreeMap::new(), &mut waivers));
+    if opts.stale_waivers {
+        for (path, fw) in &waivers {
+            diags.extend(fw.stale(path));
+        }
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    diags
 }
 
 /// Directories never scanned, wherever they appear.
@@ -58,7 +105,17 @@ pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
 /// `tests/` directory are exercised only by the test-code-aware rules
 /// (everything in a `tests/` tree counts as test code).
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    scan_workspace_with(root, ScanOptions::default())
+}
+
+/// [`scan_workspace`] with options: line rules per file, then the
+/// interprocedural rules over the parsed workspace, then (optionally)
+/// stale-waiver accounting across both.
+pub fn scan_workspace_with(root: &Path, opts: ScanOptions) -> io::Result<Vec<Diagnostic>> {
+    let crate_names = crate_idents(root);
+    let mut waivers: BTreeMap<String, FileWaivers> = BTreeMap::new();
     let mut diags = Vec::new();
+    let mut analyzed = Vec::new();
     for path in collect_sources(root)? {
         let rel = relative_name(root, &path);
         // Integration tests, benches, and examples are test-grade code:
@@ -68,9 +125,59 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             continue;
         }
         let source = fs::read_to_string(&path)?;
-        diags.extend(scan_source(&rel, &source));
+        let lines = lexer::prepare(&source);
+        let mut fw = FileWaivers::parse(&lines);
+        diags.extend(rules::check_file_tracked(&rel, &lines, &mut fw));
+        waivers.insert(rel.clone(), fw);
+        // Files the parser cannot accept are covered by the workspace
+        // smoke test; here they just drop out of the interprocedural
+        // pass rather than aborting the whole scan.
+        if let Ok(ast) = parser::parse_file(&source) {
+            analyzed.push(interproc::AnalyzedFile {
+                path: rel,
+                lines,
+                ast,
+            });
+        }
     }
+    diags.extend(interproc::run(&analyzed, &crate_names, &mut waivers));
+    if opts.stale_waivers {
+        for (path, fw) in &waivers {
+            diags.extend(fw.stale(path));
+        }
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(diags)
+}
+
+/// Map `crates/<dir>` → crate ident (underscored package name) by
+/// reading each crate's `Cargo.toml`. Missing manifests fall back to
+/// the `slim_<dir>` convention inside the resolver.
+fn crate_idents(root: &Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.file_name().to_string_lossy().into_owned();
+        let manifest = entry.path().join("Cargo.toml");
+        let Ok(text) = fs::read_to_string(&manifest) else {
+            continue;
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    let name = rest.trim().trim_matches('"');
+                    out.insert(dir.clone(), name.replace('-', "_"));
+                    break;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Workspace-relative path with forward slashes (stable across OSes so

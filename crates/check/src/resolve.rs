@@ -1,0 +1,594 @@
+//! Module-resolved workspace symbol table.
+//!
+//! Maps every parsed file into a crate + module path (derived from the
+//! file's location, the same convention cargo uses), flattens all
+//! functions into an indexed table, and resolves call paths against
+//! imports, child modules, impl types, and re-exports. Resolution is
+//! deliberately conservative: an ambiguous path resolves to *every*
+//! plausible target, and unresolvable paths (std, vendored deps) are
+//! treated as external leaves.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Cfg, Expr, File, Item, ItemKind};
+
+/// One function (free, impl method, or trait method) in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// Human-readable qualified name, e.g.
+    /// `slim_lik::pruning::prune_block` or `slim_linalg::Mat::row`.
+    pub qual: String,
+    /// Crate ident (underscored), first segment of `module`.
+    pub krate: String,
+    /// Full module key: `[crate, mod, mod, …]`.
+    pub module: Vec<String>,
+    /// `Some(type_name)` for impl/trait methods.
+    pub self_type: Option<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// The effective cfg gate (item's own, combined with every
+    /// enclosing mod/impl gate).
+    pub cfg: Cfg,
+    /// `#[test]` or inside `#[cfg(test)]` scope.
+    pub is_test: bool,
+    pub body: Vec<Expr>,
+    pub has_body: bool,
+}
+
+impl FnDef {
+    /// Part of the non-test, non-sanitize build?
+    pub fn in_scope(&self) -> bool {
+        self.cfg.in_scope() && !self.is_test
+    }
+}
+
+/// Per-module name tables.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleInfo {
+    /// `use` alias → absolute-ish path (crate ident first, or an
+    /// external head like `std`).
+    pub imports: BTreeMap<String, Vec<String>>,
+    /// `use path::*` glob prefixes.
+    pub globs: Vec<Vec<String>>,
+    /// Free functions declared here, by name.
+    pub fns: BTreeMap<String, Vec<usize>>,
+    /// Child module names (inline or out-of-line).
+    pub children: BTreeSet<String>,
+}
+
+/// The resolved workspace.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub fns: Vec<FnDef>,
+    pub modules: BTreeMap<Vec<String>, ModuleInfo>,
+    /// Every impl/trait method by bare name — the conservative target
+    /// set for `.name()` method calls (trait objects, generics).
+    pub methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// `(TypeName, method)` → defs, for `Type::method(…)` calls.
+    pub type_methods: BTreeMap<(String, String), Vec<usize>>,
+    /// Known crate idents.
+    pub crates: BTreeSet<String>,
+}
+
+/// One parsed file handed to the resolver.
+pub struct ParsedFile {
+    /// Workspace-relative forward-slash path.
+    pub path: String,
+    pub ast: File,
+}
+
+/// Derive `(crate_ident, module_path)` from a workspace-relative path,
+/// or `None` for files outside the analyzed set (vendor, tests,
+/// benches, examples, fixtures).
+pub fn module_of(
+    path: &str,
+    crate_names: &BTreeMap<String, String>,
+) -> Option<(String, Vec<String>)> {
+    if path.starts_with("vendor/") {
+        return None;
+    }
+    let (krate, rest) = if let Some(rest) = path.strip_prefix("crates/") {
+        let (dir, rest) = rest.split_once('/')?;
+        let ident = crate_names
+            .get(dir)
+            .cloned()
+            .unwrap_or_else(|| format!("slim_{}", dir.replace('-', "_")));
+        (ident, rest)
+    } else if path.starts_with("src/") {
+        ("slimcodeml".to_string(), path)
+    } else {
+        return None;
+    };
+    let rest = rest.strip_prefix("src/")?;
+    if rest.contains("/tests/") || rest.starts_with("tests/") {
+        return None;
+    }
+    let mut mods: Vec<String> = Vec::new();
+    let parts: Vec<&str> = rest.split('/').collect();
+    for (i, part) in parts.iter().enumerate() {
+        let last = i + 1 == parts.len();
+        if last {
+            match *part {
+                "lib.rs" => {}
+                "main.rs" => mods.push("__main".to_string()),
+                "mod.rs" => {}
+                other => {
+                    let stem = other.strip_suffix(".rs")?;
+                    if parts.get(i.wrapping_sub(1)) == Some(&"bin") {
+                        // handled by the "bin" dir arm below
+                        mods.push(stem.to_string());
+                    } else {
+                        mods.push(stem.to_string());
+                    }
+                }
+            }
+        } else if *part == "bin" {
+            mods.push("__bin".to_string());
+        } else {
+            mods.push(part.to_string());
+        }
+    }
+    let mut key = vec![krate.clone()];
+    key.extend(mods);
+    Some((krate, key))
+}
+
+/// Build the workspace table from parsed files.
+pub fn build(files: &[ParsedFile], crate_names: &BTreeMap<String, String>) -> Workspace {
+    let mut ws = Workspace::default();
+    for f in files {
+        if let Some((krate, _)) = module_of(&f.path, crate_names) {
+            ws.crates.insert(krate);
+        }
+    }
+    for f in files {
+        let Some((krate, key)) = module_of(&f.path, crate_names) else {
+            continue;
+        };
+        // Register the chain of parent modules so child-module lookup
+        // works even when a parent has no file-level items of its own.
+        for n in 1..key.len() {
+            let parent = key[..n].to_vec();
+            let child = key[n].clone();
+            ws.modules.entry(parent).or_default().children.insert(child);
+        }
+        ws.modules.entry(key.clone()).or_default();
+        let mut cx = Cx {
+            krate: &krate,
+            file: &f.path,
+            module: key,
+        };
+        let items = f.ast.items.clone();
+        collect_items(&mut ws, &mut cx, &items, Cfg::None, None);
+    }
+    // Second pass: imports written relative to the declaring module
+    // (`use cpv::apply_dense;` next to `mod cpv;`) gain the module
+    // prefix now that every child module is known.
+    let crates = ws.crates.clone();
+    let keys: Vec<Vec<String>> = ws.modules.keys().cloned().collect();
+    for key in keys {
+        let children = ws.modules[&key].children.clone();
+        let Some(info) = ws.modules.get_mut(&key) else {
+            continue;
+        };
+        let fixup = |target: &mut Vec<String>| {
+            if let Some(head) = target.first() {
+                if !crates.contains(head) && children.contains(head) {
+                    let mut p = key.clone();
+                    p.append(target);
+                    *target = p;
+                }
+            }
+        };
+        info.imports.values_mut().for_each(fixup);
+        info.globs.iter_mut().for_each(fixup);
+    }
+    ws
+}
+
+struct Cx<'a> {
+    krate: &'a str,
+    file: &'a str,
+    module: Vec<String>,
+}
+
+fn collect_items(
+    ws: &mut Workspace,
+    cx: &mut Cx<'_>,
+    items: &[Item],
+    outer_cfg: Cfg,
+    self_type: Option<&str>,
+) {
+    for item in items {
+        let cfg = outer_cfg.and(item.cfg);
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                let idx = ws.fns.len();
+                let qual = match self_type {
+                    Some(t) => format!("{}::{}::{}", cx.module.join("::"), t, f.name),
+                    None => format!("{}::{}", cx.module.join("::"), f.name),
+                };
+                ws.fns.push(FnDef {
+                    name: f.name.clone(),
+                    qual,
+                    krate: cx.krate.to_string(),
+                    module: cx.module.clone(),
+                    self_type: self_type.map(str::to_string),
+                    file: cx.file.to_string(),
+                    line: f.line,
+                    cfg,
+                    is_test: f.has_test_attr || cfg == Cfg::Test,
+                    body: f.body.clone().unwrap_or_default(),
+                    has_body: f.body.is_some(),
+                });
+                match self_type {
+                    Some(t) => {
+                        ws.methods_by_name
+                            .entry(f.name.clone())
+                            .or_default()
+                            .push(idx);
+                        ws.type_methods
+                            .entry((t.to_string(), f.name.clone()))
+                            .or_default()
+                            .push(idx);
+                    }
+                    None => {
+                        ws.modules
+                            .entry(cx.module.clone())
+                            .or_default()
+                            .fns
+                            .entry(f.name.clone())
+                            .or_default()
+                            .push(idx);
+                    }
+                }
+            }
+            ItemKind::Mod { name, items } => {
+                ws.modules
+                    .entry(cx.module.clone())
+                    .or_default()
+                    .children
+                    .insert(name.clone());
+                if let Some(inner) = items {
+                    cx.module.push(name.clone());
+                    ws.modules.entry(cx.module.clone()).or_default();
+                    collect_items(ws, cx, inner, cfg, None);
+                    cx.module.pop();
+                }
+            }
+            ItemKind::Impl {
+                type_name, items, ..
+            } => {
+                collect_items(ws, cx, items, cfg, Some(type_name));
+            }
+            ItemKind::Trait { name, items } => {
+                collect_items(ws, cx, items, cfg, Some(name));
+            }
+            ItemKind::Use { imports } => {
+                let module = cx.module.clone();
+                for u in imports {
+                    let abs = absolutize(&module, &u.path);
+                    let info = ws.modules.entry(module.clone()).or_default();
+                    if u.glob {
+                        info.globs.push(abs);
+                    } else {
+                        info.imports.insert(u.alias.clone(), abs);
+                    }
+                }
+            }
+            ItemKind::Other { .. } => {}
+        }
+    }
+}
+
+/// Expand `crate`/`self`/`super` heads against the importing module.
+fn absolutize(module: &[String], path: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut rest = path;
+    match path.first().map(String::as_str) {
+        Some("crate") => {
+            out.push(module[0].clone());
+            rest = &path[1..];
+        }
+        Some("self") => {
+            out.extend_from_slice(module);
+            rest = &path[1..];
+        }
+        Some("super") => {
+            let mut depth = module.len();
+            while rest.first().map(String::as_str) == Some("super") && depth > 1 {
+                depth -= 1;
+                rest = &rest[1..];
+            }
+            out.extend_from_slice(&module[..depth]);
+        }
+        _ => {}
+    }
+    out.extend(rest.iter().cloned());
+    out
+}
+
+impl Workspace {
+    /// Resolve a call path written inside `from` to candidate fn
+    /// indices. Empty when the target is external (std, vendored).
+    pub fn resolve_call(&self, from: &FnDef, path: &[String]) -> Vec<usize> {
+        if path.is_empty() || path.iter().any(String::is_empty) {
+            return Vec::new();
+        }
+        if path.len() == 1 {
+            return self.resolve_bare(&from.module, &path[0]);
+        }
+        let head = path[0].as_str();
+        // `crate::` / `self::` / `super::` relative paths.
+        if matches!(head, "crate" | "self" | "super") {
+            return self.resolve_abs(&absolutize(&from.module, path), 0);
+        }
+        // `Self::assoc(…)` in an impl.
+        if head == "Self" {
+            if let Some(t) = &from.self_type {
+                let mut p = vec![t.clone()];
+                p.extend_from_slice(&path[1..]);
+                return self.resolve_type_path(&p);
+            }
+            return Vec::new();
+        }
+        // Known crate ident.
+        if self.crates.contains(head) {
+            return self.resolve_abs(path, 0);
+        }
+        // Import alias expansion (`use slim_expm::cpv; cpv::apply(…)`).
+        if let Some(info) = self.modules.get(&from.module) {
+            if let Some(target) = info.imports.get(head) {
+                let mut p = target.clone();
+                p.extend_from_slice(&path[1..]);
+                return self.resolve_abs(&p, 0);
+            }
+        }
+        // Child module of the current module.
+        if self
+            .modules
+            .get(&from.module)
+            .is_some_and(|m| m.children.contains(head))
+        {
+            let mut p = from.module.clone();
+            p.extend_from_slice(path);
+            return self.resolve_abs(&p, 0);
+        }
+        // `Type::method(…)` on a workspace type (imported or local).
+        let hits = self.resolve_type_path(path);
+        if !hits.is_empty() {
+            return hits;
+        }
+        // Sibling module path without `self::` (`pruning::prune(…)`
+        // after `mod pruning;` in a parent we are not in) — try the
+        // crate root as a last resort.
+        let mut p = vec![from.krate.clone()];
+        p.extend_from_slice(path);
+        self.resolve_abs(&p, 0)
+    }
+
+    /// Conservative method-call targets: every workspace method with
+    /// this name (trait objects and generic receivers cannot be
+    /// narrowed without type inference).
+    pub fn resolve_method(&self, name: &str) -> &[usize] {
+        self.methods_by_name
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn resolve_bare(&self, module: &[String], name: &str) -> Vec<usize> {
+        let Some(info) = self.modules.get(module) else {
+            return Vec::new();
+        };
+        if let Some(defs) = info.fns.get(name) {
+            return defs.clone();
+        }
+        if let Some(target) = info.imports.get(name) {
+            return self.resolve_abs(target, 0);
+        }
+        let mut out = Vec::new();
+        for glob in &info.globs {
+            let mut p = glob.clone();
+            p.push(name.to_string());
+            out.extend(self.resolve_abs(&p, 0));
+        }
+        out
+    }
+
+    /// `Type::method` (2 segments) against the workspace type table;
+    /// longer paths try `module::Type::method`.
+    fn resolve_type_path(&self, path: &[String]) -> Vec<usize> {
+        let n = path.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        let key = (path[n - 2].clone(), path[n - 1].clone());
+        self.type_methods.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Resolve an absolute-ish path (crate ident first). `depth` bounds
+    /// re-export chasing.
+    fn resolve_abs(&self, path: &[String], depth: usize) -> Vec<usize> {
+        if depth > 4 || path.len() < 2 {
+            return Vec::new();
+        }
+        let n = path.len();
+        // Free fn in module path[..n-1].
+        if let Some(info) = self.modules.get(&path[..n - 1]) {
+            if let Some(defs) = info.fns.get(&path[n - 1]) {
+                return defs.clone();
+            }
+            // Re-export: the final segment is an alias in that module
+            // (`pub use`), or reachable through one of its globs.
+            if let Some(target) = info.imports.get(&path[n - 1]) {
+                return self.resolve_abs(target, depth + 1);
+            }
+            for glob in &info.globs {
+                let mut p = glob.clone();
+                p.push(path[n - 1].clone());
+                let hits = self.resolve_abs(&p, depth + 1);
+                if !hits.is_empty() {
+                    return hits;
+                }
+            }
+        }
+        // `module::Type::method`: the type's defining module is not
+        // tracked, so fall back to the global type table.
+        let hits = self.resolve_type_path(path);
+        if !hits.is_empty() {
+            // Only when the path plausibly points into the workspace.
+            if self.crates.contains(&path[0]) || self.modules.contains_key(&path[..1]) {
+                return hits;
+            }
+        }
+        // Re-export of a whole module one level up
+        // (`slim_expm::SymTransition::apply` where SymTransition is
+        // re-exported at the crate root).
+        if n >= 3 {
+            if let Some(info) = self.modules.get(&path[..n - 2]) {
+                if let Some(target) = info.imports.get(&path[n - 2]) {
+                    let mut p = target.clone();
+                    p.push(path[n - 1].clone());
+                    return self.resolve_abs(&p, depth + 1);
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(p, s)| ParsedFile {
+                path: p.to_string(),
+                ast: parse_file(s).expect("parse"),
+            })
+            .collect();
+        build(&parsed, &BTreeMap::new())
+    }
+
+    fn find<'w>(ws: &'w Workspace, qual: &str) -> &'w FnDef {
+        ws.fns.iter().find(|f| f.qual == qual).unwrap_or_else(|| {
+            panic!(
+                "no fn {qual}; have {:?}",
+                ws.fns.iter().map(|f| &f.qual).collect::<Vec<_>>()
+            )
+        })
+    }
+
+    #[test]
+    fn modules_derive_from_paths() {
+        let w = ws(&[
+            ("crates/lik/src/lib.rs", "pub fn top() {}"),
+            ("crates/lik/src/pruning.rs", "pub fn prune_block() {}"),
+            ("crates/linalg/src/simd/mod.rs", "pub fn dot_with() {}"),
+        ]);
+        assert_eq!(find(&w, "slim_lik::top").module, vec!["slim_lik"]);
+        assert_eq!(
+            find(&w, "slim_lik::pruning::prune_block").module,
+            vec!["slim_lik", "pruning"]
+        );
+        assert_eq!(
+            find(&w, "slim_linalg::simd::dot_with").module,
+            vec!["slim_linalg", "simd"]
+        );
+    }
+
+    #[test]
+    fn bare_calls_resolve_locally_and_through_imports() {
+        let w = ws(&[
+            (
+                "crates/lik/src/pruning.rs",
+                "use crate::par::evaluate;\npub fn go() { helper(); evaluate(); }\nfn helper() {}",
+            ),
+            ("crates/lik/src/par.rs", "pub fn evaluate() {}"),
+        ]);
+        let go = find(&w, "slim_lik::pruning::go");
+        let helper = w.resolve_call(go, &["helper".into()]);
+        assert_eq!(helper.len(), 1);
+        assert_eq!(w.fns[helper[0]].qual, "slim_lik::pruning::helper");
+        let eval = w.resolve_call(go, &["evaluate".into()]);
+        assert_eq!(eval.len(), 1);
+        assert_eq!(w.fns[eval[0]].qual, "slim_lik::par::evaluate");
+    }
+
+    #[test]
+    fn cross_crate_and_type_paths_resolve() {
+        let w = ws(&[
+            (
+                "crates/lik/src/lib.rs",
+                "pub fn go() { slim_expm::cpv::apply(); SymTransition::apply2(); }",
+            ),
+            (
+                "crates/expm/src/cpv.rs",
+                "pub fn apply() {}\npub struct SymTransition;\nimpl SymTransition { pub fn apply2() {} }",
+            ),
+        ]);
+        let go = find(&w, "slim_lik::go");
+        assert_eq!(
+            w.resolve_call(go, &["slim_expm".into(), "cpv".into(), "apply".into()])
+                .len(),
+            1
+        );
+        assert_eq!(
+            w.resolve_call(go, &["SymTransition".into(), "apply2".into()])
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn reexports_chase_through_pub_use() {
+        let w = ws(&[
+            (
+                "crates/expm/src/lib.rs",
+                "pub mod cpv;\npub use cpv::apply_dense;",
+            ),
+            ("crates/expm/src/cpv.rs", "pub fn apply_dense() {}"),
+            (
+                "crates/lik/src/lib.rs",
+                "use slim_expm::apply_dense;\npub fn go() { apply_dense(); }",
+            ),
+        ]);
+        let go = find(&w, "slim_lik::go");
+        let hits = w.resolve_call(go, &["apply_dense".into()]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(w.fns[hits[0]].qual, "slim_expm::cpv::apply_dense");
+    }
+
+    #[test]
+    fn method_calls_overapproximate_by_name() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct X;\nimpl X { pub fn step(&self) {} }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub struct Y;\nimpl Y { pub fn step(&self) {} }",
+            ),
+        ]);
+        assert_eq!(w.resolve_method("step").len(), 2);
+    }
+
+    #[test]
+    fn test_gated_fns_are_marked() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "#[cfg(test)]\nmod tests { pub fn t() {} }\n#[test]\nfn u() {}\npub fn live() {}",
+        )]);
+        assert!(find(&w, "slim_a::tests::t").is_test);
+        assert!(find(&w, "slim_a::u").is_test);
+        assert!(!find(&w, "slim_a::live").is_test);
+    }
+}

@@ -20,16 +20,35 @@ pub enum RuleId {
     RobUnwrap,
     /// `unsafe` without an adjacent `// SAFETY:` comment.
     RobSafety,
+    /// A panic site (panic-family macro, `unwrap`/`expect`, `[]`
+    /// indexing) reachable from a declared `// check: hot` entry point.
+    /// Interprocedural: needs the call graph.
+    PanicFreeHotPath,
+    /// An `Ordering::*` use outside the site policy (`Relaxed` only in
+    /// obs/trace counters, `SeqCst` only with a waiver, `Release`
+    /// stores paired with `Acquire` loads). Interprocedural.
+    AtomicOrdering,
+    /// An allocating call (`Vec::new`, `push`, `clone`, `format!`,
+    /// `collect`, …) inside a loop of a hot-path function.
+    /// Interprocedural.
+    AllocInHotLoop,
+    /// A `// check: allow(...)` waiver that suppressed no finding
+    /// (only reported under `--stale-waivers`).
+    StaleWaiver,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [RuleId; 6] = [
+pub const ALL_RULES: [RuleId; 10] = [
     RuleId::DetHashIter,
     RuleId::DetFloatAccum,
     RuleId::DetFloatCmp,
     RuleId::DetWallclock,
     RuleId::RobUnwrap,
     RuleId::RobSafety,
+    RuleId::PanicFreeHotPath,
+    RuleId::AtomicOrdering,
+    RuleId::AllocInHotLoop,
+    RuleId::StaleWaiver,
 ];
 
 impl RuleId {
@@ -42,7 +61,24 @@ impl RuleId {
             RuleId::DetWallclock => "det-wallclock",
             RuleId::RobUnwrap => "rob-unwrap",
             RuleId::RobSafety => "rob-safety",
+            RuleId::PanicFreeHotPath => "panic-free-hot-path",
+            RuleId::AtomicOrdering => "atomic-ordering",
+            RuleId::AllocInHotLoop => "alloc-in-hot-loop",
+            RuleId::StaleWaiver => "stale-waiver",
         }
+    }
+
+    /// Line rules run per-line over the blanked source in
+    /// [`check_file`]; the others are interprocedural and run from the
+    /// AST/call-graph driver (`interproc`).
+    pub fn is_line_rule(self) -> bool {
+        !matches!(
+            self,
+            RuleId::PanicFreeHotPath
+                | RuleId::AtomicOrdering
+                | RuleId::AllocInHotLoop
+                | RuleId::StaleWaiver
+        )
     }
 
     /// Parse a rule name (as written in a waiver comment).
@@ -76,7 +112,135 @@ impl RuleId {
                  or waive with the invariant that makes the panic unreachable"
             }
             RuleId::RobSafety => "unsafe without a preceding // SAFETY: comment",
+            RuleId::PanicFreeHotPath => {
+                "panic site reachable from a declared hot entry point; hot kernels \
+                 must be total — return a typed error above the kernel, prove the \
+                 invariant and waive, or restructure so the panic is unreachable"
+            }
+            RuleId::AtomicOrdering => {
+                "atomic ordering outside the site policy: Relaxed is for obs/trace \
+                 counters only, SeqCst needs a waiver naming why weaker orders fail, \
+                 and Release stores must pair with Acquire loads in the same file"
+            }
+            RuleId::AllocInHotLoop => {
+                "allocation inside a loop of a hot-path function; hoist into a \
+                 reusable scratch buffer (the lane-padded workspace discipline) or \
+                 waive with why the allocation is cold"
+            }
+            RuleId::StaleWaiver => {
+                "waiver suppressed no finding; delete it (or fix the site it was \
+                 supposed to cover) so the ratchet stays honest"
+            }
         }
+    }
+
+    /// Multi-paragraph rationale and waiver syntax, for `--explain`.
+    pub fn explain(self) -> String {
+        // Waiver examples are assembled with `format!` so this source
+        // file never contains a literal waiver for a real rule (which
+        // the stale-waiver rule itself would flag).
+        let waiver = format!("// check: {}({}) <reason>", "allow", self.name());
+        let body = match self {
+            RuleId::DetHashIter => {
+                "HashMap/HashSet iteration order is randomized per process, so any \
+                 report, journal, or aggregation that iterates one is \
+                 nondeterministic across runs. Use BTreeMap/BTreeSet, or collect \
+                 and sort before output.\n\nScope: batch, obs, and cli src trees \
+                 (the output paths)."
+            }
+            RuleId::DetFloatAccum => {
+                "Float addition is not associative: raw `+=` loops and iterator \
+                 `.sum()` reductions give different totals under different \
+                 vectorization or summation orders. Likelihood totals must be \
+                 bit-deterministic, so reductions in the lik/linalg crates go \
+                 through the blessed NeumaierSum kernels (slim_linalg::vecops), \
+                 which fix the order and carry a compensation term.\n\nScope: \
+                 crates/lik/src and crates/linalg/src, minus the blessed kernel \
+                 modules themselves."
+            }
+            RuleId::DetFloatCmp => {
+                "`x == 1.0` is exact bit comparison; after any arithmetic the \
+                 equality is a coin flip. Compare `.to_bits()` when bit equality \
+                 is really meant, or use a tolerance. Waive when the exact compare \
+                 is intentional (e.g. sentinel values never produced by \
+                 arithmetic).\n\nScope: all first-party code."
+            }
+            RuleId::DetWallclock => {
+                "Wall-clock reads (Instant::now, SystemTime) in compute code leak \
+                 nondeterminism into outputs and make runs unreproducible. Timing \
+                 belongs to the observability layer: route it through slim-obs / \
+                 slim-trace, which stamp events outside the deterministic \
+                 core.\n\nScope: everything except obs, trace, bench, and vendor."
+            }
+            RuleId::RobUnwrap => {
+                "unwrap/expect/panic in library code turns a recoverable condition \
+                 into a process abort — in the daemon/batch north star, a dropped \
+                 request. Return a typed error, or waive stating the invariant \
+                 that makes the panic unreachable.\n\nScope: library code \
+                 (binaries, benches, and the sanitize module are exempt)."
+            }
+            RuleId::RobSafety => {
+                "Every `unsafe` block needs a `// SAFETY:` comment within the \
+                 preceding few lines stating the invariant that makes it sound. \
+                 No waiver form: write the SAFETY comment instead.\n\nScope: all \
+                 code."
+            }
+            RuleId::PanicFreeHotPath => {
+                "Functions marked with a `// check: hot` comment above their \
+                 declaration (the lik pruning units, expm reconstruction, linalg \
+                 SIMD kernels) are the per-site inner loops: a panic there kills a \
+                 worker mid-shard. This rule walks the conservative call graph \
+                 from every hot entry and reports panic-family macros \
+                 (panic!/unreachable!/todo!/unimplemented!/assert!*), \
+                 unwrap/expect, and `[]` indexing reachable in non-test, \
+                 non-sanitize code. debug_assert! is exempt (compiled out in \
+                 release).\n\nWaivers: on the panic site's line, waive that site; \
+                 on a call site's line, cut that call edge (the callee is not \
+                 explored through it); in the comment block above a fn \
+                 declaration, absolve that fn's own body sites. Method calls \
+                 resolve to every workspace method of that name and closure \
+                 bodies belong to their enclosing fn, so reachability \
+                 over-approximates — a waiver states why the site cannot fire, \
+                 not why the path cannot be taken."
+            }
+            RuleId::AtomicOrdering => {
+                "Site policy for every `Ordering::*` mention: Relaxed is legal \
+                 only under crates/obs and crates/trace (statistical counters \
+                 where staleness is fine); SeqCst is a smell everywhere (it hides \
+                 the real protocol — name the reason in a waiver if truly \
+                 needed); Acquire/Release/AcqRel are the blessed hand-off orders, \
+                 but a file with Release stores and no Acquire loads (or vice \
+                 versa) earns a pairing finding, because a one-sided protocol \
+                 synchronizes nothing.\n\nScope: all first-party code, \
+                 cfg(test) excluded."
+            }
+            RuleId::AllocInHotLoop => {
+                "Allocation inside a loop of a hot-path function (reachable from \
+                 a `// check: hot` entry) defeats the scratch-buffer discipline: \
+                 the lane-padded workspaces exist so steady-state pruning does \
+                 zero allocator round-trips. Flags Vec::new/with_capacity, \
+                 Box::new, vec!/format!, and .push/.clone/.collect/.to_vec/\
+                 .to_string/.to_owned inside loop bodies.\n\nWaive on the \
+                 allocation's line when it is provably cold (first-call warmup, \
+                 error paths)."
+            }
+            RuleId::StaleWaiver => {
+                "A waiver that suppresses nothing is debt pretending to be \
+                 documentation: the site it covered was fixed or moved, and the \
+                 waiver now silently licenses a future regression. Under \
+                 `--stale-waivers` (CI runs it), every valid waiver must suppress \
+                 at least one finding or cut at least one hot-path edge; the rest \
+                 are reported here. Fix: delete the waiver. There is no waiver \
+                 for this rule."
+            }
+        };
+        format!(
+            "{} — {}\n\n{}\n\nWaiver syntax (same line, or comment line above):\n  {}\n",
+            self.name(),
+            self.summary(),
+            body,
+            waiver
+        )
     }
 
     /// Does this rule apply to the file at `path` (workspace-relative,
@@ -129,6 +293,13 @@ impl RuleId {
                     || path == "crates/linalg/src/sanitize.rs")
             }
             RuleId::RobSafety => true,
+            // The interprocedural rules scope themselves through the
+            // call graph / module map; vendored stand-ins are never
+            // first-party hot-path code.
+            RuleId::PanicFreeHotPath | RuleId::AtomicOrdering | RuleId::AllocInHotLoop => {
+                !path.starts_with("vendor/")
+            }
+            RuleId::StaleWaiver => true,
         }
     }
 }
@@ -209,22 +380,6 @@ pub fn parse_waivers(raw: &str, line: usize) -> Vec<Waiver> {
     out
 }
 
-/// Is the violation of `rule` at line index `i` (0-based) waived — by a
-/// trailing comment on the same raw line, or by a comment-only line
-/// immediately above? A waiver with an empty reason does not count.
-fn is_waived(lines: &[PreparedLine], i: usize, rule: RuleId) -> bool {
-    let mut candidates: Vec<Waiver> = parse_waivers(&lines[i].raw, i + 1);
-    if i > 0 {
-        let above = lines[i - 1].raw.trim_start();
-        if above.starts_with("//") {
-            candidates.extend(parse_waivers(&lines[i - 1].raw, i));
-        }
-    }
-    candidates
-        .iter()
-        .any(|w| w.rule == Ok(rule) && !w.reason.is_empty())
-}
-
 /// Malformed-waiver diagnostics for a file: unknown rule names and
 /// missing reasons are themselves violations (of the rule being waived,
 /// reported so a typo cannot silently disable a lint).
@@ -255,11 +410,23 @@ pub fn waiver_problems(path: &str, lines: &[PreparedLine]) -> Vec<Diagnostic> {
     out
 }
 
-/// Run every applicable rule over a prepared file.
+/// Run every applicable line rule over a prepared file.
 pub fn check_file(path: &str, lines: &[PreparedLine]) -> Vec<Diagnostic> {
+    check_file_tracked(path, lines, &mut FileWaivers::parse(lines))
+}
+
+/// [`check_file`] with waiver-usage tracking: every waiver that
+/// suppresses a finding is marked used in `waivers`, which feeds the
+/// stale-waiver rule after the interprocedural pass has also had its
+/// chance to consume waivers.
+pub fn check_file_tracked(
+    path: &str,
+    lines: &[PreparedLine],
+    waivers: &mut FileWaivers,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for rule in ALL_RULES {
-        if !rule.applies_to(path) {
+        if !rule.is_line_rule() || !rule.applies_to(path) {
             continue;
         }
         for (i, line) in lines.iter().enumerate() {
@@ -269,7 +436,7 @@ pub fn check_file(path: &str, lines: &[PreparedLine]) -> Vec<Diagnostic> {
             let Some(what) = match_rule(rule, &line.code, lines, i) else {
                 continue;
             };
-            if is_waived(lines, i, rule) {
+            if waivers.waive(i + 1, rule) {
                 continue;
             }
             out.push(Diagnostic {
@@ -283,6 +450,116 @@ pub fn check_file(path: &str, lines: &[PreparedLine]) -> Vec<Diagnostic> {
     out.extend(waiver_problems(path, lines));
     out.sort_by_key(|v| (v.line, v.rule));
     out
+}
+
+/// All valid waivers in one file, with per-waiver usage tracking. The
+/// matching semantics replicate the original `is_waived` exactly: a
+/// waiver covers findings on its own raw line, and on the line below
+/// when the waiver's line is a comment-only line.
+#[derive(Debug, Clone)]
+pub struct FileWaivers {
+    entries: Vec<WaiverEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct WaiverEntry {
+    rule: RuleId,
+    /// 1-based line the waiver sits on.
+    line: usize,
+    /// Does this waiver also cover `line + 1` (comment-only line)?
+    covers_below: bool,
+    /// Waivers in test code never count as stale.
+    in_test: bool,
+    used: bool,
+}
+
+impl FileWaivers {
+    /// Parse every *valid* waiver (known rule, non-empty reason) in the
+    /// file. Malformed waivers are handled by [`waiver_problems`].
+    pub fn parse(lines: &[PreparedLine]) -> FileWaivers {
+        let mut entries = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            for w in parse_waivers(&line.raw, i + 1) {
+                if let Ok(rule) = w.rule {
+                    if !w.reason.is_empty() {
+                        entries.push(WaiverEntry {
+                            rule,
+                            line: i + 1,
+                            covers_below: line.raw.trim_start().starts_with("//"),
+                            in_test: line.in_test,
+                            used: false,
+                        });
+                    }
+                }
+            }
+        }
+        FileWaivers { entries }
+    }
+
+    /// Is a finding of `rule` at `site_line` (1-based) waived? Marks
+    /// every matching waiver used.
+    pub fn waive(&mut self, site_line: usize, rule: RuleId) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.rule == rule
+                && (e.line == site_line || (e.covers_below && e.line + 1 == site_line))
+            {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Is there an unconsumed-or-consumed waiver for `rule` anywhere in
+    /// the comment/attribute block ending at `decl_line - 1`? Used for
+    /// fn-level waivers on hot-path functions. Marks matches used.
+    pub fn waive_block_above(
+        &mut self,
+        lines: &[PreparedLine],
+        decl_line: usize,
+        rule: RuleId,
+    ) -> bool {
+        let mut hit = false;
+        let mut l = decl_line.saturating_sub(1);
+        while l >= 1 {
+            let raw = lines[l - 1].raw.trim_start();
+            if !(raw.starts_with("//") || raw.starts_with('#')) {
+                break;
+            }
+            for e in &mut self.entries {
+                if e.rule == rule && e.line == l {
+                    e.used = true;
+                    hit = true;
+                }
+            }
+            l -= 1;
+        }
+        hit
+    }
+
+    /// Does a *used or unused* waiver for `rule` exist covering
+    /// `site_line`? (Non-marking lookup.)
+    pub fn covers(&self, site_line: usize, rule: RuleId) -> bool {
+        self.entries.iter().any(|e| {
+            e.rule == rule && (e.line == site_line || (e.covers_below && e.line + 1 == site_line))
+        })
+    }
+
+    /// Stale-waiver findings: valid, non-test waivers that never
+    /// suppressed anything.
+    pub fn stale(&self, path: &str) -> Vec<Diagnostic> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used && !e.in_test)
+            .map(|e| Diagnostic {
+                rule: RuleId::StaleWaiver,
+                path: path.to_string(),
+                line: e.line,
+                what: format!("waiver for {} suppressed no finding", e.rule.name()),
+            })
+            .collect()
+    }
 }
 
 /// Does `rule` fire on blanked line `code`? Returns what matched.
@@ -363,6 +640,12 @@ fn match_rule(rule: RuleId, code: &str, lines: &[PreparedLine], i: usize) -> Opt
             }
             Some("`unsafe` without a // SAFETY: comment".to_string())
         }
+        // The interprocedural rules never run through the per-line
+        // matcher; `check_file_tracked` filters on `is_line_rule`.
+        RuleId::PanicFreeHotPath
+        | RuleId::AtomicOrdering
+        | RuleId::AllocInHotLoop
+        | RuleId::StaleWaiver => None,
     }
 }
 

@@ -1,0 +1,336 @@
+//! Tokenizer: the parser's token source, built on the comment-blanking
+//! lexer.
+//!
+//! Input is the output of [`crate::lexer::blank_with`] with literals
+//! *kept* — comments are already spaces, so the tokenizer only has to
+//! re-lex literals (it reuses the lexer's raw-string/char-literal
+//! helpers so the two passes can never disagree on where a literal
+//! ends). Every token carries its 1-based source line; the blanking
+//! pass is line-stable by contract, so these line numbers index the
+//! original file.
+
+use crate::lexer;
+
+/// Token kind plus payload text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident(String),
+    /// Any literal: number, string (quotes + contents), char, byte.
+    Lit(String),
+    /// `'a`, `'static` — lifetimes, with the leading quote stripped.
+    Lifetime(String),
+    /// Operator / punctuation, joined for the multi-char operators the
+    /// parser cares about (`::`, `->`, `=>`, `..`, `..=`, `&&`, …).
+    /// `<` and `>` are never joined so generic-argument depth can be
+    /// tracked one character at a time.
+    Punct(String),
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open(char),
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+impl Token {
+    /// Is this token the identifier `word`?
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == word)
+    }
+
+    /// Is this token the punctuation `p`?
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(s) if s == p)
+    }
+
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Two- and three-character operators the tokenizer joins. Order
+/// matters: longer operators are tried first. `<<`/`>>` are deliberately
+/// absent (they would break generic-bracket matching in `Vec<Vec<T>>`).
+const JOINED: [&str; 21] = [
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "..", "&&", "||", "==", "!=", "<=", ">=", "+=",
+    "-=", "*=", "/=", "%=", "^=", "|=",
+];
+
+/// Tokenize a comment-blanked (literals kept) source string.
+pub fn tokenize(blanked: &str) -> Vec<Token> {
+    let chars: Vec<char> = blanked.chars().collect();
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Raw strings / raw byte strings (contents survive blanking).
+        if (c == 'r' || c == 'b') && lexer::is_raw_string_start(&chars, i) {
+            let (hashes, consumed) = lexer::raw_string_open(&chars, i);
+            let start = i;
+            i += consumed;
+            while i < chars.len() {
+                if chars[i] == '"' && lexer::closes_raw(&chars, i, hashes) {
+                    i += 1 + hashes as usize;
+                    break;
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            out.push(Token {
+                tok: Tok::Lit(chars[start..i.min(chars.len())].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        // Byte strings/chars: emit the `b` as part of the literal.
+        if c == 'b' && matches!(chars.get(i + 1), Some('"') | Some('\'')) {
+            let start = i;
+            i += 1;
+            let (len, lines) = literal_len(&chars, i);
+            i += len;
+            out.push(Token {
+                tok: Tok::Lit(chars[start..i].iter().collect()),
+                line,
+            });
+            line += lines;
+            continue;
+        }
+        if c == '"' {
+            let start = i;
+            let (len, lines) = literal_len(&chars, i);
+            i += len;
+            out.push(Token {
+                tok: Tok::Lit(chars[start..i].iter().collect()),
+                line,
+            });
+            line += lines;
+            continue;
+        }
+        if c == '\'' {
+            if lexer::is_char_literal(&chars, i) {
+                let start = i;
+                let (len, lines) = literal_len(&chars, i);
+                i += len;
+                out.push(Token {
+                    tok: Tok::Lit(chars[start..i].iter().collect()),
+                    line,
+                });
+                line += lines;
+            } else {
+                // Lifetime: `'` + identifier.
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Lifetime(chars[i + 1..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        if is_ident_start(c) {
+            // Raw identifiers (`r#match`) reach here only when not a raw
+            // string start; fold the `r#` prefix into the name.
+            let start = i;
+            let mut j = i;
+            if c == 'r'
+                && chars.get(i + 1) == Some(&'#')
+                && chars.get(i + 2).is_some_and(|c| is_ident_start(*c))
+            {
+                j += 2;
+            }
+            j += 1;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            out.push(Token {
+                tok: Tok::Ident(chars[start..j].iter().collect()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() {
+                let d = chars[j];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    j += 1;
+                } else if d == '.'
+                    && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    && chars.get(j.wrapping_sub(1)) != Some(&'.')
+                {
+                    // `1.5` consumes the dot; `1..n` and `1.max(2)` do not.
+                    j += 1;
+                } else if (d == '+' || d == '-')
+                    && matches!(chars.get(j.wrapping_sub(1)), Some('e') | Some('E'))
+                    && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                {
+                    // Exponent sign: `1e-9`.
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                tok: Tok::Lit(chars[i..j].iter().collect()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if matches!(c, '(' | '[' | '{') {
+            out.push(Token {
+                tok: Tok::Open(c),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        if matches!(c, ')' | ']' | '}') {
+            out.push(Token {
+                tok: Tok::Close(c),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        // Punctuation: try the joined operators longest-first.
+        let mut matched = false;
+        for op in JOINED {
+            let oplen = op.len();
+            if chars.len() - i >= oplen && chars[i..i + oplen].iter().collect::<String>() == *op {
+                out.push(Token {
+                    tok: Tok::Punct(op.to_string()),
+                    line,
+                });
+                i += oplen;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.push(Token {
+                tok: Tok::Punct(c.to_string()),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Length in chars of the string/char literal starting at `i` (which is
+/// the opening quote), plus how many newlines it spans.
+fn literal_len(chars: &[char], i: usize) -> (usize, usize) {
+    let quote = chars[i];
+    let mut j = i + 1;
+    let mut lines = 0usize;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                lines += 1;
+                j += 1;
+            }
+            c if c == quote => return (j + 1 - i, lines),
+            _ => j += 1,
+        }
+    }
+    (chars.len() - i, lines)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Convenience: blank comments (keeping literals) and tokenize.
+pub fn tokenize_source(source: &str) -> Vec<Token> {
+    tokenize(&lexer::blank_with(source, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize_source(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let t = toks("fn f(x: u32) -> u32 { x + 1 }");
+        assert_eq!(t[0], Tok::Ident("fn".into()));
+        assert_eq!(t[1], Tok::Ident("f".into()));
+        assert_eq!(t[2], Tok::Open('('));
+        assert!(t.contains(&Tok::Punct("->".into())));
+        assert!(t.contains(&Tok::Lit("1".into())));
+    }
+
+    #[test]
+    fn paths_and_turbofish() {
+        let t = toks("a::b::<T>().collect::<Vec<_>>()");
+        assert!(t.contains(&Tok::Punct("::".into())));
+        // `<` and `>` stay single so generic depth can be tracked.
+        assert!(t.contains(&Tok::Punct("<".into())));
+        assert!(t.contains(&Tok::Punct(">".into())));
+    }
+
+    #[test]
+    fn literals_keep_contents() {
+        let t = toks("cfg(feature = \"sanitize\")");
+        assert!(t.contains(&Tok::Lit("\"sanitize\"".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_literals() {
+        let tokens = tokenize_source("let a = \"x\ny\";\nlet b = 1;\n");
+        let b = tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn comments_disappear_lifetimes_stay() {
+        let t = toks("fn f<'a>(x: &'a str) /* gone */ -> &'a str { x } // bye");
+        assert!(t.contains(&Tok::Lifetime("a".into())));
+        assert!(!t
+            .iter()
+            .any(|k| matches!(k, Tok::Ident(s) if s == "gone" || s == "bye")));
+    }
+
+    #[test]
+    fn float_vs_range() {
+        let t = toks("0..n; 1.5e-3; x.max(1)");
+        assert!(t.contains(&Tok::Punct("..".into())));
+        assert!(t.contains(&Tok::Lit("1.5e-3".into())));
+        assert!(t.contains(&Tok::Lit("1".into())));
+    }
+}

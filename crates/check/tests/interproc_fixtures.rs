@@ -1,0 +1,109 @@
+//! Fixture suite for the interprocedural rules: each file under
+//! `fixtures/interproc/` is scanned as a one-file virtual workspace
+//! through the FULL pipeline (line rules, parser, call graph,
+//! interprocedural rules, stale-waiver accounting). `//~ <rule>`
+//! markers name the expected diagnostics per line; `//@ path:` gives
+//! the virtual workspace path — rule scoping is path-sensitive, so the
+//! `ok_` fixtures prove the blessed shapes stay silent and the `bad_`
+//! fixtures prove each new rule actually fires.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use slim_check::{scan_virtual, ScanOptions};
+
+fn expected_from(source: &str) -> BTreeSet<(usize, String)> {
+    let mut out = BTreeSet::new();
+    for (i, line) in source.lines().enumerate() {
+        let mut rest = line;
+        while let Some(at) = rest.find("//~") {
+            let marker = rest[at + 3..].trim();
+            let rule: String = marker
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(!rule.is_empty(), "empty //~ marker on line {}", i + 1);
+            out.insert((i + 1, rule));
+            rest = &rest[at + 3..];
+        }
+    }
+    out
+}
+
+fn virtual_path(source: &str) -> String {
+    source
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("//@ path:"))
+        .map(|p| p.trim().to_string())
+        .unwrap_or_else(|| panic!("fixture missing `//@ path:` header"))
+}
+
+#[test]
+fn interproc_fixtures_match_expected_diagnostics() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("interproc");
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("fixtures/interproc directory")
+        .map(|e| e.expect("fixture entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 6,
+        "expected bad/ok pairs for the interprocedural rules, saw {}",
+        entries.len()
+    );
+
+    let opts = ScanOptions {
+        stale_waivers: true,
+    };
+    for path in entries {
+        let source = fs::read_to_string(&path).expect("read fixture");
+        let vpath = virtual_path(&source);
+        let expected = expected_from(&source);
+        let files = vec![(vpath, source.clone())];
+        let got: BTreeSet<(usize, String)> = scan_virtual(&files, opts)
+            .into_iter()
+            .map(|d| (d.line, d.rule.name().to_string()))
+            .collect();
+
+        let missing: Vec<_> = expected.difference(&got).collect();
+        let surplus: Vec<_> = got.difference(&expected).collect();
+        assert!(
+            missing.is_empty() && surplus.is_empty(),
+            "{}: expected-but-missing {:?}; fired-but-unexpected {:?}",
+            path.display(),
+            missing,
+            surplus
+        );
+    }
+}
+
+/// Hot-path reachability crosses file (and therefore crate) boundaries:
+/// a hot entry in one crate taints a panic site in another.
+#[test]
+fn cross_file_reachability_fixture() {
+    let files = vec![
+        (
+            "crates/lik/src/lib.rs".to_string(),
+            "// check: hot cross-crate entry\n\
+             pub fn entry(xs: &[f64]) -> f64 { slim_linalg::pick(xs) }\n"
+                .to_string(),
+        ),
+        (
+            "crates/linalg/src/lib.rs".to_string(),
+            "pub fn pick(xs: &[f64]) -> f64 { xs[0] }\n".to_string(),
+        ),
+    ];
+    let diags = scan_virtual(&files, ScanOptions::default());
+    assert!(
+        diags.iter().any(|d| {
+            d.rule.name() == "panic-free-hot-path"
+                && d.path == "crates/linalg/src/lib.rs"
+                && d.what.contains("slim_lik::entry")
+        }),
+        "{diags:?}"
+    );
+}

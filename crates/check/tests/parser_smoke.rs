@@ -1,0 +1,113 @@
+//! Workspace smoke test: the recursive-descent parser must accept every
+//! `.rs` file in the repository (including tests, benches, and vendored
+//! stand-ins — anything the lexer can blank, the parser must tree).
+
+use std::fs;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn every_workspace_file_parses() {
+    let root = workspace_root();
+    let sources = slim_check::collect_sources(&root).expect("collect sources");
+    assert!(
+        sources.len() > 50,
+        "suspiciously few sources: {}",
+        sources.len()
+    );
+    let mut failures = Vec::new();
+    let mut fn_total = 0usize;
+    for path in &sources {
+        let rel = slim_check::relative_name(&root, path);
+        let source = fs::read_to_string(path).expect("read source");
+        match slim_check::parser::parse_file(&source) {
+            Ok(file) => fn_total += count_fns(&file.items),
+            Err(e) => failures.push(format!("{rel}: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "parser rejected {} file(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    // The workspace has hundreds of functions; a collapse here means
+    // the item parser is silently skipping swathes of code.
+    assert!(fn_total > 500, "only {fn_total} fns parsed workspace-wide");
+}
+
+fn count_fns(items: &[slim_check::ast::Item]) -> usize {
+    use slim_check::ast::ItemKind;
+    let mut n = 0;
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(_) => n += 1,
+            ItemKind::Mod {
+                items: Some(inner), ..
+            } => n += count_fns(inner),
+            ItemKind::Impl { items, .. } | ItemKind::Trait { items, .. } => n += count_fns(items),
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Hot entries declared in the real workspace must be discovered: the
+/// lik pruning unit, the expm reconstruction, and the linalg SIMD
+/// kernels are the paper's hot path and must stay under analysis.
+#[test]
+fn workspace_has_declared_hot_entries() {
+    let root = workspace_root();
+    let mut hot = Vec::new();
+    for path in slim_check::collect_sources(&root).expect("collect") {
+        let rel = slim_check::relative_name(&root, &path);
+        if !rel.starts_with("crates/") || rel.contains("/tests/") {
+            continue;
+        }
+        let source = fs::read_to_string(&path).expect("read");
+        let lines = slim_check::lexer::prepare(&source);
+        let Ok(file) = slim_check::parser::parse_file(&source) else {
+            continue;
+        };
+        collect_hot(&file.items, &lines, &rel, &mut hot);
+    }
+    for expected in [
+        "crates/lik/src/pruning.rs",
+        "crates/expm/src/cpv.rs",
+        "crates/linalg/src/simd/mod.rs",
+    ] {
+        assert!(
+            hot.iter().any(|(p, _)| p == expected),
+            "no hot entry declared in {expected}; found {hot:?}"
+        );
+    }
+}
+
+fn collect_hot(
+    items: &[slim_check::ast::Item],
+    lines: &[slim_check::lexer::PreparedLine],
+    rel: &str,
+    out: &mut Vec<(String, String)>,
+) {
+    use slim_check::ast::ItemKind;
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(f) if slim_check::interproc::hot_marked(lines, f.line) => {
+                out.push((rel.to_string(), f.name.clone()));
+            }
+            ItemKind::Mod {
+                items: Some(inner), ..
+            } => collect_hot(inner, lines, rel, out),
+            ItemKind::Impl { items, .. } | ItemKind::Trait { items, .. } => {
+                collect_hot(items, lines, rel, out)
+            }
+            _ => {}
+        }
+    }
+}

@@ -95,6 +95,7 @@ impl EigenCache {
             scale_bits: rm.applied_factor.to_bits(),
         };
         if let Some(found) = self.map.lock().get(&key).cloned() {
+            // check: allow(atomic-ordering) monotonic hit counter, no synchronization role
             self.hits.fetch_add(1, Ordering::Relaxed);
             crate::obsm::metrics().hits.inc();
             slim_trace::instant_with("expm.cache.hit", "expm", || {
@@ -105,6 +106,7 @@ impl EigenCache {
             });
             return Ok(found);
         }
+        // check: allow(atomic-ordering) monotonic miss counter, no synchronization role
         self.misses.fetch_add(1, Ordering::Relaxed);
         crate::obsm::metrics().misses.inc();
         slim_trace::instant_with("expm.cache.miss", "expm", || {
@@ -116,8 +118,9 @@ impl EigenCache {
         let es = Arc::new(EigenSystem::from_rate_matrix(rm, method)?);
         let mut map = self.map.lock();
         if map.len() >= self.capacity {
-            self.evictions
-                .fetch_add(map.len() as u64, Ordering::Relaxed);
+            let evicted = map.len() as u64;
+            // check: allow(atomic-ordering) monotonic eviction counter, no synchronization role
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
             crate::obsm::metrics().evictions.add(map.len() as u64);
             slim_trace::instant_with("expm.cache.evict", "expm", || {
                 vec![("entries", slim_trace::Value::U64(map.len() as u64))]
@@ -133,7 +136,9 @@ impl EigenCache {
     /// cache is actually being exercised.
     pub fn stats(&self) -> (u64, u64) {
         (
+            // check: allow(atomic-ordering) approximate stats read, counters are metrics-only
             self.hits.load(Ordering::Relaxed),
+            // check: allow(atomic-ordering) approximate stats read, counters are metrics-only
             self.misses.load(Ordering::Relaxed),
         )
     }
@@ -145,6 +150,7 @@ impl EigenCache {
 
     /// Entries evicted so far by wholesale capacity clears.
     pub fn evictions(&self) -> u64 {
+        // check: allow(atomic-ordering) approximate stats read, counter is metrics-only
         self.evictions.load(Ordering::Relaxed)
     }
 

@@ -57,6 +57,7 @@ impl CpvScratch {
 ///
 /// # Panics
 /// Panics on shape mismatches.
+// check: hot dense P·W reconstruction entry
 pub fn apply_dense(strategy: CpvStrategy, p: &Mat, w: &Mat, out: &mut Mat) {
     apply_dense_with(strategy, p, w, out, &mut CpvScratch::new());
 }
@@ -69,6 +70,8 @@ pub fn apply_dense(strategy: CpvStrategy, p: &Mat, w: &Mat, out: &mut Mat) {
 ///
 /// # Panics
 /// Panics on shape mismatches.
+// check: hot dense P·W reconstruction, scratch-reusing form
+// check: allow(panic-free-hot-path) shape asserts are the entry contract; scratch.ensure(n) guarantees col/res hold n
 pub fn apply_dense_with(
     strategy: CpvStrategy,
     p: &Mat,
@@ -129,6 +132,7 @@ impl SymTransition {
     ///
     /// # Panics
     /// Panics if shapes disagree.
+    // check: allow(panic-free-hot-path) constructor shape contract, runs once per eigendecomposition, outside the per-site loop
     pub fn new(m: Mat, pi: Vec<f64>) -> SymTransition {
         assert!(m.is_square());
         assert_eq!(m.rows(), pi.len());
@@ -146,6 +150,8 @@ impl SymTransition {
     }
 
     /// Apply to a single CPV: `w' = M·(Π·w)` via `symv`.
+    // check: hot symmetric single-CPV apply (Eq. 10 path)
+    // check: allow(panic-free-hot-path) length assert is the entry contract; pi/w indexed below it
     pub fn apply(&self, w: &[f64]) -> Vec<f64> {
         let n = self.pi.len();
         assert_eq!(w.len(), n);
@@ -156,12 +162,15 @@ impl SymTransition {
     }
 
     /// Apply to every column of a dense `n × sites` CPV block.
+    // check: hot symmetric dense apply entry
     pub fn apply_dense(&self, w: &Mat, out: &mut Mat) {
         self.apply_dense_with(w, out, &mut CpvScratch::new());
     }
 
     /// Like [`SymTransition::apply_dense`] with caller-owned scratch
     /// buffers (no per-call allocation; bit-identical results).
+    // check: hot symmetric dense apply, scratch-reusing form
+    // check: allow(panic-free-hot-path) shape asserts are the entry contract; scratch.ensure(n) sizes col/res
     pub fn apply_dense_with(&self, w: &Mat, out: &mut Mat, scratch: &mut CpvScratch) {
         let n = self.pi.len();
         assert_eq!(w.rows(), n);

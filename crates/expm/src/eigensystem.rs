@@ -81,6 +81,7 @@ impl EigenSystem {
     /// **Eq. 9, tuned kernels** — same algorithm as
     /// [`Self::transition_matrix_eq9_naive`] but through the blocked
     /// `gemm`. Separates "better kernels" from "fewer flops" in ablations.
+    // check: hot P(t) reconstruction, Eq. 9 kernel path
     pub fn transition_matrix_eq9(&self, t: f64) -> Mat {
         let y_tilde = self.eigen.vectors.mul_diag_right(&self.exp_lambda(t));
         let z = matmul(&y_tilde, Transpose::No, &self.eigen.vectors, Transpose::Yes);
@@ -92,6 +93,7 @@ impl EigenSystem {
     /// `Y = X e^{Λt/2}` (§III-A step 3), `Z = Y·Yᵀ` via the symmetric
     /// rank-k update (step 4, ≈ n³ flops — half of Eq. 9), then
     /// `P = Π^{-1/2} Z Π^{1/2}` (step 5).
+    // check: hot P(t) reconstruction, Eq. 10 syrk path
     pub fn transition_matrix_eq10(&self, t: f64) -> Mat {
         let half: Vec<f64> = self
             .eigen
@@ -148,6 +150,7 @@ impl EigenSystem {
     /// `M` is symmetric, so applying it with `symv` touches each
     /// off-diagonal entry once — "saves about half of the memory accesses"
     /// (§II-C2).
+    // check: hot symmetric-form transition build
     pub fn symmetric_transition(&self, t: f64) -> crate::cpv::SymTransition {
         let half: Vec<f64> = self
             .eigen

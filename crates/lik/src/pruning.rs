@@ -40,6 +40,7 @@ impl TransOp {
     /// `P·e_c` — the CPV a leaf with observed codon `c` propagates to its
     /// parent (the product against an indicator vector collapses to a
     /// column gather; CodeML special-cases this identically).
+    // check: allow(panic-free-hot-path) c < cols() by caller loop bound; out sized n by PruneWorkspace::ensure
     fn column(&self, c: usize, out: &mut [f64]) {
         match self {
             TransOp::Dense(p) => {
@@ -201,7 +202,9 @@ impl PruneWorkspace {
 /// `ops[node][ω]` must hold operators for every ω this class selects on
 /// every branch. Bit-identical to the corresponding slice of a full-width
 /// pass (see module docs), so callers may partition patterns freely.
+// check: hot per-block pruning unit (paper's inner loop)
 #[allow(clippy::too_many_arguments)]
+// check: allow(panic-free-hot-path) pattern/node indices bounded by SitePatterns and tree construction; expect() guarded by topological order
 pub(crate) fn prune_block(
     problem: &LikelihoodProblem,
     config: &EngineConfig,
@@ -309,6 +312,7 @@ pub(crate) fn prune_block(
 /// Leaf children gather operator columns per pattern; internal children
 /// consume the CPV their own pruning pass left in `slots`.
 #[allow(clippy::too_many_arguments)]
+// check: allow(panic-free-hot-path) child partials exist before parents by post-order traversal; indices bounded by block width
 fn child_block_into(
     problem: &LikelihoodProblem,
     config: &EngineConfig,
@@ -410,6 +414,7 @@ mod sanitize_hooks {
 /// log-likelihood. Thin wrapper over [`prune_block`] used by the auxiliary
 /// models (M0, site models, branch model) and by the parallel driver when
 /// running single-threaded.
+// check: hot full-width pruning pass (serial driver)
 pub(crate) fn prune_one_class(
     problem: &LikelihoodProblem,
     config: &EngineConfig,

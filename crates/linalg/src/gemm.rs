@@ -57,6 +57,7 @@ pub fn gemm(alpha: f64, a: &Mat, ta: Transpose, b: &Mat, tb: Transpose, beta: f6
 }
 
 /// The no-transpose kernel behind [`gemm`].
+// check: allow(panic-free-hot-path) shape contract asserted at entry; all loop indices bounded by rows()/cols() of the asserted shapes
 fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
     let m = a.rows();
     let k = a.cols();

@@ -16,6 +16,7 @@ use crate::Mat;
 ///
 /// # Panics
 /// Panics on dimension mismatch.
+// check: allow(panic-free-hot-path) shape asserts are the documented contract; row/x indices bounded by the asserted dims
 pub fn gemv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(a.cols(), x.len(), "gemv: A.cols != x.len");
     assert_eq!(a.rows(), y.len(), "gemv: A.rows != y.len");
@@ -50,6 +51,7 @@ pub fn gemv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
 ///
 /// # Panics
 /// Panics if `A` is not square or dimensions mismatch.
+// check: allow(panic-free-hot-path) square-shape asserts are the documented contract; i bounded by n, slices end at row length
 pub fn symv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
     assert!(a.is_square(), "symv: square matrix required");
     let n = a.rows();

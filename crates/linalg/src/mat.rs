@@ -205,6 +205,7 @@ impl Mat {
 
     /// Borrow row `i` as a slice (logical width — excludes padding).
     #[inline]
+    // check: allow(panic-free-hot-path) slice window arithmetic bounded by stride*rows, checked in debug builds
     pub fn row(&self, i: usize) -> &[f64] {
         debug_assert!(i < self.rows);
         &self.data[i * self.stride..i * self.stride + self.cols]
@@ -212,6 +213,7 @@ impl Mat {
 
     /// Mutably borrow row `i` as a slice (logical width).
     #[inline]
+    // check: allow(panic-free-hot-path) slice window arithmetic bounded by stride*rows, checked in debug builds
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
         debug_assert!(i < self.rows);
         let s = self.stride;
@@ -250,6 +252,7 @@ impl Mat {
     }
 
     /// Return the transpose as a new (dense) matrix.
+    // check: allow(panic-free-hot-path) i,j iterate exactly 0..rows x 0..cols of both matrices
     pub fn transpose(&self) -> Mat {
         let mut t = Mat::zeros(self.cols, self.rows);
         for i in 0..self.rows {
@@ -293,6 +296,7 @@ impl Mat {
     /// `self · diag(d)` — scales column `j` by `d[j]`. O(n²).
     ///
     /// This is step 3 of the paper's expm pipeline (`Y := X e^{Λt/2}`).
+    // check: allow(panic-free-hot-path) length assert is the documented contract for diagonal scaling
     pub fn mul_diag_right(&self, d: &[f64]) -> Mat {
         assert_eq!(self.cols, d.len(), "mul_diag_right: dimension mismatch");
         let mut out = self.clone();
@@ -307,6 +311,7 @@ impl Mat {
 
     /// Multiply this matrix by a diagonal matrix from the **left**:
     /// `diag(d) · self` — scales row `i` by `d[i]`. O(n²).
+    // check: allow(panic-free-hot-path) length assert is the documented contract for diagonal scaling
     pub fn mul_diag_left(&self, d: &[f64]) -> Mat {
         assert_eq!(self.rows, d.len(), "mul_diag_left: dimension mismatch");
         let mut out = self.clone();

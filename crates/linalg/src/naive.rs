@@ -56,6 +56,7 @@ pub fn matmul_bt(a: &Mat, b: &Mat) -> Mat {
 }
 
 /// Textbook matrix–vector product `y = A·x` with no unrolling.
+// check: allow(panic-free-hot-path) shape asserts are the documented contract; indices bounded by the asserted dims
 pub fn matvec(a: &Mat, x: &[f64], y: &mut [f64]) {
     assert_eq!(a.cols(), x.len(), "naive::matvec: dimension mismatch");
     assert_eq!(a.rows(), y.len(), "naive::matvec: dimension mismatch");

@@ -230,6 +230,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// [`dot`] with the backend chosen by the caller (hoists dispatch out of
 /// kernel loops).
 #[inline]
+// check: hot SIMD kernel entry
 pub fn dot_with(be: SimdBackend, x: &[f64], y: &[f64]) -> f64 {
     dispatch!(be, dot(x, y))
 }
@@ -238,36 +239,42 @@ pub fn dot_with(be: SimdBackend, x: &[f64], y: &[f64]) -> f64 {
 /// Each output is bit-identical to the corresponding [`dot`]; pairing
 /// exists purely to double instruction-level parallelism in `gemv`/`syrk`.
 #[inline]
+// check: hot SIMD kernel entry
 pub fn dot2_with(be: SimdBackend, x0: &[f64], x1: &[f64], y: &[f64]) -> (f64, f64) {
     dispatch!(be, dot2(x0, x1, y))
 }
 
 /// `c[j] += a · b[j]` — one axpy row update (independent outputs).
 #[inline]
+// check: hot SIMD kernel entry
 pub fn fma_row_with(be: SimdBackend, c: &mut [f64], a: f64, b: &[f64]) {
     dispatch!(be, fma_row(c, a, b))
 }
 
 /// `c[j] += a0·b0[j] + a1·b1[j]` — the two-way-unrolled `gemm` inner loop.
 #[inline]
+// check: hot SIMD kernel entry
 pub fn fma_row2_with(be: SimdBackend, c: &mut [f64], a0: f64, b0: &[f64], a1: f64, b1: &[f64]) {
     dispatch!(be, fma_row2(c, a0, b0, a1, b1))
 }
 
 /// `y[j] *= x[j]` — the pruning combine step (independent outputs).
 #[inline]
+// check: hot SIMD kernel entry
 pub fn mul_row_with(be: SimdBackend, y: &mut [f64], x: &[f64]) {
     dispatch!(be, mul_row(y, x))
 }
 
 /// `z[j] = x[j] · y[j]`.
 #[inline]
+// check: hot SIMD kernel entry
 pub fn mul_into_with(be: SimdBackend, x: &[f64], y: &[f64], z: &mut [f64]) {
     dispatch!(be, mul_into(x, y, z))
 }
 
 /// `x[j] *= alpha`.
 #[inline]
+// check: hot SIMD kernel entry
 pub fn scale_row_with(be: SimdBackend, x: &mut [f64], alpha: f64) {
     dispatch!(be, scale_row(x, alpha))
 }

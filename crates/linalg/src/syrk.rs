@@ -22,6 +22,7 @@ use crate::Mat;
 ///
 /// # Panics
 /// Panics if `C` is not square of order `A.rows()`.
+// check: allow(panic-free-hot-path) square-shape assert is the documented contract; i,j,l bounded by n and a.cols()
 pub fn syrk(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
     let n = a.rows();
     assert!(
