@@ -166,11 +166,13 @@ impl BatchReport {
                     }
                     out.push_str(&format!("\t{}\t", o.n_pos_sites));
                     if include_cache {
-                        out.push_str(&format!("\t{}\t{}", o.cache_hits, o.cache_misses));
-                        match o.cache_hit_rate() {
-                            Some(rate) => out.push_str(&format!("\t{rate:.4}")),
-                            None => out.push_str("\tNA"),
-                        }
+                        // 0/0 (no lookups) is defined as 0.0, never NaN.
+                        out.push_str(&format!(
+                            "\t{}\t{}\t{:.4}",
+                            o.cache_hits,
+                            o.cache_misses,
+                            o.cache_hit_rate()
+                        ));
                     }
                 }
                 Err(f) => {
@@ -223,12 +225,10 @@ impl BatchReport {
                         .u64("n_pos_sites", out.n_pos_sites as u64)
                         .u64("iterations", out.iterations as u64);
                     if include_timing {
+                        // 0/0 (no lookups) is defined as 0.0, never NaN.
                         r.u64("cache_hits", out.cache_hits)
-                            .u64("cache_misses", out.cache_misses);
-                        match out.cache_hit_rate() {
-                            Some(rate) => r.f64("cache_hit_rate", rate),
-                            None => r.raw("cache_hit_rate", "null"),
-                        };
+                            .u64("cache_misses", out.cache_misses)
+                            .f64("cache_hit_rate", out.cache_hit_rate());
                     }
                     o.raw("result", r.finish());
                 }
@@ -393,7 +393,15 @@ mod tests {
 
     #[test]
     fn cache_columns_are_opt_in() {
-        let report = BatchReport::from_records(vec![ok_record(0), failed_record(1)], 2, 0.0);
+        // Job 1: an uncached backend — zero lookups must render as 0.0,
+        // never NaN (and never an unparsable token).
+        let mut uncached = ok_record(1);
+        if let Ok(o) = &mut uncached.outcome {
+            o.cache_hits = 0;
+            o.cache_misses = 0;
+        }
+        let report =
+            BatchReport::from_records(vec![ok_record(0), uncached, failed_record(2)], 3, 0.0);
         let plain = report.to_tsv();
         assert!(!plain.contains("cache_hits"), "default TSV is unchanged");
         let with = report.to_tsv_with(true);
@@ -404,16 +412,28 @@ mod tests {
             assert_eq!(line.split('\t').count(), header_cols, "{line}");
         }
         assert!(lines[1].ends_with("\t30\t10\t0.7500"), "{}", lines[1]);
-        assert!(lines[2].ends_with("\tNA\tNA\tNA"), "{}", lines[2]);
+        assert!(lines[2].ends_with("\t0\t0\t0.0000"), "{}", lines[2]);
+        assert!(!with.contains("NaN"), "{with}");
+        assert!(lines[3].ends_with("\tNA\tNA\tNA"), "{}", lines[3]);
 
         let timed: serde_json::Value = serde_json::from_str(&report.to_json(true)).unwrap();
-        let result = timed.get("jobs").unwrap().as_array().unwrap()[0]
-            .get("result")
-            .unwrap();
+        let jobs = timed.get("jobs").unwrap().as_array().unwrap();
+        let result = jobs[0].get("result").unwrap();
         assert_eq!(result.get("cache_hits").unwrap().as_u64().unwrap(), 30);
         assert_eq!(
             result.get("cache_hit_rate").unwrap().as_f64().unwrap(),
             0.75
+        );
+        assert_eq!(
+            jobs[1]
+                .get("result")
+                .unwrap()
+                .get("cache_hit_rate")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            0.0,
+            "0/0 lookups renders as the number 0.0, not null/NaN"
         );
         let plain_json: serde_json::Value = serde_json::from_str(&report.to_json(false)).unwrap();
         assert!(plain_json.get("jobs").unwrap().as_array().unwrap()[0]

@@ -379,7 +379,7 @@ mod tests {
         let recs = read_journal(&path, 3).unwrap();
         let out = recs[0].outcome.as_ref().unwrap();
         assert_eq!((out.cache_hits, out.cache_misses), (0, 0));
-        assert_eq!(out.cache_hit_rate(), None);
+        assert_eq!(out.cache_hit_rate(), 0.0, "0/0 lookups is 0.0, not NaN");
         std::fs::remove_file(&path).ok();
     }
 

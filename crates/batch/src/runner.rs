@@ -53,11 +53,16 @@ pub struct JobOutcome {
 }
 
 impl JobOutcome {
-    /// Hits / (hits + misses), or `None` when the job's backend ran
-    /// without a cache.
-    pub fn cache_hit_rate(&self) -> Option<f64> {
+    /// Hits / (hits + misses). Defined as 0.0 — never NaN — when the
+    /// job performed no lookups (the backend ran without a cache), so
+    /// every sink can emit the value unguarded.
+    pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
-        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+        if total > 0 {
+            self.cache_hits as f64 / total as f64
+        } else {
+            0.0
+        }
     }
 
     fn from_test(result: &TestResult, cache: (u64, u64)) -> JobOutcome {

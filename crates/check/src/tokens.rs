@@ -252,7 +252,16 @@ fn literal_len(chars: &[char], i: usize) -> (usize, usize) {
     let mut lines = 0usize;
     while j < chars.len() {
         match chars[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // An escaped char still counts toward the span when it
+                // is a newline — `"...\` + line break (the rustfmt
+                // string-continuation idiom) must not desync every
+                // later token's line number.
+                if chars.get(j + 1) == Some(&'\n') {
+                    lines += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 lines += 1;
                 j += 1;
@@ -313,6 +322,15 @@ mod tests {
     #[test]
     fn line_numbers_track_multiline_literals() {
         let tokens = tokenize_source("let a = \"x\ny\";\nlet b = 1;\n");
+        let b = tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_survive_backslash_newline_continuation() {
+        // rustfmt wraps long strings as `"...\` + newline + `   ...";`
+        // the escaped newline still advances the line counter.
+        let tokens = tokenize_source("let a = \"x \\\n     y\";\nlet b = 1;\n");
         let b = tokens.iter().find(|t| t.is_ident("b")).unwrap();
         assert_eq!(b.line, 3);
     }

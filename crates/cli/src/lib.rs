@@ -224,6 +224,12 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     .ok_or_else(|| format!("unknown simd mode {v:?} (auto|scalar|avx2|neon)"))?;
             }
             "--timing" => timing = true,
+            // Cross-evaluation partial-likelihood reuse: on by default for
+            // the Slim backends (bit-identical by contract), off for the
+            // CodeML-style profile. The flags override both the backend
+            // default and SLIMCODEML_REUSE.
+            "--reuse" => options.reuse = Some(true),
+            "--no-reuse" => options.reuse = Some(false),
             "--metrics" => metrics_path = Some(take_value("--metrics")?),
             "--metrics-format" => {
                 let v = take_value("--metrics-format")?;
@@ -591,6 +597,32 @@ fn timing_report(analysis: &Analysis, baseline: &Snapshot) -> String {
         }
         None => out.push_str("  eigen cache: off (backend runs without a cache)\n"),
     }
+    if analysis.options().reuse_enabled() {
+        let reused = count("lik.reuse.units_reused");
+        let recomputed = count("lik.reuse.units_recomputed");
+        let total = reused + recomputed;
+        // 0/0 → 0.0: a reuse-enabled run with no CPV blocks at all (e.g.
+        // zero evaluations) must not print NaN.
+        let rate = if total > 0 {
+            reused as f64 / total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  reuse: {reused} CPV block{} reused / {recomputed} recomputed \
+             ({:.1}% hit rate, {} full invalidation{})\n",
+            if reused == 1 { "" } else { "s" },
+            rate * 100.0,
+            count("lik.reuse.full_invalidations"),
+            if count("lik.reuse.full_invalidations") == 1 {
+                ""
+            } else {
+                "s"
+            },
+        ));
+    } else {
+        out.push_str("  reuse: off\n");
+    }
     out.push_str(&format!(
         "  simd: {} ({} lane{})\n",
         simd.name(),
@@ -605,7 +637,7 @@ pub fn usage() -> String {
     "usage: slimcodeml --seq <aln.fasta|aln.phy> --tree <tree.nwk> \
      [--backend codeml|slim|slim+|eq12|slim-par] [--freq equal|f1x4|f3x4|f61] \
      [--seed N] [--max-iter N] [--forward-grad] [--threads N] \
-     [--simd auto|scalar|avx2|neon] [--timing] \
+     [--simd auto|scalar|avx2|neon] [--reuse|--no-reuse] [--timing] \
      [--metrics <path>] [--metrics-format json|prom] [--trace <path>] \
      [--scan] [--workers N] [--sites]\n\
        or: slimcodeml --ctl <codeml.ctl>\n\
@@ -1058,6 +1090,17 @@ mod tests {
     }
 
     #[test]
+    fn reuse_flags() {
+        let on = direct(parse_args(&args(&["--seq", "a", "--tree", "t", "--reuse"])).unwrap());
+        assert_eq!(on.options.reuse, Some(true));
+        let off = direct(parse_args(&args(&["--seq", "a", "--tree", "t", "--no-reuse"])).unwrap());
+        assert_eq!(off.options.reuse, Some(false));
+        let auto = direct(parse_args(&args(&["--seq", "a", "--tree", "t"])).unwrap());
+        assert_eq!(auto.options.reuse, None, "default defers to the backend");
+        assert!(usage().contains("--no-reuse"));
+    }
+
+    #[test]
     fn simd_flag() {
         let forced =
             direct(parse_args(&args(&["--seq", "a", "--tree", "t", "--simd", "scalar"])).unwrap());
@@ -1103,6 +1146,31 @@ mod tests {
         );
         assert!(report.contains("likelihood evaluations"), "{report}");
         assert!(report.contains("eigen cache:"), "{report}");
+        assert!(report.contains("reuse:"), "{report}");
+    }
+
+    #[test]
+    fn timing_report_reuse_off_says_so() {
+        let cfg = direct(
+            parse_args(&args(&[
+                "--seq",
+                "-",
+                "--tree",
+                "-",
+                "--max-iter",
+                "6",
+                "--no-reuse",
+                "--timing",
+            ]))
+            .unwrap(),
+        );
+        let report = run(
+            &cfg,
+            ">A\nATGCCCAAA\n>B\nATGCCAAAA\n>C\nATGCCCAAG\n",
+            "((A:0.2,B:0.2)#1:0.1,C:0.3);",
+        )
+        .unwrap();
+        assert!(report.contains("reuse: off"), "{report}");
     }
 
     #[test]

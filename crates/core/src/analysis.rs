@@ -6,9 +6,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use slim_bio::{CodonAlignment, FreqModel, GeneticCode, Tree};
 use slim_expm::EigenCache;
-use slim_lik::{log_likelihood, site_class_log_likelihoods, LikelihoodProblem, SimdMode};
+use slim_lik::{
+    log_likelihood, site_class_log_likelihoods, LikelihoodProblem, ReuseEvaluator, ReuseHint,
+    SimdMode,
+};
 use slim_model::{BranchSiteModel, Hypothesis};
-use slim_opt::{minimize, minimize_lbfgs, BfgsOptions, Block, BlockTransform, GradMode};
+use slim_opt::{
+    minimize_delta, minimize_lbfgs_delta, BfgsOptions, Block, BlockTransform, GradMode, ParamDelta,
+};
 use slim_stat::{lrt_pvalue, positive_selection_posteriors, LrtResult};
 use std::time::Instant;
 
@@ -59,6 +64,14 @@ pub struct AnalysisOptions {
     /// SIMD kernel dispatch ([`SimdMode::Auto`] honors `SLIMCODEML_SIMD`,
     /// else CPU detection). Every mode computes bit-identical likelihoods.
     pub simd: SimdMode,
+    /// Cross-evaluation partial-likelihood reuse during fits (the
+    /// dirty-path engine in `slim-lik`). `None` = auto: on for the Slim
+    /// backends, off for [`Backend::CodeMlStyle`] so the paper-comparison
+    /// profile keeps its measured cost model; overridable via the
+    /// `SLIMCODEML_REUSE` environment variable and the `--reuse` /
+    /// `--no-reuse` CLI flags. Reuse-on and reuse-off fits are
+    /// bit-identical by the invalidation contract.
+    pub reuse: Option<bool>,
 }
 
 impl Default for AnalysisOptions {
@@ -75,6 +88,7 @@ impl Default for AnalysisOptions {
             genetic_code: GeneticCode::universal(),
             threads: threads_from_env(),
             simd: SimdMode::Auto,
+            reuse: None,
         }
     }
 }
@@ -97,6 +111,49 @@ impl AnalysisOptions {
         }
         config.simd = self.simd;
         config
+    }
+
+    /// Whether fits run on the dirty-path reuse evaluator. Resolution
+    /// order: the explicit [`AnalysisOptions::reuse`] setting, then the
+    /// `SLIMCODEML_REUSE` environment variable (`0`/`off`/`false`/`no`
+    /// disable, any other non-empty value enables), then the backend
+    /// default (every backend except [`Backend::CodeMlStyle`]).
+    pub fn reuse_enabled(&self) -> bool {
+        if let Some(explicit) = self.reuse {
+            return explicit;
+        }
+        if let Ok(v) = std::env::var("SLIMCODEML_REUSE") {
+            let v = v.trim().to_ascii_lowercase();
+            if !v.is_empty() {
+                return !matches!(v.as_str(), "0" | "off" | "false" | "no");
+            }
+        }
+        !matches!(self.backend, Backend::CodeMlStyle)
+    }
+}
+
+/// Translate the optimizer's unconstrained-coordinate delta into the
+/// engine's invalidation hint: parameter-layout positions `< 5` are the
+/// globals (κ, ω0, ω2, p0, p1), the rest are branch lengths in order.
+fn hint_for(transform: &BlockTransform, delta: &ParamDelta) -> ReuseHint {
+    match delta {
+        ParamDelta::Full => ReuseHint::Full,
+        ParamDelta::Coords(coords) => {
+            let mut globals = false;
+            let mut branches = Vec::new();
+            for &z in coords {
+                for x in transform.touched_constrained(z) {
+                    if x < 5 {
+                        globals = true;
+                    } else {
+                        branches.push(x - 5);
+                    }
+                }
+            }
+            branches.sort_unstable();
+            branches.dedup();
+            ReuseHint::Sparse { globals, branches }
+        }
     }
 }
 
@@ -340,17 +397,35 @@ impl Analysis {
         let z0 = transform.to_unconstrained(&x0);
 
         let problem = &self.problem;
-        let objective = |z: &[f64]| -> f64 {
+        // The reuse evaluator keeps the previous evaluation's operators
+        // and CPVs; the optimizer's coordinate delta (mapped to a
+        // ReuseHint) is advisory — the evaluator diffs parameters bitwise
+        // itself, so a stateless evaluation of the same point returns the
+        // same bits (see slim-lik's reuse module docs).
+        let mut evaluator = self
+            .options
+            .reuse_enabled()
+            .then(|| ReuseEvaluator::new(problem, config.clone()));
+        let mut objective = |z: &[f64], delta: &ParamDelta| -> f64 {
             let x = transform.to_constrained(z);
             let (model, bl) = self.unpack(&x);
-            match log_likelihood(problem, config, &model, &bl) {
-                Ok(lnl) if lnl.is_finite() => -lnl,
-                _ => f64::INFINITY,
+            match &mut evaluator {
+                Some(ev) => {
+                    let hint = hint_for(&transform, delta);
+                    match ev.evaluate(&model, &bl, &hint, None) {
+                        Ok(v) if v.lnl.is_finite() => -v.lnl,
+                        _ => f64::INFINITY,
+                    }
+                }
+                None => match log_likelihood(problem, config, &model, &bl) {
+                    Ok(lnl) if lnl.is_finite() => -lnl,
+                    _ => f64::INFINITY,
+                },
             }
         };
 
         // Sanity: the start must be evaluable.
-        if !objective(&z0).is_finite() {
+        if !objective(&z0, &ParamDelta::Full).is_finite() {
             return Err(CoreError::Optimization(
                 "likelihood not finite at the starting point".into(),
             ));
@@ -366,8 +441,8 @@ impl Analysis {
         // check: allow(det-wallclock) feeds the report wall_time field only
         let started = Instant::now();
         let result = match self.options.optimizer {
-            Optimizer::DenseBfgs => minimize(objective, &z0, &opts),
-            Optimizer::LBfgs => minimize_lbfgs(objective, &z0, &opts),
+            Optimizer::DenseBfgs => minimize_delta(&mut objective, &z0, &opts),
+            Optimizer::LBfgs => minimize_lbfgs_delta(&mut objective, &z0, &opts),
         };
         let wall_time = started.elapsed();
 
@@ -582,6 +657,75 @@ mod tests {
         )
         .unwrap();
         assert_eq!(forced.engine_config().simd, SimdMode::ForceScalar);
+    }
+
+    #[test]
+    fn reuse_on_and_off_fits_are_bit_identical() {
+        let run = |reuse: bool| {
+            let tree = parse_newick("((A:0.2,B:0.2)#1:0.1,(C:0.2,D:0.2):0.1);").unwrap();
+            let aln = CodonAlignment::from_fasta(
+                ">A\nATGCCCAAATTTGGGCGA\n>B\nATGCCAAAATTTGGACGA\n>C\nATGCCCAAGTTTGGGCGA\n>D\nATGCCCAAATTCGGGCGT\n",
+            )
+            .unwrap();
+            let a = Analysis::new(
+                &tree,
+                &aln,
+                AnalysisOptions {
+                    backend: Backend::Slim,
+                    max_iterations: 60,
+                    reuse: Some(reuse),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            a.test_positive_selection().unwrap()
+        };
+        let with = run(true);
+        let without = run(false);
+        for (a, b, what) in [
+            (with.h0.lnl, without.h0.lnl, "H0 lnL"),
+            (with.h1.lnl, without.h1.lnl, "H1 lnL"),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: reuse {a} vs fresh {b}");
+        }
+        assert_eq!(with.h0.f_evals, without.h0.f_evals);
+        assert_eq!(with.h0.iterations, without.h0.iterations);
+        assert_eq!(with.h1.branch_lengths, without.h1.branch_lengths);
+        assert_eq!(with.h1.model, without.h1.model);
+        for (a, b) in with.site_posteriors.iter().zip(&without.site_posteriors) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reuse_resolution_order() {
+        // Explicit beats backend default.
+        let opts = AnalysisOptions {
+            backend: Backend::Slim,
+            reuse: Some(false),
+            ..Default::default()
+        };
+        assert!(!opts.reuse_enabled());
+        let opts = AnalysisOptions {
+            backend: Backend::CodeMlStyle,
+            reuse: Some(true),
+            ..Default::default()
+        };
+        assert!(opts.reuse_enabled());
+        // Backend defaults (environment override is covered by the CLI
+        // suite, which controls the process environment).
+        if std::env::var("SLIMCODEML_REUSE").is_err() {
+            let opts = AnalysisOptions {
+                backend: Backend::Slim,
+                ..Default::default()
+            };
+            assert!(opts.reuse_enabled());
+            let opts = AnalysisOptions {
+                backend: Backend::CodeMlStyle,
+                ..Default::default()
+            };
+            assert!(!opts.reuse_enabled());
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod obsm;
 mod par;
 mod problem;
 mod pruning;
+mod reuse;
 pub mod site_models;
 
 pub use engine::{EngineConfig, ExpmPath, DEFAULT_PATTERN_BLOCK};
@@ -42,5 +43,6 @@ pub use problem::LikelihoodProblem;
 pub use pruning::{
     log_likelihood, site_class_log_likelihoods, site_class_log_likelihoods_timed, LikelihoodValue,
 };
+pub use reuse::{ReuseEvaluator, ReuseHint};
 pub use slim_linalg::simd;
 pub use slim_linalg::{SimdBackend, SimdMode};

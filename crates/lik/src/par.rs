@@ -126,34 +126,7 @@ fn evaluate_inner(
     let (syn_flux, nonsyn_flux) =
         slim_model::codon_model::rate_components(&problem.code, model.kappa, &problem.pi);
     let scale = model.shared_scale(syn_flux, nonsyn_flux);
-    let eigensystems: Vec<Arc<EigenSystem>> = if threads >= 2 {
-        let mut slots: Vec<Option<Result<Arc<EigenSystem>, LinalgError>>> =
-            (0..N_OMEGA).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (slot, &omega) in slots.iter_mut().zip(omegas.iter()) {
-                scope.spawn(move |_| {
-                    simd::with_forced(simd_mode, || {
-                        *slot = Some(eigen_for(problem, config, model.kappa, omega, scale));
-                    });
-                    // Scoped thread: flush cache-probe instants before
-                    // the scope unblocks (see slim_trace::flush_thread).
-                    if slim_trace::enabled() {
-                        slim_trace::flush_thread();
-                    }
-                });
-            }
-        })
-        .expect("eigen scope");
-        slots
-            .into_iter()
-            .map(|s| s.expect("eigen thread filled its slot"))
-            .collect::<Result<Vec<_>, _>>()?
-    } else {
-        omegas
-            .iter()
-            .map(|&omega| eigen_for(problem, config, model.kappa, omega, scale))
-            .collect::<Result<Vec<_>, _>>()?
-    };
+    let eigensystems = build_eigensystems(problem, config, model.kappa, &omegas, scale, threads)?;
     drop(phase_span);
     let elapsed = start.elapsed();
     obs.eigen.observe(elapsed);
@@ -287,7 +260,14 @@ fn evaluate_inner(
                             block_span.arg_u64("fg", unit.fg as u64);
                             block_span.arg_u64("lo", unit.lo as u64);
                             prune_block(
-                                problem, config, ops, unit.bg, unit.fg, unit.lo, unit.out, &mut ws,
+                                problem,
+                                config,
+                                ops.as_slice(),
+                                unit.bg,
+                                unit.fg,
+                                unit.lo,
+                                unit.out,
+                                &mut ws,
                             );
                             drop(block_span);
                             if let Some(t0) = t0 {
@@ -311,7 +291,14 @@ fn evaluate_inner(
         let t0 = obs_on.then(Instant::now);
         for unit in units {
             prune_block(
-                problem, config, &ops, unit.bg, unit.fg, unit.lo, unit.out, &mut ws,
+                problem,
+                config,
+                ops.as_slice(),
+                unit.bg,
+                unit.fg,
+                unit.lo,
+                unit.out,
+                &mut ws,
             );
         }
         if let Some(t0) = t0 {
@@ -338,6 +325,77 @@ fn evaluate_inner(
         classes[2].proportion,
         classes[3].proportion,
     ];
+    let (lnl, per_pattern) = mix_and_reduce(problem, props, &per_class, threads);
+    drop(phase_span);
+    let elapsed = start.elapsed();
+    obs.reduction.observe(elapsed);
+    if let Some(t) = timing {
+        t.reduction += elapsed;
+    }
+
+    Ok(LikelihoodValue {
+        lnl,
+        per_pattern,
+        per_class,
+        proportions: props,
+    })
+}
+
+/// Phase 1 as a reusable step: build and decompose the three ω rate
+/// matrices (one-per-spawn when `threads >= 2`). Shared by the stateless
+/// engine here and by [`crate::reuse::ReuseEvaluator`] when globals
+/// change.
+pub(crate) fn build_eigensystems(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    kappa: f64,
+    omegas: &[f64],
+    scale: f64,
+    threads: usize,
+) -> Result<Vec<Arc<EigenSystem>>, LinalgError> {
+    let simd_mode = config.simd;
+    if threads >= 2 {
+        let mut slots: Vec<Option<Result<Arc<EigenSystem>, LinalgError>>> =
+            omegas.iter().map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (slot, &omega) in slots.iter_mut().zip(omegas.iter()) {
+                scope.spawn(move |_| {
+                    simd::with_forced(simd_mode, || {
+                        *slot = Some(eigen_for(problem, config, kappa, omega, scale));
+                    });
+                    // Scoped thread: flush cache-probe instants before
+                    // the scope unblocks (see slim_trace::flush_thread).
+                    if slim_trace::enabled() {
+                        slim_trace::flush_thread();
+                    }
+                });
+            }
+        })
+        .expect("eigen scope");
+        slots
+            .into_iter()
+            .map(|s| s.expect("eigen thread filled its slot"))
+            .collect()
+    } else {
+        omegas
+            .iter()
+            .map(|&omega| eigen_for(problem, config, kappa, omega, scale))
+            .collect()
+    }
+}
+
+/// Phase 4 as a reusable step: per-pattern class mixing (log-sum-exp) and
+/// the weighted total — always serial, fixed pattern order, Neumaier
+/// compensated, so every thread count and both engines (stateless and
+/// reuse) produce the same bits. `threads` is reported in the sanitize
+/// context only.
+pub(crate) fn mix_and_reduce(
+    problem: &LikelihoodProblem,
+    props: [f64; N_SITE_CLASSES],
+    per_class: &[Vec<f64>],
+    threads: usize,
+) -> (f64, Vec<f64>) {
+    let n_pat = problem.n_patterns();
     let mut per_pattern = vec![0.0f64; n_pat];
     let mut acc = NeumaierSum::new();
     for p in 0..n_pat {
@@ -372,19 +430,9 @@ fn evaluate_inner(
              proportions {props:?})"
         )
     });
-    drop(phase_span);
-    let elapsed = start.elapsed();
-    obs.reduction.observe(elapsed);
-    if let Some(t) = timing {
-        t.reduction += elapsed;
-    }
-
-    Ok(LikelihoodValue {
-        lnl,
-        per_pattern,
-        per_class,
-        proportions: props,
-    })
+    #[cfg(not(feature = "sanitize"))]
+    let _ = threads;
+    (lnl, per_pattern)
 }
 
 /// Build (or fetch from the cross-evaluation cache) the eigensystem for
@@ -411,7 +459,7 @@ fn eigen_for(
 
 /// Reconstruct one branch's transition operator in the representation the
 /// engine's CPV strategy needs.
-fn build_op(es: &EigenSystem, config: &EngineConfig, t: f64) -> TransOp {
+pub(crate) fn build_op(es: &EigenSystem, config: &EngineConfig, t: f64) -> TransOp {
     match config.cpv {
         CpvStrategy::SymmetricSymv => TransOp::Sym(es.symmetric_transition(t)),
         _ => TransOp::Dense(match config.expm {

@@ -14,6 +14,10 @@ pub struct LikelihoodProblem {
     pub postorder: Vec<usize>,
     /// Children of each node.
     pub children: Vec<Vec<usize>>,
+    /// Parent of each node (`None` for the root) — the upward half of the
+    /// topology, used by the reuse engine to walk root-paths when a branch
+    /// length changes.
+    pub parent: Vec<Option<usize>>,
     /// Whether the edge above each node is the foreground branch.
     pub is_foreground: Vec<bool>,
     /// For non-root nodes, the index of their branch in the optimizer's
@@ -143,9 +147,17 @@ impl LikelihoodProblem {
         let patterns = SitePatterns::from_alignment(aln, code)?;
         let pi = slim_bio::codon_frequencies(aln, code, freq_model);
 
+        let mut parent = vec![None; n];
+        for (p, kids) in children.iter().enumerate() {
+            for &c in kids {
+                parent[c] = Some(p);
+            }
+        }
+
         Ok(LikelihoodProblem {
             postorder: tree.postorder().into_iter().map(|id| id.0).collect(),
             children,
+            parent,
             is_foreground,
             branch_index,
             leaf_taxon,
@@ -160,6 +172,18 @@ impl LikelihoodProblem {
     /// Number of branches (length the optimizer's branch vector must have).
     pub fn n_branches(&self) -> usize {
         self.branch_index.iter().flatten().count()
+    }
+
+    /// Inverse of [`LikelihoodProblem::branch_index`]: for each branch
+    /// index, the node whose parent edge it is.
+    pub fn branch_nodes(&self) -> Vec<usize> {
+        let mut nodes = vec![usize::MAX; self.n_branches()];
+        for (node, bi) in self.branch_index.iter().enumerate() {
+            if let Some(bi) = *bi {
+                nodes[bi] = node;
+            }
+        }
+        nodes
     }
 
     /// Number of unique site patterns.
@@ -202,6 +226,26 @@ mod tests {
         assert!(p.n_patterns() <= 3);
         assert_eq!(p.postorder.len(), 5);
         assert_eq!(*p.postorder.last().unwrap(), p.root);
+    }
+
+    #[test]
+    fn parent_inverts_children_and_branch_nodes_invert_indices() {
+        let (tree, aln) = toy();
+        let code = GeneticCode::universal();
+        let p = LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).unwrap();
+        assert_eq!(p.parent[p.root], None);
+        for (node, kids) in p.children.iter().enumerate() {
+            for &c in kids {
+                assert_eq!(p.parent[c], Some(node));
+            }
+        }
+        // Every non-root node has a parent.
+        assert_eq!(p.parent.iter().filter(|x| x.is_some()).count(), 4);
+        let nodes = p.branch_nodes();
+        assert_eq!(nodes.len(), p.n_branches());
+        for (bi, &node) in nodes.iter().enumerate() {
+            assert_eq!(p.branch_index[node], Some(bi));
+        }
     }
 
     #[test]

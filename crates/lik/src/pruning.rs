@@ -69,6 +69,25 @@ impl TransOp {
     }
 }
 
+/// Source of per-(node, ω) transition operators for a pruning pass: the
+/// stateless engine hands the kernel a per-evaluation table, the reuse
+/// engine a cross-evaluation [`slim_expm::PtCache`] view. Both must hold
+/// an operator for every ω the scheduled classes select on every branch.
+pub(crate) trait OpSource: Sync {
+    /// The operator for the edge above `node` under ω index `w`.
+    fn op(&self, node: usize, w: usize) -> &TransOp;
+}
+
+impl OpSource for [[Option<TransOp>; N_OMEGA]] {
+    // check: allow(panic-free-hot-path) the expm phase builds an operator for every ω a class selects before pruning starts
+    fn op(&self, node: usize, w: usize) -> &TransOp {
+        self[node][w]
+            .as_ref()
+            // check: allow(rob-unwrap) the expm phase builds an operator for every ω a class selects before pruning starts
+            .expect("operator built for needed omega")
+    }
+}
+
 /// Full output of one likelihood evaluation.
 #[derive(Debug, Clone)]
 pub struct LikelihoodValue {
@@ -205,10 +224,10 @@ impl PruneWorkspace {
 // check: hot per-block pruning unit (paper's inner loop)
 #[allow(clippy::too_many_arguments)]
 // check: allow(panic-free-hot-path) pattern/node indices bounded by SitePatterns and tree construction; expect() guarded by topological order
-pub(crate) fn prune_block(
+pub(crate) fn prune_block<O: OpSource + ?Sized>(
     problem: &LikelihoodProblem,
     config: &EngineConfig,
-    ops: &[[Option<TransOp>; N_OMEGA]],
+    ops: &O,
     bg_omega: usize,
     fg_omega: usize,
     lo: usize,
@@ -313,10 +332,10 @@ pub(crate) fn prune_block(
 /// consume the CPV their own pruning pass left in `slots`.
 #[allow(clippy::too_many_arguments)]
 // check: allow(panic-free-hot-path) child partials exist before parents by post-order traversal; indices bounded by block width
-fn child_block_into(
+fn child_block_into<O: OpSource + ?Sized>(
     problem: &LikelihoodProblem,
     config: &EngineConfig,
-    ops: &[[Option<TransOp>; N_OMEGA]],
+    ops: &O,
     bg_omega: usize,
     fg_omega: usize,
     lo: usize,
@@ -333,10 +352,7 @@ fn child_block_into(
     } else {
         bg_omega
     };
-    let op = ops[child][w]
-        .as_ref()
-        // check: allow(rob-unwrap) the expm phase builds an operator for every ω a class selects before pruning starts
-        .expect("operator built for needed omega");
+    let op = ops.op(child, w);
     if let Some(taxon) = problem.leaf_taxon[child] {
         // Leaf: P·e_c collapses to a column gather per pattern. Missing
         // data integrates the state out: P·1 = 1 (rows of P sum to one),
@@ -428,6 +444,427 @@ pub(crate) fn prune_one_class(
         problem, config, ops, bg_omega, fg_omega, 0, &mut out, &mut ws,
     );
     out
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-path reuse: cached variant of the kernel above.
+// ---------------------------------------------------------------------------
+
+/// Cross-evaluation cache for one (site class × pattern block) unit: the
+/// post-rescale CPV of every internal node, plus each node's per-column
+/// ln-rescale contribution so the block's total scale log can be rebuilt
+/// exactly after a partial recompute.
+///
+/// `0.0` in [`UnitCache::scale`] means "this node did not rescale this
+/// column" — unambiguous because a real contribution is `ln m` with
+/// `m < scale_threshold ≤ 1e-100`, i.e. at most ≈ −230.
+pub(crate) struct UnitCache {
+    /// Post-rescale CPV per node; `None` for leaves and never-computed
+    /// nodes.
+    cpv: Vec<Option<Mat>>,
+    /// Per-node per-column ln-rescale contributions (empty for leaves).
+    scale: Vec<Vec<f64>>,
+    /// (states, block width) of the cached CPVs.
+    dims: (usize, usize),
+}
+
+impl UnitCache {
+    /// An empty cache; buffers appear on first recompute.
+    pub(crate) fn new() -> UnitCache {
+        UnitCache {
+            cpv: Vec::new(),
+            scale: Vec::new(),
+            dims: (0, 0),
+        }
+    }
+
+    fn ensure(&mut self, n_nodes: usize, n: usize, bw: usize) {
+        if self.dims != (n, bw) {
+            self.cpv.clear();
+            self.scale.clear();
+            self.dims = (n, bw);
+        }
+        if self.cpv.len() < n_nodes {
+            self.cpv.resize_with(n_nodes, || None);
+            self.scale.resize_with(n_nodes, Vec::new);
+        }
+    }
+}
+
+/// Per-worker scratch for [`prune_block_cached`] — the subset of
+/// [`PruneWorkspace`] the cached kernel needs (per-node CPV storage lives
+/// in the [`UnitCache`] instead of worker-local slots).
+pub(crate) struct ReuseScratch {
+    /// Staging block for non-first children.
+    tmp: Mat,
+    /// One gathered leaf column.
+    col: Vec<f64>,
+    /// Rebuilt total log of rescale factors, per block column.
+    scale_log: Vec<f64>,
+    /// Column/result scratch for the CPV kernels.
+    scratch: CpvScratch,
+    /// (states, block width) `tmp` currently has.
+    dims: (usize, usize),
+}
+
+impl ReuseScratch {
+    /// Empty scratch; buffers are created on first use.
+    pub(crate) fn new() -> ReuseScratch {
+        ReuseScratch {
+            tmp: Mat::zeros(0, 0),
+            col: Vec::new(),
+            scale_log: Vec::new(),
+            scratch: CpvScratch::new(),
+            dims: (0, 0),
+        }
+    }
+
+    fn ensure(&mut self, n: usize, bw: usize) {
+        if self.dims != (n, bw) {
+            self.tmp = Mat::zeros_padded(n, bw);
+            self.dims = (n, bw);
+        }
+        if self.col.len() != n {
+            self.col = vec![0.0; n];
+        }
+        self.scale_log.clear();
+        self.scale_log.resize(bw, 0.0);
+    }
+}
+
+/// Cached pruning pass for one site class over the pattern block
+/// `[lo, lo + out.len())`: recomputes only `dirty` internal nodes, reusing
+/// every clean node's CPV and rescale record byte-for-byte from `cache`.
+///
+/// ## Bit-identity to [`prune_block`]
+///
+/// * A clean node's cached CPV and rescale record are exactly what the
+///   last recompute stored — and recomputes run the same kernel calls on
+///   the same inputs as a fresh pass, so by induction each cached CPV
+///   equals the fresh-pass CPV bit-for-bit (the caller guarantees `dirty`
+///   covers every node whose inputs changed, and that `dirty` is closed
+///   under "parent of").
+/// * The block's scale log is rebuilt by summing the per-node records in
+///   postorder — the same addition sequence the fresh pass performs
+///   (skipping exact-zero records cannot change bits: the accumulator is
+///   never −0.0, and the fresh pass performs no addition at those nodes).
+/// * The root combination is the same per-column dot with π.
+// check: hot dirty-path pruning unit (reuse engine inner loop)
+#[allow(clippy::too_many_arguments)]
+// check: allow(panic-free-hot-path) same bounds as prune_block; cache slots for clean nodes filled by the previous recompute, for dirty ones by this pass's postorder
+pub(crate) fn prune_block_cached<O: OpSource + ?Sized>(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    ops: &O,
+    bg_omega: usize,
+    fg_omega: usize,
+    lo: usize,
+    dirty: &[bool],
+    out: &mut [f64],
+    cache: &mut UnitCache,
+    ws: &mut ReuseScratch,
+) {
+    let n = problem.pi.len();
+    let bw = out.len();
+    let n_nodes = problem.children.len();
+    cache.ensure(n_nodes, n, bw);
+    ws.ensure(n, bw);
+
+    for &node in &problem.postorder {
+        if problem.children[node].is_empty() {
+            continue;
+        }
+        if !dirty[node] {
+            debug_assert!(
+                cache.cpv[node].is_some(),
+                "clean node {node} must have a cached CPV"
+            );
+            continue;
+        }
+        recompute_node_cpv(
+            problem, config, ops, bg_omega, fg_omega, lo, node, cache, ws,
+        );
+    }
+
+    // Rebuild the block's total scale log: postorder sum of the per-node
+    // records — the same per-column addition sequence as a fresh pass.
+    for v in ws.scale_log.iter_mut() {
+        *v = 0.0;
+    }
+    for &node in &problem.postorder {
+        if problem.children[node].is_empty() {
+            continue;
+        }
+        let rec = &cache.scale[node];
+        for (sl, &v) in ws.scale_log.iter_mut().zip(rec.iter()) {
+            // check: allow(det-float-cmp) 0.0 is the "no rescale" sentinel; real records are ≤ ln(scale_threshold) ≈ −230
+            if v != 0.0 {
+                // check: allow(det-float-accum) one rescale term per visited node, fixed postorder — same sequence as prune_block
+                *sl += v;
+            }
+        }
+    }
+
+    // Root combination with π — identical arithmetic to `prune_block`.
+    let root_cpv = cache.cpv[problem.root]
+        .as_ref()
+        // check: allow(rob-unwrap) the root is internal and either clean (cached) or dirty (just recomputed)
+        .expect("root CPV cached or recomputed");
+    for (q, o) in out.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for i in 0..n {
+            // check: allow(det-float-accum) 61-term per-pattern dot with π; fixed order is the determinism contract
+            s += problem.pi[i] * root_cpv[(i, q)];
+        }
+        *o = if s > 0.0 {
+            s.ln() + ws.scale_log[q]
+        } else {
+            f64::NEG_INFINITY
+        };
+    }
+    #[cfg(feature = "sanitize")]
+    sanitize_hooks::root_outputs(out, problem.root, bg_omega, fg_omega, lo);
+}
+
+/// Recompute one internal node's CPV and rescale record into `cache`,
+/// consuming children from the cache (leaf children gather operator
+/// columns directly). The arithmetic sequence is exactly
+/// [`prune_block`]'s per-node body.
+#[allow(clippy::too_many_arguments)]
+// check: allow(panic-free-hot-path) children precede parents in postorder, so child cache slots are filled; indices bounded as in prune_block
+fn recompute_node_cpv<O: OpSource + ?Sized>(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    ops: &O,
+    bg_omega: usize,
+    fg_omega: usize,
+    lo: usize,
+    node: usize,
+    cache: &mut UnitCache,
+    ws: &mut ReuseScratch,
+) {
+    let n = problem.pi.len();
+    let bw = ws.dims.1;
+    let (&first, rest) = problem.children[node]
+        .split_first()
+        // check: allow(rob-unwrap) caller dispatches internal nodes only
+        .expect("internal node has children");
+    // Take the node's matrix out so the children's cached CPVs can be read
+    // immutably while we write into it.
+    let mut cpv = cache.cpv[node]
+        .take()
+        .unwrap_or_else(|| Mat::zeros_padded(n, bw));
+    child_block_cached(
+        problem,
+        config,
+        ops,
+        bg_omega,
+        fg_omega,
+        lo,
+        first,
+        &mut cpv,
+        &mut ws.col,
+        &cache.cpv,
+        &mut ws.scratch,
+    );
+    for &child in rest {
+        child_block_cached(
+            problem,
+            config,
+            ops,
+            bg_omega,
+            fg_omega,
+            lo,
+            child,
+            &mut ws.tmp,
+            &mut ws.col,
+            &cache.cpv,
+            &mut ws.scratch,
+        );
+        // Same whole-storage combine as prune_block: pads are 0·0 = 0.
+        slim_linalg::vecops::hadamard_in_place(ws.tmp.as_slice(), cpv.as_mut_slice());
+    }
+
+    // Numerical rescaling per pattern column, recording this node's
+    // contribution instead of accumulating into a running total.
+    let rec = &mut cache.scale[node];
+    rec.clear();
+    rec.resize(bw, 0.0);
+    for q in 0..bw {
+        let mut m = 0.0f64;
+        for i in 0..n {
+            let v = cpv[(i, q)];
+            if v > m {
+                m = v;
+            }
+        }
+        if m > 0.0 && m < config.scale_threshold {
+            let inv = 1.0 / m;
+            for i in 0..n {
+                cpv[(i, q)] *= inv;
+            }
+            rec[q] = m.ln();
+        }
+    }
+    #[cfg(feature = "sanitize")]
+    sanitize_hooks::node_cpv(&cpv, rec, node, bg_omega, fg_omega, lo);
+    cache.cpv[node] = Some(cpv);
+}
+
+/// [`child_block_into`] against cached child CPVs: identical arithmetic,
+/// but internal children are *read* from the unit cache instead of being
+/// consumed from worker-local slots.
+#[allow(clippy::too_many_arguments)]
+// check: allow(panic-free-hot-path) postorder recomputes dirty children before their parent and clean children are cached; indices bounded by block width
+fn child_block_cached<O: OpSource + ?Sized>(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    ops: &O,
+    bg_omega: usize,
+    fg_omega: usize,
+    lo: usize,
+    child: usize,
+    dest: &mut Mat,
+    col: &mut [f64],
+    cpvs: &[Option<Mat>],
+    scratch: &mut CpvScratch,
+) {
+    let (n, bw) = (dest.rows(), dest.cols());
+    let w = if problem.is_foreground[child] {
+        fg_omega
+    } else {
+        bg_omega
+    };
+    let op = ops.op(child, w);
+    if let Some(taxon) = problem.leaf_taxon[child] {
+        for q in 0..bw {
+            let codon = problem.patterns.pattern(lo + q)[taxon];
+            if codon == slim_bio::patterns::MISSING {
+                for i in 0..n {
+                    dest[(i, q)] = 1.0;
+                }
+                continue;
+            }
+            op.column(codon, col);
+            for i in 0..n {
+                dest[(i, q)] = col[i];
+            }
+        }
+    } else {
+        let child_cpv = cpvs[child]
+            .as_ref()
+            // check: allow(rob-unwrap) child CPV cached (clean) or recomputed earlier in postorder (dirty)
+            .expect("child CPV cached or recomputed in postorder");
+        op.apply_dense(config.cpv, child_cpv, dest, scratch);
+    }
+}
+
+/// Sanitize tripwire: recompute one *clean* node's CPV and rescale record
+/// from its (cached) children and panic on any bit mismatch with the
+/// cached copy — catching invalidation bugs the moment a stale value
+/// would be served.
+#[cfg(feature = "sanitize")]
+pub(crate) fn sanitize_recheck_node<O: OpSource + ?Sized>(
+    problem: &LikelihoodProblem,
+    config: &EngineConfig,
+    ops: &O,
+    bg_omega: usize,
+    fg_omega: usize,
+    lo: usize,
+    node: usize,
+    cache: &UnitCache,
+    ws: &mut ReuseScratch,
+) {
+    let n = problem.pi.len();
+    let bw = cache.dims.1;
+    ws.ensure(n, bw);
+    let (&first, rest) = problem.children[node]
+        .split_first()
+        // check: allow(rob-unwrap) sanitize spot-check targets only cached internal nodes
+        .expect("recheck target is internal");
+    let mut fresh = Mat::zeros_padded(n, bw);
+    child_block_cached(
+        problem,
+        config,
+        ops,
+        bg_omega,
+        fg_omega,
+        lo,
+        first,
+        &mut fresh,
+        &mut ws.col,
+        &cache.cpv,
+        &mut ws.scratch,
+    );
+    for &child in rest {
+        child_block_cached(
+            problem,
+            config,
+            ops,
+            bg_omega,
+            fg_omega,
+            lo,
+            child,
+            &mut ws.tmp,
+            &mut ws.col,
+            &cache.cpv,
+            &mut ws.scratch,
+        );
+        slim_linalg::vecops::hadamard_in_place(ws.tmp.as_slice(), fresh.as_mut_slice());
+    }
+    let mut fresh_rec = vec![0.0f64; bw];
+    for q in 0..bw {
+        let mut m = 0.0f64;
+        for i in 0..n {
+            let v = fresh[(i, q)];
+            if v > m {
+                m = v;
+            }
+        }
+        if m > 0.0 && m < config.scale_threshold {
+            let inv = 1.0 / m;
+            for i in 0..n {
+                fresh[(i, q)] *= inv;
+            }
+            fresh_rec[q] = m.ln();
+        }
+    }
+    let cached = cache.cpv[node]
+        .as_ref()
+        // check: allow(rob-unwrap) sanitize spot-check picks its target from filled cache slots
+        .expect("recheck target has a cached CPV");
+    let ctx = || {
+        format!(
+            "reuse spot-check at node {node} (ω classes bg={bg_omega} fg={fg_omega}), \
+             pattern block [{lo}, {})",
+            lo + bw
+        )
+    };
+    for (i, (a, b)) in cached
+        .as_slice()
+        .iter()
+        .zip(fresh.as_slice().iter())
+        .enumerate()
+    {
+        if a.to_bits() != b.to_bits() {
+            // check: allow(rob-unwrap) sanitize tripwire: a detected invariant violation must abort
+            panic!(
+                "sanitize: reused CPV diverges from recomputation at flat index {i}: \
+                 cached {a:e} vs fresh {b:e} in {}",
+                ctx()
+            );
+        }
+    }
+    for (q, (a, b)) in cache.scale[node].iter().zip(fresh_rec.iter()).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            // check: allow(rob-unwrap) sanitize tripwire: a detected invariant violation must abort
+            panic!(
+                "sanitize: reused rescale record diverges at column {q}: cached {a:e} vs \
+                 fresh {b:e} in {}",
+                ctx()
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,793 @@
+//! Dirty-path partial-likelihood reuse across optimizer evaluations.
+//!
+//! A derivative-based fit evaluates the likelihood hundreds of times, and
+//! most evaluations change *one* parameter (a finite-difference probe) or
+//! a handful (a line-search step along a sparse direction). The stateless
+//! engine in [`crate::par`] recomputes every transition operator and every
+//! conditional probability vector (CPV) each time; this module keeps the
+//! previous evaluation's intermediates and recomputes only what the
+//! parameter delta actually touches:
+//!
+//! * a changed **branch length** invalidates that branch's `P(t)`
+//!   operators and the CPVs of the nodes on the path from the branch's
+//!   parent to the root — everything else is served from cache;
+//! * a changed **global** (κ, ω0, ω2, p0, p1) invalidates the
+//!   eigendecompositions and therefore every CPV (operators whose (κ, ω,
+//!   scale) survive via the cross-evaluation [`slim_expm::EigenCache`]
+//!   still probe-hit through [`slim_expm::EigenSystem::id`]).
+//!
+//! ## The invalidation contract
+//!
+//! The optimizer's `ParamDelta` (crate `slim-opt`) is a *hint*: an
+//! upper bound on which coordinates changed. The evaluator does not trust
+//! it — it diffs the incoming parameters **bitwise** against the previous
+//! evaluation's and derives the dirty set from that ground truth. The hint
+//! is only cross-checked; a hint that failed to cover an observed change
+//! increments `lik.reuse.hint_violations` (and panics under the `sanitize`
+//! feature) but cannot produce a wrong likelihood.
+//!
+//! ## Why reuse is bit-identical
+//!
+//! Every cached object is keyed on the exact bits of its inputs
+//! ([`PtKey`] for operators; the bitwise parameter diff for CPVs), and
+//! recomputation runs the byte-same kernels on the byte-same inputs as the
+//! stateless engine (see [`crate::pruning::prune_block_cached`] for the
+//! per-unit argument, including the rescale bookkeeping). The final
+//! reduction is the same serial fixed-order compensated sum. So reuse-on
+//! and reuse-off agree to the last bit — which the identity test layer
+//! replays optimizer-like update sequences to enforce.
+
+use crate::engine::EngineConfig;
+use crate::par::{build_eigensystems, build_op, mix_and_reduce, PhaseTiming};
+use crate::problem::LikelihoodProblem;
+use crate::pruning::{
+    prune_block_cached, LikelihoodValue, OpSource, ReuseScratch, TransOp, UnitCache, N_OMEGA,
+};
+use slim_expm::{EigenSystem, PtCache, PtKey};
+use slim_linalg::{simd, LinalgError};
+use slim_model::BranchSiteModel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What the caller believes changed since the previous evaluation —
+/// translated from the optimizer's coordinate delta by the analysis
+/// layer. Advisory only: see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReuseHint {
+    /// Anything may have changed (first call, restart, unknown caller).
+    Full,
+    /// Only the listed pieces may have changed.
+    Sparse {
+        /// Whether any global (κ, ω0, ω2, p0, p1) may have changed.
+        globals: bool,
+        /// Branch indices whose lengths may have changed.
+        branches: Vec<usize>,
+    },
+}
+
+/// The previous evaluation's reusable intermediates.
+struct EvalState {
+    /// Globals the caches were computed under (compared bitwise).
+    model: BranchSiteModel,
+    /// Branch lengths the caches were computed under (compared bitwise).
+    branch_lengths: Vec<f64>,
+    /// One eigendecomposition per ω class.
+    eigensystems: Vec<Arc<EigenSystem>>,
+    /// Per-(node × ω) transition operators, validity-keyed on
+    /// (decomposition id, branch-length bits).
+    ops: PtCache<TransOp>,
+    /// (class index, block start, block width) of each pruning unit — a
+    /// geometry fingerprint; any change drops every unit cache.
+    unit_shape: Vec<(usize, usize, usize)>,
+    /// Cached CPVs + rescale records, one per unit in `unit_shape` order.
+    units: Vec<UnitCache>,
+    /// The full previous result, for the nothing-changed shortcut.
+    value: LikelihoodValue,
+}
+
+/// Operator view the cached pruning kernel reads: every (node, ω) a unit
+/// touches was probed or rebuilt in this evaluation's expm phase.
+struct CachedOps<'a>(&'a PtCache<TransOp>);
+
+impl OpSource for CachedOps<'_> {
+    // check: hot reuse-engine operator fetch behind the unified kernel interface
+    // check: allow(panic-free-hot-path) the expm phase probes/rebuilds every slot a unit can address before pruning starts
+    fn op(&self, node: usize, w: usize) -> &TransOp {
+        self.0
+            .value(node * N_OMEGA + w)
+            // check: allow(rob-unwrap) the expm phase probes or rebuilds every slot a unit can address before pruning starts
+            .expect("operator probed or rebuilt in the expm phase")
+    }
+}
+
+/// A stateful likelihood evaluator that reuses the previous evaluation's
+/// operators and CPVs along clean paths. One per fit (per hypothesis);
+/// owns its caches, no sharing, no locking.
+pub struct ReuseEvaluator<'p> {
+    problem: &'p LikelihoodProblem,
+    config: EngineConfig,
+    /// Branch index → the node *below* that branch.
+    branch_node: Vec<usize>,
+    /// Number of internal (non-leaf) nodes — the per-unit CPV count.
+    n_internal: usize,
+    state: Option<EvalState>,
+    #[cfg(feature = "sanitize")]
+    rng_state: u64,
+}
+
+impl<'p> ReuseEvaluator<'p> {
+    /// A fresh evaluator for `problem` under `config`; the first
+    /// [`evaluate`](ReuseEvaluator::evaluate) computes everything.
+    pub fn new(problem: &'p LikelihoodProblem, config: EngineConfig) -> ReuseEvaluator<'p> {
+        let branch_node = problem.branch_nodes();
+        let n_internal = problem
+            .children
+            .iter()
+            .filter(|kids| !kids.is_empty())
+            .count();
+        ReuseEvaluator {
+            problem,
+            config,
+            branch_node,
+            n_internal,
+            state: None,
+            #[cfg(feature = "sanitize")]
+            rng_state: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Evaluate the branch-site likelihood, reusing whatever the bitwise
+    /// parameter diff against the previous call proves unchanged.
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures.
+    pub fn evaluate(
+        &mut self,
+        model: &BranchSiteModel,
+        branch_lengths: &[f64],
+        hint: &ReuseHint,
+        timing: Option<&mut PhaseTiming>,
+    ) -> Result<LikelihoodValue, LinalgError> {
+        // The SIMD dispatch override is thread-local; this call covers the
+        // calling thread, and each spawned worker re-installs it.
+        simd::with_forced(self.config.simd, || {
+            self.evaluate_inner(model, branch_lengths, hint, timing)
+        })
+    }
+
+    /// (hits, misses) of the per-branch operator cache since construction.
+    pub fn op_cache_stats(&self) -> (u64, u64) {
+        self.state.as_ref().map_or((0, 0), |s| s.ops.stats())
+    }
+
+    fn evaluate_inner(
+        &mut self,
+        model: &BranchSiteModel,
+        branch_lengths: &[f64],
+        hint: &ReuseHint,
+        mut timing: Option<&mut PhaseTiming>,
+    ) -> Result<LikelihoodValue, LinalgError> {
+        let problem = self.problem;
+        let config = self.config.clone();
+        assert_eq!(
+            branch_lengths.len(),
+            problem.n_branches(),
+            "branch length vector has wrong length"
+        );
+        let n_pat = problem.n_patterns();
+        let n_nodes = problem.children.len();
+        let threads = config.resolved_threads().max(1);
+        let simd_mode = config.simd;
+        let obs = crate::obsm::metrics();
+        obs.evaluations.inc();
+        obs.reuse_evaluations.inc();
+        obs.threads.set(threads as f64);
+        obs.simd_lanes.set(simd::resolve(simd_mode).lanes() as f64);
+        let mut eval_span = slim_trace::span("lik.evaluate", "lik");
+        eval_span.arg_u64("threads", threads as u64);
+        eval_span.arg_u64("patterns", n_pat as u64);
+
+        // --- Bitwise diff against the previous evaluation: the ground
+        // truth the dirty set is derived from. ---
+        let prev = self.state.take();
+        let (globals_changed, dirty_branches): (bool, Vec<usize>) = match &prev {
+            None => (true, Vec::new()),
+            Some(s) => {
+                let g = [
+                    (model.kappa, s.model.kappa),
+                    (model.omega0, s.model.omega0),
+                    (model.omega2, s.model.omega2),
+                    (model.p0, s.model.p0),
+                    (model.p1, s.model.p1),
+                ]
+                .iter()
+                .any(|&(a, b)| a.to_bits() != b.to_bits());
+                let dirty: Vec<usize> = branch_lengths
+                    .iter()
+                    .zip(s.branch_lengths.iter())
+                    .enumerate()
+                    .filter(|(_, (a, b))| a.to_bits() != b.to_bits())
+                    .map(|(i, _)| i)
+                    .collect();
+                (g, dirty)
+            }
+        };
+
+        // Cross-check the optimizer's hint against the observed diff. A
+        // violation is an optimizer bug, not a correctness problem here —
+        // the bitwise diff above is what drives invalidation.
+        if prev.is_some() {
+            let violated = match hint {
+                ReuseHint::Full => false,
+                ReuseHint::Sparse { globals, branches } => {
+                    (globals_changed && !globals)
+                        || dirty_branches.iter().any(|b| !branches.contains(b))
+                }
+            };
+            if violated {
+                obs.reuse_hint_violations.inc();
+                #[cfg(feature = "sanitize")]
+                // check: allow(rob-unwrap) sanitize tripwire: a hint that failed to cover the observed change must abort
+                panic!(
+                    "sanitize: reuse hint {hint:?} failed to cover the observed parameter \
+                     change (globals_changed {globals_changed}, dirty branches \
+                     {dirty_branches:?})"
+                );
+            }
+        }
+
+        // --- Nothing changed: serve the previous result outright. ---
+        if let Some(s) = &prev {
+            if !globals_changed && dirty_branches.is_empty() {
+                obs.reuse_units_reused
+                    .add((s.unit_shape.len() * self.n_internal) as u64);
+                slim_trace::instant_with("lik.reuse.hit", "lik", || {
+                    vec![("units", slim_trace::Value::U64(s.unit_shape.len() as u64))]
+                });
+                let value = s.value.clone();
+                self.state = prev;
+                return Ok(value);
+            }
+        }
+
+        // --- Phase 1: eigendecompositions — reused wholesale unless a
+        // global changed. ---
+        // check: allow(det-wallclock) feeds the obs phase-timing histogram only
+        let start = Instant::now();
+        let phase_span = slim_trace::span("lik.eigen", "lik");
+        let omegas = model.omegas();
+        let (mut ops, mut units, prev_shape, eigensystems) = match prev {
+            Some(s) if !globals_changed => (s.ops, s.units, s.unit_shape, s.eigensystems),
+            other => {
+                // First call or globals changed: new decompositions, and
+                // no CPV survives (the mixture itself moved). The operator
+                // cache persists — its (decomposition id, t) keys reject
+                // anything stale, while ops whose (κ, ω, scale) recur
+                // through the shared EigenCache keep their decomposition
+                // identity and still hit.
+                let ops = match other {
+                    Some(s) => s.ops,
+                    None => PtCache::new(0),
+                };
+                let (syn_flux, nonsyn_flux) = slim_model::codon_model::rate_components(
+                    &problem.code,
+                    model.kappa,
+                    &problem.pi,
+                );
+                let scale = model.shared_scale(syn_flux, nonsyn_flux);
+                let es =
+                    build_eigensystems(problem, &config, model.kappa, &omegas, scale, threads)?;
+                (ops, Vec::new(), Vec::new(), es)
+            }
+        };
+        drop(phase_span);
+        let elapsed = start.elapsed();
+        obs.eigen.observe(elapsed);
+        if let Some(t) = timing.as_deref_mut() {
+            // check: allow(det-float-accum) Duration phase-timing accumulation, not an f64 reduction
+            t.eigen += elapsed;
+        }
+
+        // --- Phase 2: transition operators — probe every (branch, needed
+        // ω) slot, rebuild only the key misses. ---
+        // check: allow(det-wallclock) feeds the obs phase-timing histogram only
+        let start = Instant::now();
+        let phase_span = slim_trace::span("lik.expm", "lik");
+        ops.resize(n_nodes * N_OMEGA);
+        let mut stale: Vec<(usize, usize, f64)> = Vec::new();
+        for node in 0..n_nodes {
+            let Some(bi) = problem.branch_index[node] else {
+                continue;
+            };
+            let t = branch_lengths[bi];
+            let needed: &[usize] = if problem.is_foreground[node] {
+                &[0, 1, 2]
+            } else {
+                &[0, 1]
+            };
+            for &w in needed {
+                let key = PtKey::new(&eigensystems[w], t);
+                if !ops.probe(node * N_OMEGA + w, key) {
+                    stale.push((node, w, t));
+                }
+            }
+        }
+        let mut built: Vec<Option<TransOp>> = (0..stale.len()).map(|_| None).collect();
+        let expm_threads = threads.min(stale.len()).max(1);
+        if expm_threads >= 2 {
+            let per = stale.len().div_ceil(expm_threads);
+            let eigensystems = &eigensystems;
+            let config_ref = &config;
+            crossbeam::thread::scope(|scope| {
+                for (chunk, out) in stale.chunks(per).zip(built.chunks_mut(per)) {
+                    scope.spawn(move |_| {
+                        simd::with_forced(simd_mode, || {
+                            for (&(_, w, t), slot) in chunk.iter().zip(out.iter_mut()) {
+                                *slot = Some(build_op(&eigensystems[w], config_ref, t));
+                            }
+                        });
+                    });
+                }
+            })
+            // check: allow(rob-unwrap) scope join fails only if a worker panicked; propagate the abort
+            .expect("expm scope");
+        } else {
+            for (&(_, w, t), slot) in stale.iter().zip(built.iter_mut()) {
+                *slot = Some(build_op(&eigensystems[w], &config, t));
+            }
+        }
+        for ((node, w, t), op) in stale.iter().copied().zip(built) {
+            ops.insert(
+                node * N_OMEGA + w,
+                PtKey::new(&eigensystems[w], t),
+                // check: allow(rob-unwrap) every stale slot was filled by the build loop above
+                op.expect("stale operator rebuilt"),
+            );
+        }
+        drop(phase_span);
+        let elapsed = start.elapsed();
+        obs.expm.observe(elapsed);
+        if let Some(t) = timing.as_deref_mut() {
+            // check: allow(det-float-accum) Duration phase-timing accumulation, not an f64 reduction
+            t.expm += elapsed;
+        }
+
+        // --- Unit geometry + dirty set. ---
+        let classes = model.site_classes();
+        let block = config.pattern_block.max(1);
+        let mut unit_shape: Vec<(usize, usize, usize)> = Vec::new();
+        for (ci, class) in classes.iter().enumerate() {
+            if class.proportion <= 0.0 {
+                continue;
+            }
+            let mut lo = 0usize;
+            while lo < n_pat {
+                let bw = block.min(n_pat - lo);
+                unit_shape.push((ci, lo, bw));
+                // check: allow(det-float-accum) usize block cursor, not a float accumulation
+                lo += bw;
+            }
+        }
+        // Full invalidation when the globals moved (no prior state counts
+        // as that) or the cached units are addressed under a different
+        // geometry (e.g. a proportion hit exactly 0 and dropped a class).
+        let full = globals_changed || prev_shape != unit_shape;
+        if full {
+            obs.reuse_full_invalidations.inc();
+        }
+        obs.reuse_dirty_branches.add(dirty_branches.len() as u64);
+        if units.len() != unit_shape.len() || full {
+            units = unit_shape.iter().map(|_| UnitCache::new()).collect();
+        }
+
+        let mut dirty = vec![false; n_nodes];
+        let mut n_dirty_internal = 0usize;
+        if full {
+            for node in 0..n_nodes {
+                if !problem.children[node].is_empty() {
+                    dirty[node] = true;
+                    n_dirty_internal += 1;
+                }
+            }
+        } else {
+            // A changed branch above node v changes the operator applied
+            // *to* v, so v's parent and every ancestor up to the root must
+            // recompute; v's own CPV is untouched. Dirty sets are closed
+            // under "parent of", so an already-marked node ends the walk.
+            for &bi in &dirty_branches {
+                let mut cur = problem.parent[self.branch_node[bi]];
+                while let Some(p) = cur {
+                    if dirty[p] {
+                        break;
+                    }
+                    dirty[p] = true;
+                    n_dirty_internal += 1;
+                    cur = problem.parent[p];
+                }
+            }
+        }
+        let n_units = unit_shape.len();
+        obs.units.add(n_units as u64);
+        obs.reuse_units_recomputed
+            .add((n_units * n_dirty_internal) as u64);
+        obs.reuse_units_reused
+            .add((n_units * (self.n_internal - n_dirty_internal)) as u64);
+        if n_dirty_internal < self.n_internal {
+            slim_trace::instant_with("lik.reuse.hit", "lik", || {
+                vec![(
+                    "cpv_blocks",
+                    slim_trace::Value::U64((n_units * (self.n_internal - n_dirty_internal)) as u64),
+                )]
+            });
+        }
+        if n_dirty_internal > 0 {
+            slim_trace::instant_with("lik.reuse.miss", "lik", || {
+                vec![
+                    (
+                        "cpv_blocks",
+                        slim_trace::Value::U64((n_units * n_dirty_internal) as u64),
+                    ),
+                    ("full", slim_trace::Value::U64(full as u64)),
+                ]
+            });
+        }
+
+        // --- Phase 3: dirty-path pruning over cached units. ---
+        // check: allow(det-wallclock) feeds the obs phase-timing histogram only
+        let start = Instant::now();
+        let phase_span = slim_trace::span("lik.pruning", "lik");
+        let mut per_class: Vec<Vec<f64>> = classes
+            .iter()
+            .map(|class| {
+                if class.proportion <= 0.0 {
+                    vec![f64::NEG_INFINITY; n_pat]
+                } else {
+                    vec![0.0f64; n_pat]
+                }
+            })
+            .collect();
+        // Carve the per-class buffers into per-unit output slices in
+        // `unit_shape` order, pairing each with its cache.
+        struct RUnit<'a> {
+            bg: usize,
+            fg: usize,
+            lo: usize,
+            out: &'a mut [f64],
+            cache: &'a mut UnitCache,
+        }
+        let mut runits: Vec<RUnit> = Vec::with_capacity(n_units);
+        {
+            let mut cache_iter = units.iter_mut();
+            let mut chunkers: Vec<Option<std::slice::ChunksMut<f64>>> = per_class
+                .iter_mut()
+                .zip(classes.iter())
+                .map(|(buf, class)| (class.proportion > 0.0).then(|| buf.chunks_mut(block)))
+                .collect();
+            for &(ci, lo, _bw) in &unit_shape {
+                let chunk = chunkers[ci]
+                    .as_mut()
+                    .and_then(|c| c.next())
+                    // check: allow(rob-unwrap) unit_shape was derived from the same class/block walk that drives the chunkers
+                    .expect("unit_shape matches class chunking");
+                // check: allow(rob-unwrap) units was sized to unit_shape above
+                let cache = cache_iter.next().expect("one cache per unit");
+                runits.push(RUnit {
+                    bg: classes[ci].background_omega,
+                    fg: classes[ci].foreground_omega,
+                    lo,
+                    out: chunk,
+                    cache,
+                });
+            }
+        }
+        let view = CachedOps(&ops);
+        let dirty_ref: &[bool] = &dirty;
+        let prune_threads = threads.min(runits.len()).max(1);
+        // Per-worker busy time is only clocked while collection is on, so
+        // the disabled path takes no Instant reads per unit.
+        let obs_on = slim_obs::enabled();
+        if prune_threads >= 2 {
+            let (tx, rx) = crossbeam::channel::unbounded::<RUnit>();
+            for unit in runits {
+                // Unbounded channel with both endpoints alive: send cannot fail.
+                let _ = tx.send(unit);
+            }
+            drop(tx);
+            let view = &view;
+            let config_ref = &config;
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..prune_threads {
+                    let rx = rx.clone();
+                    scope.spawn(move |_| {
+                        simd::with_forced(simd_mode, || {
+                            let worker_span = slim_trace::span("lik.worker", "lik");
+                            let mut ws = ReuseScratch::new();
+                            let mut busy = Duration::ZERO;
+                            while let Ok(unit) = rx.recv() {
+                                // check: allow(det-wallclock) feeds the obs worker-busy gauge only
+                                let t0 = obs_on.then(Instant::now);
+                                let mut block_span = slim_trace::span("lik.block", "lik");
+                                block_span.arg_u64("bg", unit.bg as u64);
+                                block_span.arg_u64("fg", unit.fg as u64);
+                                block_span.arg_u64("lo", unit.lo as u64);
+                                prune_block_cached(
+                                    problem, config_ref, view, unit.bg, unit.fg, unit.lo,
+                                    dirty_ref, unit.out, unit.cache, &mut ws,
+                                );
+                                drop(block_span);
+                                if let Some(t0) = t0 {
+                                    // check: allow(det-float-accum) Duration worker-busy accumulation, not an f64 reduction
+                                    busy += t0.elapsed();
+                                }
+                            }
+                            obs.worker_busy.observe(busy);
+                            drop(worker_span);
+                        });
+                        // Scoped thread: flush before the scope unblocks.
+                        if slim_trace::enabled() {
+                            slim_trace::flush_thread();
+                        }
+                    });
+                }
+            })
+            // check: allow(rob-unwrap) scope join fails only if a worker panicked; propagate the abort
+            .expect("pruning scope");
+        } else {
+            let mut ws = ReuseScratch::new();
+            // check: allow(det-wallclock) feeds the obs worker-busy gauge only
+            let t0 = obs_on.then(Instant::now);
+            for unit in runits {
+                prune_block_cached(
+                    problem, &config, &view, unit.bg, unit.fg, unit.lo, dirty_ref, unit.out,
+                    unit.cache, &mut ws,
+                );
+            }
+            if let Some(t0) = t0 {
+                obs.worker_busy.observe(t0.elapsed());
+            }
+        }
+
+        // Sanitize tripwire: recompute one randomly chosen *reused* CPV
+        // block from its cached children and demand bit equality — a
+        // stale-serve is caught at the evaluation that commits it.
+        #[cfg(feature = "sanitize")]
+        if !full && n_dirty_internal < self.n_internal && !unit_shape.is_empty() {
+            let clean: Vec<usize> = (0..n_nodes)
+                .filter(|&v| !problem.children[v].is_empty() && !dirty[v])
+                .collect();
+            let mut next = || {
+                self.rng_state = self
+                    .rng_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (self.rng_state >> 33) as usize
+            };
+            let node = clean[next() % clean.len()];
+            let ui = next() % unit_shape.len();
+            let (ci, lo, _) = unit_shape[ui];
+            let mut ws = ReuseScratch::new();
+            crate::pruning::sanitize_recheck_node(
+                problem,
+                &config,
+                &view,
+                classes[ci].background_omega,
+                classes[ci].foreground_omega,
+                lo,
+                node,
+                &units[ui],
+                &mut ws,
+            );
+        }
+        drop(phase_span);
+        let elapsed = start.elapsed();
+        obs.pruning.observe(elapsed);
+        if let Some(t) = timing.as_deref_mut() {
+            // check: allow(det-float-accum) Duration phase-timing accumulation, not an f64 reduction
+            t.pruning += elapsed;
+        }
+
+        // --- Phase 4: the shared serial fixed-order reduction. ---
+        // check: allow(det-wallclock) feeds the obs phase-timing histogram only
+        let start = Instant::now();
+        let phase_span = slim_trace::span("lik.reduction", "lik");
+        let props = [
+            classes[0].proportion,
+            classes[1].proportion,
+            classes[2].proportion,
+            classes[3].proportion,
+        ];
+        let (lnl, per_pattern) = mix_and_reduce(problem, props, &per_class, threads);
+        drop(phase_span);
+        let elapsed = start.elapsed();
+        obs.reduction.observe(elapsed);
+        if let Some(t) = timing {
+            // check: allow(det-float-accum) Duration phase-timing accumulation, not an f64 reduction
+            t.reduction += elapsed;
+        }
+
+        let value = LikelihoodValue {
+            lnl,
+            per_pattern,
+            per_class,
+            proportions: props,
+        };
+        self.state = Some(EvalState {
+            model: *model,
+            branch_lengths: branch_lengths.to_vec(),
+            eigensystems,
+            ops,
+            unit_shape,
+            units,
+            value: value.clone(),
+        });
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruning::site_class_log_likelihoods;
+    use slim_bio::{parse_newick, CodonAlignment, FreqModel, GeneticCode};
+    use slim_model::Hypothesis;
+
+    fn toy_problem() -> LikelihoodProblem {
+        let tree = parse_newick("(((A:0.1,B:0.2):0.05,C:0.3)#1:0.1,(D:0.25,E:0.15):0.2);").unwrap();
+        let aln = CodonAlignment::from_fasta(
+            ">A\nCCCTACTGCCCCAAGGAG\n>B\nCCCTACTGCCCCAAGGAG\n>C\nCCCTACTGCCCCAAGGAG\n>D\nCCCTATTGCCCCAAGGAG\n>E\nCCCTACTGCACCAAGGAG\n",
+        )
+        .unwrap();
+        let code = GeneticCode::universal();
+        LikelihoodProblem::new(&tree, &aln, &code, FreqModel::F3x4).unwrap()
+    }
+
+    fn assert_bits_equal(a: &LikelihoodValue, b: &LikelihoodValue, step: usize) {
+        assert_eq!(
+            a.lnl.to_bits(),
+            b.lnl.to_bits(),
+            "lnL bits diverge at step {step}: reuse {} vs fresh {}",
+            a.lnl,
+            b.lnl
+        );
+        for (p, (x, y)) in a.per_pattern.iter().zip(b.per_pattern.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "per-pattern bits diverge at step {step}, pattern {p}"
+            );
+        }
+        for (c, (xs, ys)) in a.per_class.iter().zip(b.per_class.iter()).enumerate() {
+            for (p, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "per-class bits diverge at step {step}, class {c}, pattern {p}"
+                );
+            }
+        }
+    }
+
+    /// An optimizer-shaped update script: finite-difference probes on
+    /// single branches, a sparse line-search move, a global bump, and an
+    /// exact repeat — each step checked bit-for-bit against a fresh
+    /// stateless evaluation.
+    fn run_script(config: EngineConfig) {
+        let problem = toy_problem();
+        let mut ev = ReuseEvaluator::new(&problem, config.clone());
+        let mut model = BranchSiteModel::default_start(Hypothesis::H1);
+        let mut bl: Vec<f64> = (0..problem.n_branches())
+            .map(|i| 0.08 + 0.03 * i as f64)
+            .collect();
+        let n_br = bl.len();
+
+        let mut step = 0usize;
+        let mut check =
+            |ev: &mut ReuseEvaluator, model: &BranchSiteModel, bl: &[f64], hint: &ReuseHint| {
+                let reuse = ev.evaluate(model, bl, hint, None).unwrap();
+                let fresh = site_class_log_likelihoods(&problem, &config, model, bl).unwrap();
+                assert_bits_equal(&reuse, &fresh, step);
+                step += 1;
+            };
+
+        check(&mut ev, &model, &bl, &ReuseHint::Full);
+        // Single-branch finite-difference probes (the numgrad pattern).
+        for i in 0..n_br {
+            let saved = bl[i];
+            bl[i] += 1e-6;
+            let hint = ReuseHint::Sparse {
+                globals: false,
+                branches: vec![i],
+            };
+            check(&mut ev, &model, &bl, &hint);
+            bl[i] = saved;
+            check(&mut ev, &model, &bl, &hint);
+        }
+        // Exact repeat: the nothing-changed shortcut.
+        check(
+            &mut ev,
+            &model,
+            &bl,
+            &ReuseHint::Sparse {
+                globals: false,
+                branches: Vec::new(),
+            },
+        );
+        // Sparse line-search step over two branches.
+        bl[0] *= 1.25;
+        bl[n_br - 1] *= 0.75;
+        check(
+            &mut ev,
+            &model,
+            &bl,
+            &ReuseHint::Sparse {
+                globals: false,
+                branches: vec![0, n_br - 1],
+            },
+        );
+        // Global move: everything invalidates.
+        model.kappa += 0.125;
+        check(
+            &mut ev,
+            &model,
+            &bl,
+            &ReuseHint::Sparse {
+                globals: true,
+                branches: Vec::new(),
+            },
+        );
+        // Mixed move after the full invalidation.
+        model.p0 -= 0.0625;
+        bl[1] += 0.01;
+        check(
+            &mut ev,
+            &model,
+            &bl,
+            &ReuseHint::Sparse {
+                globals: true,
+                branches: vec![1],
+            },
+        );
+        let (hits, misses) = ev.op_cache_stats();
+        assert!(hits > 0, "the script must exercise operator reuse");
+        assert!(misses > 0, "the script must exercise operator rebuilds");
+    }
+
+    #[test]
+    fn reuse_matches_stateless_bit_identically_serial() {
+        // Small blocks force several units per class so root-path
+        // invalidation crosses block boundaries.
+        run_script(EngineConfig::slim().with_pattern_block(2));
+    }
+
+    #[test]
+    fn reuse_matches_stateless_bit_identically_threaded() {
+        run_script(EngineConfig::slim().with_pattern_block(2).with_threads(4));
+    }
+
+    #[test]
+    fn reuse_matches_stateless_with_eigen_cache_profile() {
+        run_script(EngineConfig::slim_plus().with_pattern_block(3));
+    }
+
+    // Under `sanitize` a deliberately wrong hint panics instead.
+    #[cfg(not(feature = "sanitize"))]
+    #[test]
+    fn too_narrow_hint_cannot_corrupt_the_likelihood() {
+        let problem = toy_problem();
+        let config = EngineConfig::slim().with_pattern_block(2);
+        let mut ev = ReuseEvaluator::new(&problem, config.clone());
+        let model = BranchSiteModel::default_start(Hypothesis::H0);
+        let mut bl = vec![0.1; problem.n_branches()];
+        ev.evaluate(&model, &bl, &ReuseHint::Full, None).unwrap();
+        // Change branch 2 but claim nothing changed: the bitwise self-diff
+        // must still invalidate the right paths.
+        bl[2] = 0.17;
+        let lying_hint = ReuseHint::Sparse {
+            globals: false,
+            branches: Vec::new(),
+        };
+        let reuse = ev.evaluate(&model, &bl, &lying_hint, None).unwrap();
+        let fresh = site_class_log_likelihoods(&problem, &config, &model, &bl).unwrap();
+        assert_bits_equal(&reuse, &fresh, 1);
+    }
+}

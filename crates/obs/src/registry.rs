@@ -110,23 +110,35 @@ impl Registry {
 
 /// Compute gauges derived from raw counters at snapshot time, inserting
 /// them at their name-sorted position so the schema-stability contract
-/// holds. Currently: `expm.cache.hit_rate` = hits / (hits + misses)
-/// (0 before any access), present whenever the cache counters are
-/// registered.
+/// holds. Currently: `expm.cache.hit_rate` = hits / (hits + misses) and
+/// `lik.reuse.hit_rate` = units_reused / (units_reused +
+/// units_recomputed). Both are defined as 0 when their denominator is 0
+/// (no lookups yet) — never NaN — and present whenever their source
+/// counters are registered.
 fn add_derived_gauges(counters: &[(String, u64)], gauges: &mut Vec<(String, f64)>) {
     let get = |name: &str| counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
-    if let (Some(hits), Some(misses)) = (get("expm.cache.hits"), get("expm.cache.misses")) {
-        let total = hits + misses;
-        let rate = if total > 0 {
-            hits as f64 / total as f64
-        } else {
-            0.0
-        };
-        let name = "expm.cache.hit_rate";
-        match gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+    let mut set =
+        |name: &str, rate: f64| match gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
             Ok(i) => gauges[i].1 = rate,
             Err(i) => gauges.insert(i, (name.to_string(), rate)),
-        }
+        };
+    if let (Some(hits), Some(misses)) = (get("expm.cache.hits"), get("expm.cache.misses")) {
+        set("expm.cache.hit_rate", ratio(hits, hits + misses));
+    }
+    if let (Some(reused), Some(recomputed)) = (
+        get("lik.reuse.units_reused"),
+        get("lik.reuse.units_recomputed"),
+    ) {
+        set("lik.reuse.hit_rate", ratio(reused, reused + recomputed));
+    }
+}
+
+/// `num / den` with the 0/0 case pinned to 0.0 (never NaN).
+fn ratio(num: u64, den: u64) -> f64 {
+    if den > 0 {
+        num as f64 / den as f64
+    } else {
+        0.0
     }
 }
 
@@ -540,6 +552,39 @@ mod tests {
         // Registries without the cache counters don't grow the gauge.
         let bare = Registry::new();
         assert_eq!(bare.snapshot().gauge("expm.cache.hit_rate"), None);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn derived_reuse_hit_rate_guards_zero_over_zero() {
+        let _g = locked_enabled();
+        let r = Registry::new();
+        // Registered but never bumped — a job that performed no lookups.
+        // The derived gauge must be 0.0, never NaN, in both sinks.
+        r.counter("lik.reuse.units_reused");
+        r.counter("lik.reuse.units_recomputed");
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("lik.reuse.hit_rate"), Some(0.0));
+        assert!(
+            snap.to_json().contains("\"lik.reuse.hit_rate\":0.0"),
+            "{}",
+            snap.to_json()
+        );
+        assert!(
+            snap.to_prometheus()
+                .contains("slimcodeml_lik_reuse_hit_rate 0\n"),
+            "{}",
+            snap.to_prometheus()
+        );
+        // With traffic, the usual ratio, name-sorted into the gauge list.
+        r.counter("lik.reuse.units_reused").add(6);
+        r.counter("lik.reuse.units_recomputed").add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("lik.reuse.hit_rate"), Some(0.75));
+        let names: Vec<&str> = snap.gauges.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "derived gauge keeps name order");
         crate::set_enabled(false);
     }
 
